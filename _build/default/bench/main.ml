@@ -1,0 +1,245 @@
+(* Bechamel micro-benchmarks: one Test.make per reproduced table/figure
+   workload, plus scaling and ablation benches.
+
+   Run with: dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+module Rat = E2e_rat.Rat
+module Prng = E2e_prng.Prng
+module Flow_shop = E2e_model.Flow_shop
+module Recurrence_shop = E2e_model.Recurrence_shop
+module Periodic_shop = E2e_model.Periodic_shop
+module Eedf = E2e_core.Eedf
+module Algo_r = E2e_core.Algo_r
+module Algo_a = E2e_core.Algo_a
+module Algo_h = E2e_core.Algo_h
+module List_edf = E2e_baselines.List_edf
+module Johnson = E2e_baselines.Johnson
+module Gen = E2e_workload.Feasible_gen
+module Paper = E2e_workload.Paper_instances
+module Analysis = E2e_periodic.Analysis
+module Pipeline_sim = E2e_sim.Pipeline_sim
+
+(* Pre-generated instance pools so the benches time the algorithms, not
+   the generator.  Each call cycles through its pool. *)
+let pool ~seed ~count f =
+  let g = Prng.create seed in
+  let instances = Array.init count (fun _ -> f g) in
+  let i = ref 0 in
+  fun () ->
+    let x = instances.(!i mod count) in
+    incr i;
+    x
+
+let fig_pool ~seed ~n ~m ~stdev ~slack =
+  pool ~seed ~count:64 (fun g ->
+      Gen.generate g
+        { Gen.n_tasks = n; n_processors = m; mean_tau = 1.0; stdev; slack_factor = slack })
+
+(* One bench per paper artifact. *)
+
+let bench_table1 =
+  let shop = Paper.table1 () in
+  Test.make ~name:"table1: Algorithm R (4 tasks, loop)"
+    (Staged.stage (fun () -> Algo_r.schedule shop))
+
+let bench_table2 =
+  let shop = Paper.table2 () in
+  Test.make ~name:"table2: Algorithm A (4x4 homogeneous)"
+    (Staged.stage (fun () -> Algo_a.schedule shop))
+
+let bench_table3 =
+  let shop = Paper.table3 () in
+  Test.make ~name:"table3: Algorithm H + compaction (5x4)"
+    (Staged.stage (fun () -> Algo_h.schedule shop))
+
+let bench_fig9a =
+  let next = fig_pool ~seed:101 ~n:4 ~m:4 ~stdev:0.5 ~slack:0.8 in
+  Test.make ~name:"fig9a point: Algorithm H (4x4)"
+    (Staged.stage (fun () -> Algo_h.schedule (next ())))
+
+let bench_fig9b =
+  let next = fig_pool ~seed:102 ~n:6 ~m:4 ~stdev:0.5 ~slack:0.8 in
+  Test.make ~name:"fig9b point: Algorithm H (6x4)"
+    (Staged.stage (fun () -> Algo_h.schedule (next ())))
+
+let bench_fig10 =
+  let next = fig_pool ~seed:103 ~n:10 ~m:4 ~stdev:0.5 ~slack:4.0 in
+  Test.make ~name:"fig10 point: Algorithm H (10x4)"
+    (Staged.stage (fun () -> Algo_h.schedule (next ())))
+
+let bench_table4 =
+  let sys = Paper.table4 () in
+  Test.make ~name:"table4: periodic analysis (3 jobs, 2 procs)"
+    (Staged.stage (fun () -> Analysis.analyse sys))
+
+let bench_table4_sim =
+  let sys = Paper.table4 () in
+  let deltas =
+    match Analysis.analyse sys with
+    | Analysis.Schedulable { deltas; _ } | Analysis.Schedulable_postponed { deltas; _ } -> deltas
+    | Analysis.Not_schedulable _ -> assert false
+  in
+  Test.make ~name:"table4: pipeline simulation (1 hyperperiod)"
+    (Staged.stage (fun () ->
+         Pipeline_sim.simulate
+           ~horizon:(Rat.to_float (Periodic_shop.hyperperiod sys))
+           ~policy:(`Postponed_phases deltas) sys))
+
+let bench_table5 =
+  let sys = Paper.table5 () in
+  Test.make ~name:"table5: periodic analysis (2 jobs, 2 procs)"
+    (Staged.stage (fun () -> Analysis.analyse sys))
+
+(* Scaling benches: the O(n^2)-region EEDF machinery under growing n. *)
+
+let bench_eedf_scaling n =
+  let next =
+    pool ~seed:(200 + n) ~count:16 (fun g ->
+        Gen.identical_length g ~n ~m:4 ~tau:Rat.one ~window:(2 * n))
+  in
+  Test.make ~name:(Printf.sprintf "EEDF identical-length n=%d" n)
+    (Staged.stage (fun () -> Eedf.schedule (next ())))
+
+let bench_algo_a_scaling n =
+  let next =
+    pool ~seed:(300 + n) ~count:16 (fun g -> Gen.homogeneous g ~n ~m:4 ~max_tau:3 ~window:(2 * n))
+  in
+  Test.make ~name:(Printf.sprintf "Algorithm A homogeneous n=%d" n)
+    (Staged.stage (fun () -> Algo_a.schedule (next ())))
+
+let bench_algo_h_scaling n =
+  let next = fig_pool ~seed:(400 + n) ~n ~m:4 ~stdev:0.5 ~slack:1.0 in
+  Test.make ~name:(Printf.sprintf "Algorithm H arbitrary n=%d" n)
+    (Staged.stage (fun () -> Algo_h.schedule (next ())))
+
+(* Ablation benches. *)
+
+let bench_h_no_compaction =
+  let next = fig_pool ~seed:500 ~n:6 ~m:4 ~stdev:0.5 ~slack:0.8 in
+  Test.make ~name:"ablation: H without compaction (6x4)"
+    (Staged.stage (fun () -> (Algo_h.run ~compact:false (next ())).Algo_h.result))
+
+let bench_list_edf =
+  let next = fig_pool ~seed:501 ~n:6 ~m:4 ~stdev:0.5 ~slack:0.8 in
+  Test.make ~name:"ablation: greedy list-EDF (6x4)"
+    (Staged.stage (fun () -> List_edf.schedule (Recurrence_shop.of_traditional (next ()))))
+
+let bench_johnson =
+  let next =
+    pool ~seed:502 ~count:64 (fun g ->
+        let far = Rat.of_int 1_000_000 in
+        let shop = Gen.arbitrary g ~n:20 ~m:2 ~max_tau:3 ~window:0 in
+        Flow_shop.of_params
+          (Array.map
+             (fun (t : E2e_model.Task.t) -> (Rat.zero, far, t.proc_times))
+             shop.Flow_shop.tasks))
+  in
+  Test.make ~name:"baseline: Johnson's rule (20x2)"
+    (Staged.stage (fun () -> Johnson.makespan (next ())))
+
+(* Extension benches. *)
+
+let bench_portfolio =
+  let next = fig_pool ~seed:503 ~n:6 ~m:4 ~stdev:0.5 ~slack:0.8 in
+  Test.make ~name:"extension: H portfolio (6x4)"
+    (Staged.stage (fun () -> E2e_core.H_portfolio.schedule (next ())))
+
+let bench_infeasibility =
+  let next = fig_pool ~seed:504 ~n:10 ~m:4 ~stdev:0.5 ~slack:0.5 in
+  Test.make ~name:"extension: infeasibility certificates (10x4)"
+    (Staged.stage (fun () -> E2e_core.Infeasibility.check (next ())))
+
+let bench_branch_bound =
+  let next = fig_pool ~seed:505 ~n:4 ~m:3 ~stdev:0.4 ~slack:0.6 in
+  Test.make ~name:"baseline: branch&bound exact (4x3)"
+    (Staged.stage (fun () -> E2e_baselines.Branch_bound.solve ~budget:50_000 (next ())))
+
+let bench_rta =
+  let g = Prng.create 506 in
+  let systems = Array.init 32 (fun _ -> Gen.periodic g ~n:5 ~m:3 ~utilization:0.4) in
+  let i = ref 0 in
+  Test.make ~name:"extension: exact RTA (5 jobs, 3 procs)"
+    (Staged.stage (fun () ->
+         incr i;
+         E2e_periodic.Response_time.analyse systems.(!i mod 32)))
+
+let bench_preemptive =
+  let next = fig_pool ~seed:507 ~n:6 ~m:4 ~stdev:0.5 ~slack:0.8 in
+  Test.make ~name:"extension: preemptive EDF dispatch (6x4)"
+    (Staged.stage (fun () ->
+         E2e_sim.Preemptive_flow_sim.run (Recurrence_shop.of_traditional (next ()))))
+
+let bench_local_search =
+  let next = fig_pool ~seed:508 ~n:6 ~m:4 ~stdev:0.5 ~slack:0.8 in
+  Test.make ~name:"baseline: local search (6x4)"
+    (Staged.stage (fun () -> E2e_baselines.Local_search.schedule (next ())))
+
+let bench_dispatcher =
+  let shop = Paper.table2 () in
+  let s = match Algo_a.schedule shop with Ok s -> s | Error _ -> assert false in
+  let actual = E2e_sim.Dispatcher.scale_durations s ~factor:(Rat.make 4 5) in
+  Test.make ~name:"extension: work-conserving dispatch replay"
+    (Staged.stage (fun () -> E2e_sim.Dispatcher.run E2e_sim.Dispatcher.Work_conserving s ~actual))
+
+let tests =
+  Test.make_grouped ~name:"e2e_sched"
+    [
+      bench_table1;
+      bench_table2;
+      bench_table3;
+      bench_fig9a;
+      bench_fig9b;
+      bench_fig10;
+      bench_table4;
+      bench_table4_sim;
+      bench_table5;
+      bench_eedf_scaling 10;
+      bench_eedf_scaling 50;
+      bench_eedf_scaling 100;
+      bench_algo_a_scaling 10;
+      bench_algo_a_scaling 50;
+      bench_algo_a_scaling 100;
+      bench_algo_h_scaling 10;
+      bench_algo_h_scaling 25;
+      bench_algo_h_scaling 50;
+      bench_h_no_compaction;
+      bench_list_edf;
+      bench_johnson;
+      bench_portfolio;
+      bench_infeasibility;
+      bench_branch_bound;
+      bench_rta;
+      bench_preemptive;
+      bench_local_search;
+      bench_dispatcher;
+    ]
+
+let () =
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns = match Analyze.OLS.estimates ols with Some (x :: _) -> x | _ -> nan in
+        (name, ns) :: acc)
+      results []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  Format.printf "%-45s %15s@." "benchmark" "time/run";
+  Format.printf "%s@." (String.make 62 '-');
+  List.iter
+    (fun (name, ns) ->
+      let pretty =
+        if Float.is_nan ns then "n/a"
+        else if ns > 1e9 then Printf.sprintf "%8.2f  s" (ns /. 1e9)
+        else if ns > 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+        else Printf.sprintf "%8.0f ns" ns
+      in
+      Format.printf "%-45s %15s@." name pretty)
+    rows

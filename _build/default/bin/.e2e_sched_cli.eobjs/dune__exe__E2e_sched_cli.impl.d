@@ -1,0 +1,1 @@
+bin/e2e_sched_cli.ml: Arg Array Cmd Cmdliner E2e_baselines E2e_core E2e_model E2e_rat E2e_schedule Format Printf Term

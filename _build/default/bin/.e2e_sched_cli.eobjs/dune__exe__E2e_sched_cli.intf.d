@@ -1,0 +1,1 @@
+bin/e2e_sched_cli.mli:

@@ -1,0 +1,1 @@
+bin/experiments.ml: Arg Cmd Cmdliner E2e_experiments Format Term

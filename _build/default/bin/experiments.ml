@@ -1,0 +1,70 @@
+(* Command-line driver regenerating the paper's tables and figures.
+
+   e2e-experiments all           # everything, in paper order
+   e2e-experiments fig9a --trials 2000
+   e2e-experiments table3        # the Figure-8 before/after example *)
+
+open Cmdliner
+module E = E2e_experiments.Experiments
+
+let ppf = Format.std_formatter
+
+let trials =
+  let doc = "Random instances per plotted point." in
+  Arg.(value & opt (some int) None & info [ "trials" ] ~docv:"N" ~doc)
+
+let seed =
+  let doc = "PRNG seed for the randomized experiments." in
+  Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let override sweep trials seed =
+  let sweep = match trials with Some t -> { sweep with E.trials = t } | None -> sweep in
+  match seed with Some s -> { sweep with E.seed = s } | None -> sweep
+
+let fixed name doc f =
+  let term = Term.(const (fun () -> f ppf) $ const ()) in
+  Cmd.v (Cmd.info name ~doc) term
+
+let swept name doc default f =
+  let run trials seed = f ~sweep:(override default trials seed) ppf in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ trials $ seed)
+
+let all_cmd =
+  let doc = "Regenerate every table and figure (DESIGN.md experiment index)." in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const (fun () -> E.all ppf) $ const ())
+
+let () =
+  let info =
+    Cmd.info "e2e-experiments" ~version:"1.0.0"
+      ~doc:
+        "Reproduction harness for Bettati & Liu, 'End-to-End Scheduling to Meet Deadlines in \
+         Distributed Systems' (ICDCS 1992)"
+  in
+  let cmds =
+    [
+      fixed "table1" "Table 1 / Figure 3: Algorithm R worked example." E.table1;
+      fixed "table2" "Table 2 / Figure 5: Algorithm A worked example." E.table2;
+      fixed "table3" "Table 3 / Figure 8: Algorithm H before/after compaction." E.table3;
+      swept "fig9a" "Figure 9(a): success rate, 4 tasks x 4 processors." E.default_fig9a
+        (fun ~sweep ppf -> E.fig9a ~sweep ppf);
+      swept "fig9b" "Figure 9(b): success rate, 6 tasks x 4 processors." E.default_fig9b
+        (fun ~sweep ppf -> E.fig9b ~sweep ppf);
+      swept "fig10" "Figure 10: success rate, 10 tasks x 4 processors." E.default_fig10
+        (fun ~sweep ppf -> E.fig10 ~sweep ppf);
+      fixed "table4" "Table 4: periodic phase postponement." E.table4;
+      fixed "table5" "Table 5: postponed deadlines." E.table5;
+      fixed "section6" "Section 6: processor sharing." E.section6;
+      fixed "nonpermutation" "Witness: feasible only by a non-permutation schedule."
+        E.nonpermutation;
+      swept "fig9x" "Extension: every scheduler on the Figure 9(b) sweep."
+        { E.default_fig9b with E.trials = 300 }
+        (fun ~sweep ppf -> E.fig9_extensions ~sweep ppf);
+      fixed "periodic-sweep" "Extension: periodic schedulability curves." (fun ppf ->
+          E.periodic_sweep ppf);
+      swept "ablation" "Design-choice ablations."
+        { E.seed = 7; trials = 300; n_tasks = 6; n_processors = 4 }
+        (fun ~sweep ppf -> E.ablation ~sweep ppf);
+      all_cmd;
+    ]
+  in
+  exit (Cmd.eval (Cmd.group info cmds))

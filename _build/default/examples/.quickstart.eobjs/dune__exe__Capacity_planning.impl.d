@@ -1,0 +1,1 @@
+examples/capacity_planning.ml: Array E2e_baselines E2e_core E2e_model E2e_rat E2e_schedule Format String

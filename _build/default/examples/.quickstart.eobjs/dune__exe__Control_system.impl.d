@@ -1,0 +1,1 @@
+examples/control_system.ml: Array E2e_core E2e_model E2e_rat E2e_schedule Format List

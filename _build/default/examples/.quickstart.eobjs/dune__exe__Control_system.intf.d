@@ -1,0 +1,1 @@
+examples/control_system.mli:

@@ -1,0 +1,1 @@
+examples/multi_class_system.ml: Array E2e_core E2e_partition E2e_rat E2e_schedule Format List

@@ -1,0 +1,1 @@
+examples/periodic_pipeline.ml: Array E2e_model E2e_partition E2e_periodic E2e_rat E2e_sim Format

@@ -1,0 +1,1 @@
+examples/periodic_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/virtual_circuit.ml: Array E2e_core E2e_model E2e_rat E2e_schedule Format

@@ -1,0 +1,85 @@
+(* Capacity planning: how many messages fit before deadlines break?
+
+   A switch fabric is modelled as a 3-hop flow shop.  We admit messages
+   one by one and, for each admission level, ask three oracles of
+   increasing strength:
+
+   - the O(m n^2) infeasibility certificates (a "no" here is a proof);
+   - Algorithm H and its portfolio (a "yes" here comes with a schedule);
+   - exact branch and bound (the ground truth for the gray zone).
+
+   This is the admission-control workflow the paper's algorithms support:
+   fast certificates for rejection, fast heuristics for admission, and an
+   exact fallback for the rare undecided instance.
+
+   Run with: dune exec examples/capacity_planning.exe *)
+
+module Rat = E2e_rat.Rat
+module Flow_shop = E2e_model.Flow_shop
+module Schedule = E2e_schedule.Schedule
+module Infeasibility = E2e_core.Infeasibility
+module Algo_h = E2e_core.Algo_h
+module H_portfolio = E2e_core.H_portfolio
+module Branch_bound = E2e_baselines.Branch_bound
+
+let rat = Rat.of_decimal_string
+
+(* Message i: arrives at i * 1.5 ms, must be delivered within 9 ms, and
+   needs (1, 2, 1.5) ms on the three hops. *)
+let message i =
+  let arrival = Rat.mul_int (rat "1.5") i in
+  (arrival, Rat.add arrival (rat "9"), [| rat "1"; rat "2"; rat "1.5" |])
+
+let shop_with n = Flow_shop.of_params (Array.init n message)
+
+let () =
+  Format.printf "%-10s %-22s %-12s %-12s %-14s@." "messages" "certificate" "Algorithm H"
+    "portfolio" "exact";
+  Format.printf "%s@." (String.make 74 '-');
+  let continue_ = ref true in
+  let n = ref 1 in
+  while !continue_ && !n <= 14 do
+    let shop = shop_with !n in
+    let cert =
+      match Infeasibility.check shop with
+      | Some _ -> "infeasible (proof)"
+      | None -> "inconclusive"
+    in
+    let h = match Algo_h.schedule shop with Ok _ -> "feasible" | Error _ -> "failed" in
+    let portfolio =
+      match H_portfolio.schedule shop with
+      | Ok (_, strategy) -> Format.asprintf "%a" H_portfolio.pp_strategy strategy
+      | Error `All_failed -> "failed"
+    in
+    let exact =
+      if !n > 8 then "skipped (guard)"
+      else
+        match Branch_bound.solve shop with
+        | Branch_bound.Feasible _ -> "feasible"
+        | Branch_bound.Infeasible -> "infeasible"
+        | Branch_bound.Unknown -> "budget out"
+    in
+    Format.printf "%-10d %-22s %-12s %-12s %-14s@." !n cert h
+      (if String.length portfolio > 11 then "feasible" else portfolio)
+      exact;
+    (match Infeasibility.check shop with
+    | Some c ->
+        Format.printf "  proof: %a@." Infeasibility.pp_certificate c;
+        continue_ := false
+    | _ -> ());
+    incr n
+  done;
+  (* Show the last admitted configuration's schedule. *)
+  let last_good =
+    let rec find n = if n = 0 then None
+      else match H_portfolio.schedule_opt (shop_with n) with
+        | Some s -> Some (n, s)
+        | None -> find (n - 1)
+    in
+    find 14
+  in
+  match last_good with
+  | Some (n, s) ->
+      Format.printf "@.Schedule for the largest admitted load (%d messages):@.%a@." n
+        (Schedule.pp_gantt ?unit_time:None) s
+  | None -> Format.printf "@.nothing admissible?!@."

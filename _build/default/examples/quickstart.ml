@@ -1,0 +1,45 @@
+(* Quickstart: define a flow-shop task set, ask the solver for a feasible
+   end-to-end schedule, and inspect it.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Rat = E2e_rat.Rat
+module Flow_shop = E2e_model.Flow_shop
+module Schedule = E2e_schedule.Schedule
+module Solver = E2e_core.Solver
+
+let rat = Rat.of_decimal_string
+
+let () =
+  (* Three tasks crossing three processors (say: a CPU, a network link,
+     and a disk), each with an end-to-end release time and deadline.
+     Processing times differ per task, so this is the NP-hard general
+     case and the solver will use Algorithm H. *)
+  let shop =
+    Flow_shop.of_params
+      [|
+        (* release, deadline, processing times on P1, P2, P3 *)
+        (rat "0", rat "12", [| rat "2"; rat "1"; rat "2" |]);
+        (rat "1", rat "14", [| rat "1"; rat "3"; rat "1" |]);
+        (rat "2", rat "16", [| rat "2"; rat "2"; rat "2" |]);
+      |]
+  in
+  Format.printf "Task set:@.%a@.@." Flow_shop.pp shop;
+  match Solver.solve shop with
+  | Solver.Feasible (schedule, algorithm) ->
+      let name =
+        match algorithm with
+        | `Eedf -> "EEDF (optimal for identical-length sets)"
+        | `Algorithm_a -> "Algorithm A (optimal for homogeneous sets)"
+        | `Algorithm_h -> "Algorithm H (heuristic for arbitrary sets)"
+      in
+      Format.printf "Scheduled by %s@.@." name;
+      Format.printf "%a@." Schedule.pp_table schedule;
+      Format.printf "@.Gantt (1 column = 1 time unit):@.%a@."
+        (Schedule.pp_gantt ?unit_time:None) schedule;
+      Format.printf "@.makespan = %a, all deadlines met: %b@." Rat.pp
+        (Schedule.makespan schedule)
+        (Schedule.is_feasible schedule)
+  | Solver.Proved_infeasible _ -> Format.printf "No feasible schedule exists.@."
+  | Solver.Heuristic_failed ->
+      Format.printf "Algorithm H failed; feasibility is undecided (NP-hard case).@."

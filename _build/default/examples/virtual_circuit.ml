@@ -1,0 +1,66 @@
+(* Real-time messages over an n-hop virtual circuit (Kandlur, Shin &
+   Ferrari's setting, used as the paper's running example).
+
+   Each message is a task; forwarding it across hop j is the subtask on
+   processor P_j (links are processors).  With the same bandwidth on
+   every link the task set is identical-length and EEDF is optimal; with
+   per-link bandwidths it is homogeneous and Algorithm A is optimal.
+
+   Run with: dune exec examples/virtual_circuit.exe *)
+
+module Rat = E2e_rat.Rat
+module Flow_shop = E2e_model.Flow_shop
+module Schedule = E2e_schedule.Schedule
+module Eedf = E2e_core.Eedf
+module Algo_a = E2e_core.Algo_a
+
+let rat = Rat.of_decimal_string
+
+let () =
+  (* Scenario 1: four equal-size messages over a 4-hop circuit with
+     uniform link bandwidth; transmitting one message over one hop takes
+     tau = 2 time units.  Release times are the arrival instants at the
+     first switch; deadlines are the end-to-end latency budgets. *)
+  let uniform =
+    Flow_shop.of_params
+      [|
+        (rat "0", rat "16", Array.make 4 (rat "2"));
+        (rat "0.5", rat "18", Array.make 4 (rat "2"));
+        (rat "3", rat "22", Array.make 4 (rat "2"));
+        (rat "4", rat "26", Array.make 4 (rat "2"));
+      |]
+  in
+  Format.printf "=== Uniform bandwidth: EEDF with forbidden regions ===@.";
+  (match Eedf.schedule uniform with
+  | Ok s ->
+      Format.printf "%a@.makespan %a, feasible %b@.@." Schedule.pp_table s Rat.pp
+        (Schedule.makespan s) (Schedule.is_feasible s)
+  | Error `Infeasible -> Format.printf "infeasible (EEDF is optimal)@.@."
+  | Error `Not_identical_length -> assert false);
+
+  (* Scenario 2: the last hop is a slow wide-area link (half bandwidth),
+     the second an overprovisioned backbone: per-hop times (2, 1, 2, 4).
+     The bottleneck is the slow link; Algorithm A drives it. *)
+  let tiered =
+    Flow_shop.of_params
+      [|
+        (rat "0", rat "24", [| rat "2"; rat "1"; rat "2"; rat "4" |]);
+        (rat "0.5", rat "28", [| rat "2"; rat "1"; rat "2"; rat "4" |]);
+        (rat "3", rat "32", [| rat "2"; rat "1"; rat "2"; rat "4" |]);
+        (rat "4", rat "38", [| rat "2"; rat "1"; rat "2"; rat "4" |]);
+      |]
+  in
+  Format.printf "=== Tiered bandwidth: Algorithm A ===@.";
+  Format.printf "bottleneck hop: P%d@." (Flow_shop.bottleneck tiered + 1);
+  match Algo_a.schedule tiered with
+  | Ok s ->
+      Format.printf "%a@.Gantt:@.%a@.makespan %a, feasible %b@." Schedule.pp_table s
+        (Schedule.pp_gantt ?unit_time:None) s Rat.pp (Schedule.makespan s)
+        (Schedule.is_feasible s);
+      (* The messages traverse the bottleneck back-to-back in deadline
+         order; upstream hops idle deliberately so each message arrives
+         exactly when the slow link frees up. *)
+      Format.printf
+        "@.Note the inserted idle time upstream of the bottleneck — the schedule is not@.priority-driven, which is exactly why greedy dispatching is not optimal here.@."
+  | Error `Infeasible -> Format.printf "infeasible (Algorithm A is optimal)@."
+  | Error `Not_homogeneous -> assert false

@@ -1,0 +1,1 @@
+lib/baselines/branch_bound.ml: Array E2e_core E2e_model E2e_rat E2e_schedule Fun List

@@ -1,0 +1,1 @@
+lib/baselines/branch_bound.mli: E2e_model E2e_schedule

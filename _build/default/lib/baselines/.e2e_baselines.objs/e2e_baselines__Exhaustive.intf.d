@@ -1,0 +1,1 @@
+lib/baselines/exhaustive.mli: E2e_model E2e_schedule

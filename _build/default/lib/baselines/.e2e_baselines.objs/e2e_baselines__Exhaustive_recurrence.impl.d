@@ -1,0 +1,1 @@
+lib/baselines/exhaustive_recurrence.ml: Array E2e_model E2e_rat Fun Hashtbl List

@@ -1,0 +1,1 @@
+lib/baselines/exhaustive_recurrence.mli: E2e_model

@@ -1,0 +1,1 @@
+lib/baselines/johnson.ml: Array E2e_model E2e_rat E2e_schedule List

@@ -1,0 +1,1 @@
+lib/baselines/list_edf.ml: E2e_core

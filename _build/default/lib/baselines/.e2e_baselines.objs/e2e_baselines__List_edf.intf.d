@@ -1,0 +1,1 @@
+lib/baselines/list_edf.mli: E2e_model E2e_schedule

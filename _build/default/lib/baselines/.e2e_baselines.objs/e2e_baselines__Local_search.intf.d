@@ -1,0 +1,1 @@
+lib/baselines/local_search.mli: E2e_model E2e_rat E2e_schedule

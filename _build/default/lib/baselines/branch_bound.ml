@@ -1,0 +1,108 @@
+module Rat = E2e_rat.Rat
+module Task = E2e_model.Task
+module Flow_shop = E2e_model.Flow_shop
+module Recurrence_shop = E2e_model.Recurrence_shop
+module Schedule = E2e_schedule.Schedule
+
+type verdict = Feasible of Schedule.t | Infeasible | Unknown
+
+exception Found of Rat.t array array
+exception Out_of_budget
+
+(* Relaxed earliest start times: chain edges for everyone, machine edges
+   only along the sequenced prefixes.  The graph is a DAG; a round-robin
+   relaxation converges in at most #nodes passes (tiny here). *)
+let relaxed_times (shop : Flow_shop.t) prefixes =
+  let n = Flow_shop.n_tasks shop and m = shop.processors in
+  let est = Array.make_matrix n m Rat.zero in
+  for i = 0 to n - 1 do
+    for j = 0 to m - 1 do
+      est.(i).(j) <- Task.effective_release shop.tasks.(i) j
+    done
+  done;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let bump i j v =
+      if Rat.(v > est.(i).(j)) then begin
+        est.(i).(j) <- v;
+        changed := true
+      end
+    in
+    for i = 0 to n - 1 do
+      for j = 1 to m - 1 do
+        bump i j (Rat.add est.(i).(j - 1) shop.tasks.(i).Task.proc_times.(j - 1))
+      done
+    done;
+    for j = 0 to m - 1 do
+      let rec along = function
+        | a :: (b :: _ as rest) ->
+            bump b j (Rat.add est.(a).(j) shop.tasks.(a).Task.proc_times.(j));
+            along rest
+        | [] | [ _ ] -> ()
+      in
+      along prefixes.(j)
+    done
+  done;
+  est
+
+let completion_bounds (shop : Flow_shop.t) est =
+  Array.mapi
+    (fun i (task : Task.t) -> Rat.add est.(i).(shop.processors - 1) task.proc_times.(shop.processors - 1))
+    shop.tasks
+
+let solve ?(budget = 200_000) (shop : Flow_shop.t) =
+  let n = Flow_shop.n_tasks shop and m = shop.processors in
+  if n > 8 then invalid_arg "Branch_bound.solve: more than 8 tasks";
+  if m > 6 then invalid_arg "Branch_bound.solve: more than 6 processors";
+  match E2e_core.Infeasibility.check shop with
+  | Some _ -> Infeasible
+  | None ->
+      let nodes = ref 0 in
+      (* prefixes.(j): sequenced tasks on processor j, in order (kept as a
+         reversed list for O(1) append, re-reversed when relaxing). *)
+      let rec branch prefixes sequenced =
+        incr nodes;
+        if !nodes > budget then raise Out_of_budget;
+        let ordered = Array.map List.rev prefixes in
+        let est = relaxed_times shop ordered in
+        let completions = completion_bounds shop est in
+        let feasible_bound =
+          Array.for_all Fun.id
+            (Array.mapi
+               (fun i c -> Rat.(c <= shop.tasks.(i).Task.deadline))
+               completions)
+        in
+        if feasible_bound then begin
+          (* First processor whose order is incomplete. *)
+          let p = ref 0 in
+          while !p < m && List.length prefixes.(!p) = n do
+            incr p
+          done;
+          if !p = m then raise (Found est)
+          else
+            let on_p = prefixes.(!p) in
+            for i = 0 to n - 1 do
+              if not (List.mem i on_p) then begin
+                let prefixes' = Array.copy prefixes in
+                prefixes'.(!p) <- i :: on_p;
+                branch prefixes' (sequenced + 1)
+              end
+            done
+        end
+      in
+      (try
+         branch (Array.make m []) 0;
+         Infeasible
+       with
+      | Found est ->
+          let sched = Schedule.of_flow_shop shop est in
+          assert (Schedule.is_feasible sched);
+          Feasible sched
+      | Out_of_budget -> Unknown)
+
+let feasible ?budget shop =
+  match solve ?budget shop with
+  | Feasible _ -> Some true
+  | Infeasible -> Some false
+  | Unknown -> None

@@ -1,0 +1,30 @@
+(** Exact flow-shop feasibility by branch and bound.
+
+    Unlike {!Exhaustive}, which only searches {e permutation} schedules,
+    this solver decides feasibility over {e all} nonpreemptive schedules:
+    it enumerates the execution order of the subtasks on every processor
+    separately.  For fixed per-processor orders the earliest-start timing
+    (longest path through the chain- and order-edges) minimises every
+    completion time, so feasibility reduces to the existence of an order
+    profile whose earliest-start timing meets all deadlines.  The paper
+    notes that on three or more processors all feasible schedules may be
+    non-permutation — this oracle is the tool that exhibits such
+    instances.
+
+    Branching appends one remaining subtask at a time to the first
+    incomplete processor's order; subtrees are cut when the relaxed
+    earliest-start times (machine constraints only for already-sequenced
+    subtasks) already push some task past its deadline, or when an
+    {!Infeasibility} window certificate fires. *)
+
+type verdict =
+  | Feasible of E2e_schedule.Schedule.t  (** A witness schedule (checker-clean). *)
+  | Infeasible  (** Search exhausted: no schedule exists. *)
+  | Unknown  (** Node budget exhausted first. *)
+
+val solve : ?budget:int -> E2e_model.Flow_shop.t -> verdict
+(** [budget] caps the number of search nodes (default 200_000).
+    @raise Invalid_argument beyond 8 tasks or 6 processors. *)
+
+val feasible : ?budget:int -> E2e_model.Flow_shop.t -> bool option
+(** [Some true | Some false] when decided, [None] on budget exhaustion. *)

@@ -1,0 +1,69 @@
+module Rat = E2e_rat.Rat
+module Task = E2e_model.Task
+module Flow_shop = E2e_model.Flow_shop
+module Recurrence_shop = E2e_model.Recurrence_shop
+module Schedule = E2e_schedule.Schedule
+
+let guard shop =
+  let n = Flow_shop.n_tasks shop in
+  if n > 10 then invalid_arg "Exhaustive: more than 10 tasks";
+  n
+
+(* Schedule one task greedily on top of the per-processor free times;
+   returns the new free times and whether the task met its deadline. *)
+let place (task : Task.t) free =
+  let m = Array.length free in
+  let free = Array.copy free in
+  let ready = ref task.release in
+  for j = 0 to m - 1 do
+    let s = Rat.max !ready free.(j) in
+    let f = Rat.add s task.proc_times.(j) in
+    ready := f;
+    free.(j) <- f
+  done;
+  (free, Rat.(!ready <= task.deadline))
+
+(* Enumerate permutations with early pruning: appending tasks never
+   reduces any start time, so a prefix that already misses a deadline
+   cannot be completed feasibly. *)
+let search shop ~on_feasible =
+  let n = guard shop in
+  let m = shop.Flow_shop.processors in
+  let used = Array.make n false in
+  let prefix = Array.make n 0 in
+  let rec go depth free =
+    if depth = n then on_feasible (Array.copy prefix)
+    else
+      for i = 0 to n - 1 do
+        if not used.(i) then begin
+          let free', ok = place shop.Flow_shop.tasks.(i) free in
+          if ok then begin
+            used.(i) <- true;
+            prefix.(depth) <- i;
+            go (depth + 1) free';
+            used.(i) <- false
+          end
+        end
+      done
+  in
+  (* Processors are free from before the earliest release; release times
+     bound the actual starts.  Matches Schedule.forward_pass. *)
+  let earliest =
+    Array.fold_left (fun acc (t : Task.t) -> Rat.min acc t.release) Rat.zero shop.Flow_shop.tasks
+  in
+  go 0 (Array.make m earliest)
+
+exception Found of int array
+
+let permutation_schedule shop =
+  match search shop ~on_feasible:(fun order -> raise (Found order)) with
+  | () -> None
+  | exception Found order ->
+      Some (Schedule.forward_pass (Recurrence_shop.of_traditional shop) ~order)
+
+let permutation_feasible shop = Option.is_some (permutation_schedule shop)
+
+let count_feasible_orders shop =
+  let count = ref 0 in
+  search shop ~on_feasible:(fun _ -> incr count);
+  !count

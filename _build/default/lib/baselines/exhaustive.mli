@@ -1,0 +1,20 @@
+(** Exhaustive baselines for small instances.
+
+    For a fixed task order, the earliest-start permutation schedule
+    minimises every completion time, so searching all [n!] orders decides
+    feasibility within the permutation-schedule class exactly.  The paper
+    notes that Algorithm H fails either because no feasible permutation
+    schedule exists or because it picks a bad bottleneck order — this
+    oracle separates the two causes. *)
+
+val permutation_schedule : E2e_model.Flow_shop.t -> E2e_schedule.Schedule.t option
+(** First feasible permutation schedule found, or [None] if no
+    permutation order is feasible.  Cost O(n! * n m); guarded to
+    [n <= 10].
+    @raise Invalid_argument beyond the guard. *)
+
+val permutation_feasible : E2e_model.Flow_shop.t -> bool
+
+val count_feasible_orders : E2e_model.Flow_shop.t -> int
+(** Number of task orders whose earliest-start schedule is feasible
+    (for diagnostics and tests). *)

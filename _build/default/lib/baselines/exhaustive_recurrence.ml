@@ -1,0 +1,92 @@
+module Rat = E2e_rat.Rat
+module Task = E2e_model.Task
+module Visit = E2e_model.Visit
+module Recurrence_shop = E2e_model.Recurrence_shop
+
+(* Residual search state at a slot boundary: for each task, the next
+   stage to run and the earliest slot it may start (relative encoding is
+   handled by searching in absolute slots — deadlines bound the range so
+   memo keys stay small). *)
+
+let feasible (shop : Recurrence_shop.t) =
+  let tau =
+    match Recurrence_shop.identical_unit shop with
+    | Some tau -> tau
+    | None -> invalid_arg "Exhaustive_recurrence: needs identical unit processing times"
+  in
+  let release =
+    match Recurrence_shop.identical_releases shop with
+    | Some r -> r
+    | None -> invalid_arg "Exhaustive_recurrence: needs identical release times"
+  in
+  let n = Recurrence_shop.n_tasks shop in
+  let k = Visit.length shop.visit in
+  let m = shop.visit.Visit.processors in
+  if n > 4 then invalid_arg "Exhaustive_recurrence: more than 4 tasks";
+  if k > 7 then invalid_arg "Exhaustive_recurrence: more than 7 stages";
+  (* Deadlines in slots after the common release; a task is feasible only
+     if it can run its remaining stages back-to-back before its slot
+     deadline, so fractional parts round down. *)
+  let deadline_slots =
+    Array.map
+      (fun (t : Task.t) -> Rat.floor (Rat.div (Rat.sub t.deadline release) tau))
+      shop.tasks
+  in
+  let horizon = Array.fold_left max 0 deadline_slots in
+  if horizon > 24 then invalid_arg "Exhaustive_recurrence: deadline horizon above 24 slots";
+  if Array.exists (fun d -> d < k) deadline_slots then false
+  else begin
+    let seen = Hashtbl.create 4096 in
+    (* next.(i): next stage of task i (k = done); ready.(i): earliest
+       slot it may start. *)
+    let rec search slot next ready =
+      if Array.for_all (fun j -> j = k) next then true
+      else if slot >= horizon then false
+      else begin
+        let key = (slot, Array.to_list next, Array.to_list ready) in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.add seen key ();
+          (* Prune: every unfinished task must still fit back-to-back. *)
+          let fits =
+            Array.for_all Fun.id
+              (Array.init n (fun i ->
+                   next.(i) = k
+                   || max slot ready.(i) + (k - next.(i)) <= deadline_slots.(i)))
+          in
+          fits
+          &&
+          (* Candidates per processor at this slot. *)
+          let candidates p =
+            let tasks = ref [ -1 ] in
+            for i = n - 1 downto 0 do
+              if
+                next.(i) < k
+                && shop.visit.Visit.sequence.(next.(i)) = p
+                && ready.(i) <= slot
+              then tasks := i :: !tasks
+            done;
+            !tasks
+          in
+          (* Enumerate the assignment product across processors; -1 means
+             the processor idles this slot. *)
+          let rec assign p next ready =
+            if p = m then search (slot + 1) next ready
+            else
+              List.exists
+                (fun choice ->
+                  if choice < 0 then assign (p + 1) next ready
+                  else begin
+                    let next' = Array.copy next and ready' = Array.copy ready in
+                    next'.(choice) <- next.(choice) + 1;
+                    ready'.(choice) <- slot + 1;
+                    assign (p + 1) next' ready'
+                  end)
+                (candidates p)
+          in
+          assign 0 next ready
+        end
+      end
+    in
+    search 0 (Array.make n 0) (Array.make n 0)
+  end

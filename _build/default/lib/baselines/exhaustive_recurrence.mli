@@ -1,0 +1,16 @@
+(** Exhaustive feasibility for tiny flow shops with recurrence.
+
+    The oracle behind Algorithm R's optimality tests.  Restricted to the
+    preconditions of Algorithm R — identical unit processing times and a
+    common release time — where an exchange argument lets every schedule
+    be normalised to the grid [release + k * tau]: the search walks the
+    slots in time order and, at each slot, tries every assignment of
+    eligible pending stages (or deliberate idling) to processors.
+    Memoised on the residual state; exponential, so guarded to small
+    instances. *)
+
+val feasible : E2e_model.Recurrence_shop.t -> bool
+(** Whether any nonpreemptive schedule meets all deadlines.
+    @raise Invalid_argument when the shop violates the preconditions, has
+    more than 4 tasks, more than 7 stages, or a deadline more than 24
+    slots after the release. *)

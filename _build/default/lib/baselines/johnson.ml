@@ -1,0 +1,22 @@
+module Rat = E2e_rat.Rat
+module Task = E2e_model.Task
+module Flow_shop = E2e_model.Flow_shop
+module Recurrence_shop = E2e_model.Recurrence_shop
+module Schedule = E2e_schedule.Schedule
+
+let order (shop : Flow_shop.t) =
+  if shop.processors <> 2 then invalid_arg "Johnson.order: needs exactly 2 processors";
+  let a i = shop.tasks.(i).Task.proc_times.(0) and b i = shop.tasks.(i).Task.proc_times.(1) in
+  let n = Flow_shop.n_tasks shop in
+  let first = ref [] and second = ref [] in
+  for i = n - 1 downto 0 do
+    if Rat.(a i <= b i) then first := i :: !first else second := i :: !second
+  done;
+  let first = List.sort (fun i j -> Rat.compare (a i) (a j)) !first in
+  let second = List.sort (fun i j -> Rat.compare (b j) (b i)) !second in
+  Array.of_list (first @ second)
+
+let schedule shop =
+  Schedule.forward_pass (Recurrence_shop.of_traditional shop) ~order:(order shop)
+
+let makespan shop = Schedule.makespan (schedule shop)

@@ -1,0 +1,20 @@
+(** Johnson's rule for the two-processor flow shop.
+
+    The classical O(n log n) algorithm (Johnson 1954, cited by the paper
+    as the tractable frontier of flow-shop scheduling) minimises the
+    makespan of a two-processor flow shop: schedule first, in increasing
+    order of [tau_i1], the tasks with [tau_i1 <= tau_i2]; then, in
+    decreasing order of [tau_i2], the rest.  It ignores release times and
+    deadlines — it is the completion-time baseline the paper contrasts
+    its deadline-driven algorithms against. *)
+
+val order : E2e_model.Flow_shop.t -> int array
+(** Johnson's optimal order.
+    @raise Invalid_argument unless the shop has exactly two processors. *)
+
+val schedule : E2e_model.Flow_shop.t -> E2e_schedule.Schedule.t
+(** Earliest-start schedule in Johnson's order (release times are still
+    honoured; with all-zero releases this attains the optimal makespan). *)
+
+val makespan : E2e_model.Flow_shop.t -> E2e_rat.Rat.t
+(** Makespan of {!schedule}. *)

@@ -1,0 +1,3 @@
+(* Kept under its baseline name; the implementation lives in the core
+   library because the solver uses it as a fallback dispatcher. *)
+include E2e_core.Greedy_edf

@@ -1,0 +1,5 @@
+(** Alias of {!E2e_core.Greedy_edf}, listed among the baselines because
+    that is the role it plays in the benches and ablations. *)
+
+val schedule : E2e_model.Recurrence_shop.t -> E2e_schedule.Schedule.t
+val feasible : E2e_model.Recurrence_shop.t -> bool

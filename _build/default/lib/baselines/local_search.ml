@@ -1,0 +1,74 @@
+module Rat = E2e_rat.Rat
+module Task = E2e_model.Task
+module Flow_shop = E2e_model.Flow_shop
+module Recurrence_shop = E2e_model.Recurrence_shop
+module Schedule = E2e_schedule.Schedule
+module Prng = E2e_prng.Prng
+
+let tardiness (s : Schedule.t) =
+  let tasks = s.Schedule.shop.Recurrence_shop.tasks in
+  let acc = ref Rat.zero in
+  Array.iteri
+    (fun i (task : Task.t) ->
+      let late = Rat.sub (Schedule.completion s i) task.deadline in
+      if Rat.(late > Rat.zero) then acc := Rat.add !acc late)
+    tasks;
+  !acc
+
+let evaluate rshop order =
+  let s = Schedule.forward_pass rshop ~order in
+  (s, tardiness s)
+
+(* First-improvement hill climbing over pairwise swaps. *)
+let climb rshop order =
+  let order = Array.copy order in
+  let n = Array.length order in
+  let s, score = evaluate rshop order in
+  let best_s = ref s and best = ref score in
+  let improved = ref true in
+  while !improved && Rat.(!best > Rat.zero) do
+    improved := false;
+    let i = ref 0 in
+    while (not !improved) && !i < n - 1 do
+      let j = ref (!i + 1) in
+      while (not !improved) && !j < n do
+        let swap () =
+          let tmp = order.(!i) in
+          order.(!i) <- order.(!j);
+          order.(!j) <- tmp
+        in
+        swap ();
+        let s', score' = evaluate rshop order in
+        if Rat.(score' < !best) then begin
+          best := score';
+          best_s := s';
+          improved := true
+        end
+        else swap ();
+        incr j
+      done;
+      incr i
+    done
+  done;
+  (!best_s, !best)
+
+let edf_order (shop : Flow_shop.t) =
+  let n = Flow_shop.n_tasks shop in
+  let order = Array.init n Fun.id in
+  Array.sort
+    (fun a b -> Rat.compare shop.tasks.(a).Task.deadline shop.tasks.(b).Task.deadline)
+    order;
+  order
+
+let schedule ?(restarts = 8) ?(seed = 0) (shop : Flow_shop.t) =
+  let rshop = Recurrence_shop.of_traditional shop in
+  let g = Prng.create seed in
+  let n = Flow_shop.n_tasks shop in
+  let rec attempt k =
+    if k >= restarts then None
+    else
+      let start = if k = 0 then edf_order shop else Prng.permutation g n in
+      let s, score = climb rshop start in
+      if Rat.is_zero score && Schedule.is_feasible s then Some s else attempt (k + 1)
+  in
+  attempt 0

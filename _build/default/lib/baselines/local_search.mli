@@ -1,0 +1,23 @@
+(** Local search over permutation schedules.
+
+    A modern point of comparison for Algorithm H: hill-climb over task
+    orders, evaluating each by the earliest-start forward pass and
+    scoring by total tardiness (sum over tasks of lateness beyond the
+    deadline, plus release violations).  Pairwise swaps, first-improvement,
+    random restarts.  Finds a feasible permutation schedule whenever one
+    is "downhill reachable"; still a heuristic — {!Exhaustive} and
+    {!Branch_bound} stay the ground truth. *)
+
+val tardiness : E2e_schedule.Schedule.t -> E2e_rat.Rat.t
+(** The objective: [sum_i max(0, completion_i - d_i)]. *)
+
+val schedule :
+  ?restarts:int ->
+  ?seed:int ->
+  E2e_model.Flow_shop.t ->
+  E2e_schedule.Schedule.t option
+(** [restarts] random initial orders (default 8; the first start is the
+    EDF order, so a single "restart" is deterministic); [seed] drives the
+    restart permutations (default 0).  Returns the first feasible
+    schedule found, or [None] if every restart ends in an infeasible
+    local optimum. *)

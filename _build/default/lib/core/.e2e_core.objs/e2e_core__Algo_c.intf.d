@@ -1,0 +1,1 @@
+lib/core/algo_c.mli: E2e_schedule

@@ -1,0 +1,1 @@
+lib/core/algo_h.ml: Algo_a Algo_c Array E2e_model E2e_rat E2e_schedule Format Single_machine

@@ -1,0 +1,1 @@
+lib/core/algo_h.mli: E2e_model E2e_schedule Format

@@ -1,0 +1,1 @@
+lib/core/eedf.mli: E2e_model E2e_rat E2e_schedule Single_machine

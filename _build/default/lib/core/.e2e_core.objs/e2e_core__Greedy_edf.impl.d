@@ -1,0 +1,1 @@
+lib/core/greedy_edf.ml: Array E2e_model E2e_rat E2e_schedule

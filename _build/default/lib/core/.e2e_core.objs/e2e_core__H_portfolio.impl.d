@@ -1,0 +1,1 @@
+lib/core/h_portfolio.ml: Algo_h Array E2e_model E2e_rat E2e_schedule Format Fun List

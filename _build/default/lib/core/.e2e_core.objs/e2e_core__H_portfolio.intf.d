@@ -1,0 +1,1 @@
+lib/core/h_portfolio.mli: E2e_model E2e_schedule Format

@@ -1,0 +1,1 @@
+lib/core/infeasibility.ml: Array E2e_model E2e_rat Format List Option

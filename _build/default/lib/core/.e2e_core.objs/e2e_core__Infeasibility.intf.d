@@ -1,0 +1,1 @@
+lib/core/infeasibility.mli: E2e_model E2e_rat Format

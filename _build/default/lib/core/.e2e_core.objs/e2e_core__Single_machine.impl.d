@@ -1,0 +1,1 @@
+lib/core/single_machine.ml: Array E2e_rat Format Fun List

@@ -1,0 +1,1 @@
+lib/core/single_machine.mli: E2e_rat Format

@@ -1,0 +1,1 @@
+lib/core/solver.ml: Algo_a Algo_h Algo_r E2e_model E2e_schedule Eedf Format Greedy_edf

@@ -1,0 +1,1 @@
+lib/core/solver.mli: Algo_r E2e_model E2e_schedule Format

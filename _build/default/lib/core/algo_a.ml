@@ -1,0 +1,45 @@
+module Rat = E2e_rat.Rat
+module Task = E2e_model.Task
+module Flow_shop = E2e_model.Flow_shop
+module Schedule = E2e_schedule.Schedule
+
+let bottleneck_jobs (shop : Flow_shop.t) ~bottleneck =
+  Array.map
+    (fun (task : Task.t) ->
+      {
+        Single_machine.id = task.id;
+        release = Task.effective_release task bottleneck;
+        deadline = Task.effective_deadline task bottleneck;
+      })
+    shop.tasks
+
+let propagate_from_bottleneck (shop : Flow_shop.t) ~bottleneck starts_b =
+  let m = shop.processors in
+  let starts =
+    Array.mapi
+      (fun i (task : Task.t) ->
+        let row = Array.make m Rat.zero in
+        row.(bottleneck) <- starts_b.(i);
+        (* Downstream: each stage starts the instant its predecessor ends. *)
+        for j = bottleneck + 1 to m - 1 do
+          row.(j) <- Rat.add row.(j - 1) task.Task.proc_times.(j - 1)
+        done;
+        (* Upstream: stages laid back-to-back, ending exactly at the
+           bottleneck start (Step 3 of Figure 4). *)
+        for j = bottleneck - 1 downto 0 do
+          row.(j) <- Rat.sub row.(j + 1) task.Task.proc_times.(j)
+        done;
+        row)
+      shop.tasks
+  in
+  Schedule.of_flow_shop shop starts
+
+let schedule ?bottleneck (shop : Flow_shop.t) =
+  match Flow_shop.is_homogeneous shop with
+  | None -> Error `Not_homogeneous
+  | Some taus ->
+      let b = match bottleneck with Some b -> b | None -> Flow_shop.bottleneck shop in
+      let tau_b = taus.(b) in
+      (match Single_machine.schedule ~tau:tau_b (bottleneck_jobs shop ~bottleneck:b) with
+      | Error `Infeasible -> Error `Infeasible
+      | Ok starts_b -> Ok (propagate_from_bottleneck shop ~bottleneck:b starts_b))

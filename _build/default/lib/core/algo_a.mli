@@ -1,0 +1,32 @@
+(** Algorithm A: optimal scheduling of homogeneous task sets
+    (Section 4, Figure 4 of the paper).
+
+    In a homogeneous task set the processing time is constant per
+    processor ([tau_j] on [P_j]) but differs between processors.  The
+    processor with the largest [tau_j] is the {e bottleneck} [P_b]; its
+    subtasks form an equal-length single-machine instance with effective
+    release times [r_ib] and effective deadlines [d_ib], solved optimally
+    by EEDF with forbidden regions.  The bottleneck schedule is then
+    propagated: downstream stages chain immediately after their
+    predecessors; upstream stages are laid back-to-back ending exactly
+    when the bottleneck stage starts.  Because [tau_b] dominates every
+    other stage time, neither direction can collide, so the flow shop is
+    feasible exactly when the bottleneck instance is. *)
+
+val schedule :
+  ?bottleneck:int ->
+  E2e_model.Flow_shop.t ->
+  (E2e_schedule.Schedule.t, [ `Infeasible | `Not_homogeneous ]) result
+(** Optimal for homogeneous sets; [`Infeasible] means no feasible
+    schedule exists.  [?bottleneck] overrides Step 1's choice (used by
+    the bottleneck-choice ablation); correctness of the optimality claim
+    requires it to be a processor with maximal [tau_j]. *)
+
+val bottleneck_jobs :
+  E2e_model.Flow_shop.t -> bottleneck:int -> Single_machine.job array
+(** The reduced single-machine instance on [P_b] (exposed for tests). *)
+
+val propagate_from_bottleneck :
+  E2e_model.Flow_shop.t -> bottleneck:int -> E2e_rat.Rat.t array -> E2e_schedule.Schedule.t
+(** Step 3 of Figure 4 applied to given bottleneck start times.  Exposed
+    because Algorithm H re-uses it on the inflated task set. *)

@@ -1,0 +1,25 @@
+(** Algorithm C: compaction of permutation schedules
+    (Section 4, Figure 7 of the paper).
+
+    Given a permutation schedule of the original task set (typically the
+    one Algorithm A produced for the {e inflated} task set, reread with
+    the original processing times), Algorithm C re-times every subtask as
+    early as its effective release, its predecessor stage, and the
+    previous task on its processor allow, preserving the execution order.
+    This removes the idle segments that inflation inserted and repairs
+    release-time violations introduced by Algorithm A's rigid upstream
+    propagation. *)
+
+val compact :
+  ?keep_first_start:bool -> E2e_schedule.Schedule.t -> E2e_schedule.Schedule.t
+(** [compact s] follows Figure 7 literally: with [keep_first_start]
+    (default [true], as in the paper) the first task's first-stage start
+    is [max] of its current start and its release, rather than being
+    pulled all the way back to the release.  The task order is taken from
+    the schedule's first processor.
+
+    @raise Invalid_argument if [s] is not a permutation schedule over a
+    traditional flow shop. *)
+
+val order_on_processor : E2e_schedule.Schedule.t -> int -> int array
+(** Task indices in order of their start time on the given processor. *)

@@ -1,0 +1,50 @@
+module Rat = E2e_rat.Rat
+module Flow_shop = E2e_model.Flow_shop
+module Schedule = E2e_schedule.Schedule
+
+type failure = [ `Inflated_infeasible | `Compacted_infeasible of Schedule.t ]
+
+let pp_failure ppf = function
+  | `Inflated_infeasible ->
+      Format.pp_print_string ppf "Algorithm A found the inflated task set unschedulable"
+  | `Compacted_infeasible _ ->
+      Format.pp_print_string ppf "compacted schedule still violates a constraint"
+
+type report = {
+  inflated : Flow_shop.t;
+  bottleneck : int;
+  raw : Schedule.t option;
+  result : (Schedule.t, failure) result;
+}
+
+let run ?(compact = true) ?bottleneck (shop : Flow_shop.t) =
+  (* Steps 2-3: inflate every subtask on P_j to tau_max,j.  Note that the
+     effective release times and deadlines fed to Algorithm A come from
+     Step 1, i.e. from the ORIGINAL processing times — the inflated
+     windows are not recomputed.  This is why the schedule of Figure 8(a)
+     can violate release times: the rigid upstream propagation uses the
+     longer inflated durations against the original windows. *)
+  let inflated = Flow_shop.inflate shop in
+  let maxima = Flow_shop.max_proc_times shop in
+  let b = match bottleneck with Some b -> b | None -> Flow_shop.bottleneck inflated in
+  (* Step 4: Algorithm A's Step 2 on the bottleneck — an equal-length
+     (tau_max,b) single-machine instance over the original effective
+     windows. *)
+  match Single_machine.schedule ~tau:maxima.(b) (Algo_a.bottleneck_jobs shop ~bottleneck:b) with
+  | Error `Infeasible ->
+      { inflated; bottleneck = b; raw = None; result = Error `Inflated_infeasible }
+  | Ok starts_b ->
+      (* Algorithm A's Step 3 with the inflated durations; the inflated
+         schedule is then reread with the original processing times (each
+         inflated subtask = busy segment first, idle padding after). *)
+      let inflated_schedule = Algo_a.propagate_from_bottleneck inflated ~bottleneck:b starts_b in
+      let raw = Schedule.make (E2e_model.Recurrence_shop.of_traditional shop)
+                  inflated_schedule.Schedule.starts in
+      (* Step 5: Algorithm C. *)
+      let final = if compact then Algo_c.compact raw else raw in
+      let result =
+        if Schedule.is_feasible final then Ok final else Error (`Compacted_infeasible final)
+      in
+      { inflated; bottleneck = b; raw = Some raw; result }
+
+let schedule shop = (run shop).result

@@ -1,0 +1,44 @@
+(** Algorithm H: the paper's heuristic for arbitrary task sets
+    (Section 4, Figure 6).
+
+    An arbitrary task set is turned into a homogeneous one by {e
+    inflating} every subtask on processor [P_j] to the longest subtask
+    time [tau_max,j] found there (each inflated subtask = busy segment
+    followed by idle padding).  Algorithm A schedules the inflated set
+    optimally; Algorithm C then compacts the resulting permutation
+    schedule with the original processing times.  Complexity
+    O(n log n + n m).
+
+    H is {e not} optimal, for the two reasons the paper names: inflation
+    adds workload (so A may fail or pick a bad order on the bottleneck),
+    and only permutation schedules are explored. *)
+
+type failure =
+  [ `Inflated_infeasible
+    (** Algorithm A found the inflated set unschedulable. *)
+  | `Compacted_infeasible of E2e_schedule.Schedule.t
+    (** The compacted schedule still violates a constraint; the witness
+        schedule is attached. *) ]
+
+val pp_failure : Format.formatter -> failure -> unit
+
+type report = {
+  inflated : E2e_model.Flow_shop.t;  (** Step 3's homogeneous task set. *)
+  bottleneck : int;  (** Step 1 of Algorithm A's choice. *)
+  raw : E2e_schedule.Schedule.t option;
+      (** A's inflated-set schedule reread with the original processing
+          times — the "before compaction" schedule of Figure 8(a).
+          [None] when A already failed. *)
+  result : (E2e_schedule.Schedule.t, failure) result;
+}
+
+val run :
+  ?compact:bool -> ?bottleneck:int -> E2e_model.Flow_shop.t -> report
+(** Full pipeline with intermediates.  [?compact:false] skips Step 5 (the
+    compaction ablation); [?bottleneck] overrides A's bottleneck choice
+    (the bottleneck ablation). *)
+
+val schedule :
+  E2e_model.Flow_shop.t -> (E2e_schedule.Schedule.t, failure) result
+(** Just the answer.  [Ok s] is always feasible (checker-verified); an
+    error does {e not} prove infeasibility — H is a heuristic. *)

@@ -1,0 +1,130 @@
+module Rat = E2e_rat.Rat
+module Task = E2e_model.Task
+module Visit = E2e_model.Visit
+module Recurrence_shop = E2e_model.Recurrence_shop
+module Schedule = E2e_schedule.Schedule
+
+type error = [ `Not_identical_unit | `Not_identical_release | `No_single_loop | `Infeasible ]
+
+let pp_error ppf = function
+  | `Not_identical_unit -> Format.pp_print_string ppf "subtask processing times are not identical"
+  | `Not_identical_release -> Format.pp_print_string ppf "task release times are not identical"
+  | `No_single_loop -> Format.pp_print_string ppf "visit sequence has no single-loop recurrence"
+  | `Infeasible -> Format.pp_print_string ppf "no feasible schedule exists"
+
+type decision = { task : int; stage : int; start : Rat.t }
+
+(* A pending dispatch on the decision processor. *)
+type visit_kind = First | Second
+
+let preconditions (shop : Recurrence_shop.t) =
+  match Recurrence_shop.identical_unit shop with
+  | None -> Error `Not_identical_unit
+  | Some tau -> (
+      match Recurrence_shop.identical_releases shop with
+      | None -> Error `Not_identical_release
+      | Some _ -> (
+          match Visit.single_loop shop.visit with
+          | None -> Error `No_single_loop
+          | Some loop -> Ok (tau, loop)))
+
+(* Step 1 of Figure 2: modified EEDF on the loop's first processor.
+   First visits (stage l) become ready at their effective release; when
+   one is dispatched at t, the task's second visit (stage l+q) becomes
+   ready at t + q tau.  Whenever the processor idles, the ready subtask
+   with the earliest effective deadline is dispatched. *)
+let step1 (shop : Recurrence_shop.t) tau (loop : Visit.loop) =
+  let n = Recurrence_shop.n_tasks shop in
+  let l = loop.first_pos and q = loop.span in
+  let ready = Array.make n None and ready2 = Array.make n None in
+  Array.iteri (fun i (task : Task.t) -> ready.(i) <- Some (Task.effective_release task l)) shop.tasks;
+  let deadline1 i = Task.effective_deadline shop.tasks.(i) l in
+  let deadline2 i = Task.effective_deadline shop.tasks.(i) (l + q) in
+  let trace = ref [] in
+  let starts1 = Array.make n Rat.zero and starts2 = Array.make n Rat.zero in
+  let free = ref Rat.zero in
+  let remaining = ref (2 * n) in
+  (* Earliest pending ready time, across both visit generations. *)
+  let min_ready () =
+    let fold acc arr =
+      Array.fold_left
+        (fun acc t -> match t with None -> acc | Some t -> Some (match acc with None -> t | Some m -> Rat.min m t))
+        acc arr
+    in
+    fold (fold None ready) ready2
+  in
+  while !remaining > 0 do
+    match min_ready () with
+    | None -> assert false
+    | Some earliest ->
+        let t = Rat.max !free earliest in
+        (* Ready subtasks at t, keyed by (deadline, kind, task). *)
+        let best = ref None in
+        let consider i kind ready_time =
+          match ready_time with
+          | Some r when Rat.(r <= t) ->
+              let dl = match kind with First -> deadline1 i | Second -> deadline2 i in
+              let better =
+                match !best with
+                | None -> true
+                | Some (dl', _, i') ->
+                    let c = Rat.compare dl dl' in
+                    if c <> 0 then c < 0 else i < i'
+              in
+              if better then best := Some (dl, kind, i)
+          | _ -> ()
+        in
+        for i = 0 to n - 1 do
+          consider i First ready.(i);
+          consider i Second ready2.(i)
+        done;
+        (match !best with
+        | None -> assert false
+        | Some (_, kind, i) ->
+            (match kind with
+            | First ->
+                starts1.(i) <- t;
+                ready.(i) <- None;
+                ready2.(i) <- Some Rat.(t + mul_int tau q);
+                trace := { task = i; stage = l; start = t } :: !trace
+            | Second ->
+                starts2.(i) <- t;
+                ready2.(i) <- None;
+                trace := { task = i; stage = l + q; start = t } :: !trace);
+            free := Rat.add t tau;
+            decr remaining)
+  done;
+  (starts1, starts2, List.rev !trace)
+
+(* Step 2 of Figure 2: rigid propagation around the decision processor.
+   The paper states rule 2 for l < j <= l+q; at j = l+q the Step-1 start
+   is used (it equals t_il + q tau exactly when the second visit was not
+   delayed on the decision processor). *)
+let propagate (shop : Recurrence_shop.t) tau (loop : Visit.loop) starts1 starts2 =
+  let n = Recurrence_shop.n_tasks shop in
+  let k = Visit.length shop.visit in
+  let l = loop.first_pos and q = loop.span in
+  let starts =
+    Array.init n (fun i ->
+        Array.init k (fun j ->
+            if j < l then Rat.sub starts1.(i) (Rat.mul_int tau (l - j))
+            else if j < l + q then Rat.add starts1.(i) (Rat.mul_int tau (j - l))
+            else if j = l + q then starts2.(i)
+            else Rat.add starts2.(i) (Rat.mul_int tau (j - l - q))))
+  in
+  Schedule.make shop starts
+
+let schedule shop =
+  match preconditions shop with
+  | Error e -> Error (e :> error)
+  | Ok (tau, loop) ->
+      let starts1, starts2, _ = step1 shop tau loop in
+      let sched = propagate shop tau loop starts1 starts2 in
+      if Schedule.is_feasible sched then Ok sched else Error `Infeasible
+
+let decision_trace shop =
+  match preconditions shop with
+  | Error e -> Error (e :> error)
+  | Ok (tau, loop) ->
+      let _, _, trace = step1 shop tau loop in
+      Ok trace

@@ -1,0 +1,30 @@
+(** Algorithm R: optimal scheduling of identical-length task sets on flow
+    shops with recurrence (Section 3, Figure 2 of the paper).
+
+    Preconditions (as in the paper's optimality theorem): every subtask
+    of every task has the same processing time [tau]; all tasks share one
+    release time; the visit sequence contains a single loop.  The
+    scheduling decision is made on the first processor of the loop,
+    [P_vl], which executes two subtasks of every task (stages [l] and
+    [l + q]).  Both visits are scheduled there by EEDF, with the twist
+    that scheduling a first visit at [t] {e postpones} the release of the
+    task's second visit to [t + q tau] — the loop takes [q] stages to
+    come back.  The rest of the schedule is propagated rigidly around the
+    decisions on [P_vl] (Step 2 of Figure 2). *)
+
+type error =
+  [ `Not_identical_unit  (** Subtask times differ. *)
+  | `Not_identical_release  (** Tasks have different release times. *)
+  | `No_single_loop  (** The visit sequence has no, or a complex, recurrence. *)
+  | `Infeasible  (** No feasible schedule exists (R is optimal). *) ]
+
+val pp_error : Format.formatter -> error -> unit
+
+val schedule : E2e_model.Recurrence_shop.t -> (E2e_schedule.Schedule.t, error) result
+
+type decision = { task : int; stage : int; start : E2e_rat.Rat.t }
+(** One dispatch on the loop's decision processor, in dispatch order. *)
+
+val decision_trace : E2e_model.Recurrence_shop.t -> (decision list, error) result
+(** The Step-1 schedule on [P_vl] alone (exposed for tests and the
+    worked Table 1 / Figure 3 reproduction). *)

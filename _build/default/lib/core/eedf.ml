@@ -1,0 +1,45 @@
+module Rat = E2e_rat.Rat
+module Task = E2e_model.Task
+module Flow_shop = E2e_model.Flow_shop
+module Schedule = E2e_schedule.Schedule
+
+type rat = Rat.t
+
+let single_machine_jobs (shop : Flow_shop.t) ~tau =
+  let m = shop.processors in
+  Array.map
+    (fun (task : Task.t) ->
+      {
+        Single_machine.id = task.id;
+        release = task.release;
+        (* Effective deadline of the first subtask: the task must still
+           fit its remaining m-1 stages after P_1. *)
+        deadline = Rat.sub task.deadline (Rat.mul_int tau (m - 1));
+      })
+    shop.tasks
+
+let propagate (shop : Flow_shop.t) ~tau starts_p1 =
+  let m = shop.processors in
+  let starts =
+    Array.mapi
+      (fun i _ -> Array.init m (fun j -> Rat.(starts_p1.(i) + mul_int tau j)))
+      shop.tasks
+  in
+  Schedule.of_flow_shop shop starts
+
+let with_identical_length shop f =
+  match Flow_shop.is_identical_length shop with
+  | None -> Error `Not_identical_length
+  | Some tau -> f tau
+
+let schedule shop =
+  with_identical_length shop (fun tau ->
+      match Single_machine.schedule ~tau (single_machine_jobs shop ~tau) with
+      | Error `Infeasible -> Error `Infeasible
+      | Ok starts -> Ok (propagate shop ~tau starts))
+
+let schedule_no_regions shop =
+  with_identical_length shop (fun tau ->
+      match Single_machine.edf_schedule_no_regions ~tau (single_machine_jobs shop ~tau) with
+      | Error (`Deadline_missed i) -> Error (`Deadline_missed i)
+      | Ok starts -> Ok (propagate shop ~tau starts))

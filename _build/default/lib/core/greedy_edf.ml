@@ -1,0 +1,75 @@
+module Rat = E2e_rat.Rat
+module Task = E2e_model.Task
+module Visit = E2e_model.Visit
+module Recurrence_shop = E2e_model.Recurrence_shop
+module Schedule = E2e_schedule.Schedule
+
+(* Discrete-event greedy dispatch.  Each task exposes one pending stage at
+   a time (its next one); a processor that can dispatch earliest (over
+   max(processor free, earliest pending ready)) does so, choosing among
+   the subtasks ready at that instant by earliest effective deadline. *)
+let schedule (shop : Recurrence_shop.t) =
+  let n = Recurrence_shop.n_tasks shop in
+  let k = Visit.length shop.visit in
+  let m = shop.visit.Visit.processors in
+  let starts = Array.make_matrix n k Rat.zero in
+  let next_stage = Array.make n 0 in
+  let ready_time = Array.map (fun (t : Task.t) -> t.release) shop.tasks in
+  let free = Array.make m Rat.zero in
+  let remaining = ref (n * k) in
+  while !remaining > 0 do
+    (* Earliest dispatch instant per processor. *)
+    let best : (Rat.t * int) option ref = ref None in
+    for p = 0 to m - 1 do
+      let earliest_ready = ref None in
+      for i = 0 to n - 1 do
+        if next_stage.(i) < k && shop.visit.Visit.sequence.(next_stage.(i)) = p then
+          earliest_ready :=
+            Some
+              (match !earliest_ready with
+              | None -> ready_time.(i)
+              | Some t -> Rat.min t ready_time.(i))
+      done;
+      match !earliest_ready with
+      | None -> ()
+      | Some r ->
+          let t = Rat.max free.(p) r in
+          let better = match !best with None -> true | Some (t', _) -> Rat.(t < t') in
+          if better then best := Some (t, p)
+    done;
+    match !best with
+    | None -> assert false
+    | Some (t, p) ->
+        (* Ready subtasks on p at t; earliest effective deadline wins. *)
+        let chosen = ref None in
+        for i = 0 to n - 1 do
+          if
+            next_stage.(i) < k
+            && shop.visit.Visit.sequence.(next_stage.(i)) = p
+            && Rat.(ready_time.(i) <= t)
+          then begin
+            let dl = Task.effective_deadline shop.tasks.(i) next_stage.(i) in
+            let better =
+              match !chosen with
+              | None -> true
+              | Some (dl', i') ->
+                  let c = Rat.compare dl dl' in
+                  if c <> 0 then c < 0 else i < i'
+            in
+            if better then chosen := Some (dl, i)
+          end
+        done;
+        (match !chosen with
+        | None -> assert false
+        | Some (_, i) ->
+            let j = next_stage.(i) in
+            starts.(i).(j) <- t;
+            let finish = Rat.add t shop.tasks.(i).Task.proc_times.(j) in
+            free.(p) <- finish;
+            next_stage.(i) <- j + 1;
+            ready_time.(i) <- finish;
+            decr remaining)
+  done;
+  Schedule.make shop starts
+
+let feasible shop = Schedule.is_feasible (schedule shop)

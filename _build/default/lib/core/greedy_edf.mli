@@ -1,0 +1,15 @@
+(** Greedy priority-driven dispatching by earliest effective deadline.
+
+    The natural online heuristic for arbitrary (possibly recurrent) flow
+    shops: every processor, whenever free, dispatches the ready subtask
+    with the earliest effective deadline, never idling on purpose.  It
+    uses no forbidden regions, no inflation and no compaction, so it is
+    the baseline against which EEDF's and Algorithm H's machinery is
+    measured in the ablation benches. *)
+
+val schedule : E2e_model.Recurrence_shop.t -> E2e_schedule.Schedule.t
+(** The schedule produced by the greedy dispatcher (always well defined;
+    feasibility must be checked by the caller). *)
+
+val feasible : E2e_model.Recurrence_shop.t -> bool
+(** Whether the greedy schedule meets every constraint. *)

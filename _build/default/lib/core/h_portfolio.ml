@@ -1,0 +1,63 @@
+module Rat = E2e_rat.Rat
+module Task = E2e_model.Task
+module Flow_shop = E2e_model.Flow_shop
+module Recurrence_shop = E2e_model.Recurrence_shop
+module Schedule = E2e_schedule.Schedule
+
+type strategy =
+  | H_with_bottleneck of int
+  | Order_earliest_deadline
+  | Order_least_slack
+  | Order_earliest_release
+
+let pp_strategy ppf = function
+  | H_with_bottleneck b -> Format.fprintf ppf "Algorithm H with bottleneck P%d" (b + 1)
+  | Order_earliest_deadline -> Format.pp_print_string ppf "forward pass in global EDF order"
+  | Order_least_slack -> Format.pp_print_string ppf "forward pass in least-slack order"
+  | Order_earliest_release -> Format.pp_print_string ppf "forward pass in earliest-release order"
+
+let strategies (shop : Flow_shop.t) =
+  let default = Flow_shop.bottleneck (Flow_shop.inflate shop) in
+  let others =
+    List.filter (fun b -> b <> default) (List.init shop.processors Fun.id)
+  in
+  List.map (fun b -> H_with_bottleneck b) (default :: others)
+  @ [ Order_earliest_deadline; Order_least_slack; Order_earliest_release ]
+
+let order_by shop key =
+  let n = Flow_shop.n_tasks shop in
+  let order = Array.init n Fun.id in
+  Array.sort
+    (fun a b ->
+      let c = Rat.compare (key shop.Flow_shop.tasks.(a)) (key shop.Flow_shop.tasks.(b)) in
+      if c <> 0 then c else compare a b)
+    order;
+  order
+
+let try_strategy shop = function
+  | H_with_bottleneck b -> (
+      match (Algo_h.run ~bottleneck:b shop).Algo_h.result with
+      | Ok s -> Some s
+      | Error _ -> None)
+  | (Order_earliest_deadline | Order_least_slack | Order_earliest_release) as strat ->
+      let key =
+        match strat with
+        | Order_earliest_deadline -> fun (t : Task.t) -> t.deadline
+        | Order_least_slack -> Task.slack
+        | Order_earliest_release | H_with_bottleneck _ -> fun (t : Task.t) -> t.release
+      in
+      let order = order_by shop key in
+      let s = Schedule.forward_pass (Recurrence_shop.of_traditional shop) ~order in
+      if Schedule.is_feasible s then Some s else None
+
+let schedule shop =
+  let rec go = function
+    | [] -> Error `All_failed
+    | strat :: rest -> (
+        match try_strategy shop strat with
+        | Some s -> Ok (s, strat)
+        | None -> go rest)
+  in
+  go (strategies shop)
+
+let schedule_opt shop = match schedule shop with Ok (s, _) -> Some s | Error `All_failed -> None

@@ -1,0 +1,30 @@
+(** A portfolio around Algorithm H addressing its two named failure
+    causes.
+
+    The paper attributes Algorithm H's failures to (1) the wrong choice
+    of bottleneck processor in Algorithm A and (2) Step 2 of A producing
+    a wrong execution order on the bottleneck.  Both are cheap to attack
+    by search: run H once per candidate bottleneck processor (m runs),
+    and additionally try a handful of direct permutation orders (global
+    EDF, least slack, earliest release) timed by the earliest-start
+    forward pass.  Everything stays polynomial —
+    O(m (n log n + n m)) — and every returned schedule is
+    checker-verified. *)
+
+type strategy =
+  | H_with_bottleneck of int  (** Algorithm H forced to this bottleneck. *)
+  | Order_earliest_deadline  (** Forward pass in global EDF order. *)
+  | Order_least_slack  (** Forward pass by increasing task slack. *)
+  | Order_earliest_release  (** Forward pass by increasing release. *)
+
+val pp_strategy : Format.formatter -> strategy -> unit
+
+val strategies : E2e_model.Flow_shop.t -> strategy list
+(** The portfolio tried, in order: the paper's bottleneck first, then the
+    other processors, then the direct orders. *)
+
+val schedule :
+  E2e_model.Flow_shop.t -> (E2e_schedule.Schedule.t * strategy, [ `All_failed ]) result
+(** First feasible schedule found, with the strategy that produced it. *)
+
+val schedule_opt : E2e_model.Flow_shop.t -> E2e_schedule.Schedule.t option

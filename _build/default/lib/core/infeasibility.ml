@@ -1,0 +1,76 @@
+module Rat = E2e_rat.Rat
+module Task = E2e_model.Task
+module Flow_shop = E2e_model.Flow_shop
+
+type rat = Rat.t
+
+type certificate =
+  | Negative_slack of { task : int }
+  | Overloaded_window of {
+      processor : int;
+      window_start : rat;
+      window_end : rat;
+      demand : rat;
+    }
+
+let pp_certificate ppf = function
+  | Negative_slack { task } ->
+      Format.fprintf ppf "task %d has negative slack: it cannot finish even alone" task
+  | Overloaded_window { processor; window_start; window_end; demand } ->
+      Format.fprintf ppf
+        "processor %d must execute %a time units inside [%a, %a] (length %a)" processor Rat.pp
+        demand Rat.pp window_start Rat.pp window_end Rat.pp
+        (Rat.sub window_end window_start)
+
+let processor_demand (shop : Flow_shop.t) ~processor ~window_start ~window_end =
+  Array.fold_left
+    (fun acc (task : Task.t) ->
+      let r = Task.effective_release task processor
+      and d = Task.effective_deadline task processor in
+      if Rat.(r >= window_start) && Rat.(d <= window_end) then
+        Rat.add acc task.proc_times.(processor)
+      else acc)
+    Rat.zero shop.tasks
+
+let check (shop : Flow_shop.t) =
+  let negative_slack =
+    Array.find_opt (fun (task : Task.t) -> Rat.(Task.slack task < Rat.zero)) shop.tasks
+  in
+  match negative_slack with
+  | Some task -> Some (Negative_slack { task = task.Task.id })
+  | None ->
+      (* Only windows bounded by an effective release on the left and an
+         effective deadline on the right can be critical. *)
+      let found = ref None in
+      let m = shop.processors in
+      let j = ref 0 in
+      while !found = None && !j < m do
+        let releases =
+          Array.to_list (Array.map (fun t -> Task.effective_release t !j) shop.tasks)
+          |> List.sort_uniq Rat.compare
+        in
+        let deadlines =
+          Array.to_list (Array.map (fun t -> Task.effective_deadline t !j) shop.tasks)
+          |> List.sort_uniq Rat.compare
+        in
+        List.iter
+          (fun ws ->
+            List.iter
+              (fun we ->
+                if !found = None && Rat.(ws < we) then begin
+                  let demand =
+                    processor_demand shop ~processor:!j ~window_start:ws ~window_end:we
+                  in
+                  if Rat.(demand > Rat.sub we ws) then
+                    found :=
+                      Some
+                        (Overloaded_window
+                           { processor = !j; window_start = ws; window_end = we; demand })
+                end)
+              deadlines)
+          releases;
+        incr j
+      done;
+      !found
+
+let is_provably_infeasible shop = Option.is_some (check shop)

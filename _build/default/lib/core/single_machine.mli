@@ -1,0 +1,54 @@
+(** Nonpreemptive scheduling of equal-length jobs on one machine with
+    arbitrary rational release times and deadlines.
+
+    This is the optimal O(n^2)-ish building block beneath every flow-shop
+    algorithm in the paper: the earliest-deadline-first rule made optimal
+    by the {e forbidden regions} of Garey, Johnson, Simons and Tarjan
+    (SIAM J. Comput. 10(2), 1981).  A forbidden region is an open
+    interval in which {e no} job may start: if the [m] jobs with release
+    [>= r] and deadline [<= d] are packed as late as possible before [d]
+    (avoiding regions already found), starting at [c], then any job
+    starting in [(c - tau, r)] would keep the machine busy past [c] and
+    make those [m] jobs late.  EDF that only dispatches outside the
+    forbidden regions ("modified release times") is optimal.
+
+    We implement the transparent O(n^2) pair enumeration rather than the
+    original's O(n log n) machinery; instances in this repository have at
+    most a few hundred jobs per machine. *)
+
+type rat = E2e_rat.Rat.t
+
+type job = { id : int; release : rat; deadline : rat }
+(** [id] is the caller's index; results are reported in input order. *)
+
+type region = { left : rat; right : rat }
+(** The open interval [(left, right)]: starting strictly inside is
+    forbidden; starting exactly at either endpoint is allowed. *)
+
+val pp_region : Format.formatter -> region -> unit
+
+val forbidden_regions :
+  tau:rat -> job array -> (region list, [ `Infeasible ]) result
+(** All forbidden regions, sorted by left endpoint, pairwise disjoint.
+    [`Infeasible] when some backward packing already proves that no
+    schedule can meet all deadlines. *)
+
+val schedule :
+  tau:rat -> job array -> (rat array, [ `Infeasible ]) result
+(** Optimal start times (input order): EDF over the forbidden regions.
+    [Error `Infeasible] means no feasible schedule exists at all — the
+    algorithm is optimal. *)
+
+val edf_schedule_no_regions : tau:rat -> job array -> (rat array, [ `Deadline_missed of int ]) result
+(** Plain priority-driven EDF without forbidden regions — the ablation
+    baseline showing why the regions are needed.  Fails with the first
+    job whose deadline is missed. *)
+
+val feasible_starts : tau:rat -> job array -> rat array -> bool
+(** Independent check that the given start times respect releases,
+    deadlines and mutual exclusion. *)
+
+val brute_force_feasible : tau:rat -> job array -> bool
+(** Exhaustive search over all job orders (earliest-start timing per
+    order, which is optimal for a fixed order).  Exponential; for tests
+    on small instances only. *)

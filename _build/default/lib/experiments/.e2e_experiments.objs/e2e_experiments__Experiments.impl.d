@@ -1,0 +1,1 @@
+lib/experiments/experiments.ml: Array E2e_baselines E2e_core E2e_model E2e_partition E2e_periodic E2e_prng E2e_rat E2e_schedule E2e_sim E2e_stats E2e_workload Format List Option Printf Result String

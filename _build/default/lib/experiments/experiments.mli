@@ -1,0 +1,82 @@
+(** Regeneration of every table and figure of the paper's evaluation.
+
+    Each function prints, on the given formatter, the rows or series the
+    corresponding paper artifact reports (see DESIGN.md for the
+    experiment index and EXPERIMENTS.md for paper-vs-measured numbers).
+    All randomised experiments are seeded and deterministic. *)
+
+type sweep = {
+  seed : int;
+  trials : int;  (** Instances per point. *)
+  n_tasks : int;
+  n_processors : int;
+}
+
+val default_fig9a : sweep
+(** 4 tasks on 4 processors, 500 trials per point. *)
+
+val default_fig9b : sweep
+(** 6 tasks on 4 processors. *)
+
+val default_fig10 : sweep
+(** 10 tasks on 4 processors. *)
+
+val success_rate :
+  sweep -> stdev:float -> slack:float -> E2e_stats.Stats.proportion_ci
+(** Probability that Algorithm H finds a feasible schedule on
+    feasible-by-construction instances (the quantity plotted in
+    Figures 9 and 10), with its 90% confidence interval. *)
+
+val table1 : Format.formatter -> unit
+(** Table 1 + Figure 3: the Algorithm R worked example. *)
+
+val table2 : Format.formatter -> unit
+(** Table 2 + Figure 5: the Algorithm A worked example. *)
+
+val table3 : Format.formatter -> unit
+(** Table 3 + Figure 8: Algorithm H before/after compaction. *)
+
+val fig9a : ?sweep:sweep -> Format.formatter -> unit
+(** Figure 9(a): success rate vs slack, stdev in {0.1, 0.2, 0.5}. *)
+
+val fig9b : ?sweep:sweep -> Format.formatter -> unit
+(** Figure 9(b): same sweep with 6 tasks. *)
+
+val fig10 : ?sweep:sweep -> Format.formatter -> unit
+(** Figure 10: 10 tasks, stdev 0.5, larger slacks. *)
+
+val table4 : Format.formatter -> unit
+(** Table 4: periodic flow shop schedulable by phase postponement,
+    analysis cross-checked by simulation. *)
+
+val table5 : Format.formatter -> unit
+(** Table 5: the pair needing deadlines postponed ~10.6% past the
+    period, plus the 0.83 -> 1/m utilization-cap observation. *)
+
+val section6 : Format.formatter -> unit
+(** Section 6: processor sharing between two flow shops. *)
+
+val nonpermutation : Format.formatter -> unit
+(** Witness for the Section 4 remark: an instance feasible only by
+    non-permutation schedules, with the branch-and-bound witness and the
+    failing permutation search side by side. *)
+
+val fig9_extensions : ?sweep:sweep -> Format.formatter -> unit
+(** Extension figure: the Figure 9(b) slack sweep (stdev 0.5) with every
+    scheduler in the repository overlaid — Algorithm H, the H portfolio,
+    greedy list-EDF, preemptive EDF, local search, and exact permutation
+    search as the ceiling. *)
+
+val periodic_sweep : ?trials:int -> ?seed:int -> Format.formatter -> unit
+(** Extension figure: acceptance ratio of random periodic flow shops as
+    per-processor utilization grows, under Equation (1), the EDF density
+    criterion, and exact response-time analysis — the schedulability
+    curves implied by Section 5's closing remark. *)
+
+val ablation : ?sweep:sweep -> Format.formatter -> unit
+(** Design-choice ablations: forbidden regions on/off, compaction
+    on/off, bottleneck choice, Algorithm H vs exhaustive permutation
+    search and vs greedy list-EDF. *)
+
+val all : Format.formatter -> unit
+(** Everything above, in paper order. *)

@@ -1,0 +1,1 @@
+lib/model/flow_shop.ml: Array E2e_rat Format Task

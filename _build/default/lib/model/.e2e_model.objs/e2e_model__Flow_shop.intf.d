@@ -1,0 +1,1 @@
+lib/model/flow_shop.mli: E2e_rat Format Task

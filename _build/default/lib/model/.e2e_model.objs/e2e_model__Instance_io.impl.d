@@ -1,0 +1,1 @@
+lib/model/instance_io.ml: Array Buffer E2e_rat In_channel List Option Printf Recurrence_shop String Task Visit

@@ -1,0 +1,1 @@
+lib/model/periodic_shop.ml: Array E2e_rat Format List

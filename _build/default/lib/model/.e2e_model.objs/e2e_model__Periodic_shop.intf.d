@@ -1,0 +1,1 @@
+lib/model/periodic_shop.mli: E2e_rat Format

@@ -1,0 +1,1 @@
+lib/model/recurrence_shop.ml: Array E2e_rat Flow_shop Format Task Visit

@@ -1,0 +1,1 @@
+lib/model/recurrence_shop.mli: E2e_rat Flow_shop Format Task Visit

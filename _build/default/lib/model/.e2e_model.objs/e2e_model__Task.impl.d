@@ -1,0 +1,1 @@
+lib/model/task.ml: Array E2e_rat Format

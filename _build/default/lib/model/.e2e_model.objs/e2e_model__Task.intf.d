@@ -1,0 +1,1 @@
+lib/model/task.mli: E2e_rat Format

@@ -1,0 +1,1 @@
+lib/model/visit.ml: Array Buffer Format Fun List Option Printf

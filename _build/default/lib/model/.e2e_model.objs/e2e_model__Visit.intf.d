@@ -1,0 +1,1 @@
+lib/model/visit.mli: Format

@@ -1,0 +1,91 @@
+module Rat = E2e_rat.Rat
+
+type rat = Rat.t
+type t = { processors : int; tasks : Task.t array }
+
+let make ~processors tasks =
+  if processors <= 0 then invalid_arg "Flow_shop.make: no processors";
+  Array.iteri
+    (fun i (task : Task.t) ->
+      if task.id <> i then invalid_arg "Flow_shop.make: task id must equal its index";
+      if Task.stages task <> processors then
+        invalid_arg "Flow_shop.make: task stage count differs from processor count")
+    tasks;
+  { processors; tasks }
+
+let of_params params =
+  if Array.length params = 0 then invalid_arg "Flow_shop.of_params: empty task set";
+  let _, _, taus0 = params.(0) in
+  let processors = Array.length taus0 in
+  let tasks =
+    Array.mapi
+      (fun id (release, deadline, proc_times) -> Task.make ~id ~release ~deadline ~proc_times)
+      params
+  in
+  make ~processors tasks
+
+let n_tasks t = Array.length t.tasks
+
+let is_homogeneous t =
+  if n_tasks t = 0 then None
+  else
+    let taus = Array.copy t.tasks.(0).Task.proc_times in
+    let homogeneous =
+      Array.for_all
+        (fun (task : Task.t) ->
+          Array.for_all2 (fun a b -> Rat.equal a b) task.proc_times taus)
+        t.tasks
+    in
+    if homogeneous then Some taus else None
+
+let is_identical_length t =
+  match is_homogeneous t with
+  | None -> None
+  | Some taus ->
+      let tau = taus.(0) in
+      if Array.for_all (fun x -> Rat.equal x tau) taus then Some tau else None
+
+let classify t =
+  match is_homogeneous t with
+  | None -> `Arbitrary
+  | Some taus -> (
+      match is_identical_length t with
+      | Some tau -> `Identical_length tau
+      | None -> `Homogeneous taus)
+
+let max_proc_times t =
+  Array.init t.processors (fun j ->
+      Array.fold_left
+        (fun acc (task : Task.t) -> Rat.max acc task.proc_times.(j))
+        Rat.zero t.tasks)
+
+let bottleneck t =
+  let maxima = max_proc_times t in
+  let best = ref 0 in
+  for j = 1 to t.processors - 1 do
+    if Rat.(maxima.(j) > maxima.(!best)) then best := j
+  done;
+  !best
+
+let inflate t =
+  let maxima = max_proc_times t in
+  let tasks =
+    Array.map
+      (fun (task : Task.t) ->
+        Task.make ~id:task.id ~release:task.release ~deadline:task.deadline
+          ~proc_times:(Array.copy maxima))
+      t.tasks
+  in
+  { t with tasks }
+
+let utilization t j =
+  Array.fold_left
+    (fun acc (task : Task.t) ->
+      let window = Rat.(task.deadline - task.release) in
+      if Rat.is_zero window then acc else Rat.(acc + (task.proc_times.(j) / window)))
+    Rat.zero t.tasks
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>flow shop: %d processors, %d tasks@,%a@]" t.processors (n_tasks t)
+    (Format.pp_print_array ~pp_sep:Format.pp_print_cut Task.pp)
+    t.tasks

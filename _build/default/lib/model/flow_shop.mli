@@ -1,0 +1,56 @@
+(** Traditional flow shops (Section 2 of the paper).
+
+    A flow shop has [m] processors [P_0 .. P_{m-1}] and [n] tasks, each
+    consisting of [m] subtasks executed in processor order: subtask [j]
+    of every task runs on processor [j].  Processors model computers,
+    devices and communication links alike. *)
+
+type rat = E2e_rat.Rat.t
+
+type t = private {
+  processors : int;  (** Number of processors [m]. *)
+  tasks : Task.t array;  (** The task set; [tasks.(i).id = i]. *)
+}
+
+val make : processors:int -> Task.t array -> t
+(** Validates that every task has exactly [processors] subtasks and that
+    ids equal positions.
+    @raise Invalid_argument otherwise. *)
+
+val of_params : (rat * rat * rat array) array -> t
+(** [of_params [| (r, d, taus); ... |]] builds the shop, assigning ids in
+    order.  All tasks must have the same number of subtasks. *)
+
+val n_tasks : t -> int
+
+val classify : t -> [ `Identical_length of rat | `Homogeneous of rat array | `Arbitrary ]
+(** The paper's special cases.  [`Identical_length tau]: all subtask
+    times equal [tau] (tractable, Section 3).  [`Homogeneous taus]: times
+    constant per processor, [taus.(j)] on processor [j] (tractable,
+    Section 4, Algorithm A).  [`Arbitrary] otherwise (NP-hard; Algorithm
+    H applies). *)
+
+val is_identical_length : t -> rat option
+val is_homogeneous : t -> rat array option
+
+val bottleneck : t -> int
+(** For a homogeneous shop, the processor with the largest per-processor
+    processing time (ties broken towards the lowest index), the paper's
+    [P_b].  For an arbitrary shop, the processor with the largest maximum
+    subtask time. *)
+
+val max_proc_times : t -> rat array
+(** [tau_max,j] for every processor: the longest subtask time on it
+    (Step 2 of Algorithm H). *)
+
+val inflate : t -> t
+(** Step 3 of Algorithm H: the homogeneous shop in which every subtask on
+    processor [j] is padded to [tau_max,j].  Release times and deadlines
+    are unchanged. *)
+
+val utilization : t -> int -> rat
+(** [utilization shop j] for a traditional flow shop, per Section 6: the
+    sum over tasks of processing time on [j] divided by the window
+    [d_i - r_i]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,24 @@
+(** Plain-text task-set format, for the command-line front end.
+
+    Syntax (one directive per line, [#] starts a comment):
+
+    {v
+    # distributed control system
+    visit 1 2 3 2 4          # optional; identity sequence if absent
+    task <release> <deadline> <tau_1> ... <tau_k>
+    task ...
+    v}
+
+    Numbers are decimals ([2.75]) or fractions ([11/4]), parsed exactly.
+    The [visit] directive uses the paper's 1-based processor numbers.
+    Every [task] line must list one processing time per visit position. *)
+
+val parse : string -> (Recurrence_shop.t, string) result
+(** Parse the contents of a file.  The error string carries a line
+    number. *)
+
+val parse_file : string -> (Recurrence_shop.t, string) result
+(** Read and parse a file by name (errors include I/O failures). *)
+
+val to_string : Recurrence_shop.t -> string
+(** Render in the same format ([parse (to_string s)] round-trips). *)

@@ -1,0 +1,68 @@
+module Rat = E2e_rat.Rat
+
+type rat = Rat.t
+type job = { id : int; phase : rat; period : rat; proc_times : rat array }
+type t = { processors : int; jobs : job array }
+
+let job ~id ?(phase = Rat.zero) ~period ~proc_times () =
+  if Rat.(period <= zero) then invalid_arg "Periodic_shop.job: nonpositive period";
+  Array.iter
+    (fun tau ->
+      if Rat.(tau <= zero) then invalid_arg "Periodic_shop.job: nonpositive processing time";
+      if Rat.(tau > period) then invalid_arg "Periodic_shop.job: processing time exceeds period")
+    proc_times;
+  { id; phase; period; proc_times }
+
+let make ~processors jobs =
+  if processors <= 0 then invalid_arg "Periodic_shop.make: no processors";
+  Array.iteri
+    (fun i j ->
+      if j.id <> i then invalid_arg "Periodic_shop.make: job id must equal its index";
+      if Array.length j.proc_times <> processors then
+        invalid_arg "Periodic_shop.make: job stage count differs from processor count")
+    jobs;
+  { processors; jobs }
+
+let of_params params =
+  if Array.length params = 0 then invalid_arg "Periodic_shop.of_params: empty job set";
+  let _, taus0 = params.(0) in
+  let processors = Array.length taus0 in
+  let jobs = Array.mapi (fun id (period, proc_times) -> job ~id ~period ~proc_times ()) params in
+  make ~processors jobs
+
+let n_jobs t = Array.length t.jobs
+
+let utilization t j =
+  Array.fold_left (fun acc jb -> Rat.(acc + (jb.proc_times.(j) / jb.period))) Rat.zero t.jobs
+
+let utilizations t = Array.init t.processors (utilization t)
+let total_processing jb = Rat.sum_array jb.proc_times
+
+let rec gcd_int a b = if b = 0 then a else gcd_int b (a mod b)
+let lcm_int a b = a / gcd_int a b * b
+
+let hyperperiod t =
+  (* lcm of rationals n_i/d_i is lcm(n_i) / gcd(d_i). *)
+  Array.fold_left
+    (fun acc jb ->
+      let n = lcm_int (Rat.num acc) (Rat.num jb.period)
+      and d = gcd_int (Rat.den acc) (Rat.den jb.period) in
+      Rat.make n d)
+    (Rat.make (Rat.num t.jobs.(0).period) (Rat.den t.jobs.(0).period))
+    t.jobs
+
+let with_phases t phases =
+  List.concat
+    (List.init (n_jobs t) (fun i ->
+         List.init t.processors (fun j -> (i, j, phases.(i).(j)))))
+
+let pp ppf t =
+  let pp_job ppf jb =
+    Format.fprintf ppf "J%d [b=%a p=%a tau=(%a)]" jb.id Rat.pp jb.phase Rat.pp jb.period
+      (Format.pp_print_array ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") Rat.pp)
+      jb.proc_times
+  in
+  Format.fprintf ppf "@[<v>periodic flow shop: %d processors, %d jobs@,%a@]" t.processors
+    (n_jobs t)
+    (Format.pp_print_array ~pp_sep:Format.pp_print_cut pp_job)
+    t.jobs

@@ -1,0 +1,54 @@
+(** Periodic flow shops (Section 5 of the paper).
+
+    A periodic job [J_i] is an infinite sequence of identical tasks: the
+    k-th request becomes ready at [phase + (k-1) * period] and, in the
+    basic model, must complete by the ready time of the next request.
+    On an m-processor flow shop each job divides logically into m
+    {e subjobs} [J_ij]; subjob [j] runs on processor [j] with processing
+    time [proc_times.(j)] each period. *)
+
+type rat = E2e_rat.Rat.t
+
+type job = private {
+  id : int;
+  phase : rat;  (** [b_i]: ready time of the first request. *)
+  period : rat;  (** [p_i > 0]. *)
+  proc_times : rat array;  (** Per-processor processing times [tau_ij]. *)
+}
+
+type t = private {
+  processors : int;
+  jobs : job array;
+}
+
+val job : id:int -> ?phase:rat -> period:rat -> proc_times:rat array -> unit -> job
+(** @raise Invalid_argument on nonpositive period or processing times, or
+    if some [tau_ij > period]. *)
+
+val make : processors:int -> job array -> t
+(** @raise Invalid_argument on stage-count or id mismatches. *)
+
+val of_params : (rat * rat array) array -> t
+(** [(period, proc_times)] per job, phases 0, ids positional. *)
+
+val n_jobs : t -> int
+
+val utilization : t -> int -> rat
+(** [utilization sys j] is [u_j = sum_i tau_ij / p_i], the total
+    utilization factor of the subjobs on processor [j]. *)
+
+val utilizations : t -> rat array
+
+val total_processing : job -> rat
+(** Sum of the job's per-processor processing times. *)
+
+val hyperperiod : t -> rat
+(** Least common multiple of the periods (exact, via rationals): the
+    horizon after which the schedule repeats when phases are multiples of
+    periods. *)
+
+val with_phases : t -> rat array array -> (int * int * rat) list
+(** Flattens a phase table [phases.(i).(j)] (per job, per processor) into
+    [(job, processor, phase)] triples for reporting. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,43 @@
+module Rat = E2e_rat.Rat
+
+type rat = Rat.t
+type t = { visit : Visit.t; tasks : Task.t array }
+
+let make ~visit tasks =
+  let k = Visit.length visit in
+  Array.iteri
+    (fun i (task : Task.t) ->
+      if task.id <> i then invalid_arg "Recurrence_shop.make: task id must equal its index";
+      if Task.stages task <> k then
+        invalid_arg "Recurrence_shop.make: task stage count differs from visit length")
+    tasks;
+  { visit; tasks }
+
+let of_traditional (shop : Flow_shop.t) =
+  make ~visit:(Visit.traditional shop.processors) shop.tasks
+
+let identical_unit t =
+  if Array.length t.tasks = 0 then None
+  else
+    let tau = t.tasks.(0).Task.proc_times.(0) in
+    let all_equal =
+      Array.for_all
+        (fun (task : Task.t) -> Array.for_all (Rat.equal tau) task.proc_times)
+        t.tasks
+    in
+    if all_equal then Some tau else None
+
+let identical_releases t =
+  if Array.length t.tasks = 0 then None
+  else
+    let r = t.tasks.(0).Task.release in
+    if Array.for_all (fun (task : Task.t) -> Rat.equal r task.release) t.tasks then Some r
+    else None
+
+let n_tasks t = Array.length t.tasks
+let processor_of_stage t j = t.visit.Visit.sequence.(j)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>recurrence shop: visit %a, %d tasks@,%a@]" Visit.pp t.visit (n_tasks t)
+    (Format.pp_print_array ~pp_sep:Format.pp_print_cut Task.pp)
+    t.tasks

@@ -1,0 +1,30 @@
+(** Flow shops with recurrence: a visit sequence plus a task set whose
+    subtask count equals the sequence length.  The traditional flow shop
+    is the special case with the identity visit sequence. *)
+
+type rat = E2e_rat.Rat.t
+
+type t = private {
+  visit : Visit.t;
+  tasks : Task.t array;  (** Every task has [Visit.length visit] subtasks. *)
+}
+
+val make : visit:Visit.t -> Task.t array -> t
+(** @raise Invalid_argument if a task's stage count differs from the
+    visit-sequence length or ids are not positional. *)
+
+val of_traditional : Flow_shop.t -> t
+
+val identical_unit : t -> rat option
+(** When all subtask processing times of all tasks are one value [tau]
+    (the precondition of Algorithm R), returns it. *)
+
+val identical_releases : t -> rat option
+(** When all tasks share one release time (the other precondition of
+    Algorithm R), returns it. *)
+
+val n_tasks : t -> int
+val processor_of_stage : t -> int -> int
+(** The processor on which stage [j] executes. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,64 @@
+(** Visit sequences and visit graphs (flow shops with recurrence).
+
+    In the flow-shop-with-recurrence model each task has [k > m]
+    subtasks, and the processors they run on are given by a visit
+    sequence [V = (v_0, ..., v_{k-1})] — [v_j] is the (0-based) processor
+    of subtask [j].  A processor appearing more than once is {e reused}.
+    The visit sequence is drawn as a {e visit graph} whose labelled edges
+    follow the sequence; a {e loop} is a recurrence pattern in which a
+    block of processors is visited a second time, [q] positions after the
+    first visit, closing a cycle of [q] nodes in the graph (Section 2 and
+    Figure 1 of the paper). *)
+
+type t = private {
+  sequence : int array;  (** [sequence.(j)] is the processor of subtask [j]. *)
+  processors : int;  (** Number of distinct processors [m]. *)
+}
+
+val make : int array -> t
+(** Builds a visit sequence.  Processor numbers must cover
+    [0 .. m-1] with no gaps.
+    @raise Invalid_argument otherwise. *)
+
+val of_one_based : int array -> t
+(** Convenience for transcribing the paper's examples, e.g.
+    [of_one_based [|1;2;3;4;2;3;5|]] is Figure 1's sequence. *)
+
+val length : t -> int
+(** Number of subtask positions [k]. *)
+
+val traditional : int -> t
+(** [traditional m] is the identity sequence [(0, 1, ..., m-1)]: the
+    traditional flow shop as the special case of recurrence. *)
+
+val is_traditional : t -> bool
+
+val reused_processors : t -> int list
+(** Processors visited more than once, in increasing order. *)
+
+type loop = {
+  first_pos : int;  (** The paper's [l]: position of the first subtask on the first reused processor of the loop. *)
+  span : int;  (** The paper's [q]: the second visit happens [span] positions later; also the cycle length in the visit graph. *)
+  reused : int;  (** Number of reused processors in the loop (the length of the repeated block). *)
+}
+
+val single_loop : t -> loop option
+(** Detects the paper's {e simple recurrence pattern}: a visit sequence
+    whose reused processors each appear exactly twice, as one contiguous
+    block repeated [span] positions later, forming a single loop in the
+    visit graph.  Returns [None] for traditional sequences and for
+    sequences with more complex recurrence. *)
+
+type edge = { src : int; dst : int; label : int }
+(** Directed edge of the visit graph, labelled by its position [a] in the
+    sequence (edge from [v_a] to [v_{a+1}]). *)
+
+val graph_edges : t -> edge list
+(** All edges of the visit graph, in label order. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints one-based, like the paper: [(1, 2, 3, 4, 2, 3, 5)]. *)
+
+val to_dot : t -> string
+(** Graphviz rendering of the visit graph, edges labelled by position —
+    the picture of the paper's Figure 1 ([dot -Tsvg] ready). *)

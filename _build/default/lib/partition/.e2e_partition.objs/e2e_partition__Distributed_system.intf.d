@@ -1,0 +1,1 @@
+lib/partition/distributed_system.mli: E2e_core E2e_model E2e_rat Format

@@ -1,0 +1,1 @@
+lib/partition/partition.ml: Array E2e_model E2e_rat List

@@ -1,0 +1,1 @@
+lib/partition/partition.mli: E2e_model E2e_rat

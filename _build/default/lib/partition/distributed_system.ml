@@ -1,0 +1,134 @@
+module Rat = E2e_rat.Rat
+module Task = E2e_model.Task
+module Visit = E2e_model.Visit
+module Recurrence_shop = E2e_model.Recurrence_shop
+module Schedule = E2e_schedule.Schedule
+module Solver = E2e_core.Solver
+
+type rat = Rat.t
+
+type task_class = {
+  name : string;
+  visit : int array;
+  tasks : (rat * rat * rat array) array;
+}
+
+type class_report = {
+  class_name : string;
+  fractions : rat array;
+  shop : Recurrence_shop.t;
+  verdict : Solver.recurrent_verdict;
+}
+
+type t = { processors : int; reports : class_report list; all_feasible : bool }
+
+(* Utilization of one class on one physical processor: processing time
+   over the task's end-to-end window, summed over the stages that visit
+   the processor (Section 6's definition extended to recurrence). *)
+let class_demand (cls : task_class) p =
+  Array.fold_left
+    (fun acc (release, deadline, taus) ->
+      let window = Rat.sub deadline release in
+      if Rat.is_zero window then acc
+      else
+        let on_p = ref Rat.zero in
+        Array.iteri (fun j tau -> if cls.visit.(j) = p then on_p := Rat.add !on_p tau) taus;
+        Rat.add acc (Rat.div !on_p window))
+    Rat.zero cls.tasks
+
+let validate ~processors classes =
+  if classes = [] then invalid_arg "Distributed_system.analyse: no classes";
+  List.iter
+    (fun cls ->
+      if Array.length cls.tasks = 0 then
+        invalid_arg (Printf.sprintf "Distributed_system.analyse: class %S has no tasks" cls.name);
+      Array.iter
+        (fun p ->
+          if p < 0 || p >= processors then
+            invalid_arg
+              (Printf.sprintf "Distributed_system.analyse: class %S visits processor %d" cls.name
+                 p))
+        cls.visit;
+      Array.iter
+        (fun (_, _, taus) ->
+          if Array.length taus <> Array.length cls.visit then
+            invalid_arg
+              (Printf.sprintf "Distributed_system.analyse: class %S stage-count mismatch" cls.name))
+        cls.tasks)
+    classes
+
+let analyse ~processors classes =
+  validate ~processors classes;
+  (* Per physical processor, each class's share: demand / total demand
+     (full speed where the class is alone or unopposed). *)
+  let demands =
+    List.map (fun cls -> Array.init processors (fun p -> class_demand cls p)) classes
+  in
+  let totals =
+    Array.init processors (fun p ->
+        List.fold_left (fun acc d -> Rat.add acc d.(p)) Rat.zero demands)
+  in
+  let reports =
+    List.map2
+      (fun cls demand ->
+        let fractions =
+          Array.init processors (fun p ->
+              if Rat.is_zero demand.(p) || Rat.equal totals.(p) demand.(p) then Rat.one
+              else Rat.div demand.(p) totals.(p))
+        in
+        (* Class-local visit sequence, processors renumbered in order of
+           first visit: a loop-free class becomes a traditional flow shop
+           (identity sequence) regardless of which physical processors it
+           crosses. *)
+        let mapping = Hashtbl.create 8 in
+        Array.iter
+          (fun p ->
+            if not (Hashtbl.mem mapping p) then Hashtbl.add mapping p (Hashtbl.length mapping))
+          cls.visit;
+        let visit = Visit.make (Array.map (Hashtbl.find mapping) cls.visit) in
+        let tasks =
+          Array.mapi
+            (fun id (release, deadline, taus) ->
+              let stretched =
+                Array.mapi (fun j tau -> Rat.div tau fractions.(cls.visit.(j))) taus
+              in
+              Task.make ~id ~release ~deadline ~proc_times:stretched)
+            cls.tasks
+        in
+        let shop = Recurrence_shop.make ~visit tasks in
+        let verdict = Solver.solve_recurrent_or_fallback shop in
+        { class_name = cls.name; fractions; shop; verdict })
+      classes demands
+  in
+  let all_feasible =
+    List.for_all
+      (fun r -> match r.verdict with Solver.Recurrent_feasible _ -> true | _ -> false)
+      reports
+  in
+  { processors; reports; all_feasible }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>distributed system: %d physical processors, %d classes@,@,"
+    t.processors (List.length t.reports);
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "class %S@," r.class_name;
+      Array.iteri
+        (fun p f ->
+          if not (Rat.equal f Rat.one) then
+            Format.fprintf ppf "  share of P%d: %a@," (p + 1) Rat.pp_decimal f)
+        r.fractions;
+      (match r.verdict with
+      | Solver.Recurrent_feasible (s, how) ->
+          let how =
+            match how with
+            | `Algorithm_r -> "Algorithm R (optimal)"
+            | `Greedy_edf -> "greedy EDF (checked heuristic)"
+            | `Traditional -> "classified solver"
+          in
+          Format.fprintf ppf "  feasible via %s; makespan %a@," how Rat.pp (Schedule.makespan s)
+      | Solver.Recurrent_proved_infeasible -> Format.fprintf ppf "  PROVED INFEASIBLE@,"
+      | Solver.Recurrent_undecided -> Format.fprintf ppf "  undecided (heuristic failed)@,");
+      Format.fprintf ppf "@,")
+    t.reports;
+  Format.fprintf ppf "all classes feasible: %b@]" t.all_feasible

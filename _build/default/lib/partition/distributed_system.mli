@@ -1,0 +1,50 @@
+(** Whole-system workflow for multi-class distributed systems.
+
+    The paper's Section 1 strategy, end to end: a distributed system
+    contains many task classes; tasks in each class cross the (shared)
+    physical processors in their own order, so each class is a flow shop
+    — possibly with recurrence.  Resources are partitioned statically:
+    every physical processor shared by several classes is split into
+    virtual processors with utilization-proportional speed fractions
+    (Section 6); each class is then scheduled {e independently} on its
+    virtual processors by the strongest applicable algorithm
+    (EEDF / R / A / H, via {!E2e_core.Solver}).
+
+    This module wires those steps together and reports, per class, the
+    speed fractions it received, the stretched task set, and the solver
+    verdict. *)
+
+type rat = E2e_rat.Rat.t
+
+type task_class = {
+  name : string;
+  visit : int array;
+      (** Physical-processor index of each stage (0-based, may repeat —
+          recurrence). *)
+  tasks : (rat * rat * rat array) array;
+      (** (release, deadline, per-stage processing times at full
+          processor speed). *)
+}
+
+type class_report = {
+  class_name : string;
+  fractions : rat array;
+      (** Speed fraction of each physical processor granted to this
+          class (1 where the class is the only user). *)
+  shop : E2e_model.Recurrence_shop.t;  (** The stretched task set. *)
+  verdict : E2e_core.Solver.recurrent_verdict;
+}
+
+type t = {
+  processors : int;
+  reports : class_report list;
+  all_feasible : bool;
+}
+
+val analyse : processors:int -> task_class list -> t
+(** Partition and schedule every class.
+    @raise Invalid_argument on empty classes, bad processor indices, or a
+    class that never uses any processor. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable summary: fractions, per-class verdicts, schedules. *)

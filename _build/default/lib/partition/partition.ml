@@ -1,0 +1,85 @@
+module Rat = E2e_rat.Rat
+module Task = E2e_model.Task
+module Flow_shop = E2e_model.Flow_shop
+module Periodic_shop = E2e_model.Periodic_shop
+
+type rat = Rat.t
+
+let check_fraction f =
+  if Rat.(f <= zero) || Rat.(f > one) then
+    invalid_arg "Partition: fraction outside (0, 1]"
+
+let scale_flow_shop (shop : Flow_shop.t) ~fractions =
+  if Array.length fractions <> shop.processors then
+    invalid_arg "Partition.scale_flow_shop: wrong fraction count";
+  Array.iter check_fraction fractions;
+  let tasks =
+    Array.map
+      (fun (task : Task.t) ->
+        let proc_times = Array.mapi (fun j tau -> Rat.div tau fractions.(j)) task.proc_times in
+        Task.make ~id:task.id ~release:task.release ~deadline:task.deadline ~proc_times)
+      shop.tasks
+  in
+  Flow_shop.make ~processors:shop.processors tasks
+
+let scale_periodic (sys : Periodic_shop.t) ~fractions =
+  if Array.length fractions <> sys.processors then
+    invalid_arg "Partition.scale_periodic: wrong fraction count";
+  Array.iter check_fraction fractions;
+  let jobs =
+    Array.map
+      (fun (job : Periodic_shop.job) ->
+        let proc_times = Array.mapi (fun j tau -> Rat.div tau fractions.(j)) job.proc_times in
+        (* Periodic_shop.job re-validates tau <= period. *)
+        Periodic_shop.job ~id:job.id ~phase:job.phase ~period:job.period ~proc_times ())
+      sys.jobs
+  in
+  Periodic_shop.make ~processors:sys.processors jobs
+
+let proportional_shares ~demands =
+  Array.iter
+    (fun u -> if Rat.(u <= zero) then invalid_arg "Partition.proportional_shares: demand <= 0")
+    demands;
+  let total = Rat.sum_array demands in
+  Array.map (fun u -> Rat.div u total) demands
+
+let periodic_shares systems ~processor =
+  let demands =
+    Array.of_list (List.map (fun sys -> Periodic_shop.utilization sys processor) systems)
+  in
+  proportional_shares ~demands
+
+let flow_shop_shares shops ~processor =
+  let demands = Array.of_list (List.map (fun shop -> Flow_shop.utilization shop processor) shops) in
+  proportional_shares ~demands
+
+let partition_with ~processors ~shares ~scale systems =
+  match systems with
+  | [] -> []
+  | _ ->
+      let m = processors in
+      (* fractions.(s).(j): share of processor j given to system s. *)
+      let per_processor = Array.init m (fun j -> shares ~processor:j) in
+      List.mapi
+        (fun s sys ->
+          let fractions = Array.init m (fun j -> per_processor.(j).(s)) in
+          scale sys ~fractions)
+        systems
+
+let partition_periodic systems =
+  match systems with
+  | [] -> []
+  | first :: rest ->
+      let m = first.Periodic_shop.processors in
+      if List.exists (fun s -> s.Periodic_shop.processors <> m) rest then
+        invalid_arg "Partition.partition_periodic: processor counts differ";
+      partition_with ~processors:m ~shares:(periodic_shares systems) ~scale:scale_periodic systems
+
+let partition_flow_shops shops =
+  match shops with
+  | [] -> []
+  | first :: rest ->
+      let m = first.Flow_shop.processors in
+      if List.exists (fun s -> s.Flow_shop.processors <> m) rest then
+        invalid_arg "Partition.partition_flow_shops: processor counts differ";
+      partition_with ~processors:m ~shares:(flow_shop_shares shops) ~scale:scale_flow_shop shops

@@ -1,0 +1,47 @@
+(** Processor sharing between flow shops (Section 6 of the paper).
+
+    A distributed system typically contains many flow shops; when several
+    share a physical processor, its time is split round-robin into
+    {e virtual processors}, one per flow shop, and each flow shop is
+    scheduled on its virtual processors independently.  A virtual
+    processor of speed fraction [f] stretches every processing time on it
+    by [1/f].  Section 6 proposes allocating fractions proportionally to
+    utilization: a task set with utilization [u] on a processor whose
+    total demand is [U] receives [u/U], i.e. its processing times grow by
+    [U/u]. *)
+
+type rat = E2e_rat.Rat.t
+
+val scale_flow_shop : E2e_model.Flow_shop.t -> fractions:rat array -> E2e_model.Flow_shop.t
+(** Stretch every subtask on processor [j] by [1 / fractions.(j)].
+    Release times and deadlines are unchanged (they are end-to-end
+    requirements of the application, not of the platform).
+    @raise Invalid_argument if a fraction is outside (0, 1]. *)
+
+val scale_periodic : E2e_model.Periodic_shop.t -> fractions:rat array -> E2e_model.Periodic_shop.t
+(** Same for periodic job systems (periods and phases unchanged).
+    @raise Invalid_argument also when some stretched processing time
+    exceeds its period — the share is simply too small. *)
+
+val proportional_shares : demands:rat array -> rat array
+(** [proportional_shares ~demands] splits one processor among task sets
+    with the given utilizations: share i = u_i / U where U = sum u_j.
+    @raise Invalid_argument on nonpositive demand. *)
+
+val periodic_shares :
+  E2e_model.Periodic_shop.t list -> processor:int -> rat array
+(** Utilization-proportional shares of [processor] among the given
+    periodic flow shops (Section 6's recommendation). *)
+
+val flow_shop_shares : E2e_model.Flow_shop.t list -> processor:int -> rat array
+(** Same for traditional flow shops, with utilization defined as
+    processing time over the [d_i - r_i] window (Section 6). *)
+
+val partition_periodic :
+  E2e_model.Periodic_shop.t list -> E2e_model.Periodic_shop.t list
+(** Full Section 6 pipeline for N periodic flow shops sharing {e every}
+    processor: compute per-processor proportional shares and return the
+    job systems rescaled onto their virtual processors. *)
+
+val partition_flow_shops : E2e_model.Flow_shop.t list -> E2e_model.Flow_shop.t list
+(** Same for traditional flow shops. *)

@@ -1,0 +1,1 @@
+lib/periodic/analysis.ml: Array E2e_model E2e_rat Format Rm_bounds

@@ -1,0 +1,1 @@
+lib/periodic/analysis.mli: E2e_model Format

@@ -1,0 +1,1 @@
+lib/periodic/response_time.mli: E2e_model E2e_rat Format

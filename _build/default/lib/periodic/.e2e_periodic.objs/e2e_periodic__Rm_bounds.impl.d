@@ -1,0 +1,1 @@
+lib/periodic/rm_bounds.ml:

@@ -1,0 +1,88 @@
+module Rat = E2e_rat.Rat
+module Periodic_shop = E2e_model.Periodic_shop
+
+type verdict =
+  | Schedulable of { deltas : float array; total : float }
+  | Schedulable_postponed of { deltas : float array; total : float }
+  | Not_schedulable of { processor : int; utilization : float }
+
+type policy = Rm | Edf
+
+let min_delta_for policy ~n ~u =
+  match policy with
+  | Rm -> Rm_bounds.min_delta ~n ~u
+  | Edf ->
+      (* Density criterion for preemptive EDF with relative deadlines
+         delta * p_i: schedulable iff sum tau_ij / (delta p_i) <= 1,
+         i.e. delta >= u; only deltas up to 1 keep the criterion valid. *)
+      if u <= 0.0 then Some 0.0 else if u <= 1.0 then Some u else None
+
+let deltas_with ~policy_of (sys : Periodic_shop.t) =
+  let n = Periodic_shop.n_jobs sys in
+  let out = Array.make sys.processors 0.0 in
+  let failure = ref None in
+  for j = 0 to sys.processors - 1 do
+    if !failure = None then begin
+      let u = Rat.to_float (Periodic_shop.utilization sys j) in
+      match min_delta_for (policy_of j) ~n ~u with
+      | Some d -> out.(j) <- d
+      | None -> failure := Some (j, u)
+    end
+  done;
+  match !failure with None -> Ok out | Some offending -> Error offending
+
+let deltas sys = deltas_with ~policy_of:(fun _ -> Rm) sys
+
+let verdict_of = function
+  | Error (processor, utilization) -> Not_schedulable { processor; utilization }
+  | Ok ds ->
+      let total = Array.fold_left ( +. ) 0.0 ds in
+      if total <= 1.0 then Schedulable { deltas = ds; total }
+      else Schedulable_postponed { deltas = ds; total }
+
+let analyse sys = verdict_of (deltas sys)
+
+let analyse_policies ~policies sys =
+  if Array.length policies <> sys.Periodic_shop.processors then
+    invalid_arg "Analysis.analyse_policies: one policy per processor";
+  verdict_of (deltas_with ~policy_of:(fun j -> policies.(j)) sys)
+
+let schedulable_with_deadline_factor ?policies ~deadline_factor sys =
+  if deadline_factor <= 0.0 then
+    invalid_arg "Analysis.schedulable_with_deadline_factor: nonpositive factor";
+  let verdict =
+    match policies with None -> analyse sys | Some policies -> analyse_policies ~policies sys
+  in
+  match verdict with
+  | Schedulable { total; _ } | Schedulable_postponed { total; _ } -> total <= deadline_factor
+  | Not_schedulable _ -> false
+
+let phases (sys : Periodic_shop.t) ds =
+  Array.map
+    (fun (job : Periodic_shop.job) ->
+      let p = Rat.to_float job.period and b = Rat.to_float job.phase in
+      let acc = ref 0.0 in
+      Array.init sys.processors (fun j ->
+          let phase = b +. (!acc *. p) in
+          acc := !acc +. ds.(j);
+          phase))
+    sys.jobs
+
+let response_bound (sys : Periodic_shop.t) ds i =
+  let total = Array.fold_left ( +. ) 0.0 ds in
+  total *. Rat.to_float sys.jobs.(i).Periodic_shop.period
+
+let per_processor_cap ~m =
+  if m <= 0 then invalid_arg "Analysis.per_processor_cap";
+  1.0 /. float_of_int m
+
+let pp_verdict ppf = function
+  | Schedulable { total; _ } ->
+      Format.fprintf ppf "schedulable within the period (sum of deltas = %.3f)" total
+  | Schedulable_postponed { total; _ } ->
+      Format.fprintf ppf
+        "schedulable only with deadlines postponed to %.3f of the period" total
+  | Not_schedulable { processor; utilization } ->
+      Format.fprintf ppf
+        "not schedulable: utilization %.3f on processor %d exceeds the rate-monotonic bound"
+        utilization (processor + 1)

@@ -1,0 +1,71 @@
+(** End-to-end schedulability analysis for periodic flow shops
+    (Section 5 of the paper).
+
+    The subjobs on each processor are scheduled rate-monotonically and
+    {e independently}; precedence between a job's consecutive stages is
+    replaced by {e phase postponement}: if every subtask on [P_j] is
+    guaranteed to finish within [delta_j * p_i] of its ready time
+    (Equation 1 applied to the utilization [u_j]), the subjob on
+    [P_(j+1)] is released [delta_j * p_i] later, and so on.  The job set
+    is schedulable with deadlines at the end of the period whenever
+    [sum_j delta_j <= 1]; if the sum exceeds 1 the jobs are still
+    schedulable with every deadline postponed to [sum_j delta_j * p_i]
+    after the ready time. *)
+
+type verdict =
+  | Schedulable of { deltas : float array; total : float }
+      (** [total = sum deltas <= 1]: every job meets the end of its
+          period. *)
+  | Schedulable_postponed of { deltas : float array; total : float }
+      (** Every processor admits a [delta_j <= 1], but [total > 1]: jobs
+          complete within [total * p_i] — deadlines must be postponed by
+          a factor [total]. *)
+  | Not_schedulable of { processor : int; utilization : float }
+      (** Utilization on [processor] exceeds the Liu–Layland bound; the
+          rate-monotonic guarantee fails there. *)
+
+val analyse : E2e_model.Periodic_shop.t -> verdict
+(** Rate-monotonic on every processor (the paper's default). *)
+
+type policy = Rm | Edf
+(** Per-processor scheduling discipline.  [Rm] uses Equation (1); [Edf]
+    (preemptive earliest-deadline-first with relative deadlines
+    [delta p_i]) uses the density criterion — a job set with utilization
+    [u <= delta <= 1] meets all its [delta p_i] deadlines, so the minimal
+    delta is simply [u].  The paper's closing remark of Section 5 allows
+    exactly this: any per-processor algorithm with a known
+    schedulability criterion. *)
+
+val min_delta_for : policy -> n:int -> u:float -> float option
+
+val analyse_policies :
+  policies:policy array -> E2e_model.Periodic_shop.t -> verdict
+(** Mixed-discipline analysis, one policy per processor. *)
+
+val schedulable_with_deadline_factor :
+  ?policies:policy array -> deadline_factor:float -> E2e_model.Periodic_shop.t -> bool
+(** The paper's "small modification": tasks whose deadline is
+    [deadline_factor * p_i] after the ready time (up to [m * p_i]) are
+    schedulable whenever the deltas exist and sum to at most the factor.
+    [deadline_factor] must be positive; values above [m] add nothing
+    since [sum delta_j <= m] always. *)
+
+val deltas : E2e_model.Periodic_shop.t -> (float array, int * float) result
+(** Per-processor minimal [delta_j], or the offending [(processor, u_j)]. *)
+
+val phases : E2e_model.Periodic_shop.t -> float array -> float array array
+(** [phases sys deltas] gives [b_ij = b_i + (sum_{k<j} delta_k) * p_i]:
+    the postponed phase of job [i]'s subjob on processor [j]. *)
+
+val response_bound : E2e_model.Periodic_shop.t -> float array -> int -> float
+(** [response_bound sys deltas i]: every request of job [i] completes
+    within this many time units of its ready time
+    ([sum_j delta_j * p_i]). *)
+
+val per_processor_cap : m:int -> float
+(** The observation closing Section 5: with deadlines at the end of the
+    period, the per-processor utilization that can be guaranteed drops to
+    [1/m] on an [m]-processor flow shop (each [delta_j <= 1/m] forces the
+    linear branch of Equation 1). *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

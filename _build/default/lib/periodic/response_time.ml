@@ -1,0 +1,129 @@
+module Rat = E2e_rat.Rat
+module Periodic_shop = E2e_model.Periodic_shop
+
+type rat = Rat.t
+
+(* RM priority order: shorter period first, ties by id — consistent with
+   the simulator's Rm_sim.rm_priorities. *)
+let priority_order (sys : Periodic_shop.t) =
+  let n = Periodic_shop.n_jobs sys in
+  let order = Array.init n Fun.id in
+  Array.sort
+    (fun a b ->
+      let pa = sys.jobs.(a).Periodic_shop.period and pb = sys.jobs.(b).Periodic_shop.period in
+      let c = Rat.compare pa pb in
+      if c <> 0 then c else compare a b)
+    order;
+  order
+
+(* Full Lehoczky (1990) multi-instance analysis: the response bound of a
+   job whose fixpoint exceeds its period must consider every instance in
+   the level-i busy period, because carry-in from earlier instances
+   delays later ones.  When the fixpoint stays within the period this
+   degenerates to the classic single-instance Joseph-Pandya iteration. *)
+let per_processor (sys : Periodic_shop.t) ~processor =
+  let order = priority_order sys in
+  let n = Periodic_shop.n_jobs sys in
+  let bounds = Array.make n Rat.zero in
+  let exception Unbounded of int in
+  try
+    Array.iteri
+      (fun rank i ->
+        let job = sys.jobs.(i) in
+        let c_i = job.Periodic_shop.proc_times.(processor) in
+        let p_i = job.Periodic_shop.period in
+        (* Divergence cap: far beyond any deadline-postponement factor we
+           would accept.  Utilization >= 1 makes iterations pass it. *)
+        let cap = Rat.mul_int p_i 64 in
+        let interference r =
+          let acc = ref Rat.zero in
+          for h = 0 to rank - 1 do
+            let k = order.(h) in
+            let jobs_of_k = Rat.ceil (Rat.div r sys.jobs.(k).Periodic_shop.period) in
+            acc :=
+              Rat.add !acc (Rat.mul_int sys.jobs.(k).Periodic_shop.proc_times.(processor) jobs_of_k)
+          done;
+          !acc
+        in
+        let rec fixpoint base r =
+          if Rat.(r > cap) then raise (Unbounded i)
+          else
+            let r' = Rat.add base (interference r) in
+            if Rat.equal r' r then r else fixpoint base r'
+        in
+        (* Level-i busy period: demand includes job i itself. *)
+        let rec busy l =
+          if Rat.(l > cap) then raise (Unbounded i)
+          else
+            let own = Rat.mul_int c_i (Rat.ceil (Rat.div l p_i)) in
+            let l' = Rat.add own (interference l) in
+            if Rat.equal l' l then l else busy l'
+        in
+        let l = busy c_i in
+        let instances = Rat.ceil (Rat.div l p_i) in
+        let worst = ref Rat.zero in
+        for q = 0 to instances - 1 do
+          (* Finish of the (q+1)-th instance released at q p_i. *)
+          let base = Rat.mul_int c_i (q + 1) in
+          let f = fixpoint base base in
+          let response = Rat.sub f (Rat.mul_int p_i q) in
+          worst := Rat.max !worst response
+        done;
+        bounds.(i) <- !worst)
+      order;
+    Ok bounds
+  with Unbounded i -> Error (`Unbounded i)
+
+let all sys =
+  let n = Periodic_shop.n_jobs sys in
+  let out = Array.make_matrix n sys.processors Rat.zero in
+  let rec go j =
+    if j >= sys.processors then Ok out
+    else
+      match per_processor sys ~processor:j with
+      | Error (`Unbounded i) -> Error (`Unbounded (i, j))
+      | Ok column ->
+          Array.iteri (fun i r -> out.(i).(j) <- r) column;
+          go (j + 1)
+  in
+  go 0
+
+type verdict =
+  | Schedulable of { bounds : rat array array; end_to_end : rat array }
+  | Needs_postponement of { bounds : rat array array; end_to_end : rat array; factor : rat }
+  | Unbounded of { job : int; processor : int }
+
+let analyse sys =
+  match all sys with
+  | Error (`Unbounded (job, processor)) -> Unbounded { job; processor }
+  | Ok bounds ->
+      let end_to_end = Array.map Rat.sum_array bounds in
+      let factor =
+        Array.fold_left Rat.max Rat.zero
+          (Array.mapi
+             (fun i e2e -> Rat.div e2e sys.Periodic_shop.jobs.(i).Periodic_shop.period)
+             end_to_end)
+      in
+      if Rat.(factor <= Rat.one) then Schedulable { bounds; end_to_end }
+      else Needs_postponement { bounds; end_to_end; factor }
+
+let phases (sys : Periodic_shop.t) bounds =
+  Array.mapi
+    (fun i (job : Periodic_shop.job) ->
+      let acc = ref job.Periodic_shop.phase in
+      Array.init sys.processors (fun j ->
+          let phase = !acc in
+          acc := Rat.add !acc bounds.(i).(j);
+          phase))
+    sys.jobs
+
+let pp_verdict ppf = function
+  | Schedulable { end_to_end; _ } ->
+      Format.fprintf ppf "schedulable within the period (worst end-to-end:";
+      Array.iter (fun r -> Format.fprintf ppf " %a" Rat.pp_decimal r) end_to_end;
+      Format.fprintf ppf ")"
+  | Needs_postponement { factor; _ } ->
+      Format.fprintf ppf "schedulable with deadlines postponed to %a of the period"
+        Rat.pp_decimal factor
+  | Unbounded { job; processor } ->
+      Format.fprintf ppf "response time of job %d on processor %d diverges" job processor

@@ -1,0 +1,28 @@
+let liu_layland n =
+  if n <= 0 then invalid_arg "Rm_bounds.liu_layland";
+  float_of_int n *. ((2.0 ** (1.0 /. float_of_int n)) -. 1.0)
+
+let u_max ~n ~delta =
+  if n <= 0 then invalid_arg "Rm_bounds.u_max: n <= 0";
+  if delta < 0.0 || delta > 1.0 then invalid_arg "Rm_bounds.u_max: delta outside [0, 1]";
+  if delta <= 0.5 then delta
+  else
+    let nf = float_of_int n in
+    (nf *. (((2.0 *. delta) ** (1.0 /. nf)) -. 1.0)) +. (1.0 -. delta)
+
+(* The upper branch is strictly increasing on [1/2, 1] (its derivative
+   2 (2 delta)^(1/n - 1) - 1 is at least 2^(1/n) - 1 > 0), so a bisection
+   inverts it. *)
+let min_delta ~n ~u =
+  if n <= 0 then invalid_arg "Rm_bounds.min_delta: n <= 0";
+  if u <= 0.0 then Some 0.0
+  else if u <= 0.5 then Some u
+  else if u > u_max ~n ~delta:1.0 then None
+  else begin
+    let lo = ref 0.5 and hi = ref 1.0 in
+    for _ = 1 to 60 do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if u_max ~n ~delta:mid >= u then hi := mid else lo := mid
+    done;
+    Some !hi
+  end

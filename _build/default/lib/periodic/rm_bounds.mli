@@ -1,0 +1,30 @@
+(** Rate-monotonic schedulability bounds.
+
+    Equation (1) of the paper, due to Lehoczky, Sha, Strosnider and
+    Tokuda: a set of [n] periodic jobs whose total utilization is at most
+    [u_max n delta] is guaranteed, under preemptive rate-monotonic
+    scheduling, to complete every request within [delta * p_i] of its
+    ready time:
+
+    {v
+      u_max(delta) = n ((2 delta)^(1/n) - 1) + (1 - delta)   1/2 <= delta <= 1
+      u_max(delta) = delta                                    0 <= delta <= 1/2
+    v}
+
+    [delta = 1] recovers the classical Liu–Layland bound
+    [n (2^(1/n) - 1)].  These bounds are transcendental, so this module
+    works in floating point — unlike the deterministic flow-shop
+    algorithms, which are exact. *)
+
+val liu_layland : int -> float
+(** [liu_layland n = n (2^(1/n) - 1)]; tends to [ln 2] from above. *)
+
+val u_max : n:int -> delta:float -> float
+(** Equation (1).
+    @raise Invalid_argument if [delta] is outside [\[0, 1\]] or [n <= 0]. *)
+
+val min_delta : n:int -> u:float -> float option
+(** The smallest [delta] in [\[0, 1\]] with [u <= u_max n delta]:
+    [Some u] when [u <= 1/2] (the linear branch), otherwise a numerical
+    inversion of the increasing upper branch; [None] when [u] exceeds the
+    Liu–Layland bound [u_max n 1] (rate-monotonic cannot guarantee it). *)

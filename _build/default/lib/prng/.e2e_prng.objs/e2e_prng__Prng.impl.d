@@ -1,0 +1,1 @@
+lib/prng/prng.ml: Array E2e_rat Float Int64

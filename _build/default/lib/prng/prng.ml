@@ -1,0 +1,85 @@
+module Rat = E2e_rat.Rat
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix (Int64.of_int seed) }
+let copy t = { state = t.state }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let s = bits64 t in
+  { state = mix s }
+
+let int t bound =
+  assert (bound > 0);
+  (* Rejection sampling over the top 62 bits to avoid modulo bias. *)
+  let mask = Int64.shift_right_logical Int64.minus_one 2 in
+  let rec draw () =
+    let v = Int64.to_int (Int64.logand (bits64 t) mask) in
+    let r = v mod bound in
+    if v - r + (bound - 1) < 0 then draw () else r
+  in
+  draw ()
+
+let float t x =
+  (* 53 random bits into [0, 1). *)
+  let bits = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  bits /. 9007199254740992.0 *. x
+
+let uniform t lo hi = lo +. float t (hi -. lo)
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let normal t ~mean ~stdev =
+  let rec nonzero () =
+    let u = float t 1.0 in
+    if u > 0.0 then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = float t 1.0 in
+  let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+  mean +. (stdev *. z)
+
+let truncated_normal t ~mean ~stdev ~lo =
+  let rec draw n =
+    if n = 0 then lo
+    else
+      let x = normal t ~mean ~stdev in
+      if x >= lo then x else draw (n - 1)
+  in
+  draw 1000
+
+let exponential t ~rate =
+  let rec nonzero () =
+    let u = float t 1.0 in
+    if u > 0.0 then u else nonzero ()
+  in
+  -.log (nonzero ()) /. rate
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let permutation t n =
+  let a = Array.init n (fun i -> i) in
+  shuffle t a;
+  a
+
+let rat_uniform t ~den lo hi =
+  let lo_ticks = Rat.ceil (Rat.mul_int lo den) and hi_ticks = Rat.floor (Rat.mul_int hi den) in
+  if hi_ticks < lo_ticks then lo
+  else
+    let k = lo_ticks + int t (hi_ticks - lo_ticks + 1) in
+    Rat.make k den

@@ -1,0 +1,53 @@
+(** Deterministic pseudo-random number generation.
+
+    A self-contained SplitMix64 generator so that every simulation in the
+    repository is reproducible from a seed, independent of the OCaml
+    runtime's [Random] state.  SplitMix64 passes BigCrush and is the
+    standard seeding generator for the xoshiro family. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator from any integer seed. *)
+
+val copy : t -> t
+(** Independent snapshot of the current state. *)
+
+val split : t -> t
+(** A new generator statistically independent from the parent; the parent
+    advances.  Useful to give sub-experiments their own streams. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float g x] is uniform in [\[0, x)]. *)
+
+val uniform : t -> float -> float -> float
+(** [uniform g lo hi] is uniform in [\[lo, hi)]. *)
+
+val bool : t -> bool
+
+val normal : t -> mean:float -> stdev:float -> float
+(** Gaussian variate (Box–Muller). *)
+
+val truncated_normal : t -> mean:float -> stdev:float -> lo:float -> float
+(** Gaussian variate resampled until it is [>= lo] (with a deterministic
+    fallback to [lo] after 1000 rejections, which for our parameters is
+    unreachable). *)
+
+val exponential : t -> rate:float -> float
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val permutation : t -> int -> int array
+(** [permutation g n] is a uniform random permutation of [0 .. n-1]. *)
+
+val rat_uniform : t -> den:int -> E2e_rat.Rat.t -> E2e_rat.Rat.t -> E2e_rat.Rat.t
+(** [rat_uniform g ~den lo hi] draws a rational uniform on the grid of
+    multiples of [1/den] inside [\[lo, hi\]]. *)

@@ -1,0 +1,1 @@
+lib/rat/rat.ml: Array Float Format List Printf Stdlib String

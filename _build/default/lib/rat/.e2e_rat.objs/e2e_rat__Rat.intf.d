@@ -1,0 +1,1 @@
+lib/rat/rat.mli: Format

@@ -1,0 +1,111 @@
+(** Exact rational arithmetic.
+
+    All task parameters in the flow-shop model (release times, deadlines,
+    processing times) are rational numbers.  The forbidden-region
+    computation of Garey, Johnson, Simons and Tarjan compares derived
+    quantities such as [d - k * tau] exactly; floating point would make
+    the optimality results of the paper unsound.  This module provides a
+    small, total, normalised rational type over native integers.
+
+    Values are kept in lowest terms with a positive denominator, so
+    structural equality coincides with numeric equality. *)
+
+type t = private { num : int; den : int }
+(** A rational [num / den] with [den > 0] and [gcd |num| den = 1]. *)
+
+exception Division_by_zero
+
+val make : int -> int -> t
+(** [make num den] is the normalised rational [num / den].
+    @raise Division_by_zero if [den = 0]. *)
+
+val of_int : int -> t
+val zero : t
+val one : t
+val minus_one : t
+
+val num : t -> int
+val den : t -> int
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** @raise Division_by_zero if the divisor is zero. *)
+
+val inv : t -> t
+(** @raise Division_by_zero on [zero]. *)
+
+val abs : t -> t
+val mul_int : t -> int -> t
+val div_int : t -> int -> t
+
+(** {1 Comparison} *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( = ) : t -> t -> bool
+val ( <> ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+val sign : t -> int
+val is_zero : t -> bool
+
+(** {1 Infix arithmetic}
+
+    Conventional symbols suffixed with [/] to avoid clashing with the
+    integer operators when the module is opened locally. *)
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+
+(** {1 Rounding} *)
+
+val floor : t -> int
+(** Largest integer [<=] the rational. *)
+
+val ceil : t -> int
+(** Smallest integer [>=] the rational. *)
+
+val is_integer : t -> bool
+
+val is_multiple_of : t -> t -> bool
+(** [is_multiple_of x q] is true when [x = k * q] for some integer [k].
+    @raise Division_by_zero if [q] is zero. *)
+
+(** {1 Conversion and printing} *)
+
+val to_float : t -> float
+
+val of_float : ?max_den:int -> float -> t
+(** Best rational approximation with denominator at most [max_den]
+    (default [1_000_000]), via continued fractions.  Intended for
+    constructing test inputs from decimal literals, not for round-trips. *)
+
+val of_decimal_string : string -> t
+(** Parse ["3"], ["-2.75"], ["4/3"] style literals exactly.
+    @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+(** ["num/den"], or just ["num"] for integers. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints like {!to_string}. *)
+
+val pp_decimal : Format.formatter -> t -> unit
+(** Prints a short decimal rendering (exact when the denominator divides a
+    power of ten, otherwise 4 decimal places). *)
+
+(** {1 Aggregates} *)
+
+val sum : t list -> t
+val sum_array : t array -> t

@@ -1,0 +1,1 @@
+lib/schedule/schedule.ml: Array Buffer Bytes Char E2e_model E2e_rat Format List Printf Stdlib

@@ -1,0 +1,222 @@
+module Rat = E2e_rat.Rat
+module Task = E2e_model.Task
+module Visit = E2e_model.Visit
+module Recurrence_shop = E2e_model.Recurrence_shop
+
+type rat = Rat.t
+type t = { shop : Recurrence_shop.t; starts : rat array array }
+
+let make shop starts =
+  let n = Recurrence_shop.n_tasks shop and k = Visit.length shop.Recurrence_shop.visit in
+  if Array.length starts <> n then invalid_arg "Schedule.make: wrong task count";
+  Array.iter
+    (fun row -> if Array.length row <> k then invalid_arg "Schedule.make: wrong stage count")
+    starts;
+  { shop; starts }
+
+let of_flow_shop fs starts = make (Recurrence_shop.of_traditional fs) starts
+let start t ~task ~stage = t.starts.(task).(stage)
+
+let duration t ~task ~stage = t.shop.Recurrence_shop.tasks.(task).Task.proc_times.(stage)
+let finish t ~task ~stage = Rat.add (start t ~task ~stage) (duration t ~task ~stage)
+
+let stages t = Visit.length t.shop.Recurrence_shop.visit
+let n_tasks t = Array.length t.starts
+
+let completion t task = finish t ~task ~stage:(stages t - 1)
+
+let makespan t =
+  let best = ref Rat.zero in
+  for i = 0 to n_tasks t - 1 do
+    best := Rat.max !best (completion t i)
+  done;
+  !best
+
+(* Entries on one processor, sorted by start time. *)
+let processor_entries t p =
+  let entries = ref [] in
+  let seq = t.shop.Recurrence_shop.visit.Visit.sequence in
+  for i = 0 to n_tasks t - 1 do
+    for j = 0 to stages t - 1 do
+      if seq.(j) = p then entries := (t.starts.(i).(j), i, j) :: !entries
+    done
+  done;
+  List.sort (fun (s1, i1, j1) (s2, i2, j2) ->
+      let c = Rat.compare s1 s2 in
+      if c <> 0 then c else Stdlib.compare (i1, j1) (i2, j2))
+    !entries
+
+let is_permutation t =
+  let m = t.shop.Recurrence_shop.visit.Visit.processors in
+  let order_of p = List.map (fun (_, i, _) -> i) (processor_entries t p) in
+  let rec distinct_order = function
+    | [] | [ _ ] -> true
+    | a :: (b :: _ as rest) -> a <> b && distinct_order rest
+  in
+  (* Only meaningful when every processor runs each task once. *)
+  let orders = List.init m order_of in
+  match orders with
+  | [] -> true
+  | first :: rest -> List.for_all distinct_order orders && List.for_all (( = ) first) rest
+
+type violation =
+  | Release_violated of { task : int; start : rat; release : rat }
+  | Deadline_missed of { task : int; finish : rat; deadline : rat }
+  | Precedence_violated of { task : int; stage : int; start : rat; prev_finish : rat }
+  | Overlap of { processor : int; a : int * int; b : int * int }
+
+let pp_violation ppf = function
+  | Release_violated { task; start; release } ->
+      Format.fprintf ppf "task %d starts at %a before release %a" task Rat.pp start Rat.pp release
+  | Deadline_missed { task; finish; deadline } ->
+      Format.fprintf ppf "task %d finishes at %a after deadline %a" task Rat.pp finish Rat.pp
+        deadline
+  | Precedence_violated { task; stage; start; prev_finish } ->
+      Format.fprintf ppf "task %d stage %d starts at %a before stage %d ends at %a" task stage
+        Rat.pp start (stage - 1) Rat.pp prev_finish
+  | Overlap { processor; a = ta, sa; b = tb, sb } ->
+      Format.fprintf ppf "processor %d: (task %d, stage %d) overlaps (task %d, stage %d)"
+        processor ta sa tb sb
+
+let violations t =
+  let out = ref [] in
+  let push v = out := v :: !out in
+  let tasks = t.shop.Recurrence_shop.tasks in
+  for i = 0 to n_tasks t - 1 do
+    let task = tasks.(i) in
+    if Rat.(t.starts.(i).(0) < task.Task.release) then
+      push (Release_violated { task = i; start = t.starts.(i).(0); release = task.Task.release });
+    let fin = completion t i in
+    if Rat.(fin > task.Task.deadline) then
+      push (Deadline_missed { task = i; finish = fin; deadline = task.Task.deadline });
+    for j = 1 to stages t - 1 do
+      let prev_finish = finish t ~task:i ~stage:(j - 1) in
+      if Rat.(t.starts.(i).(j) < prev_finish) then
+        push (Precedence_violated { task = i; stage = j; start = t.starts.(i).(j); prev_finish })
+    done
+  done;
+  let m = t.shop.Recurrence_shop.visit.Visit.processors in
+  for p = 0 to m - 1 do
+    let rec scan = function
+      | (_, i1, j1) :: ((s2, i2, j2) :: _ as rest) ->
+          let f1 = finish t ~task:i1 ~stage:j1 in
+          if Rat.(s2 < f1) then push (Overlap { processor = p; a = (i1, j1); b = (i2, j2) });
+          scan rest
+      | [] | [ _ ] -> ()
+    in
+    scan (processor_entries t p)
+  done;
+  List.rev !out
+
+let is_feasible t = violations t = []
+let check t = match violations t with [] -> Ok () | vs -> Error vs
+
+let forward_pass (shop : Recurrence_shop.t) ~order =
+  let k = Visit.length shop.visit in
+  let n = Array.length shop.tasks in
+  if Array.length order <> n then invalid_arg "Schedule.forward_pass: bad order length";
+  let starts = Array.make_matrix n k Rat.zero in
+  (* Processors are free from before the earliest release, so negative
+     release times are honoured too. *)
+  let earliest =
+    Array.fold_left (fun acc (t : Task.t) -> Rat.min acc t.Task.release) Rat.zero shop.tasks
+  in
+  let free = Array.make shop.visit.Visit.processors earliest in
+  Array.iter
+    (fun i ->
+      let task = shop.tasks.(i) in
+      let ready = ref task.Task.release in
+      for j = 0 to k - 1 do
+        let p = shop.visit.Visit.sequence.(j) in
+        let s = Rat.max !ready free.(p) in
+        starts.(i).(j) <- s;
+        let f = Rat.add s task.Task.proc_times.(j) in
+        ready := f;
+        free.(p) <- f
+      done)
+    order;
+  make shop starts
+
+let left_shift t =
+  let n = n_tasks t and k = stages t in
+  let shop = t.shop in
+  let starts = Array.make_matrix n k Rat.zero in
+  (* Process all stage instances in the original global start order so that
+     each processor keeps its execution order and each chain its sequence. *)
+  let all =
+    List.concat
+      (List.init n (fun i -> List.init k (fun j -> (t.starts.(i).(j), i, j))))
+  in
+  let all =
+    List.sort
+      (fun (s1, i1, j1) (s2, i2, j2) ->
+        let c = Rat.compare s1 s2 in
+        if c <> 0 then c else Stdlib.compare (i1, j1) (i2, j2))
+      all
+  in
+  let free = Array.make shop.Recurrence_shop.visit.Visit.processors Rat.zero in
+  List.iter
+    (fun (_, i, j) ->
+      let task = shop.Recurrence_shop.tasks.(i) in
+      let p = shop.Recurrence_shop.visit.Visit.sequence.(j) in
+      let ready =
+        if j = 0 then task.Task.release
+        else Rat.add starts.(i).(j - 1) task.Task.proc_times.(j - 1)
+      in
+      let s = Rat.max ready free.(p) in
+      starts.(i).(j) <- s;
+      free.(p) <- Rat.add s task.Task.proc_times.(j))
+    all;
+  make shop starts
+
+let pp_table ppf t =
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf "%-5s %-5s %-5s %10s %10s %10s %10s@," "task" "stage" "proc" "start" "finish"
+    "eff.rel" "eff.dl";
+  for i = 0 to n_tasks t - 1 do
+    let task = t.shop.Recurrence_shop.tasks.(i) in
+    for j = 0 to stages t - 1 do
+      let p = t.shop.Recurrence_shop.visit.Visit.sequence.(j) in
+      Format.fprintf ppf "T%-4d %-5d P%-4d %10s %10s %10s %10s@," i j (p + 1)
+        (Rat.to_string (start t ~task:i ~stage:j))
+        (Rat.to_string (finish t ~task:i ~stage:j))
+        (Rat.to_string (Task.effective_release task j))
+        (Rat.to_string (Task.effective_deadline task j))
+    done
+  done;
+  Format.fprintf ppf "@]"
+
+let to_csv t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "task,stage,processor,start,finish\n";
+  for i = 0 to n_tasks t - 1 do
+    for j = 0 to stages t - 1 do
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%d,%d,%s,%s\n" i j
+           (t.shop.Recurrence_shop.visit.Visit.sequence.(j) + 1)
+           (Rat.to_string (start t ~task:i ~stage:j))
+           (Rat.to_string (finish t ~task:i ~stage:j)))
+    done
+  done;
+  Buffer.contents buf
+
+let pp_gantt ?(unit_time = Rat.one) ppf t =
+  let m = t.shop.Recurrence_shop.visit.Visit.processors in
+  let horizon = makespan t in
+  let cells = Rat.ceil (Rat.div horizon unit_time) in
+  let cells = Stdlib.min cells 200 in
+  Format.fprintf ppf "@[<v>";
+  for p = 0 to m - 1 do
+    let row = Bytes.make cells '.' in
+    List.iter
+      (fun (s, i, j) ->
+        let f = finish t ~task:i ~stage:j in
+        let c0 = Rat.floor (Rat.div s unit_time) in
+        let c1 = Rat.ceil (Rat.div f unit_time) in
+        for c = Stdlib.max 0 c0 to Stdlib.min (cells - 1) (c1 - 1) do
+          Bytes.set row c (Char.chr (Char.code '0' + (i + 1) mod 10))
+        done)
+      (processor_entries t p);
+    Format.fprintf ppf "P%d |%s|@," (p + 1) (Bytes.to_string row)
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,88 @@
+(** Explicit nonpreemptive schedules and an independent feasibility
+    checker.
+
+    A schedule assigns a start time to every (task, stage) pair of a
+    (possibly recurrent) flow shop.  The checker re-derives every
+    constraint of the paper's model from scratch — release times,
+    end-to-end deadlines, chain precedence, and mutual exclusion on every
+    processor — so that the optimality claims of the scheduling
+    algorithms are validated by code that shares nothing with them. *)
+
+type rat = E2e_rat.Rat.t
+
+type t = private {
+  shop : E2e_model.Recurrence_shop.t;
+  starts : rat array array;  (** [starts.(i).(j)]: start of stage [j] of task [i]. *)
+}
+
+val make : E2e_model.Recurrence_shop.t -> rat array array -> t
+(** @raise Invalid_argument on a shape mismatch with the shop. *)
+
+val of_flow_shop : E2e_model.Flow_shop.t -> rat array array -> t
+(** Wraps a traditional flow shop. *)
+
+val start : t -> task:int -> stage:int -> rat
+val finish : t -> task:int -> stage:int -> rat
+val completion : t -> int -> rat
+(** Completion time of a task: finish of its last stage. *)
+
+val makespan : t -> rat
+(** Latest completion over all tasks. *)
+
+val is_permutation : t -> bool
+(** True when all processors execute the tasks in one common order —
+    the schedule class Algorithm H searches (Section 4). *)
+
+(** {1 Checking} *)
+
+type violation =
+  | Release_violated of { task : int; start : rat; release : rat }
+      (** The first stage starts before the task's end-to-end release. *)
+  | Deadline_missed of { task : int; finish : rat; deadline : rat }
+  | Precedence_violated of { task : int; stage : int; start : rat; prev_finish : rat }
+      (** A stage starts before the previous stage of the same task ends. *)
+  | Overlap of { processor : int; a : int * int; b : int * int }
+      (** Two stages (task, stage) execute simultaneously on one processor. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val violations : t -> violation list
+(** All constraint violations; the empty list means the schedule is
+    feasible in the sense of the paper. *)
+
+val is_feasible : t -> bool
+
+val check : t -> (unit, violation list) result
+
+(** {1 Construction helpers} *)
+
+val forward_pass : E2e_model.Recurrence_shop.t -> order:int array -> t
+(** List schedule: visit tasks in [order]; each stage starts as early as
+    possible, at the max of its effective availability (previous stage's
+    finish, or the task release for stage 0) and the time its processor
+    frees up.  Within [order], earlier tasks get the processor first.
+    This is the earliest-start schedule for the given permutation, used
+    by the exhaustive baseline, the workload generator, and tests. *)
+
+val left_shift : t -> t
+(** Compaction of an arbitrary schedule: keeping every processor's
+    execution order, restart every stage as early as release, precedence
+    and the processor's previous stage allow (the generalisation of the
+    paper's Algorithm C to non-permutation schedules). *)
+
+(** {1 Reporting} *)
+
+val pp_table : Format.formatter -> t -> unit
+(** One line per stage: task, stage, processor, start, finish,
+    effective window. *)
+
+val to_csv : t -> string
+(** Machine-readable dump, one line per stage:
+    [task,stage,processor,start,finish] with exact rational fields
+    (["3/2"]).  For feeding external plotting or runtime tables. *)
+
+val pp_gantt : ?unit_time:rat -> Format.formatter -> t -> unit
+(** ASCII Gantt chart, one row per processor, one column per [unit_time]
+    (default 1).  Stage occupying a cell prints the task id (mod 10);
+    idle prints [.].  Starts that fall inside a cell round down, so the
+    chart is exact when all times are multiples of [unit_time]. *)

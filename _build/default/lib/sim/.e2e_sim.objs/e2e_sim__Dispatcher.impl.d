@@ -1,0 +1,1 @@
+lib/sim/dispatcher.ml: Array E2e_model E2e_rat E2e_schedule List

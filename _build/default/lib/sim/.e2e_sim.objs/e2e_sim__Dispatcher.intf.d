@@ -1,0 +1,1 @@
+lib/sim/dispatcher.mli: E2e_rat E2e_schedule

@@ -1,0 +1,1 @@
+lib/sim/pipeline_sim.ml: Array E2e_model E2e_periodic E2e_rat Fun Hashtbl Heap List Option Rm_sim

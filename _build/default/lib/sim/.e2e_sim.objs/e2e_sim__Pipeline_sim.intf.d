@@ -1,0 +1,1 @@
+lib/sim/pipeline_sim.mli: E2e_model

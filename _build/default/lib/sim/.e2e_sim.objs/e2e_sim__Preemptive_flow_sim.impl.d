@@ -1,0 +1,1 @@
+lib/sim/preemptive_flow_sim.ml: Array E2e_model E2e_rat Fun List

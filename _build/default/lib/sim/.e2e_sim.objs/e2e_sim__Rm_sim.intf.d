@@ -1,0 +1,1 @@
+lib/sim/rm_sim.mli:

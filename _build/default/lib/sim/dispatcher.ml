@@ -1,0 +1,122 @@
+module Rat = E2e_rat.Rat
+module Task = E2e_model.Task
+module Visit = E2e_model.Visit
+module Recurrence_shop = E2e_model.Recurrence_shop
+module Schedule = E2e_schedule.Schedule
+
+type rat = Rat.t
+type discipline = Time_triggered | Work_conserving
+type execution = { starts : rat array array; finishes : rat array array }
+
+type outcome = {
+  execution : execution;
+  deadline_misses : (int * rat) list;
+  structural_violations : int;
+}
+
+let validate_actual (s : Schedule.t) actual =
+  let n = Array.length s.starts in
+  if Array.length actual <> n then invalid_arg "Dispatcher: wrong task count";
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> Array.length s.starts.(i) then
+        invalid_arg "Dispatcher: wrong stage count";
+      Array.iter
+        (fun d -> if Rat.(d <= Rat.zero) then invalid_arg "Dispatcher: nonpositive duration")
+        row)
+    actual
+
+(* Every stage instance in global planned-start order; used both to keep
+   each processor's planned order and to re-time work-conserving runs. *)
+let planned_order (s : Schedule.t) =
+  let n = Array.length s.starts and k = Array.length s.starts.(0) in
+  List.concat (List.init n (fun i -> List.init k (fun j -> (s.starts.(i).(j), i, j))))
+  |> List.sort (fun (a, i1, j1) (b, i2, j2) ->
+         let c = Rat.compare a b in
+         if c <> 0 then c else compare (i1, j1) (i2, j2))
+
+let execute discipline (s : Schedule.t) actual =
+  let shop = s.Schedule.shop in
+  let n = Array.length s.starts and k = Array.length s.starts.(0) in
+  let starts = Array.make_matrix n k Rat.zero in
+  let finishes = Array.make_matrix n k Rat.zero in
+  (match discipline with
+  | Time_triggered ->
+      for i = 0 to n - 1 do
+        for j = 0 to k - 1 do
+          starts.(i).(j) <- s.starts.(i).(j);
+          finishes.(i).(j) <- Rat.add s.starts.(i).(j) actual.(i).(j)
+        done
+      done
+  | Work_conserving ->
+      let free = Array.make shop.Recurrence_shop.visit.Visit.processors Rat.zero in
+      List.iter
+        (fun (_, i, j) ->
+          let task = shop.Recurrence_shop.tasks.(i) in
+          let p = shop.Recurrence_shop.visit.Visit.sequence.(j) in
+          let ready = if j = 0 then task.Task.release else finishes.(i).(j - 1) in
+          let start = Rat.max ready free.(p) in
+          starts.(i).(j) <- start;
+          let finish = Rat.add start actual.(i).(j) in
+          finishes.(i).(j) <- finish;
+          free.(p) <- finish)
+        (planned_order s));
+  { starts; finishes }
+
+let count_structural (s : Schedule.t) (e : execution) =
+  let shop = s.Schedule.shop in
+  let n = Array.length e.starts and k = Array.length e.starts.(0) in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    let task = shop.Recurrence_shop.tasks.(i) in
+    if Rat.(e.starts.(i).(0) < task.Task.release) then incr count;
+    for j = 1 to k - 1 do
+      let prev = e.finishes.(i).(j - 1) in
+      if Rat.(e.starts.(i).(j) < prev) then incr count
+    done
+  done;
+  let m = shop.Recurrence_shop.visit.Visit.processors in
+  for p = 0 to m - 1 do
+    let entries = ref [] in
+    for i = 0 to n - 1 do
+      for j = 0 to k - 1 do
+        if shop.Recurrence_shop.visit.Visit.sequence.(j) = p then
+          entries := (e.starts.(i).(j), e.finishes.(i).(j)) :: !entries
+      done
+    done;
+    let sorted = List.sort (fun (a, _) (b, _) -> Rat.compare a b) !entries in
+    let rec scan = function
+      | (_, f1) :: ((s2, _) :: _ as rest) ->
+          if Rat.(s2 < f1) then incr count;
+          scan rest
+      | [] | [ _ ] -> ()
+    in
+    scan sorted
+  done;
+  !count
+
+let run discipline (s : Schedule.t) ~actual =
+  validate_actual s actual;
+  let execution = execute discipline s actual in
+  let shop = s.Schedule.shop in
+  let n = Array.length execution.starts and k = Array.length execution.starts.(0) in
+  let misses = ref [] in
+  for i = n - 1 downto 0 do
+    let completion = execution.finishes.(i).(k - 1) in
+    if Rat.(completion > shop.Recurrence_shop.tasks.(i).Task.deadline) then
+      misses := (i, completion) :: !misses
+  done;
+  {
+    execution;
+    deadline_misses = !misses;
+    structural_violations = count_structural s execution;
+  }
+
+let scale_durations (s : Schedule.t) ~factor =
+  Array.map
+    (fun (task : Task.t) -> Array.map (fun tau -> Rat.mul tau factor) task.Task.proc_times)
+    s.Schedule.shop.Recurrence_shop.tasks
+
+let sustainable_time_triggered s ~actual =
+  let outcome = run Time_triggered s ~actual in
+  outcome.deadline_misses = [] && outcome.structural_violations = 0

@@ -1,0 +1,56 @@
+(** Runtime execution of a computed flow-shop schedule.
+
+    The paper's algorithms plan with worst-case processing times; at run
+    time subtasks usually finish early.  This module replays a schedule
+    against {e actual} durations under the two classic dispatching
+    disciplines and reports what really happened — the tool for checking
+    that a deployment strategy is {e sustainable} (early completions
+    never cause new deadline misses).
+
+    - [Time_triggered]: every subtask starts exactly at its planned start
+      time (idling if its work arrived early).  Sustainable by
+      construction when actual durations never exceed the planned ones.
+    - [Work_conserving]: every processor keeps its planned execution
+      order but starts each subtask as soon as its predecessor stage has
+      finished, the processor is free and the task is released. *)
+
+type rat = E2e_rat.Rat.t
+
+type discipline = Time_triggered | Work_conserving
+
+type execution = {
+  starts : rat array array;
+  finishes : rat array array;  (** With the {e actual} durations. *)
+}
+
+type outcome = {
+  execution : execution;
+  deadline_misses : (int * rat) list;  (** (task, completion) pairs past the deadline. *)
+  structural_violations : int;
+      (** Release, precedence or mutual-exclusion violations in the
+          executed timeline.  Zero under [Work_conserving]; under
+          [Time_triggered] nonzero only when actual durations overrun the
+          plan. *)
+}
+
+val run :
+  discipline ->
+  E2e_schedule.Schedule.t ->
+  actual:rat array array ->
+  outcome
+(** Execute the schedule with [actual.(i).(j)] as the true duration of
+    task [i]'s stage [j].
+    @raise Invalid_argument on a shape mismatch or nonpositive duration.
+    Under [Time_triggered], actual durations longer than planned can make
+    a successor stage start before its input is ready; such cases are
+    reported through [structural_violations] rather than raising. *)
+
+val scale_durations : E2e_schedule.Schedule.t -> factor:rat -> rat array array
+(** Convenience: every planned duration multiplied by [factor] (< 1 for
+    early completion, > 1 for overruns). *)
+
+val sustainable_time_triggered :
+  E2e_schedule.Schedule.t -> actual:rat array array -> bool
+(** True when time-triggered execution with the given durations meets
+    every deadline — guaranteed whenever the schedule was feasible and
+    [actual <= planned] pointwise. *)

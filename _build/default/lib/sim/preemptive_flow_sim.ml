@@ -1,0 +1,148 @@
+module Rat = E2e_rat.Rat
+module Task = E2e_model.Task
+module Visit = E2e_model.Visit
+module Recurrence_shop = E2e_model.Recurrence_shop
+
+type rat = Rat.t
+type segment = { task : int; stage : int; from_ : rat; until : rat }
+
+type result = {
+  completions : rat array array;
+  segments : segment list array;
+  deadline_misses : int list;
+}
+
+type pending = {
+  p_task : int;
+  p_stage : int;
+  deadline : rat;  (** Effective deadline: the preemptive-EDF priority. *)
+  mutable remaining : rat;
+}
+
+let run (shop : Recurrence_shop.t) =
+  let n = Recurrence_shop.n_tasks shop in
+  let k = Visit.length shop.visit in
+  let m = shop.visit.Visit.processors in
+  let completions = Array.make_matrix n k Rat.zero in
+  let segments = Array.make m [] in
+  (* Ready-but-unfinished stages per processor. *)
+  let ready : pending list array = Array.make m [] in
+  (* Future stage-0 releases, sorted by time. *)
+  let future =
+    List.sort
+      (fun (a, _) (b, _) -> Rat.compare a b)
+      (List.init n (fun i -> (shop.tasks.(i).Task.release, i)))
+  in
+  let make_pending i j =
+    {
+      p_task = i;
+      p_stage = j;
+      deadline = Task.effective_deadline shop.tasks.(i) j;
+      remaining = shop.tasks.(i).Task.proc_times.(j);
+    }
+  in
+  let edf_min = function
+    | [] -> None
+    | l ->
+        Some
+          (List.fold_left
+             (fun best x ->
+               let c = Rat.compare x.deadline best.deadline in
+               if c < 0 || (c = 0 && (x.p_task, x.p_stage) < (best.p_task, best.p_stage)) then x
+               else best)
+             (List.hd l) l)
+  in
+  let total = ref (n * k) in
+  let rec loop t future =
+    if !total = 0 then ()
+    else begin
+      (* Release everything due at or before t. *)
+      let due, future = List.partition (fun (r, _) -> Rat.(r <= t)) future in
+      List.iter
+        (fun (_, i) ->
+          let p = shop.visit.Visit.sequence.(0) in
+          ready.(p) <- make_pending i 0 :: ready.(p))
+        due;
+      (* Each processor runs its EDF-min job; next event is the earliest
+         completion or the next release. *)
+      let running = Array.map edf_min ready in
+      let next_completion =
+        Array.fold_left
+          (fun acc job ->
+            match job with
+            | None -> acc
+            | Some j ->
+                let finish = Rat.add t j.remaining in
+                Some (match acc with None -> finish | Some a -> Rat.min a finish))
+          None running
+      in
+      let next_release = match future with [] -> None | (r, _) :: _ -> Some r in
+      match (next_completion, next_release) with
+      | None, None ->
+          (* Nothing running and nothing to release, but stages remain:
+             impossible in a work-conserving simulation. *)
+          assert (!total = 0)
+      | None, Some r -> loop r future
+      | Some finish, maybe_release ->
+          let t' =
+            match maybe_release with Some r when Rat.(r < finish) -> r | _ -> finish
+          in
+          let dt = Rat.sub t' t in
+          (* Advance every running job and record its slice. *)
+          Array.iteri
+            (fun p job ->
+              match job with
+              | None -> ()
+              | Some j ->
+                  if Rat.(dt > Rat.zero) then
+                    segments.(p) <-
+                      { task = j.p_task; stage = j.p_stage; from_ = t; until = t' }
+                      :: segments.(p);
+                  j.remaining <- Rat.sub j.remaining dt)
+            running;
+          (* Handle completions at t'. *)
+          Array.iteri
+            (fun p job ->
+              match job with
+              | None -> ()
+              | Some j ->
+                  if Rat.is_zero j.remaining then begin
+                    ready.(p) <- List.filter (fun x -> x != j) ready.(p);
+                    completions.(j.p_task).(j.p_stage) <- t';
+                    decr total;
+                    if j.p_stage + 1 < k then begin
+                      let q = shop.visit.Visit.sequence.(j.p_stage + 1) in
+                      ready.(q) <- make_pending j.p_task (j.p_stage + 1) :: ready.(q)
+                    end
+                  end)
+            running;
+          loop t' future
+    end
+  in
+  let start =
+    match future with [] -> Rat.zero | (r, _) :: _ -> r
+  in
+  loop start future;
+  let misses =
+    List.filter
+      (fun i ->
+        let finish = completions.(i).(k - 1) in
+        Rat.(finish > shop.tasks.(i).Task.deadline))
+      (List.init n Fun.id)
+  in
+  (* Coalesce adjacent slices of the same stage for readability. *)
+  let coalesce slices =
+    List.fold_left
+      (fun acc s ->
+        match acc with
+        | prev :: rest
+          when prev.task = s.task && prev.stage = s.stage && Rat.equal prev.until s.from_ ->
+            { prev with until = s.until } :: rest
+        | _ -> s :: acc)
+      []
+      (List.rev slices)
+    |> List.rev
+  in
+  { completions; segments = Array.map coalesce segments; deadline_misses = misses }
+
+let feasible shop = (run shop).deadline_misses = []

@@ -1,0 +1,28 @@
+(** Online preemptive dispatching of a flow shop.
+
+    The paper notes that the flow-shop deadline problem stays NP-hard
+    even when preemption is allowed; this simulator provides the natural
+    preemptive online policy as an empirical comparison point: every
+    processor runs, preemptively, the ready subtask with the earliest
+    {e effective deadline}; a subtask becomes ready when its predecessor
+    stage completes (stage 0 at the task's release time).  Works for
+    recurrent visit sequences too.
+
+    Time is exact (rational): the event loop advances to the next release
+    or completion, so preemptions happen only at such instants. *)
+
+type rat = E2e_rat.Rat.t
+
+type segment = { task : int; stage : int; from_ : rat; until : rat }
+(** One contiguous execution slice on a processor. *)
+
+type result = {
+  completions : rat array array;  (** [completions.(i).(j)]: finish of stage j. *)
+  segments : segment list array;  (** Per processor, in time order. *)
+  deadline_misses : int list;  (** Tasks finishing after their deadline. *)
+}
+
+val run : E2e_model.Recurrence_shop.t -> result
+
+val feasible : E2e_model.Recurrence_shop.t -> bool
+(** No deadline misses under the preemptive-EDF policy. *)

@@ -1,0 +1,46 @@
+let mean a =
+  let n = Array.length a in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 a /. float_of_int n
+
+let variance a =
+  let n = Array.length a in
+  if n < 2 then 0.0
+  else
+    let m = mean a in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 a in
+    ss /. float_of_int (n - 1)
+
+let stdev a = sqrt (variance a)
+let z_90 = 1.6449
+let z_95 = 1.9600
+
+type proportion_ci = { estimate : float; lo : float; hi : float }
+
+let clamp01 x = Float.min 1.0 (Float.max 0.0 x)
+
+let wilson_interval ~successes ~trials ~z =
+  assert (trials > 0);
+  let n = float_of_int trials and k = float_of_int successes in
+  let p = k /. n in
+  let z2 = z *. z in
+  let denom = 1.0 +. (z2 /. n) in
+  let centre = (p +. (z2 /. (2.0 *. n))) /. denom in
+  let half = z *. sqrt ((p *. (1.0 -. p) /. n) +. (z2 /. (4.0 *. n *. n))) /. denom in
+  { estimate = p; lo = clamp01 (centre -. half); hi = clamp01 (centre +. half) }
+
+let normal_interval ~successes ~trials ~z =
+  assert (trials > 0);
+  let n = float_of_int trials and k = float_of_int successes in
+  let p = k /. n in
+  let half = z *. sqrt (p *. (1.0 -. p) /. n) in
+  { estimate = p; lo = clamp01 (p -. half); hi = clamp01 (p +. half) }
+
+let mean_interval a ~z =
+  let m = mean a in
+  let n = Array.length a in
+  if n < 2 then (m, m, m)
+  else
+    let se = stdev a /. sqrt (float_of_int n) in
+    (m, m -. (z *. se), m +. (z *. se))
+
+let pp_ci ppf { estimate; lo; hi } = Format.fprintf ppf "%.3f [%.3f, %.3f]" estimate lo hi

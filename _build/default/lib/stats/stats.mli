@@ -1,0 +1,37 @@
+(** Small statistics toolkit for the simulation experiments.
+
+    The paper reports success rates with 90 % confidence intervals
+    (Figures 9 and 10); this module provides the estimators used to
+    regenerate those series. *)
+
+val mean : float array -> float
+(** Arithmetic mean. 0 on the empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance (denominator [n-1]); 0 when [n < 2]. *)
+
+val stdev : float array -> float
+
+val z_90 : float
+(** Two-sided standard-normal quantile for 90 % confidence (1.6449). *)
+
+val z_95 : float
+(** Two-sided standard-normal quantile for 95 % confidence (1.9600). *)
+
+type proportion_ci = { estimate : float; lo : float; hi : float }
+(** A binomial proportion with a confidence interval clamped to [0, 1]. *)
+
+val wilson_interval : successes:int -> trials:int -> z:float -> proportion_ci
+(** Wilson score interval — well-behaved near 0 and 1, where the paper's
+    success rates live.  [trials] must be positive. *)
+
+val normal_interval : successes:int -> trials:int -> z:float -> proportion_ci
+(** Classic Wald interval, provided for comparison with the paper's
+    plotted error bars. *)
+
+val mean_interval : float array -> z:float -> float * float * float
+(** [(mean, lo, hi)] using the normal approximation with the sample
+    standard error. *)
+
+val pp_ci : Format.formatter -> proportion_ci -> unit
+(** Prints ["0.83 [0.76, 0.89]"]. *)

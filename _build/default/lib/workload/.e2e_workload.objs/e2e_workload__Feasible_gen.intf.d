@@ -1,0 +1,1 @@
+lib/workload/feasible_gen.mli: E2e_model E2e_prng E2e_rat E2e_schedule

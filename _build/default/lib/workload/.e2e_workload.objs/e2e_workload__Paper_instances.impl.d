@@ -1,0 +1,1 @@
+lib/workload/paper_instances.ml: Array E2e_baselines E2e_core E2e_model E2e_prng E2e_rat E2e_schedule Feasible_gen List

@@ -1,0 +1,1 @@
+lib/workload/paper_instances.mli: E2e_model

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest E2e_rat E2e_schedule Format QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_branch_bound.ml: Alcotest E2e_baselines E2e_core E2e_model E2e_prng E2e_rat E2e_schedule E2e_workload Helpers QCheck

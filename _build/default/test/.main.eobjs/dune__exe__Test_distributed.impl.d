@@ -1,0 +1,1 @@
+test/test_distributed.ml: Alcotest Array E2e_core E2e_model E2e_partition E2e_rat Format Helpers List

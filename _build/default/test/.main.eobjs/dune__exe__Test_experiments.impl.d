@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Buffer E2e_experiments E2e_stats Format Helpers List Printf String

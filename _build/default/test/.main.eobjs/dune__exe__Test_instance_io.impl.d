@@ -1,0 +1,1 @@
+test/test_instance_io.ml: Alcotest Array E2e_model E2e_rat Filename Helpers Out_channel Sys

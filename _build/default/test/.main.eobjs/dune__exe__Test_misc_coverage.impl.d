@@ -1,0 +1,1 @@
+test/test_misc_coverage.ml: Alcotest E2e_baselines E2e_core E2e_model E2e_rat E2e_schedule E2e_sim E2e_stats Format Helpers List String

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array E2e_model E2e_rat Helpers List Option

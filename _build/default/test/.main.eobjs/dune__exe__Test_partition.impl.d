@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Array E2e_model E2e_partition E2e_periodic E2e_rat Helpers

@@ -1,0 +1,1 @@
+test/test_periodic.ml: Alcotest Array E2e_model E2e_periodic E2e_rat E2e_workload Float Option Printf

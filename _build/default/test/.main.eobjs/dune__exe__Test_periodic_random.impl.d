@@ -1,0 +1,1 @@
+test/test_periodic_random.ml: Alcotest Array E2e_baselines E2e_core E2e_model E2e_periodic E2e_prng E2e_rat E2e_sim E2e_workload Float Helpers List Printf QCheck

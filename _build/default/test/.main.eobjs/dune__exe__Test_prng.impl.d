@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array E2e_prng E2e_rat E2e_stats Float Fun Helpers

@@ -1,0 +1,1 @@
+test/test_rat.ml: Alcotest E2e_rat Format Helpers QCheck

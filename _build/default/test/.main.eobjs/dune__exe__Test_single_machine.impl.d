@@ -1,0 +1,1 @@
+test/test_single_machine.ml: Alcotest Array E2e_core E2e_prng E2e_rat Helpers List QCheck

@@ -1,0 +1,29 @@
+(* Shared test utilities. *)
+
+module Rat = E2e_rat.Rat
+
+let rat : Rat.t Alcotest.testable = Alcotest.testable Rat.pp Rat.equal
+let check_rat msg expected actual = Alcotest.check rat msg expected actual
+let q s = Rat.of_decimal_string s
+let r = Rat.of_int
+
+(* QCheck arbitrary for small rationals on a 1/den grid in [lo, hi]. *)
+let rat_gen ?(den = 4) ~lo ~hi () =
+  QCheck.Gen.map (fun k -> Rat.make k den) (QCheck.Gen.int_range (lo * den) (hi * den))
+
+let to_alcotest = QCheck_alcotest.to_alcotest
+
+(* Substring test for pretty-printer smoke tests. *)
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  nn = 0 || at 0
+
+(* A schedule must be feasible; on failure print the violations. *)
+let assert_feasible msg s =
+  match E2e_schedule.Schedule.check s with
+  | Ok () -> ()
+  | Error vs ->
+      Alcotest.failf "%s: infeasible schedule:@ %a" msg
+        (Format.pp_print_list E2e_schedule.Schedule.pp_violation)
+        vs

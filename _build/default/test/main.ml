@@ -1,0 +1,28 @@
+let () =
+  Alcotest.run "e2e_sched"
+    [
+      ("rat", Test_rat.suite);
+      ("prng", Test_prng.suite);
+      ("stats", Test_stats.suite);
+      ("model", Test_model.suite);
+      ("schedule", Test_schedule.suite);
+      ("single_machine", Test_single_machine.suite);
+      ("eedf", Test_eedf.suite);
+      ("algo_r", Test_algo_r.suite);
+      ("algo_a", Test_algo_a.suite);
+      ("algo_h", Test_algo_h.suite);
+      ("baselines", Test_baselines.suite);
+      ("workload", Test_workload.suite);
+      ("periodic", Test_periodic.suite);
+      ("sim", Test_sim.suite);
+      ("partition", Test_partition.suite);
+      ("instance_io", Test_instance_io.suite);
+      ("experiments", Test_experiments.suite);
+      ("extensions", Test_extensions.suite);
+      ("branch_bound", Test_branch_bound.suite);
+      ("periodic_random", Test_periodic_random.suite);
+      ("preemptive", Test_preemptive.suite);
+      ("distributed", Test_distributed.suite);
+      ("local_search", Test_local_search.suite);
+      ("misc", Test_misc_coverage.suite);
+    ]

@@ -1,0 +1,137 @@
+module Rat = E2e_rat.Rat
+module Task = E2e_model.Task
+module Visit = E2e_model.Visit
+module Recurrence_shop = E2e_model.Recurrence_shop
+module Schedule = E2e_schedule.Schedule
+module Algo_r = E2e_core.Algo_r
+module Paper = E2e_workload.Paper_instances
+open Helpers
+
+let unit_shop ~visit deadlines =
+  let k = Visit.length visit in
+  let tasks =
+    Array.mapi
+      (fun id d ->
+        Task.make ~id ~release:Rat.zero ~deadline:(r d) ~proc_times:(Array.make k Rat.one))
+      (Array.of_list deadlines)
+  in
+  Recurrence_shop.make ~visit tasks
+
+let test_table1_schedule () =
+  let shop = Paper.table1 () in
+  match Algo_r.schedule shop with
+  | Ok s -> assert_feasible "table 1 schedule" s
+  | Error e -> Alcotest.failf "table 1 failed: %a" Algo_r.pp_error e
+
+let test_table1_decisions () =
+  (* The decision processor P2 serves two visits of each of the 4 tasks;
+     with identical releases the first dispatches follow deadline order. *)
+  let shop = Paper.table1 () in
+  match Algo_r.decision_trace shop with
+  | Error e -> Alcotest.failf "trace failed: %a" Algo_r.pp_error e
+  | Ok trace ->
+      Alcotest.(check int) "8 dispatches on the loop processor" 8 (List.length trace);
+      (match trace with
+      | first :: _ ->
+          Alcotest.(check int) "earliest-deadline task first" 0 first.Algo_r.task;
+          check_rat "first dispatch when stage 1 is ready" Rat.one first.Algo_r.start
+      | [] -> Alcotest.fail "empty trace");
+      (* Dispatches on one processor never overlap (tau = 1 apart). *)
+      let rec gaps = function
+        | a :: (b :: _ as rest) ->
+            Alcotest.(check bool) "serialized" true Rat.(b.Algo_r.start >= Rat.add a.Algo_r.start Rat.one);
+            gaps rest
+        | _ -> ()
+      in
+      gaps trace
+
+let test_second_visit_separation () =
+  (* The second visit can never start before (q-1) tau after the first
+     visit completes, i.e. q tau after it starts. *)
+  let shop = Paper.table1 () in
+  let loop = Option.get (Visit.single_loop shop.Recurrence_shop.visit) in
+  match Algo_r.schedule shop with
+  | Error e -> Alcotest.failf "failed: %a" Algo_r.pp_error e
+  | Ok s ->
+      let l = loop.Visit.first_pos and q = loop.Visit.span in
+      for i = 0 to Recurrence_shop.n_tasks shop - 1 do
+        let t1 = Schedule.start s ~task:i ~stage:l in
+        let t2 = Schedule.start s ~task:i ~stage:(l + q) in
+        Alcotest.(check bool) "loop separation" true Rat.(t2 >= Rat.add t1 (r q))
+      done
+
+let test_precondition_errors () =
+  let visit = Visit.of_one_based [| 1; 2; 3; 2 |] in
+  (* Differing processing times. *)
+  let t0 = Task.make ~id:0 ~release:Rat.zero ~deadline:(r 20) ~proc_times:[| r 1; r 2; r 1; r 1 |] in
+  let t1 = Task.make ~id:1 ~release:Rat.zero ~deadline:(r 20) ~proc_times:[| r 1; r 1; r 1; r 1 |] in
+  (match Algo_r.schedule (Recurrence_shop.make ~visit [| t0; t1 |]) with
+  | Error `Not_identical_unit -> ()
+  | _ -> Alcotest.fail "expected Not_identical_unit");
+  (* Differing releases. *)
+  let t0 = Task.make ~id:0 ~release:Rat.one ~deadline:(r 20) ~proc_times:(Array.make 4 Rat.one) in
+  let t1 = Task.make ~id:1 ~release:Rat.zero ~deadline:(r 20) ~proc_times:(Array.make 4 Rat.one) in
+  (match Algo_r.schedule (Recurrence_shop.make ~visit [| t0; t1 |]) with
+  | Error `Not_identical_release -> ()
+  | _ -> Alcotest.fail "expected Not_identical_release");
+  (* No loop. *)
+  let visit = Visit.traditional 3 in
+  let t0 = Task.make ~id:0 ~release:Rat.zero ~deadline:(r 20) ~proc_times:(Array.make 3 Rat.one) in
+  match Algo_r.schedule (Recurrence_shop.make ~visit [| t0 |]) with
+  | Error `No_single_loop -> ()
+  | _ -> Alcotest.fail "expected No_single_loop"
+
+let test_infeasible_deadlines () =
+  (* Two tasks on a loop shop; deadlines too tight for the serialized
+     decision processor. *)
+  let visit = Visit.of_one_based [| 1; 2; 1 |] in
+  let shop = unit_shop ~visit [ 3; 3 ] in
+  match Algo_r.schedule shop with
+  | Error `Infeasible -> ()
+  | Ok s -> Alcotest.failf "unexpectedly feasible:@ %a" Schedule.pp_table s
+  | Error e -> Alcotest.failf "wrong error: %a" Algo_r.pp_error e
+
+let test_minimal_loop () =
+  (* Visit (1,2,1): P1 reused, l=0, q=2.  One task: completion = 3. *)
+  let visit = Visit.of_one_based [| 1; 2; 1 |] in
+  let shop = unit_shop ~visit [ 3 ] in
+  match Algo_r.schedule shop with
+  | Ok s ->
+      assert_feasible "minimal loop" s;
+      check_rat "completion exactly 3" (r 3) (Schedule.completion s 0)
+  | Error e -> Alcotest.failf "failed: %a" Algo_r.pp_error e
+
+let test_two_tasks_interleave () =
+  (* Visit (1,2,1) with two tasks: the loop processor handles 4 unit
+     subtasks; optimal completion pattern interleaves the visits. *)
+  let visit = Visit.of_one_based [| 1; 2; 1 |] in
+  let shop = unit_shop ~visit [ 4; 5 ] in
+  match Algo_r.schedule shop with
+  | Ok s ->
+      assert_feasible "interleaved" s;
+      Alcotest.(check bool) "T0 by 4" true Rat.(Schedule.completion s 0 <= r 4);
+      Alcotest.(check bool) "T1 by 5" true Rat.(Schedule.completion s 1 <= r 5)
+  | Error e -> Alcotest.failf "failed: %a" Algo_r.pp_error e
+
+let test_feasible_always_checker_clean () =
+  (* Sweep deadline tightness; any Ok result must pass the checker. *)
+  let visit = Visit.of_one_based [| 1; 2; 3; 2; 4 |] in
+  for d0 = 5 to 12 do
+    let shop = unit_shop ~visit [ d0; d0 + 2; d0 + 4 ] in
+    match Algo_r.schedule shop with
+    | Ok s -> assert_feasible "sweep" s
+    | Error `Infeasible -> ()
+    | Error e -> Alcotest.failf "precondition error: %a" Algo_r.pp_error e
+  done
+
+let suite =
+  [
+    Alcotest.test_case "table 1 schedule" `Quick test_table1_schedule;
+    Alcotest.test_case "table 1 decision trace" `Quick test_table1_decisions;
+    Alcotest.test_case "second-visit separation" `Quick test_second_visit_separation;
+    Alcotest.test_case "precondition errors" `Quick test_precondition_errors;
+    Alcotest.test_case "infeasible deadlines" `Quick test_infeasible_deadlines;
+    Alcotest.test_case "minimal loop" `Quick test_minimal_loop;
+    Alcotest.test_case "two tasks interleave" `Quick test_two_tasks_interleave;
+    Alcotest.test_case "deadline sweep stays checker-clean" `Quick test_feasible_always_checker_clean;
+  ]

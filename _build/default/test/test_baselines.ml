@@ -1,0 +1,177 @@
+module Rat = E2e_rat.Rat
+module Flow_shop = E2e_model.Flow_shop
+module Recurrence_shop = E2e_model.Recurrence_shop
+module Schedule = E2e_schedule.Schedule
+module Exhaustive = E2e_baselines.Exhaustive
+module Johnson = E2e_baselines.Johnson
+module List_edf = E2e_baselines.List_edf
+module Solver = E2e_core.Solver
+module Prng = E2e_prng.Prng
+module Gen = E2e_workload.Feasible_gen
+open Helpers
+
+let test_exhaustive_finds_feasible () =
+  let g = Prng.create 31 in
+  for _ = 1 to 50 do
+    let shop =
+      Gen.generate g
+        { Gen.n_tasks = 4; n_processors = 3; mean_tau = 1.0; stdev = 0.4; slack_factor = 1.0 }
+    in
+    (* Instances are feasible by construction with a permutation witness. *)
+    match Exhaustive.permutation_schedule shop with
+    | Some s -> assert_feasible "exhaustive witness" s
+    | None -> Alcotest.fail "generator promises a permutation witness"
+  done
+
+let test_exhaustive_infeasible () =
+  let shop =
+    Flow_shop.of_params
+      [| (r 0, r 2, [| r 1; r 1 |]); (r 0, r 2, [| r 1; r 1 |]) |]
+  in
+  Alcotest.(check bool) "no order works" false (Exhaustive.permutation_feasible shop);
+  Alcotest.(check int) "zero feasible orders" 0 (Exhaustive.count_feasible_orders shop)
+
+let test_exhaustive_counts () =
+  (* Two independent tasks with roomy deadlines: both orders feasible. *)
+  let shop =
+    Flow_shop.of_params
+      [| (r 0, r 20, [| r 1; r 1 |]); (r 0, r 20, [| r 1; r 1 |]) |]
+  in
+  Alcotest.(check int) "both orders feasible" 2 (Exhaustive.count_feasible_orders shop)
+
+let test_exhaustive_guard () =
+  let g = Prng.create 3 in
+  let shop =
+    Gen.generate g
+      { Gen.n_tasks = 11; n_processors = 2; mean_tau = 1.0; stdev = 0.1; slack_factor = 1.0 }
+  in
+  Alcotest.(check bool) "guard trips" true
+    (match Exhaustive.permutation_feasible shop with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_johnson_textbook () =
+  (* Classic instance: times (a, b) = (3,2) (1,4) (5,4) (2,3).
+     Johnson order: tasks with a<=b by a: T1(1), T3(2); then a>b by b
+     desc: T2(4)... T0 has a=3>b=2 -> second group sorted by b desc:
+     T2 (b=4), T0 (b=2).  Order = [1;3;2;0]. *)
+  let far = r 100 in
+  let shop =
+    Flow_shop.of_params
+      [|
+        (r 0, far, [| r 3; r 2 |]);
+        (r 0, far, [| r 1; r 4 |]);
+        (r 0, far, [| r 5; r 4 |]);
+        (r 0, far, [| r 2; r 3 |]);
+      |]
+  in
+  Alcotest.(check (array int)) "Johnson order" [| 1; 3; 2; 0 |] (Johnson.order shop);
+  (* Lower bound min(a) + sum(b) = 1 + 13 = 14 is attained. *)
+  check_rat "optimal makespan" (r 14) (Johnson.makespan shop)
+
+let test_johnson_optimal_small () =
+  (* Cross-check Johnson's makespan against all permutations. *)
+  let g = Prng.create 17 in
+  for _ = 1 to 50 do
+    let shop =
+      Gen.arbitrary g ~n:5 ~m:2 ~max_tau:3 ~window:0
+    in
+    (* Neutralise deadlines: makespan comparison only. *)
+    let far = r 1000 in
+    let shop =
+      Flow_shop.of_params
+        (Array.map
+           (fun (t : E2e_model.Task.t) -> (Rat.zero, far, t.proc_times))
+           shop.Flow_shop.tasks)
+    in
+    let johnson = Johnson.makespan shop in
+    let best = ref None in
+    let rec perms acc rest =
+      match rest with
+      | [] ->
+          let order = Array.of_list (List.rev acc) in
+          let s = Schedule.forward_pass (Recurrence_shop.of_traditional shop) ~order in
+          let mk = Schedule.makespan s in
+          best := Some (match !best with None -> mk | Some b -> Rat.min b mk)
+      | _ ->
+          List.iter
+            (fun x -> perms (x :: acc) (List.filter (fun y -> y <> x) rest))
+            rest
+    in
+    perms [] [ 0; 1; 2; 3; 4 ];
+    check_rat "Johnson attains the optimum" (Option.get !best) johnson
+  done
+
+let test_johnson_guard () =
+  let shop = Flow_shop.of_params [| (r 0, r 9, [| r 1; r 1; r 1 |]) |] in
+  Alcotest.(check bool) "3 processors rejected" true
+    (match Johnson.order shop with exception Invalid_argument _ -> true | _ -> false)
+
+let test_list_edf_reasonable () =
+  (* On generously slack instances the greedy dispatcher succeeds. *)
+  let g = Prng.create 23 in
+  let ok = ref 0 in
+  for _ = 1 to 50 do
+    let shop =
+      Gen.generate g
+        { Gen.n_tasks = 4; n_processors = 3; mean_tau = 1.0; stdev = 0.2; slack_factor = 4.0 }
+    in
+    if List_edf.feasible (Recurrence_shop.of_traditional shop) then incr ok
+  done;
+  Alcotest.(check bool) (Printf.sprintf "list-EDF solves most slack instances (%d/50)" !ok)
+    true (!ok > 35)
+
+let test_list_edf_schedule_valid_shape () =
+  (* Even when infeasible, the greedy schedule respects precedence and
+     mutual exclusion (only windows may be violated). *)
+  let g = Prng.create 29 in
+  for _ = 1 to 100 do
+    let shop =
+      Gen.generate g
+        { Gen.n_tasks = 5; n_processors = 3; mean_tau = 1.0; stdev = 0.5; slack_factor = 0.3 }
+    in
+    let s = List_edf.schedule (Recurrence_shop.of_traditional shop) in
+    let hard =
+      List.filter
+        (function
+          | Schedule.Precedence_violated _ | Schedule.Overlap _ | Schedule.Release_violated _ ->
+              true
+          | Schedule.Deadline_missed _ -> false)
+        (Schedule.violations s)
+    in
+    Alcotest.(check int) "no structural violations" 0 (List.length hard)
+  done
+
+let test_solver_dispatch () =
+  let identical =
+    Flow_shop.of_params [| (r 0, r 9, [| r 1; r 1 |]); (r 0, r 9, [| r 1; r 1 |]) |]
+  in
+  (match Solver.solve identical with
+  | Solver.Feasible (_, `Eedf) -> ()
+  | v -> Alcotest.failf "expected EEDF: %a" Solver.pp_verdict v);
+  let homogeneous =
+    Flow_shop.of_params [| (r 0, r 19, [| r 1; r 2 |]); (r 0, r 19, [| r 1; r 2 |]) |]
+  in
+  (match Solver.solve homogeneous with
+  | Solver.Feasible (_, `Algorithm_a) -> ()
+  | v -> Alcotest.failf "expected A: %a" Solver.pp_verdict v);
+  let arbitrary =
+    Flow_shop.of_params [| (r 0, r 19, [| r 1; r 2 |]); (r 0, r 19, [| r 2; r 1 |]) |]
+  in
+  match Solver.solve arbitrary with
+  | Solver.Feasible (s, `Algorithm_h) -> assert_feasible "H result" s
+  | v -> Alcotest.failf "expected H: %a" Solver.pp_verdict v
+
+let suite =
+  [
+    Alcotest.test_case "exhaustive finds witnesses" `Quick test_exhaustive_finds_feasible;
+    Alcotest.test_case "exhaustive proves infeasibility" `Quick test_exhaustive_infeasible;
+    Alcotest.test_case "exhaustive counts orders" `Quick test_exhaustive_counts;
+    Alcotest.test_case "exhaustive size guard" `Quick test_exhaustive_guard;
+    Alcotest.test_case "Johnson textbook instance" `Quick test_johnson_textbook;
+    Alcotest.test_case "Johnson optimal on small sets" `Slow test_johnson_optimal_small;
+    Alcotest.test_case "Johnson guard" `Quick test_johnson_guard;
+    Alcotest.test_case "list-EDF on slack instances" `Quick test_list_edf_reasonable;
+    Alcotest.test_case "list-EDF structural validity" `Quick test_list_edf_schedule_valid_shape;
+    Alcotest.test_case "solver dispatch" `Quick test_solver_dispatch;
+  ]

@@ -1,0 +1,91 @@
+module Rat = E2e_rat.Rat
+module Flow_shop = E2e_model.Flow_shop
+module Schedule = E2e_schedule.Schedule
+module Branch_bound = E2e_baselines.Branch_bound
+module Exhaustive = E2e_baselines.Exhaustive
+module Algo_h = E2e_core.Algo_h
+module Prng = E2e_prng.Prng
+module Gen = E2e_workload.Feasible_gen
+open Helpers
+
+let test_feasible_witness () =
+  let g = Prng.create 41 in
+  for _ = 1 to 40 do
+    let shop =
+      Gen.generate g
+        { Gen.n_tasks = 4; n_processors = 3; mean_tau = 1.0; stdev = 0.4; slack_factor = 0.6 }
+    in
+    match Branch_bound.solve shop with
+    | Branch_bound.Feasible s -> assert_feasible "bb witness" s
+    | Branch_bound.Infeasible -> Alcotest.fail "generator guarantees feasibility"
+    | Branch_bound.Unknown -> Alcotest.fail "tiny instance exhausted the budget"
+  done
+
+let test_infeasible () =
+  let shop =
+    Flow_shop.of_params
+      [| (r 0, r 2, [| r 1; r 1 |]); (r 0, r 2, [| r 1; r 1 |]) |]
+  in
+  Alcotest.(check bool) "decided infeasible" true
+    (Branch_bound.feasible shop = Some false)
+
+let test_budget () =
+  let g = Prng.create 43 in
+  let shop =
+    Gen.generate g
+      { Gen.n_tasks = 6; n_processors = 4; mean_tau = 1.0; stdev = 0.5; slack_factor = 0.5 }
+  in
+  match Branch_bound.solve ~budget:3 shop with
+  | Branch_bound.Unknown -> ()
+  | Branch_bound.Feasible _ -> () (* found within 3 nodes: also fine *)
+  | Branch_bound.Infeasible -> Alcotest.fail "cannot prove infeasibility in 3 nodes"
+
+let test_guards () =
+  let g = Prng.create 47 in
+  let shop =
+    Gen.generate g
+      { Gen.n_tasks = 9; n_processors = 2; mean_tau = 1.0; stdev = 0.1; slack_factor = 1.0 }
+  in
+  Alcotest.(check bool) "size guard" true
+    (match Branch_bound.solve shop with exception Invalid_argument _ -> true | _ -> false)
+
+(* Agreement with the permutation oracle in both directions it can
+   speak to: permutation-feasible implies BB-feasible; BB-infeasible
+   implies permutation-infeasible. *)
+let prop_agrees_with_permutation_oracle =
+  to_alcotest
+    (QCheck.Test.make ~name:"branch&bound vs permutation oracle" ~count:150
+       (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 1_000_000))
+       (fun seed ->
+         let g = Prng.create seed in
+         let shop = Gen.arbitrary g ~n:4 ~m:3 ~max_tau:3 ~window:4 in
+         match Branch_bound.solve ~budget:100_000 shop with
+         | Branch_bound.Unknown -> true
+         | Branch_bound.Feasible s ->
+             Schedule.is_feasible s
+             (* BB may succeed where permutation search fails, never the
+                converse. *)
+         | Branch_bound.Infeasible -> not (Exhaustive.permutation_feasible shop)))
+
+(* H is sound with respect to the exact oracle: if H finds a schedule the
+   instance is truly feasible. *)
+let prop_h_sound =
+  to_alcotest
+    (QCheck.Test.make ~name:"Algorithm H sound vs branch&bound" ~count:100
+       (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 1_000_000))
+       (fun seed ->
+         let g = Prng.create seed in
+         let shop = Gen.arbitrary g ~n:4 ~m:3 ~max_tau:3 ~window:5 in
+         match Algo_h.schedule shop with
+         | Error _ -> true
+         | Ok _ -> Branch_bound.feasible ~budget:100_000 shop <> Some false))
+
+let suite =
+  [
+    Alcotest.test_case "feasible instances get witnesses" `Quick test_feasible_witness;
+    Alcotest.test_case "proves infeasibility" `Quick test_infeasible;
+    Alcotest.test_case "budget exhaustion" `Quick test_budget;
+    Alcotest.test_case "size guards" `Quick test_guards;
+    prop_agrees_with_permutation_oracle;
+    prop_h_sound;
+  ]

@@ -1,0 +1,123 @@
+module Rat = E2e_rat.Rat
+module Visit = E2e_model.Visit
+module Recurrence_shop = E2e_model.Recurrence_shop
+module Solver = E2e_core.Solver
+module Ds = E2e_partition.Distributed_system
+open Helpers
+
+let unit_class ?(deadline_base = 20) name visit n =
+  {
+    Ds.name;
+    visit;
+    tasks =
+      Array.init n (fun i ->
+          (Rat.zero, r (deadline_base + (2 * i)), Array.make (Array.length visit) Rat.one));
+  }
+
+let test_single_class_full_speed () =
+  (* Alone in the system, a class keeps full-speed processors. *)
+  let system = Ds.analyse ~processors:3 [ unit_class "only" [| 0; 1; 2 |] 2 ] in
+  match system.Ds.reports with
+  | [ report ] ->
+      Array.iter (fun f -> check_rat "fraction 1" Rat.one f) report.Ds.fractions;
+      Alcotest.(check bool) "feasible" true system.Ds.all_feasible
+  | _ -> Alcotest.fail "one report"
+
+let test_shares_sum_to_one () =
+  let a = unit_class "a" [| 0; 1 |] 2 and b = unit_class "b" [| 1; 0 |] 2 in
+  let system = Ds.analyse ~processors:2 [ a; b ] in
+  match system.Ds.reports with
+  | [ ra; rb ] ->
+      for p = 0 to 1 do
+        check_rat "shares partition the processor" Rat.one
+          (Rat.add ra.Ds.fractions.(p) rb.Ds.fractions.(p))
+      done
+  | _ -> Alcotest.fail "two reports"
+
+let test_unused_processor_untouched () =
+  let a = unit_class "a" [| 0; 1 |] 1 and b = unit_class "b" [| 1; 2 |] 1 in
+  let system = Ds.analyse ~processors:3 [ a; b ] in
+  match system.Ds.reports with
+  | [ ra; rb ] ->
+      check_rat "a has all of P1" Rat.one ra.Ds.fractions.(0);
+      check_rat "b has all of P3" Rat.one rb.Ds.fractions.(2);
+      Alcotest.(check bool) "P2 split" true
+        Rat.(ra.Ds.fractions.(1) < Rat.one && rb.Ds.fractions.(1) < Rat.one)
+  | _ -> Alcotest.fail "two reports"
+
+let test_loop_free_class_becomes_traditional () =
+  (* A class crossing physical processors (2, 1, 3) still classifies as a
+     traditional flow shop after local renumbering. *)
+  let a = unit_class "a" [| 2; 1; 0 |] 2 in
+  let system = Ds.analyse ~processors:3 [ a ] in
+  match system.Ds.reports with
+  | [ report ] ->
+      Alcotest.(check bool) "traditional local visit" true
+        (Visit.is_traditional report.Ds.shop.Recurrence_shop.visit);
+      (match report.Ds.verdict with
+      | Solver.Recurrent_feasible (_, `Traditional) -> ()
+      | _ -> Alcotest.fail "expected the classified solver path")
+  | _ -> Alcotest.fail "one report"
+
+let test_recurrent_class_keeps_loop () =
+  let a = unit_class "a" [| 0; 1; 2; 1; 3 |] 2 in
+  let system = Ds.analyse ~processors:4 [ a ] in
+  match system.Ds.reports with
+  | [ report ] -> (
+      Alcotest.(check bool) "loop survives renumbering" true
+        (Visit.single_loop report.Ds.shop.Recurrence_shop.visit <> None);
+      match report.Ds.verdict with
+      | Solver.Recurrent_feasible (_, `Algorithm_r) -> ()
+      | _ -> Alcotest.fail "a dedicated recurrent class goes to Algorithm R")
+  | _ -> Alcotest.fail "one report"
+
+let test_stretching_applied () =
+  (* Two identical classes halve each other's speed: stretched processing
+     times double. *)
+  let a = unit_class "a" [| 0 |] 1 and b = unit_class "b" [| 0 |] 1 in
+  let system = Ds.analyse ~processors:1 [ a; b ] in
+  List.iter
+    (fun (report : Ds.class_report) ->
+      check_rat "tau doubled" (r 2)
+        report.Ds.shop.Recurrence_shop.tasks.(0).E2e_model.Task.proc_times.(0))
+    system.Ds.reports
+
+let test_infeasible_class_detected () =
+  (* Sharing makes the deadline impossible: each class needs 2 time units
+     on the shared processor before t = 3. *)
+  let tight name = { Ds.name; visit = [| 0 |]; tasks = [| (Rat.zero, r 3, [| r 2 |]) |] } in
+  let system = Ds.analyse ~processors:1 [ tight "a"; tight "b" ] in
+  Alcotest.(check bool) "not all feasible" false system.Ds.all_feasible
+
+let test_validation () =
+  Alcotest.(check bool) "bad processor index" true
+    (match Ds.analyse ~processors:2 [ unit_class "a" [| 0; 5 |] 1 ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "no classes" true
+    (match Ds.analyse ~processors:2 [] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "no tasks" true
+    (match Ds.analyse ~processors:2 [ { Ds.name = "x"; visit = [| 0 |]; tasks = [||] } ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_pp_smoke () =
+  let system = Ds.analyse ~processors:2 [ unit_class "a" [| 0; 1 |] 2 ] in
+  let out = Format.asprintf "%a" Ds.pp system in
+  Alcotest.(check bool) "mentions the class" true (Helpers.contains out "\"a\"")
+
+let suite =
+  [
+    Alcotest.test_case "single class, full speed" `Quick test_single_class_full_speed;
+    Alcotest.test_case "shares sum to one" `Quick test_shares_sum_to_one;
+    Alcotest.test_case "unused processors untouched" `Quick test_unused_processor_untouched;
+    Alcotest.test_case "loop-free class is traditional" `Quick
+      test_loop_free_class_becomes_traditional;
+    Alcotest.test_case "recurrent class keeps its loop" `Quick test_recurrent_class_keeps_loop;
+    Alcotest.test_case "stretching applied" `Quick test_stretching_applied;
+    Alcotest.test_case "infeasible class detected" `Quick test_infeasible_class_detected;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "pretty printer" `Quick test_pp_smoke;
+  ]

@@ -1,0 +1,74 @@
+module E = E2e_experiments.Experiments
+module Stats = E2e_stats.Stats
+
+(* The experiment harness is exercised with tiny sweeps: the full-size
+   runs live in bin/experiments.ml; here we check determinism, trends and
+   that every printer produces output without raising. *)
+
+let small = { E.seed = 5; trials = 60; n_tasks = 4; n_processors = 3 }
+
+let test_success_rate_deterministic () =
+  let a = E.success_rate small ~stdev:0.3 ~slack:0.8 in
+  let b = E.success_rate small ~stdev:0.3 ~slack:0.8 in
+  Alcotest.(check (float 0.0)) "same seed same estimate" a.Stats.estimate b.Stats.estimate
+
+let test_success_rate_trend () =
+  let tight = E.success_rate small ~stdev:0.5 ~slack:0.2 in
+  let loose = E.success_rate small ~stdev:0.5 ~slack:4.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "loose %.2f >= tight %.2f" loose.Stats.estimate tight.Stats.estimate)
+    true
+    (loose.Stats.estimate >= tight.Stats.estimate)
+
+let test_success_rate_bounds () =
+  let ci = E.success_rate small ~stdev:0.2 ~slack:1.0 in
+  Alcotest.(check bool) "ci ordered" true
+    (0.0 <= ci.Stats.lo && ci.Stats.lo <= ci.Stats.estimate && ci.Stats.estimate <= ci.Stats.hi
+   && ci.Stats.hi <= 1.0)
+
+let render f =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  f ppf;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let test_printers_smoke () =
+  let outputs =
+    [
+      ("table1", render E.table1);
+      ("table2", render E.table2);
+      ("table3", render E.table3);
+      ("table4", render E.table4);
+      ("table5", render E.table5);
+      ("section6", render E.section6);
+      ("fig9a", render (E.fig9a ~sweep:{ small with E.trials = 20 }));
+      ("fig10", render (E.fig10 ~sweep:{ small with E.trials = 20 }));
+      ("ablation", render (E.ablation ~sweep:{ small with E.trials = 20 }));
+    ]
+  in
+  List.iter
+    (fun (name, out) ->
+      Alcotest.(check bool) (name ^ " nonempty") true (String.length out > 100))
+    outputs
+
+let test_table_contents () =
+  Alcotest.(check bool) "table1 mentions the loop" true
+    (Helpers.contains (render E.table1) "loop");
+  Alcotest.(check bool) "table2 names the bottleneck" true
+    (Helpers.contains (render E.table2) "bottleneck");
+  Alcotest.(check bool) "table3 shows violations before compaction" true
+    (Helpers.contains (render E.table3) "violations");
+  Alcotest.(check bool) "table4 is schedulable" true
+    (Helpers.contains (render E.table4) "0 deadline misses");
+  Alcotest.(check bool) "table5 postpones deadlines" true
+    (Helpers.contains (render E.table5) "postponed")
+
+let suite =
+  [
+    Alcotest.test_case "success rate deterministic" `Quick test_success_rate_deterministic;
+    Alcotest.test_case "success rate trend" `Quick test_success_rate_trend;
+    Alcotest.test_case "CI bounds" `Quick test_success_rate_bounds;
+    Alcotest.test_case "printers smoke" `Slow test_printers_smoke;
+    Alcotest.test_case "table contents" `Slow test_table_contents;
+  ]

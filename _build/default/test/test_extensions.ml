@@ -1,0 +1,425 @@
+(* Tests for the extension modules: infeasibility certificates, the
+   Algorithm-H portfolio, exact response-time analysis, EDF per-processor
+   scheduling, the runtime dispatcher, and the recurrence oracle. *)
+
+module Rat = E2e_rat.Rat
+module Task = E2e_model.Task
+module Flow_shop = E2e_model.Flow_shop
+module Visit = E2e_model.Visit
+module Recurrence_shop = E2e_model.Recurrence_shop
+module Periodic_shop = E2e_model.Periodic_shop
+module Schedule = E2e_schedule.Schedule
+module Infeasibility = E2e_core.Infeasibility
+module H_portfolio = E2e_core.H_portfolio
+module Algo_h = E2e_core.Algo_h
+module Algo_r = E2e_core.Algo_r
+module Response_time = E2e_periodic.Response_time
+module Analysis = E2e_periodic.Analysis
+module Rm_sim = E2e_sim.Rm_sim
+module Dispatcher = E2e_sim.Dispatcher
+module Exhaustive = E2e_baselines.Exhaustive
+module Exhaustive_recurrence = E2e_baselines.Exhaustive_recurrence
+module Prng = E2e_prng.Prng
+module Gen = E2e_workload.Feasible_gen
+module Paper = E2e_workload.Paper_instances
+open Helpers
+
+(* --------------------------- Infeasibility --------------------------- *)
+
+let test_cert_negative_slack () =
+  let shop = Flow_shop.of_params [| (r 0, r 3, [| r 2; r 2 |]) |] in
+  match Infeasibility.check shop with
+  | Some (Infeasibility.Negative_slack { task = 0 }) -> ()
+  | _ -> Alcotest.fail "expected negative-slack certificate"
+
+let test_cert_overload () =
+  (* Two 4-unit bottleneck stages forced into the 5-unit window [1, 6] on
+     P2 (the P1 and P3 windows are wide enough on their own). *)
+  let shop =
+    Flow_shop.of_params
+      [| (r 0, r 7, [| r 1; r 4; r 1 |]); (r 0, r 7, [| r 1; r 4; r 1 |]) |]
+  in
+  (match Infeasibility.check shop with
+  | Some (Infeasibility.Overloaded_window { processor = 1; demand; _ }) ->
+      check_rat "demand 8" (r 8) demand
+  | Some c -> Alcotest.failf "wrong certificate: %a" Infeasibility.pp_certificate c
+  | None -> Alcotest.fail "expected overload certificate");
+  Alcotest.(check bool) "provably infeasible" true (Infeasibility.is_provably_infeasible shop)
+
+let test_cert_none_on_feasible () =
+  let g = Prng.create 11 in
+  for _ = 1 to 200 do
+    let shop =
+      Gen.generate g
+        { Gen.n_tasks = 5; n_processors = 3; mean_tau = 1.0; stdev = 0.4; slack_factor = 0.5 }
+    in
+    match Infeasibility.check shop with
+    | None -> ()
+    | Some c ->
+        Alcotest.failf "certificate on a feasible instance: %a" Infeasibility.pp_certificate c
+  done
+
+let prop_certificate_sound =
+  (* Whenever a certificate exists, exhaustive search confirms that no
+     permutation schedule is feasible (and since the certificate argument
+     covers all schedules, this is the checkable projection). *)
+  to_alcotest
+    (QCheck.Test.make ~name:"infeasibility certificates are sound" ~count:200
+       (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 1_000_000))
+       (fun seed ->
+         let g = Prng.create seed in
+         let shop = Gen.arbitrary g ~n:4 ~m:3 ~max_tau:3 ~window:3 in
+         match Infeasibility.check shop with
+         | Some _ -> not (Exhaustive.permutation_feasible shop)
+         | None -> true))
+
+let test_processor_demand () =
+  let shop =
+    Flow_shop.of_params
+      [| (r 0, r 10, [| r 2; r 3 |]); (r 1, r 20, [| r 2; r 3 |]) |]
+  in
+  (* On P2 (j=1): task 0 window [2, 10]; task 1 window [3, 20]. *)
+  check_rat "only task 0 inside [0,10]" (r 3)
+    (Infeasibility.processor_demand shop ~processor:1 ~window_start:(r 0) ~window_end:(r 10));
+  check_rat "both inside [0,20]" (r 6)
+    (Infeasibility.processor_demand shop ~processor:1 ~window_start:(r 0) ~window_end:(r 20))
+
+(* --------------------------- H portfolio ----------------------------- *)
+
+let test_portfolio_contains_all_bottlenecks () =
+  let shop = Paper.table3 () in
+  let bottlenecks =
+    List.filter_map
+      (function H_portfolio.H_with_bottleneck b -> Some b | _ -> None)
+      (H_portfolio.strategies shop)
+  in
+  Alcotest.(check (list int)) "all processors tried" [ 0; 1; 2; 3 ]
+    (List.sort compare bottlenecks)
+
+let test_portfolio_beats_h () =
+  let g = Prng.create 21 in
+  let h_ok = ref 0 and portfolio_ok = ref 0 in
+  let trials = 200 in
+  for _ = 1 to trials do
+    let shop =
+      Gen.generate g
+        { Gen.n_tasks = 6; n_processors = 4; mean_tau = 1.0; stdev = 0.5; slack_factor = 0.8 }
+    in
+    (match Algo_h.schedule shop with Ok _ -> incr h_ok | Error _ -> ());
+    match H_portfolio.schedule shop with
+    | Ok (s, _) -> incr portfolio_ok; assert_feasible "portfolio result" s
+    | Error `All_failed -> ()
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "portfolio %d/%d >= H %d/%d" !portfolio_ok trials !h_ok trials)
+    true
+    (!portfolio_ok >= !h_ok)
+
+let test_portfolio_first_strategy_is_paper_h () =
+  let shop = Paper.table2 () in
+  match H_portfolio.strategies shop with
+  | H_portfolio.H_with_bottleneck b :: _ ->
+      Alcotest.(check int) "paper's bottleneck first" (Flow_shop.bottleneck shop) b
+  | _ -> Alcotest.fail "portfolio must start with the paper's choice"
+
+(* ------------------------ Response-time analysis --------------------- *)
+
+let test_rta_single_processor_textbook () =
+  (* Classic: C = (1, 2, 3), T = (4, 8, 16) on one processor.
+     R1 = 1; R2 = 2 + ceil(R2/4)*1 -> 3;
+     R3 = 3 + ceil(R3/4)*1 + ceil(R3/8)*2 -> 7 (busy period [0,7]). *)
+  let sys =
+    Periodic_shop.of_params
+      [| (r 4, [| r 1 |]); (r 8, [| r 2 |]); (r 16, [| r 3 |]) |]
+  in
+  match Response_time.per_processor sys ~processor:0 with
+  | Error (`Unbounded _) -> Alcotest.fail "bounded"
+  | Ok bounds ->
+      check_rat "R1" (r 1) bounds.(0);
+      check_rat "R2" (r 3) bounds.(1);
+      check_rat "R3" (r 7) bounds.(2)
+
+let test_rta_unbounded () =
+  let sys = Periodic_shop.of_params [| (r 2, [| r 1 |]); (r 4, [| r 3 |]) |] in
+  match Response_time.per_processor sys ~processor:0 with
+  | Error (`Unbounded 1) -> ()
+  | Error (`Unbounded i) -> Alcotest.failf "wrong job diverged: %d" i
+  | Ok _ -> Alcotest.fail "utilization 1.25 must diverge"
+
+let test_rta_matches_simulation_critical_instant () =
+  (* With all phases zero the simulated worst response equals the RTA
+     bound exactly (critical instant). *)
+  let sys =
+    Periodic_shop.of_params
+      [| (r 4, [| r 1 |]); (r 6, [| r 2 |]); (r 24, [| r 3 |]) |]
+  in
+  match Response_time.per_processor sys ~processor:0 with
+  | Error _ -> Alcotest.fail "bounded"
+  | Ok bounds ->
+      let specs =
+        Array.map
+          (fun (j : Periodic_shop.job) ->
+            (0.0, Rat.to_float j.Periodic_shop.period, Rat.to_float j.Periodic_shop.proc_times.(0)))
+          sys.Periodic_shop.jobs
+      in
+      let result = Rm_sim.simulate ~horizon:120.0 (Rm_sim.rm_priorities specs) in
+      Array.iteri
+        (fun i bound ->
+          Alcotest.(check (float 1e-9))
+            (Printf.sprintf "J%d critical instant" i)
+            (Rat.to_float bound) result.Rm_sim.max_response.(i))
+        bounds
+
+let test_rta_tighter_than_u_max () =
+  (* RTA is exact, so it never exceeds the Equation-1 guarantee. *)
+  let sys = Paper.table4 () in
+  match (Analysis.analyse sys, Response_time.all sys) with
+  | Analysis.Schedulable { deltas; _ }, Ok bounds ->
+      Array.iteri
+        (fun i row ->
+          Array.iteri
+            (fun j rta ->
+              let eq1 = deltas.(j) *. Rat.to_float sys.Periodic_shop.jobs.(i).Periodic_shop.period in
+              Alcotest.(check bool)
+                (Printf.sprintf "RTA(%d,%d) <= delta_j p_i" i j)
+                true
+                (Rat.to_float rta <= eq1 +. 1e-9))
+            row)
+        bounds
+  | _ -> Alcotest.fail "table 4 analysable both ways"
+
+let test_rta_verdict_table4 () =
+  let sys = Paper.table4 () in
+  match Response_time.analyse sys with
+  | Response_time.Schedulable { end_to_end; _ } ->
+      (* Exact analysis must beat Equation (1)'s 6.9 bound for J1. *)
+      Alcotest.(check bool) "J1 tighter than 6.9" true Rat.(end_to_end.(0) < Rat.of_float 6.9)
+  | v -> Alcotest.failf "expected schedulable: %a" Response_time.pp_verdict v
+
+let test_rta_phases_monotone () =
+  let sys = Paper.table4 () in
+  match Response_time.all sys with
+  | Error _ -> Alcotest.fail "bounded"
+  | Ok bounds ->
+      let phases = Response_time.phases sys bounds in
+      Array.iteri
+        (fun i row ->
+          Alcotest.(check bool) "first phase is the job phase" true
+            (Rat.equal row.(0) sys.Periodic_shop.jobs.(i).Periodic_shop.phase);
+          for j = 1 to Array.length row - 1 do
+            let prev = row.(j - 1) in
+            Alcotest.(check bool) "nondecreasing" true Rat.(row.(j) >= prev)
+          done)
+        phases
+
+(* ------------------------------ EDF ---------------------------------- *)
+
+let test_edf_min_delta () =
+  Alcotest.(check (option (float 1e-9))) "delta = u" (Some 0.7)
+    (Analysis.min_delta_for Analysis.Edf ~n:5 ~u:0.7);
+  Alcotest.(check (option (float 1e-9))) "u > 1 impossible" None
+    (Analysis.min_delta_for Analysis.Edf ~n:5 ~u:1.1)
+
+let test_edf_beats_rm_analysis () =
+  (* u = (0.7, 0.28): RM needs postponement, EDF fits in the period. *)
+  let sys =
+    Periodic_shop.of_params
+      [|
+        (r 10, [| r 5; r 2 |]);
+        (r 20, [| r 4; Rat.make 8 5 |]);
+      |]
+  in
+  check_rat "u1 = 0.7" (Rat.make 7 10) (Periodic_shop.utilization sys 0);
+  check_rat "u2 = 0.28" (Rat.make 7 25) (Periodic_shop.utilization sys 1);
+  (match Analysis.analyse sys with
+  | Analysis.Schedulable_postponed _ -> ()
+  | v -> Alcotest.failf "RM should need postponement: %a" Analysis.pp_verdict v);
+  match Analysis.analyse_policies ~policies:[| Analysis.Edf; Analysis.Edf |] sys with
+  | Analysis.Schedulable { total; _ } ->
+      Alcotest.(check (float 1e-9)) "sum of deltas = 0.98" 0.98 total
+  | v -> Alcotest.failf "EDF should fit in the period: %a" Analysis.pp_verdict v
+
+let test_edf_simulation_meets_density_deadlines () =
+  (* Density criterion validated by the EDF simulator: with relative
+     deadlines delta p_i and u <= delta, no request misses. *)
+  let specs = [| (0.0, 8.0, 2.0); (0.0, 12.0, 3.0); (0.0, 20.0, 4.0) |] in
+  let u = Array.fold_left (fun acc (_, p, c) -> acc +. (c /. p)) 0.0 specs in
+  let delta = u +. 0.05 in
+  let tasks = Rm_sim.rm_priorities specs in
+  let relative_deadlines = Array.map (fun (_, p, _) -> delta *. p) specs in
+  let result = Rm_sim.simulate_edf ~horizon:480.0 ~relative_deadlines tasks in
+  Alcotest.(check int) "drained" 0 result.Rm_sim.unfinished;
+  List.iter
+    (fun (c : Rm_sim.completion) ->
+      let d = relative_deadlines.(c.Rm_sim.task) in
+      if Rm_sim.response c > d +. 1e-9 then
+        Alcotest.failf "EDF response %.3f exceeds %.3f" (Rm_sim.response c) d)
+    result.Rm_sim.completions
+
+let test_edf_schedules_what_rm_cannot () =
+  (* tau = (1, 2.5), p = (2, 5): full utilization; RM misses (tested in
+     test_sim), EDF meets every end-of-period deadline. *)
+  let tasks = Rm_sim.rm_priorities [| (0.0, 2.0, 1.0); (0.0, 5.0, 2.5) |] in
+  let result = Rm_sim.simulate_edf ~horizon:40.0 ~relative_deadlines:[| 2.0; 5.0 |] tasks in
+  Alcotest.(check bool) "J1 within period" true (result.Rm_sim.max_response.(0) <= 2.0 +. 1e-9);
+  Alcotest.(check bool) "J2 within period" true (result.Rm_sim.max_response.(1) <= 5.0 +. 1e-9)
+
+(* ---------------------------- Dispatcher ------------------------------ *)
+
+let feasible_schedule () =
+  let shop = Paper.table2 () in
+  match E2e_core.Algo_a.schedule shop with Ok s -> s | Error _ -> Alcotest.fail "feasible"
+
+let test_dispatch_exact_durations () =
+  let s = feasible_schedule () in
+  let actual = Dispatcher.scale_durations s ~factor:Rat.one in
+  let tt = Dispatcher.run Dispatcher.Time_triggered s ~actual in
+  Alcotest.(check int) "TT no misses" 0 (List.length tt.Dispatcher.deadline_misses);
+  Alcotest.(check int) "TT structurally clean" 0 tt.Dispatcher.structural_violations;
+  let wc = Dispatcher.run Dispatcher.Work_conserving s ~actual in
+  Alcotest.(check int) "WC no misses" 0 (List.length wc.Dispatcher.deadline_misses);
+  Alcotest.(check int) "WC structurally clean" 0 wc.Dispatcher.structural_violations
+
+let test_dispatch_sustainable_early_completion () =
+  let s = feasible_schedule () in
+  let actual = Dispatcher.scale_durations s ~factor:(Rat.make 1 2) in
+  Alcotest.(check bool) "time-triggered sustainable" true
+    (Dispatcher.sustainable_time_triggered s ~actual);
+  let wc = Dispatcher.run Dispatcher.Work_conserving s ~actual in
+  Alcotest.(check int) "WC no misses either" 0 (List.length wc.Dispatcher.deadline_misses);
+  Alcotest.(check int) "WC clean" 0 wc.Dispatcher.structural_violations
+
+let test_dispatch_overrun_detected () =
+  let s = feasible_schedule () in
+  let actual = Dispatcher.scale_durations s ~factor:(Rat.make 3 2) in
+  let tt = Dispatcher.run Dispatcher.Time_triggered s ~actual in
+  Alcotest.(check bool) "overrun breaks the static timetable" true
+    (tt.Dispatcher.structural_violations > 0 || tt.Dispatcher.deadline_misses <> [])
+
+let test_dispatch_work_conserving_never_structural () =
+  let g = Prng.create 33 in
+  for _ = 1 to 50 do
+    let shop =
+      Gen.generate g
+        { Gen.n_tasks = 4; n_processors = 3; mean_tau = 1.0; stdev = 0.3; slack_factor = 1.0 }
+    in
+    match Algo_h.schedule shop with
+    | Error _ -> ()
+    | Ok s ->
+        let actual = Dispatcher.scale_durations s ~factor:(Rat.make 13 10) in
+        let wc = Dispatcher.run Dispatcher.Work_conserving s ~actual in
+        Alcotest.(check int) "work-conserving is structurally valid under overrun" 0
+          wc.Dispatcher.structural_violations
+  done
+
+let prop_work_conserving_dominates_plan =
+  (* With actual <= planned durations, work-conserving completion times
+     never exceed the planned ones. *)
+  to_alcotest
+    (QCheck.Test.make ~name:"work-conserving never later than the plan" ~count:150
+       (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 1_000_000))
+       (fun seed ->
+         let g = Prng.create seed in
+         let shop =
+           Gen.generate g
+             { Gen.n_tasks = 4; n_processors = 3; mean_tau = 1.0; stdev = 0.3; slack_factor = 1.0 }
+         in
+         match Algo_h.schedule shop with
+         | Error _ -> true
+         | Ok s ->
+             let actual = Dispatcher.scale_durations s ~factor:(Rat.make 4 5) in
+             let wc = Dispatcher.run Dispatcher.Work_conserving s ~actual in
+             let ok = ref true in
+             Array.iteri
+               (fun i row ->
+                 Array.iteri
+                   (fun j f ->
+                     let planned = Schedule.finish s ~task:i ~stage:j in
+                     if Rat.(f > planned) then ok := false)
+                   row)
+               wc.Dispatcher.execution.Dispatcher.finishes;
+             !ok))
+
+(* ----------------------- Recurrence oracle --------------------------- *)
+
+let unit_recurrence ~visit deadlines =
+  let k = Visit.length visit in
+  Recurrence_shop.make ~visit
+    (Array.mapi
+       (fun id d ->
+         Task.make ~id ~release:Rat.zero ~deadline:(r d) ~proc_times:(Array.make k Rat.one))
+       (Array.of_list deadlines))
+
+let test_oracle_basic () =
+  let visit = Visit.of_one_based [| 1; 2; 1 |] in
+  Alcotest.(check bool) "single task d=3 feasible" true
+    (Exhaustive_recurrence.feasible (unit_recurrence ~visit [ 3 ]));
+  Alcotest.(check bool) "single task d=2 infeasible" false
+    (Exhaustive_recurrence.feasible (unit_recurrence ~visit [ 2 ]));
+  Alcotest.(check bool) "two tasks d=(3,3) infeasible" false
+    (Exhaustive_recurrence.feasible (unit_recurrence ~visit [ 3; 3 ]));
+  Alcotest.(check bool) "two tasks d=(4,5) feasible" true
+    (Exhaustive_recurrence.feasible (unit_recurrence ~visit [ 4; 5 ]))
+
+let prop_algo_r_optimal =
+  (* The headline optimality property: Algorithm R succeeds exactly when
+     the exhaustive oracle finds any feasible schedule, over random
+     single-loop visit sequences. *)
+  to_alcotest
+    (QCheck.Test.make ~name:"Algorithm R optimal vs exhaustive oracle" ~count:250
+       (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 1_000_000))
+       (fun seed ->
+         let g = Prng.create seed in
+         let visit = Gen.single_loop_visit g ~max_stages:7 in
+         let k = Visit.length visit in
+         let n = 1 + Prng.int g 3 in
+         let deadlines = List.init n (fun _ -> k + Prng.int g (k + 4)) in
+         let shop = unit_recurrence ~visit deadlines in
+         let exact = Exhaustive_recurrence.feasible shop in
+         match Algo_r.schedule shop with
+         | Ok s -> exact && Schedule.is_feasible s
+         | Error `Infeasible -> not exact
+         | Error _ -> false))
+
+let test_visit_dot () =
+  let dot = Visit.to_dot (Visit.of_one_based [| 1; 2; 3; 2; 4 |]) in
+  Alcotest.(check bool) "digraph" true (Helpers.contains dot "digraph visit");
+  Alcotest.(check bool) "bus reuse edge" true (Helpers.contains dot "P3 -> P2");
+  Alcotest.(check bool) "labels" true (Helpers.contains dot "label=\"1\"")
+
+let suite =
+  [
+    Alcotest.test_case "certificate: negative slack" `Quick test_cert_negative_slack;
+    Alcotest.test_case "certificate: overload" `Quick test_cert_overload;
+    Alcotest.test_case "no certificate on feasible sets" `Quick test_cert_none_on_feasible;
+    prop_certificate_sound;
+    Alcotest.test_case "processor demand" `Quick test_processor_demand;
+    Alcotest.test_case "portfolio tries all bottlenecks" `Quick
+      test_portfolio_contains_all_bottlenecks;
+    Alcotest.test_case "portfolio dominates H" `Slow test_portfolio_beats_h;
+    Alcotest.test_case "portfolio starts with paper H" `Quick
+      test_portfolio_first_strategy_is_paper_h;
+    Alcotest.test_case "RTA textbook instance" `Quick test_rta_single_processor_textbook;
+    Alcotest.test_case "RTA divergence" `Quick test_rta_unbounded;
+    Alcotest.test_case "RTA = simulated critical instant" `Quick
+      test_rta_matches_simulation_critical_instant;
+    Alcotest.test_case "RTA tighter than Equation 1" `Quick test_rta_tighter_than_u_max;
+    Alcotest.test_case "RTA verdict on table 4" `Quick test_rta_verdict_table4;
+    Alcotest.test_case "RTA phases monotone" `Quick test_rta_phases_monotone;
+    Alcotest.test_case "EDF min delta" `Quick test_edf_min_delta;
+    Alcotest.test_case "EDF analysis beats RM" `Quick test_edf_beats_rm_analysis;
+    Alcotest.test_case "EDF simulation meets density deadlines" `Quick
+      test_edf_simulation_meets_density_deadlines;
+    Alcotest.test_case "EDF schedules the full-utilization pair" `Quick
+      test_edf_schedules_what_rm_cannot;
+    Alcotest.test_case "dispatch: exact durations" `Quick test_dispatch_exact_durations;
+    Alcotest.test_case "dispatch: early completion sustainable" `Quick
+      test_dispatch_sustainable_early_completion;
+    Alcotest.test_case "dispatch: overrun detected" `Quick test_dispatch_overrun_detected;
+    Alcotest.test_case "dispatch: WC structurally valid" `Quick
+      test_dispatch_work_conserving_never_structural;
+    prop_work_conserving_dominates_plan;
+    Alcotest.test_case "recurrence oracle basics" `Quick test_oracle_basic;
+    prop_algo_r_optimal;
+    Alcotest.test_case "visit graph DOT export" `Quick test_visit_dot;
+  ]

@@ -1,0 +1,97 @@
+module Rat = E2e_rat.Rat
+module Flow_shop = E2e_model.Flow_shop
+module Recurrence_shop = E2e_model.Recurrence_shop
+module Schedule = E2e_schedule.Schedule
+module Local_search = E2e_baselines.Local_search
+module Exhaustive = E2e_baselines.Exhaustive
+module Algo_h = E2e_core.Algo_h
+module Prng = E2e_prng.Prng
+module Gen = E2e_workload.Feasible_gen
+open Helpers
+
+let test_tardiness () =
+  let shop =
+    Flow_shop.of_params [| (r 0, r 3, [| r 2; r 2 |]); (r 0, r 20, [| r 2; r 2 |]) |]
+  in
+  let s = Schedule.forward_pass (Recurrence_shop.of_traditional shop) ~order:[| 0; 1 |] in
+  (* T0 completes at 4, deadline 3: tardiness 1.  T1 on time. *)
+  check_rat "tardiness 1" Rat.one (Local_search.tardiness s);
+  let ok = Schedule.forward_pass (Recurrence_shop.of_traditional shop) ~order:[| 1; 0 |] in
+  ignore ok;
+  ()
+
+let test_solves_feasible_sets () =
+  let g = Prng.create 83 in
+  let solved = ref 0 in
+  let trials = 100 in
+  for _ = 1 to trials do
+    let shop =
+      Gen.generate g
+        { Gen.n_tasks = 6; n_processors = 4; mean_tau = 1.0; stdev = 0.5; slack_factor = 0.8 }
+    in
+    match Local_search.schedule shop with
+    | Some s ->
+        assert_feasible "local search result" s;
+        incr solved
+    | None -> ()
+  done;
+  (* On these instances a permutation witness always exists; local search
+     should find the vast majority. *)
+  Alcotest.(check bool) (Printf.sprintf "solves %d/100" !solved) true (!solved >= 90)
+
+let test_beats_plain_h () =
+  let g = Prng.create 89 in
+  let ls = ref 0 and h = ref 0 in
+  for _ = 1 to 100 do
+    let shop =
+      Gen.generate g
+        { Gen.n_tasks = 6; n_processors = 4; mean_tau = 1.0; stdev = 0.5; slack_factor = 0.8 }
+    in
+    (match Local_search.schedule shop with Some _ -> incr ls | None -> ());
+    match Algo_h.schedule shop with Ok _ -> incr h | Error _ -> ()
+  done;
+  Alcotest.(check bool) (Printf.sprintf "local search %d vs H %d" !ls !h) true (!ls >= !h)
+
+let test_sound_on_infeasible () =
+  let shop =
+    Flow_shop.of_params [| (r 0, r 2, [| r 1; r 1 |]); (r 0, r 2, [| r 1; r 1 |]) |]
+  in
+  Alcotest.(check bool) "returns None" true (Local_search.schedule shop = None)
+
+let test_deterministic () =
+  let g = Prng.create 97 in
+  let shop =
+    Gen.generate g
+      { Gen.n_tasks = 5; n_processors = 3; mean_tau = 1.0; stdev = 0.5; slack_factor = 0.6 }
+  in
+  let a = Local_search.schedule ~seed:5 shop and b = Local_search.schedule ~seed:5 shop in
+  Alcotest.(check bool) "same seed, same outcome" true
+    (match (a, b) with
+    | Some x, Some y -> x.Schedule.starts = y.Schedule.starts
+    | None, None -> true
+    | _ -> false)
+
+let test_never_misses_when_exhaustive_tiny () =
+  (* With enough restarts on 4-task instances, local search matches the
+     exhaustive oracle almost always; here we only require soundness and
+     cross-check positives. *)
+  let g = Prng.create 101 in
+  for _ = 1 to 50 do
+    let shop = Gen.arbitrary g ~n:4 ~m:3 ~max_tau:3 ~window:4 in
+    match Local_search.schedule ~restarts:16 shop with
+    | Some s ->
+        assert_feasible "ls" s;
+        Alcotest.(check bool) "exhaustive agrees" true (Exhaustive.permutation_feasible shop)
+    | None -> ()
+  done
+
+let suite =
+  [
+    Alcotest.test_case "tardiness objective" `Quick test_tardiness;
+    Alcotest.test_case "solves feasible sets" `Quick test_solves_feasible_sets;
+    Alcotest.test_case "dominates plain H" `Quick test_beats_plain_h;
+    Alcotest.test_case "sound on infeasible" `Quick test_sound_on_infeasible;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "agrees with exhaustive (positives)" `Quick
+      test_never_misses_when_exhaustive_tiny;
+  ]

@@ -1,0 +1,180 @@
+module Rat = E2e_rat.Rat
+module Task = E2e_model.Task
+module Flow_shop = E2e_model.Flow_shop
+module Visit = E2e_model.Visit
+module Recurrence_shop = E2e_model.Recurrence_shop
+module Periodic_shop = E2e_model.Periodic_shop
+open Helpers
+
+let sample_task () =
+  Task.make ~id:0 ~release:(r 2) ~deadline:(r 20) ~proc_times:[| r 1; r 3; r 2 |]
+
+let test_task_basics () =
+  let t = sample_task () in
+  Alcotest.(check int) "stages" 3 (Task.stages t);
+  check_rat "total" (r 6) (Task.total_time t);
+  check_rat "slack" (r 12) (Task.slack t)
+
+let test_effective_times () =
+  let t = sample_task () in
+  (* r_ij = r_i + sum earlier; d_ij = d_i - sum later. *)
+  check_rat "eff release stage 0" (r 2) (Task.effective_release t 0);
+  check_rat "eff release stage 1" (r 3) (Task.effective_release t 1);
+  check_rat "eff release stage 2" (r 6) (Task.effective_release t 2);
+  check_rat "eff deadline stage 2" (r 20) (Task.effective_deadline t 2);
+  check_rat "eff deadline stage 1" (r 18) (Task.effective_deadline t 1);
+  check_rat "eff deadline stage 0" (r 15) (Task.effective_deadline t 0)
+
+let test_task_validation () =
+  let expect_invalid f = Alcotest.(check bool) "rejects" true
+    (match f () with exception Invalid_argument _ -> true | _ -> false)
+  in
+  expect_invalid (fun () ->
+      Task.make ~id:0 ~release:Rat.zero ~deadline:Rat.one ~proc_times:[||]);
+  expect_invalid (fun () ->
+      Task.make ~id:0 ~release:Rat.zero ~deadline:Rat.one ~proc_times:[| Rat.zero |]);
+  expect_invalid (fun () ->
+      Task.make ~id:0 ~release:(r 5) ~deadline:(r 4) ~proc_times:[| Rat.one |])
+
+let test_classify () =
+  let identical =
+    Flow_shop.of_params
+      [| (r 0, r 10, [| r 2; r 2 |]); (r 0, r 12, [| r 2; r 2 |]) |]
+  in
+  let homogeneous =
+    Flow_shop.of_params
+      [| (r 0, r 10, [| r 2; r 3 |]); (r 0, r 12, [| r 2; r 3 |]) |]
+  in
+  let arbitrary =
+    Flow_shop.of_params
+      [| (r 0, r 10, [| r 2; r 3 |]); (r 0, r 12, [| r 1; r 3 |]) |]
+  in
+  (match Flow_shop.classify identical with
+  | `Identical_length tau -> check_rat "tau" (r 2) tau
+  | _ -> Alcotest.fail "expected identical-length");
+  (match Flow_shop.classify homogeneous with
+  | `Homogeneous taus -> check_rat "tau2" (r 3) taus.(1)
+  | _ -> Alcotest.fail "expected homogeneous");
+  match Flow_shop.classify arbitrary with
+  | `Arbitrary -> ()
+  | _ -> Alcotest.fail "expected arbitrary"
+
+let test_bottleneck_and_inflate () =
+  let shop =
+    Flow_shop.of_params
+      [| (r 0, r 30, [| r 2; r 5; r 1 |]); (r 0, r 30, [| r 4; r 3; r 1 |]) |]
+  in
+  Alcotest.(check int) "bottleneck is P2 (max tau 5)" 1 (Flow_shop.bottleneck shop);
+  let maxima = Flow_shop.max_proc_times shop in
+  check_rat "max on P1" (r 4) maxima.(0);
+  check_rat "max on P2" (r 5) maxima.(1);
+  let inflated = Flow_shop.inflate shop in
+  (match Flow_shop.classify inflated with
+  | `Homogeneous taus ->
+      check_rat "inflated P1" (r 4) taus.(0);
+      check_rat "inflated P3" (r 1) taus.(2)
+  | _ -> Alcotest.fail "inflation must give a homogeneous set");
+  (* Inflation keeps windows. *)
+  check_rat "release kept" (r 0) inflated.Flow_shop.tasks.(0).Task.release;
+  check_rat "deadline kept" (r 30) inflated.Flow_shop.tasks.(0).Task.deadline
+
+let test_utilization () =
+  let shop =
+    Flow_shop.of_params [| (r 0, r 10, [| r 2; r 3 |]); (r 0, r 20, [| r 2; r 3 |]) |]
+  in
+  (* 2/10 + 2/20 and 3/10 + 3/20. *)
+  check_rat "u on P1" (Rat.make 3 10) (Flow_shop.utilization shop 0);
+  check_rat "u on P2" (Rat.make 9 20) (Flow_shop.utilization shop 1)
+
+let test_visit_basics () =
+  let v = Visit.of_one_based [| 1; 2; 3; 4; 2; 3; 5 |] in
+  Alcotest.(check int) "k" 7 (Visit.length v);
+  Alcotest.(check int) "m" 5 v.Visit.processors;
+  Alcotest.(check (list int)) "reused" [ 1; 2 ] (Visit.reused_processors v);
+  Alcotest.(check bool) "not traditional" false (Visit.is_traditional v);
+  Alcotest.(check bool) "traditional" true (Visit.is_traditional (Visit.traditional 4))
+
+let test_visit_single_loop () =
+  let v = Visit.of_one_based [| 1; 2; 3; 4; 2; 3; 5 |] in
+  match Visit.single_loop v with
+  | Some { first_pos; span; reused } ->
+      Alcotest.(check int) "l" 1 first_pos;
+      Alcotest.(check int) "q" 3 span;
+      Alcotest.(check int) "reused" 2 reused
+  | None -> Alcotest.fail "expected a single loop"
+
+let test_visit_no_loop () =
+  Alcotest.(check bool) "traditional has no loop" true
+    (Visit.single_loop (Visit.traditional 3) = None);
+  (* Processor visited three times: not a simple pattern. *)
+  let v3 = Visit.of_one_based [| 1; 2; 1; 2; 1 |] in
+  Alcotest.(check bool) "triple visit rejected" true (Visit.single_loop v3 = None);
+  (* Two separate loops: spans differ. *)
+  let v2 = Visit.of_one_based [| 1; 2; 1; 3; 2 |] in
+  Alcotest.(check bool) "uneven spans rejected" true (Visit.single_loop v2 = None)
+
+let test_visit_graph () =
+  let v = Visit.of_one_based [| 1; 2; 3 |] in
+  let edges = Visit.graph_edges v in
+  Alcotest.(check int) "two edges" 2 (List.length edges);
+  let e = List.hd edges in
+  Alcotest.(check int) "src" 0 e.Visit.src;
+  Alcotest.(check int) "dst" 1 e.Visit.dst;
+  Alcotest.(check int) "label" 0 e.Visit.label
+
+let test_visit_validation () =
+  Alcotest.(check bool) "gap rejected" true
+    (match Visit.make [| 0; 2 |] with exception Invalid_argument _ -> true | _ -> false);
+  Alcotest.(check bool) "empty rejected" true
+    (match Visit.make [||] with exception Invalid_argument _ -> true | _ -> false)
+
+let test_recurrence_shop () =
+  let visit = Visit.of_one_based [| 1; 2; 1 |] in
+  let tasks =
+    Array.init 2 (fun id ->
+        Task.make ~id ~release:Rat.zero ~deadline:(r 12) ~proc_times:(Array.make 3 Rat.one))
+  in
+  let shop = Recurrence_shop.make ~visit tasks in
+  check_rat "identical unit" Rat.one (Option.get (Recurrence_shop.identical_unit shop));
+  check_rat "identical release" Rat.zero (Option.get (Recurrence_shop.identical_releases shop));
+  Alcotest.(check int) "stage 2 on P1" 0 (Recurrence_shop.processor_of_stage shop 2)
+
+let test_periodic_shop () =
+  let sys =
+    Periodic_shop.of_params
+      [| (r 4, [| r 1; r 2 |]); (r 8, [| r 2; r 2 |]) |]
+  in
+  check_rat "u1 = 1/4 + 2/8" (Rat.make 1 2) (Periodic_shop.utilization sys 0);
+  check_rat "u2 = 2/4 + 2/8" (Rat.make 3 4) (Periodic_shop.utilization sys 1);
+  check_rat "hyperperiod" (r 8) (Periodic_shop.hyperperiod sys);
+  check_rat "total processing" (r 3) (Periodic_shop.total_processing sys.Periodic_shop.jobs.(0))
+
+let test_periodic_validation () =
+  Alcotest.(check bool) "tau > period rejected" true
+    (match Periodic_shop.of_params [| (r 2, [| r 3 |]) |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_periodic_fractional_hyperperiod () =
+  let sys = Periodic_shop.of_params [| (Rat.make 25 2, [| r 1 |]); (r 10, [| r 1 |]) |] in
+  (* lcm(25/2, 10) = 50. *)
+  check_rat "hyperperiod of 12.5 and 10" (r 50) (Periodic_shop.hyperperiod sys)
+
+let suite =
+  [
+    Alcotest.test_case "task basics" `Quick test_task_basics;
+    Alcotest.test_case "effective times" `Quick test_effective_times;
+    Alcotest.test_case "task validation" `Quick test_task_validation;
+    Alcotest.test_case "classification" `Quick test_classify;
+    Alcotest.test_case "bottleneck & inflation" `Quick test_bottleneck_and_inflate;
+    Alcotest.test_case "utilization" `Quick test_utilization;
+    Alcotest.test_case "visit basics" `Quick test_visit_basics;
+    Alcotest.test_case "single loop detection" `Quick test_visit_single_loop;
+    Alcotest.test_case "no/complex loop" `Quick test_visit_no_loop;
+    Alcotest.test_case "visit graph" `Quick test_visit_graph;
+    Alcotest.test_case "visit validation" `Quick test_visit_validation;
+    Alcotest.test_case "recurrence shop" `Quick test_recurrence_shop;
+    Alcotest.test_case "periodic shop" `Quick test_periodic_shop;
+    Alcotest.test_case "periodic validation" `Quick test_periodic_validation;
+    Alcotest.test_case "fractional hyperperiod" `Quick test_periodic_fractional_hyperperiod;
+  ]

@@ -1,0 +1,128 @@
+module Rat = E2e_rat.Rat
+module Task = E2e_model.Task
+module Flow_shop = E2e_model.Flow_shop
+module Periodic_shop = E2e_model.Periodic_shop
+module Partition = E2e_partition.Partition
+module Analysis = E2e_periodic.Analysis
+open Helpers
+
+let test_proportional_shares () =
+  let shares = Partition.proportional_shares ~demands:[| Rat.make 1 4; Rat.make 1 2 |] in
+  check_rat "first share 1/3" (Rat.make 1 3) shares.(0);
+  check_rat "second share 2/3" (Rat.make 2 3) shares.(1);
+  check_rat "shares sum to 1" Rat.one (Rat.sum_array shares)
+
+let test_proportional_guard () =
+  Alcotest.(check bool) "zero demand rejected" true
+    (match Partition.proportional_shares ~demands:[| Rat.zero |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_scale_flow_shop () =
+  let shop = Flow_shop.of_params [| (r 0, r 20, [| r 1; r 2 |]) |] in
+  let scaled = Partition.scale_flow_shop shop ~fractions:[| Rat.make 1 2; Rat.one |] in
+  check_rat "P1 time doubled" (r 2) scaled.Flow_shop.tasks.(0).Task.proc_times.(0);
+  check_rat "P2 time unchanged" (r 2) scaled.Flow_shop.tasks.(0).Task.proc_times.(1);
+  check_rat "window unchanged" (r 20) scaled.Flow_shop.tasks.(0).Task.deadline
+
+let test_scale_fraction_guard () =
+  let shop = Flow_shop.of_params [| (r 0, r 20, [| r 1 |]) |] in
+  Alcotest.(check bool) "fraction > 1 rejected" true
+    (match Partition.scale_flow_shop shop ~fractions:[| r 2 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "fraction 0 rejected" true
+    (match Partition.scale_flow_shop shop ~fractions:[| Rat.zero |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_scale_periodic_overflow () =
+  (* Stretched past its period: the share is too small. *)
+  let sys = Periodic_shop.of_params [| (r 4, [| r 3 |]) |] in
+  Alcotest.(check bool) "tau > period rejected" true
+    (match Partition.scale_periodic sys ~fractions:[| Rat.make 1 2 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let two_systems () =
+  (* Two periodic flow shops sharing both processors of a 2-processor
+     platform; combined utilization stays below 1 per processor. *)
+  let a = Periodic_shop.of_params [| (r 10, [| r 1; r 1 |]); (r 20, [| r 2; r 2 |]) |] in
+  let b = Periodic_shop.of_params [| (r 8, [| r 1; r 1 |]) |] in
+  (a, b)
+
+let test_partition_periodic_scales_by_share () =
+  let a, b = two_systems () in
+  (* u_A = 1/10 + 2/20 = 1/5; u_B = 1/8 on both processors. *)
+  let shares = Partition.periodic_shares [ a; b ] ~processor:0 in
+  check_rat "A's share" (Rat.make 8 13) shares.(0);
+  check_rat "B's share" (Rat.make 5 13) shares.(1);
+  match Partition.partition_periodic [ a; b ] with
+  | [ a'; b' ] ->
+      (* Processing times grow by U/u. *)
+      check_rat "A stretched by 13/8" (Rat.make 13 8)
+        a'.Periodic_shop.jobs.(0).Periodic_shop.proc_times.(0);
+      check_rat "B stretched by 13/5" (Rat.make 13 5)
+        b'.Periodic_shop.jobs.(0).Periodic_shop.proc_times.(0)
+  | _ -> Alcotest.fail "two systems in, two out"
+
+let test_partition_preserves_schedulability_headroom () =
+  (* After utilization-proportional partitioning, each virtual processor
+     carries utilization equal to the physical processor's total — so if
+     the combined load was analysable before, each partition sees the
+     same utilization number. *)
+  let a, b = two_systems () in
+  let total_before = Rat.add (Periodic_shop.utilization a 0) (Periodic_shop.utilization b 0) in
+  match Partition.partition_periodic [ a; b ] with
+  | [ a'; b' ] ->
+      check_rat "A' utilization = combined" total_before (Periodic_shop.utilization a' 0);
+      check_rat "B' utilization = combined" total_before (Periodic_shop.utilization b' 0)
+  | _ -> Alcotest.fail "two systems"
+
+let test_partitioned_systems_analysable () =
+  let a, b = two_systems () in
+  match Partition.partition_periodic [ a; b ] with
+  | [ a'; b' ] ->
+      let ok sys =
+        match Analysis.analyse sys with
+        | Analysis.Schedulable _ | Analysis.Schedulable_postponed _ -> true
+        | Analysis.Not_schedulable _ -> false
+      in
+      Alcotest.(check bool) "A' analysable" true (ok a');
+      Alcotest.(check bool) "B' analysable" true (ok b')
+  | _ -> Alcotest.fail "two systems"
+
+let test_partition_flow_shops () =
+  let s1 = Flow_shop.of_params [| (r 0, r 10, [| r 2; r 1 |]) |] in
+  let s2 = Flow_shop.of_params [| (r 0, r 10, [| r 2; r 3 |]) |] in
+  match Partition.partition_flow_shops [ s1; s2 ] with
+  | [ s1'; s2' ] ->
+      (* Demands on P1 are equal (2/10 each): each gets half, times double. *)
+      check_rat "s1 P1 doubled" (r 4) s1'.Flow_shop.tasks.(0).Task.proc_times.(0);
+      check_rat "s2 P1 doubled" (r 4) s2'.Flow_shop.tasks.(0).Task.proc_times.(0);
+      (* On P2 demands are 1/10 vs 3/10: shares 1/4 and 3/4. *)
+      check_rat "s1 P2 x4" (r 4) s1'.Flow_shop.tasks.(0).Task.proc_times.(1);
+      check_rat "s2 P2 x4/3" (r 4) s2'.Flow_shop.tasks.(0).Task.proc_times.(1)
+  | _ -> Alcotest.fail "two shops"
+
+let test_partition_mismatched_processors () =
+  let s1 = Flow_shop.of_params [| (r 0, r 10, [| r 1 |]) |] in
+  let s2 = Flow_shop.of_params [| (r 0, r 10, [| r 1; r 1 |]) |] in
+  Alcotest.(check bool) "mismatch rejected" true
+    (match Partition.partition_flow_shops [ s1; s2 ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "proportional shares" `Quick test_proportional_shares;
+    Alcotest.test_case "share guard" `Quick test_proportional_guard;
+    Alcotest.test_case "scale flow shop" `Quick test_scale_flow_shop;
+    Alcotest.test_case "fraction guards" `Quick test_scale_fraction_guard;
+    Alcotest.test_case "periodic overflow guard" `Quick test_scale_periodic_overflow;
+    Alcotest.test_case "periodic partition shares" `Quick test_partition_periodic_scales_by_share;
+    Alcotest.test_case "utilization preserved" `Quick test_partition_preserves_schedulability_headroom;
+    Alcotest.test_case "partitions analysable" `Quick test_partitioned_systems_analysable;
+    Alcotest.test_case "flow-shop partition" `Quick test_partition_flow_shops;
+    Alcotest.test_case "processor mismatch" `Quick test_partition_mismatched_processors;
+  ]

@@ -1,0 +1,152 @@
+module Rat = E2e_rat.Rat
+module Periodic_shop = E2e_model.Periodic_shop
+module Rm_bounds = E2e_periodic.Rm_bounds
+module Analysis = E2e_periodic.Analysis
+module Paper = E2e_workload.Paper_instances
+
+let feq ?(tol = 1e-6) msg expected actual = Alcotest.(check (float tol)) msg expected actual
+
+let test_liu_layland () =
+  feq "n=1" 1.0 (Rm_bounds.liu_layland 1);
+  feq "n=2" (2.0 *. (sqrt 2.0 -. 1.0)) (Rm_bounds.liu_layland 2);
+  Alcotest.(check bool) "decreases to ln 2" true
+    (Rm_bounds.liu_layland 50 > log 2.0 && Rm_bounds.liu_layland 50 < Rm_bounds.liu_layland 2)
+
+let test_u_max_branches () =
+  (* Linear branch below 1/2; curve above; continuous at both ends. *)
+  feq "delta 0.3" 0.3 (Rm_bounds.u_max ~n:3 ~delta:0.3);
+  feq "continuity at 1/2" 0.5 (Rm_bounds.u_max ~n:3 ~delta:0.5);
+  feq "delta 1 = Liu-Layland" (Rm_bounds.liu_layland 3) (Rm_bounds.u_max ~n:3 ~delta:1.0);
+  Alcotest.(check bool) "monotone" true
+    (Rm_bounds.u_max ~n:3 ~delta:0.8 > Rm_bounds.u_max ~n:3 ~delta:0.6)
+
+let test_u_max_guards () =
+  Alcotest.(check bool) "delta > 1 rejected" true
+    (match Rm_bounds.u_max ~n:2 ~delta:1.5 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "n = 0 rejected" true
+    (match Rm_bounds.u_max ~n:0 ~delta:0.5 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_min_delta () =
+  (* Linear branch: delta = u. *)
+  feq "u=0.33" 0.33 (Option.get (Rm_bounds.min_delta ~n:3 ~u:0.33));
+  feq "u=0.36" 0.36 (Option.get (Rm_bounds.min_delta ~n:3 ~u:0.36));
+  (* Upper branch: the paper's Table 5 value, u = 0.55, n = 2 -> 0.553. *)
+  let d = Option.get (Rm_bounds.min_delta ~n:2 ~u:0.55) in
+  Alcotest.(check bool) (Printf.sprintf "delta = %.4f close to 0.553" d) true
+    (Float.abs (d -. 0.553) < 0.002);
+  (* Inversion really inverts. *)
+  feq ~tol:1e-6 "u_max(min_delta u) = u" 0.55 (Rm_bounds.u_max ~n:2 ~delta:d);
+  (* Beyond Liu-Layland: no guarantee. *)
+  Alcotest.(check bool) "u=0.9, n=2 unguaranteed" true (Rm_bounds.min_delta ~n:2 ~u:0.9 = None)
+
+let test_table4_analysis () =
+  (* Reconstructed Table 4: u1 = 0.33, u2 = 0.36 -> delta = (0.33, 0.36),
+     total 0.69 <= 1: schedulable within the period.  The derived numbers
+     the OCR preserved: delta1 p1 = 3.3, delta1 p2 = 4.125, delta1 p3 =
+     6.6, J1 completes within 6.9. *)
+  let sys = Paper.table4 () in
+  match Analysis.analyse sys with
+  | Analysis.Schedulable { deltas; total } ->
+      feq "delta1" 0.33 deltas.(0);
+      feq "delta2" 0.36 deltas.(1);
+      feq "total" 0.69 total;
+      feq "delta1 * p1 = 3.3" 3.3 (deltas.(0) *. 10.0);
+      feq "delta1 * p2 = 4.125" 4.125 (deltas.(0) *. 12.5);
+      feq "delta1 * p3 = 6.6" 6.6 (deltas.(0) *. 20.0);
+      feq "J1 end-to-end bound 6.9" 6.9 (Analysis.response_bound sys deltas 0)
+  | v -> Alcotest.failf "expected schedulable: %a" Analysis.pp_verdict v
+
+let test_table4_phases () =
+  let sys = Paper.table4 () in
+  match Analysis.analyse sys with
+  | Analysis.Schedulable { deltas; _ } ->
+      let phases = Analysis.phases sys deltas in
+      feq "J1 on P1 at its phase" 0.0 phases.(0).(0);
+      feq "J1 on P2 postponed by 3.3" 3.3 phases.(0).(1);
+      feq "J2 on P2 postponed by 4.125" 4.125 phases.(1).(1);
+      feq "J3 on P2 postponed by 6.6" 6.6 phases.(2).(1)
+  | v -> Alcotest.failf "expected schedulable: %a" Analysis.pp_verdict v
+
+let test_table5_analysis () =
+  (* u = 0.55 per processor: each delta = 0.553, total 1.106 > 1 ->
+     schedulable only with deadlines postponed ~10.6% past the period. *)
+  let sys = Paper.table5 () in
+  match Analysis.analyse sys with
+  | Analysis.Schedulable_postponed { deltas; total } ->
+      Alcotest.(check bool) "delta1 ~ 0.553" true (Float.abs (deltas.(0) -. 0.553) < 0.002);
+      Alcotest.(check bool) "total ~ 1.106" true (Float.abs (total -. 1.106) < 0.004)
+  | v -> Alcotest.failf "expected postponed-schedulable: %a" Analysis.pp_verdict v
+
+let test_not_schedulable () =
+  (* Utilization 0.9 on one processor with 2 jobs exceeds 0.828. *)
+  let sys =
+    Periodic_shop.of_params
+      [|
+        (Rat.of_int 2, [| Rat.of_decimal_string "0.9" |]);
+        (Rat.of_int 5, [| Rat.of_decimal_string "2.25" |]);
+      |]
+  in
+  match Analysis.analyse sys with
+  | Analysis.Not_schedulable { processor = 0; utilization } -> feq "u" 0.9 utilization
+  | v -> Alcotest.failf "expected not-schedulable: %a" Analysis.pp_verdict v
+
+let test_per_processor_cap () =
+  feq "cap 1/2 on 2 processors" 0.5 (Analysis.per_processor_cap ~m:2);
+  feq "cap 1/4 on 4 processors" 0.25 (Analysis.per_processor_cap ~m:4)
+
+let test_phases_monotone () =
+  let sys = Paper.table4 () in
+  match Analysis.deltas sys with
+  | Error _ -> Alcotest.fail "schedulable"
+  | Ok ds ->
+      let phases = Analysis.phases sys ds in
+      Array.iter
+        (fun row ->
+          for j = 1 to Array.length row - 1 do
+            Alcotest.(check bool) "phases nondecreasing along the chain" true
+              (row.(j) >= row.(j - 1))
+          done)
+        phases
+
+let test_deadline_factor () =
+  (* Table 5 needs factor ~1.105: rejected at 1.0, accepted at 1.2, and
+     accepted at the end-of-mth-period limit. *)
+  let sys = Paper.table5 () in
+  Alcotest.(check bool) "factor 1.0 rejected" false
+    (Analysis.schedulable_with_deadline_factor ~deadline_factor:1.0 sys);
+  Alcotest.(check bool) "factor 1.2 accepted" true
+    (Analysis.schedulable_with_deadline_factor ~deadline_factor:1.2 sys);
+  Alcotest.(check bool) "factor m accepted" true
+    (Analysis.schedulable_with_deadline_factor ~deadline_factor:2.0 sys);
+  Alcotest.(check bool) "guard" true
+    (match Analysis.schedulable_with_deadline_factor ~deadline_factor:0.0 sys with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_deadline_factor_with_policies () =
+  let sys = Paper.table5 () in
+  (* EDF needs only 1.10. *)
+  Alcotest.(check bool) "EDF at 1.10" true
+    (Analysis.schedulable_with_deadline_factor
+       ~policies:[| Analysis.Edf; Analysis.Edf |]
+       ~deadline_factor:1.101 sys)
+
+let suite =
+  [
+    Alcotest.test_case "deadline factor" `Quick test_deadline_factor;
+    Alcotest.test_case "deadline factor with policies" `Quick test_deadline_factor_with_policies;
+    Alcotest.test_case "Liu-Layland bound" `Quick test_liu_layland;
+    Alcotest.test_case "u_max branches" `Quick test_u_max_branches;
+    Alcotest.test_case "u_max guards" `Quick test_u_max_guards;
+    Alcotest.test_case "min_delta" `Quick test_min_delta;
+    Alcotest.test_case "table 4 analysis" `Quick test_table4_analysis;
+    Alcotest.test_case "table 4 phases" `Quick test_table4_phases;
+    Alcotest.test_case "table 5 analysis" `Quick test_table5_analysis;
+    Alcotest.test_case "not schedulable" `Quick test_not_schedulable;
+    Alcotest.test_case "per-processor cap" `Quick test_per_processor_cap;
+    Alcotest.test_case "phases monotone" `Quick test_phases_monotone;
+  ]

@@ -1,0 +1,162 @@
+module Rat = E2e_rat.Rat
+module Task = E2e_model.Task
+module Flow_shop = E2e_model.Flow_shop
+module Visit = E2e_model.Visit
+module Recurrence_shop = E2e_model.Recurrence_shop
+module Schedule = E2e_schedule.Schedule
+module Preemptive = E2e_sim.Preemptive_flow_sim
+module Solver = E2e_core.Solver
+module Prng = E2e_prng.Prng
+module Gen = E2e_workload.Feasible_gen
+open Helpers
+
+let of_flow shop = Recurrence_shop.of_traditional shop
+
+let test_single_task_chain () =
+  let shop = Flow_shop.of_params [| (r 1, r 10, [| r 2; r 3 |]) |] in
+  let result = Preemptive.run (of_flow shop) in
+  check_rat "stage 0 completes" (r 3) result.Preemptive.completions.(0).(0);
+  check_rat "stage 1 chains" (r 6) result.Preemptive.completions.(0).(1);
+  Alcotest.(check (list int)) "no misses" [] result.Preemptive.deadline_misses
+
+let test_preemption_happens () =
+  (* A loose task starts on P1; a tight one released mid-flight preempts
+     it (nonpreemptive dispatching would miss). *)
+  let shop =
+    Flow_shop.of_params
+      [| (r 0, r 40, [| r 10; r 1 |]); (r 1, r 5, [| r 2; r 1 |]) |]
+  in
+  let result = Preemptive.run (of_flow shop) in
+  Alcotest.(check (list int)) "tight task saved by preemption" []
+    result.Preemptive.deadline_misses;
+  check_rat "tight task stage 0 done at 3" (r 3) result.Preemptive.completions.(1).(0);
+  (* The preempted task's P1 work appears as two segments. *)
+  let p1_segments_task0 =
+    List.filter (fun s -> s.Preemptive.task = 0 && s.Preemptive.stage = 0)
+      result.Preemptive.segments.(0)
+  in
+  Alcotest.(check int) "task 0 split in two slices" 2 (List.length p1_segments_task0)
+
+let test_segments_cover_work () =
+  (* Total slice length per (task, stage) equals the processing time. *)
+  let g = Prng.create 61 in
+  for _ = 1 to 50 do
+    let shop =
+      Gen.generate g
+        { Gen.n_tasks = 4; n_processors = 3; mean_tau = 1.0; stdev = 0.4; slack_factor = 0.5 }
+    in
+    let rshop = of_flow shop in
+    let result = Preemptive.run rshop in
+    Array.iteri
+      (fun _ slices ->
+        List.iter
+          (fun s ->
+            Alcotest.(check bool) "slice is forward" true Rat.(s.Preemptive.until > s.Preemptive.from_))
+          slices)
+      result.Preemptive.segments;
+    let work = Hashtbl.create 16 in
+    Array.iter
+      (List.iter (fun s ->
+           let key = (s.Preemptive.task, s.Preemptive.stage) in
+           let prev = Option.value ~default:Rat.zero (Hashtbl.find_opt work key) in
+           Hashtbl.replace work key (Rat.add prev (Rat.sub s.Preemptive.until s.Preemptive.from_))))
+      result.Preemptive.segments;
+    Array.iteri
+      (fun i (task : Task.t) ->
+        Array.iteri
+          (fun j tau ->
+            check_rat
+              (Printf.sprintf "work(%d,%d)" i j)
+              tau
+              (Option.value ~default:Rat.zero (Hashtbl.find_opt work (i, j))))
+          task.proc_times)
+      shop.Flow_shop.tasks
+  done
+
+let test_preemptive_on_feasible_sets () =
+  (* On the Figure-9 style feasible instances the preemptive dispatcher
+     is a strong heuristic; just require it to be well-defined and record
+     a sane rate. *)
+  let g = Prng.create 67 in
+  let ok = ref 0 in
+  let trials = 100 in
+  for _ = 1 to trials do
+    let shop =
+      Gen.generate g
+        { Gen.n_tasks = 5; n_processors = 3; mean_tau = 1.0; stdev = 0.5; slack_factor = 1.0 }
+    in
+    if Preemptive.feasible (of_flow shop) then incr ok
+  done;
+  Alcotest.(check bool) (Printf.sprintf "preemptive EDF solves %d/100" !ok) true (!ok > 50)
+
+let test_respects_precedence () =
+  let g = Prng.create 73 in
+  for _ = 1 to 30 do
+    let shop =
+      Gen.generate g
+        { Gen.n_tasks = 4; n_processors = 3; mean_tau = 1.0; stdev = 0.3; slack_factor = 0.5 }
+    in
+    let result = Preemptive.run (of_flow shop) in
+    Array.iteri
+      (fun i row ->
+        for j = 1 to Array.length row - 1 do
+          let prev = row.(j - 1) in
+          (* Next stage never finishes before its predecessor plus its
+             own processing time. *)
+          let tau = shop.Flow_shop.tasks.(i).Task.proc_times.(j) in
+          Alcotest.(check bool) "chain order" true Rat.(row.(j) >= Rat.add prev tau)
+        done)
+      result.Preemptive.completions
+  done
+
+let test_solver_fallback_complex_recurrence () =
+  (* A triple visit to P1 is not a simple loop: Algorithm R refuses, the
+     fallback greedy dispatcher still solves it when deadlines allow. *)
+  let visit = Visit.of_one_based [| 1; 2; 1; 2; 1 |] in
+  let tasks =
+    Array.init 2 (fun id ->
+        Task.make ~id ~release:Rat.zero ~deadline:(r 20)
+          ~proc_times:(Array.make 5 Rat.one))
+  in
+  let shop = Recurrence_shop.make ~visit tasks in
+  (match Solver.solve_recurrent shop with
+  | Error `No_single_loop -> ()
+  | _ -> Alcotest.fail "R must refuse the complex pattern");
+  match Solver.solve_recurrent_or_fallback shop with
+  | Solver.Recurrent_feasible (s, `Greedy_edf) -> assert_feasible "fallback schedule" s
+  | Solver.Recurrent_feasible (_, _) -> Alcotest.fail "expected the greedy fallback"
+  | Solver.Recurrent_proved_infeasible | Solver.Recurrent_undecided ->
+      Alcotest.fail "generous deadlines are solvable greedily"
+
+let test_solver_fallback_traditional () =
+  let shop =
+    Flow_shop.of_params [| (r 0, r 9, [| r 1; r 1 |]); (r 0, r 9, [| r 1; r 1 |]) |]
+  in
+  match Solver.solve_recurrent_or_fallback (of_flow shop) with
+  | Solver.Recurrent_feasible (_, `Traditional) -> ()
+  | _ -> Alcotest.fail "traditional shops route through the classifier"
+
+let test_csv_export () =
+  let shop = Flow_shop.of_params [| (r 0, r 10, [| Rat.make 3 2; r 2 |]) |] in
+  match E2e_core.Solver.solve shop with
+  | Solver.Feasible (s, _) ->
+      let csv = Schedule.to_csv s in
+      Alcotest.(check bool) "header" true
+        (Helpers.contains csv "task,stage,processor,start,finish");
+      Alcotest.(check bool) "rational field" true (Helpers.contains csv "3/2");
+      Alcotest.(check int) "one line per stage + header" 3
+        (List.length (String.split_on_char '\n' (String.trim csv)))
+  | _ -> Alcotest.fail "feasible"
+
+let suite =
+  [
+    Alcotest.test_case "single chain" `Quick test_single_task_chain;
+    Alcotest.test_case "preemption happens" `Quick test_preemption_happens;
+    Alcotest.test_case "segments cover the work" `Quick test_segments_cover_work;
+    Alcotest.test_case "solves most feasible sets" `Quick test_preemptive_on_feasible_sets;
+    Alcotest.test_case "respects precedence" `Quick test_respects_precedence;
+    Alcotest.test_case "solver fallback (complex recurrence)" `Quick
+      test_solver_fallback_complex_recurrence;
+    Alcotest.test_case "solver fallback (traditional)" `Quick test_solver_fallback_traditional;
+    Alcotest.test_case "CSV export" `Quick test_csv_export;
+  ]

@@ -1,0 +1,112 @@
+module Prng = E2e_prng.Prng
+module Rat = E2e_rat.Rat
+open Helpers
+
+let test_determinism () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  Alcotest.(check bool) "different seeds differ" true (Prng.bits64 a <> Prng.bits64 b)
+
+let test_copy_independence () =
+  let a = Prng.create 7 in
+  ignore (Prng.bits64 a);
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Prng.bits64 a) (Prng.bits64 b)
+
+let test_split () =
+  let a = Prng.create 7 in
+  let b = Prng.split a in
+  Alcotest.(check bool) "split stream differs from parent" true
+    (Prng.bits64 a <> Prng.bits64 b)
+
+let test_int_range () =
+  let g = Prng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Prng.int g 17 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 17)
+  done
+
+let test_int_coverage () =
+  let g = Prng.create 5 in
+  let seen = Array.make 6 false in
+  for _ = 1 to 500 do
+    seen.(Prng.int g 6) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all Fun.id seen)
+
+let test_float_range () =
+  let g = Prng.create 11 in
+  for _ = 1 to 1000 do
+    let x = Prng.float g 2.5 in
+    Alcotest.(check bool) "in [0, 2.5)" true (x >= 0.0 && x < 2.5)
+  done
+
+let test_normal_moments () =
+  let g = Prng.create 13 in
+  let n = 20_000 in
+  let samples = Array.init n (fun _ -> Prng.normal g ~mean:3.0 ~stdev:0.5) in
+  let mean = E2e_stats.Stats.mean samples in
+  let stdev = E2e_stats.Stats.stdev samples in
+  Alcotest.(check bool) "mean close to 3" true (Float.abs (mean -. 3.0) < 0.02);
+  Alcotest.(check bool) "stdev close to 0.5" true (Float.abs (stdev -. 0.5) < 0.02)
+
+let test_truncated_normal () =
+  let g = Prng.create 17 in
+  for _ = 1 to 2000 do
+    let x = Prng.truncated_normal g ~mean:1.0 ~stdev:0.5 ~lo:0.05 in
+    Alcotest.(check bool) "above lo" true (x >= 0.05)
+  done
+
+let test_exponential_mean () =
+  let g = Prng.create 19 in
+  let n = 20_000 in
+  let samples = Array.init n (fun _ -> Prng.exponential g ~rate:2.0) in
+  let mean = E2e_stats.Stats.mean samples in
+  Alcotest.(check bool) "mean close to 1/2" true (Float.abs (mean -. 0.5) < 0.02)
+
+let test_permutation () =
+  let g = Prng.create 23 in
+  for _ = 1 to 50 do
+    let p = Prng.permutation g 10 in
+    let sorted = Array.copy p in
+    Array.sort compare sorted;
+    Alcotest.(check (array int)) "is a permutation" (Array.init 10 Fun.id) sorted
+  done
+
+let test_rat_uniform () =
+  let g = Prng.create 29 in
+  let lo = Rat.make 1 2 and hi = Rat.of_int 3 in
+  for _ = 1 to 500 do
+    let x = Prng.rat_uniform g ~den:4 lo hi in
+    Alcotest.(check bool) "in range" true Rat.(x >= lo && x <= hi);
+    Alcotest.(check bool) "on grid" true (Rat.is_multiple_of x (Rat.make 1 4))
+  done
+
+let test_rat_uniform_degenerate () =
+  let g = Prng.create 31 in
+  (* Interval too narrow for the grid: falls back to lo. *)
+  let lo = Rat.make 1 3 and hi = Rat.make 5 12 in
+  let x = Prng.rat_uniform g ~den:2 lo hi in
+  check_rat "degenerate falls back to lo" lo x
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "copy independence" `Quick test_copy_independence;
+    Alcotest.test_case "split" `Quick test_split;
+    Alcotest.test_case "int range" `Quick test_int_range;
+    Alcotest.test_case "int coverage" `Quick test_int_coverage;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "normal moments" `Quick test_normal_moments;
+    Alcotest.test_case "truncated normal" `Quick test_truncated_normal;
+    Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+    Alcotest.test_case "permutation" `Quick test_permutation;
+    Alcotest.test_case "rat_uniform" `Quick test_rat_uniform;
+    Alcotest.test_case "rat_uniform degenerate" `Quick test_rat_uniform_degenerate;
+  ]

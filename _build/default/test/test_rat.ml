@@ -1,0 +1,132 @@
+module Rat = E2e_rat.Rat
+open Helpers
+
+let test_normalisation () =
+  check_rat "6/4 = 3/2" (Rat.make 3 2) (Rat.make 6 4);
+  check_rat "-6/-4 = 3/2" (Rat.make 3 2) (Rat.make (-6) (-4));
+  check_rat "6/-4 = -3/2" (Rat.make (-3) 2) (Rat.make 6 (-4));
+  check_rat "0/7 = 0" Rat.zero (Rat.make 0 7);
+  Alcotest.check Alcotest.int "den of 0 is 1" 1 (Rat.den (Rat.make 0 7))
+
+let test_arithmetic () =
+  check_rat "1/2 + 1/3" (Rat.make 5 6) (Rat.add (Rat.make 1 2) (Rat.make 1 3));
+  check_rat "1/2 - 1/3" (Rat.make 1 6) (Rat.sub (Rat.make 1 2) (Rat.make 1 3));
+  check_rat "2/3 * 3/4" (Rat.make 1 2) (Rat.mul (Rat.make 2 3) (Rat.make 3 4));
+  check_rat "(1/2) / (1/4)" (r 2) (Rat.div (Rat.make 1 2) (Rat.make 1 4));
+  check_rat "mul_int" (Rat.make 3 2) (Rat.mul_int (Rat.make 1 2) 3);
+  check_rat "div_int" (Rat.make 1 6) (Rat.div_int (Rat.make 1 2) 3)
+
+let test_division_by_zero () =
+  Alcotest.check_raises "make _ 0" Rat.Division_by_zero (fun () -> ignore (Rat.make 1 0));
+  Alcotest.check_raises "div by zero" Rat.Division_by_zero (fun () ->
+      ignore (Rat.div Rat.one Rat.zero));
+  Alcotest.check_raises "inv zero" Rat.Division_by_zero (fun () -> ignore (Rat.inv Rat.zero))
+
+let test_compare () =
+  Alcotest.(check bool) "1/3 < 1/2" true Rat.(Rat.make 1 3 < Rat.make 1 2);
+  Alcotest.(check bool) "-1/2 < 1/3" true Rat.(Rat.make (-1) 2 < Rat.make 1 3);
+  check_rat "min" (Rat.make 1 3) (Rat.min (Rat.make 1 3) (Rat.make 1 2));
+  check_rat "max" (Rat.make 1 2) (Rat.max (Rat.make 1 3) (Rat.make 1 2));
+  Alcotest.(check int) "sign neg" (-1) (Rat.sign (Rat.make (-1) 5));
+  Alcotest.(check int) "sign zero" 0 (Rat.sign Rat.zero)
+
+let test_floor_ceil () =
+  Alcotest.(check int) "floor 7/2" 3 (Rat.floor (Rat.make 7 2));
+  Alcotest.(check int) "floor -7/2" (-4) (Rat.floor (Rat.make (-7) 2));
+  Alcotest.(check int) "ceil 7/2" 4 (Rat.ceil (Rat.make 7 2));
+  Alcotest.(check int) "ceil -7/2" (-3) (Rat.ceil (Rat.make (-7) 2));
+  Alcotest.(check int) "floor integer" 5 (Rat.floor (r 5));
+  Alcotest.(check int) "ceil integer" 5 (Rat.ceil (r 5))
+
+let test_multiples () =
+  Alcotest.(check bool) "3/2 multiple of 1/2" true (Rat.is_multiple_of (Rat.make 3 2) (Rat.make 1 2));
+  Alcotest.(check bool) "1/3 not multiple of 1/2" false
+    (Rat.is_multiple_of (Rat.make 1 3) (Rat.make 1 2))
+
+let test_parse () =
+  check_rat "int" (r 42) (q "42");
+  check_rat "negative decimal" (Rat.make (-11) 4) (q "-2.75");
+  check_rat "fraction" (Rat.make 4 3) (q "4/3");
+  check_rat "0.1" (Rat.make 1 10) (q "0.1");
+  check_rat "12.5" (Rat.make 25 2) (q "12.5");
+  Alcotest.check_raises "garbage" (Invalid_argument "Rat.of_decimal_string: \"x\"") (fun () ->
+      ignore (q "x"))
+
+let test_to_string () =
+  Alcotest.(check string) "integer" "7" (Rat.to_string (r 7));
+  Alcotest.(check string) "fraction" "-3/2" (Rat.to_string (Rat.make 3 (-2)));
+  Alcotest.(check string) "decimal pp" "2.75" (Format.asprintf "%a" Rat.pp_decimal (q "2.75"))
+
+let test_of_float () =
+  check_rat "0.5" (Rat.make 1 2) (Rat.of_float 0.5);
+  check_rat "0.553 approx" (q "0.553") (Rat.of_float ~max_den:1000 0.553);
+  check_rat "integer float" (r 3) (Rat.of_float 3.0);
+  check_rat "negative" (Rat.make (-1) 4) (Rat.of_float (-0.25))
+
+let test_sum () =
+  check_rat "sum list" (Rat.make 11 6) (Rat.sum [ Rat.one; Rat.make 1 2; Rat.make 1 3 ]);
+  check_rat "sum empty" Rat.zero (Rat.sum []);
+  check_rat "sum array" (r 6) (Rat.sum_array [| r 1; r 2; r 3 |])
+
+(* Field laws on a grid of small rationals. *)
+let arb_rat = QCheck.make ~print:Rat.to_string (rat_gen ~den:12 ~lo:(-20) ~hi:20 ())
+
+let prop_add_comm =
+  QCheck.Test.make ~name:"rat add commutative" ~count:500 (QCheck.pair arb_rat arb_rat)
+    (fun (a, b) -> Rat.equal (Rat.add a b) (Rat.add b a))
+
+let prop_add_assoc =
+  QCheck.Test.make ~name:"rat add associative" ~count:500
+    (QCheck.triple arb_rat arb_rat arb_rat) (fun (a, b, c) ->
+      Rat.equal (Rat.add a (Rat.add b c)) (Rat.add (Rat.add a b) c))
+
+let prop_mul_distributes =
+  QCheck.Test.make ~name:"rat mul distributes over add" ~count:500
+    (QCheck.triple arb_rat arb_rat arb_rat) (fun (a, b, c) ->
+      Rat.equal (Rat.mul a (Rat.add b c)) (Rat.add (Rat.mul a b) (Rat.mul a c)))
+
+let prop_sub_add_inverse =
+  QCheck.Test.make ~name:"rat a - b + b = a" ~count:500 (QCheck.pair arb_rat arb_rat)
+    (fun (a, b) -> Rat.equal a (Rat.add (Rat.sub a b) b))
+
+let prop_div_mul_inverse =
+  QCheck.Test.make ~name:"rat (a/b)*b = a for b<>0" ~count:500 (QCheck.pair arb_rat arb_rat)
+    (fun (a, b) ->
+      QCheck.assume (not (Rat.is_zero b));
+      Rat.equal a (Rat.mul (Rat.div a b) b))
+
+let prop_compare_total =
+  QCheck.Test.make ~name:"rat compare antisymmetric" ~count:500 (QCheck.pair arb_rat arb_rat)
+    (fun (a, b) -> Rat.compare a b = -Rat.compare b a)
+
+let prop_floor_ceil =
+  QCheck.Test.make ~name:"rat floor <= x <= ceil, within 1" ~count:500 arb_rat (fun a ->
+      let f = Rat.floor a and c = Rat.ceil a in
+      Rat.(r f <= a) && Rat.(a <= r c) && c - f <= 1)
+
+let prop_to_float_order =
+  QCheck.Test.make ~name:"rat to_float preserves strict order" ~count:500
+    (QCheck.pair arb_rat arb_rat) (fun (a, b) ->
+      if Rat.(a < b) then Rat.to_float a < Rat.to_float b else true)
+
+let suite =
+  [
+    Alcotest.test_case "normalisation" `Quick test_normalisation;
+    Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+    Alcotest.test_case "division by zero" `Quick test_division_by_zero;
+    Alcotest.test_case "comparison" `Quick test_compare;
+    Alcotest.test_case "floor/ceil" `Quick test_floor_ceil;
+    Alcotest.test_case "multiples" `Quick test_multiples;
+    Alcotest.test_case "parsing" `Quick test_parse;
+    Alcotest.test_case "printing" `Quick test_to_string;
+    Alcotest.test_case "of_float" `Quick test_of_float;
+    Alcotest.test_case "sums" `Quick test_sum;
+    to_alcotest prop_add_comm;
+    to_alcotest prop_add_assoc;
+    to_alcotest prop_mul_distributes;
+    to_alcotest prop_sub_add_inverse;
+    to_alcotest prop_div_mul_inverse;
+    to_alcotest prop_compare_total;
+    to_alcotest prop_floor_ceil;
+    to_alcotest prop_to_float_order;
+  ]

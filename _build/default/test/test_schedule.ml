@@ -1,0 +1,172 @@
+module Rat = E2e_rat.Rat
+module Task = E2e_model.Task
+module Flow_shop = E2e_model.Flow_shop
+module Visit = E2e_model.Visit
+module Recurrence_shop = E2e_model.Recurrence_shop
+module Schedule = E2e_schedule.Schedule
+open Helpers
+
+let two_task_shop () =
+  Flow_shop.of_params
+    [| (r 0, r 10, [| r 2; r 3 |]); (r 1, r 12, [| r 2; r 3 |]) |]
+
+let good_starts () = [| [| r 0; r 2 |]; [| r 2; r 5 |] |]
+
+let test_accessors () =
+  let s = Schedule.of_flow_shop (two_task_shop ()) (good_starts ()) in
+  check_rat "start" (r 2) (Schedule.start s ~task:1 ~stage:0);
+  check_rat "finish" (r 5) (Schedule.finish s ~task:0 ~stage:1);
+  check_rat "completion T2" (r 8) (Schedule.completion s 1);
+  check_rat "makespan" (r 8) (Schedule.makespan s)
+
+let test_feasible () =
+  let s = Schedule.of_flow_shop (two_task_shop ()) (good_starts ()) in
+  assert_feasible "hand schedule" s;
+  Alcotest.(check bool) "permutation" true (Schedule.is_permutation s)
+
+let has_violation pred s =
+  List.exists pred (Schedule.violations s)
+
+let test_release_violation () =
+  let s =
+    Schedule.of_flow_shop (two_task_shop ()) [| [| r 0; r 2 |]; [| Rat.zero; r 5 |] |]
+  in
+  Alcotest.(check bool) "detects release" true
+    (has_violation (function Schedule.Release_violated { task = 1; _ } -> true | _ -> false) s)
+
+let test_deadline_violation () =
+  let s = Schedule.of_flow_shop (two_task_shop ()) [| [| r 0; r 8 |]; [| r 2; r 5 |] |] in
+  Alcotest.(check bool) "detects deadline" true
+    (has_violation (function Schedule.Deadline_missed { task = 0; _ } -> true | _ -> false) s)
+
+let test_precedence_violation () =
+  let s = Schedule.of_flow_shop (two_task_shop ()) [| [| r 0; r 1 |]; [| r 2; r 5 |] |] in
+  Alcotest.(check bool) "detects precedence" true
+    (has_violation
+       (function Schedule.Precedence_violated { task = 0; stage = 1; _ } -> true | _ -> false)
+       s)
+
+let test_overlap_violation () =
+  let s = Schedule.of_flow_shop (two_task_shop ()) [| [| r 0; r 2 |]; [| r 1; r 5 |] |] in
+  Alcotest.(check bool) "detects overlap" true
+    (has_violation (function Schedule.Overlap { processor = 0; _ } -> true | _ -> false) s)
+
+let test_overlap_on_reused_processor () =
+  (* Recurrent shop: stage 0 and stage 2 share P1; make them collide for
+     different tasks. *)
+  let visit = Visit.of_one_based [| 1; 2; 1 |] in
+  let tasks =
+    Array.init 2 (fun id ->
+        Task.make ~id ~release:Rat.zero ~deadline:(r 20) ~proc_times:(Array.make 3 (r 2)))
+  in
+  let shop = Recurrence_shop.make ~visit tasks in
+  let s = Schedule.make shop [| [| r 0; r 2; r 4 |]; [| r 3; r 6; r 8 |] |] in
+  Alcotest.(check bool) "collision across visits detected" true
+    (has_violation (function Schedule.Overlap { processor = 0; _ } -> true | _ -> false) s)
+
+let test_forward_pass () =
+  let shop = Recurrence_shop.of_traditional (two_task_shop ()) in
+  let s = Schedule.forward_pass shop ~order:[| 0; 1 |] in
+  assert_feasible "forward pass" s;
+  check_rat "T1 starts at release" (r 0) (Schedule.start s ~task:0 ~stage:0);
+  check_rat "T2 waits for P1" (r 2) (Schedule.start s ~task:1 ~stage:0);
+  check_rat "T2 stage 2 waits for P2" (r 5) (Schedule.start s ~task:1 ~stage:1)
+
+let test_forward_pass_respects_release () =
+  let shop =
+    Flow_shop.of_params [| (r 5, r 20, [| r 2; r 3 |]); (r 0, r 20, [| r 2; r 3 |]) |]
+  in
+  let s = Schedule.forward_pass (Recurrence_shop.of_traditional shop) ~order:[| 0; 1 |] in
+  check_rat "waits for release 5" (r 5) (Schedule.start s ~task:0 ~stage:0)
+
+let test_left_shift () =
+  let shop = two_task_shop () in
+  (* A needlessly delayed schedule. *)
+  let s = Schedule.of_flow_shop shop [| [| r 1; r 4 |]; [| r 3; r 8 |] |] in
+  let c = Schedule.left_shift s in
+  assert_feasible "compacted" c;
+  check_rat "T1 pulled to release" (r 0) (Schedule.start c ~task:0 ~stage:0);
+  check_rat "T1 stage 2 chains" (r 2) (Schedule.start c ~task:0 ~stage:1);
+  Alcotest.(check bool) "makespan not worse" true
+    Rat.(Schedule.makespan c <= Schedule.makespan s)
+
+let test_left_shift_idempotent () =
+  let shop = Recurrence_shop.of_traditional (two_task_shop ()) in
+  let s = Schedule.forward_pass shop ~order:[| 1; 0 |] in
+  let once = Schedule.left_shift s in
+  let twice = Schedule.left_shift once in
+  Alcotest.(check bool) "idempotent" true (once.Schedule.starts = twice.Schedule.starts)
+
+let test_pp_smoke () =
+  let s = Schedule.of_flow_shop (two_task_shop ()) (good_starts ()) in
+  let table = Format.asprintf "%a" Schedule.pp_table s in
+  Alcotest.(check bool) "table mentions T0" true (Helpers.contains table "T0");
+  let gantt = Format.asprintf "%a" (Schedule.pp_gantt ?unit_time:None) s in
+  Alcotest.(check bool) "gantt has both processor rows" true
+    (Helpers.contains gantt "P1 |" && Helpers.contains gantt "P2 |")
+
+(* Random-instance properties: left_shift of any forward-pass schedule
+   keeps feasibility and never delays any completion. *)
+let prop_left_shift_monotone =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~name:"left_shift never delays a completion" ~count:200
+       (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 1_000_000))
+       (fun seed ->
+         let g = E2e_prng.Prng.create seed in
+         let shop =
+           E2e_workload.Feasible_gen.generate g
+             {
+               E2e_workload.Feasible_gen.n_tasks = 5;
+               n_processors = 3;
+               mean_tau = 1.0;
+               stdev = 0.4;
+               slack_factor = 1.0;
+             }
+         in
+         let rshop = Recurrence_shop.of_traditional shop in
+         let order = E2e_prng.Prng.permutation g 5 in
+         let s = Schedule.forward_pass rshop ~order in
+         let shifted = Schedule.left_shift s in
+         let ok = ref (Schedule.is_feasible shifted = Schedule.is_feasible s
+                       || Schedule.is_feasible shifted) in
+         for i = 0 to 4 do
+           if Rat.(Schedule.completion shifted i > Schedule.completion s i) then ok := false
+         done;
+         !ok))
+
+let prop_forward_pass_feasible_on_generated =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~name:"witness order forward pass is checker-clean" ~count:200
+       (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 1_000_000))
+       (fun seed ->
+         let g = E2e_prng.Prng.create seed in
+         let shop, witness =
+           E2e_workload.Feasible_gen.generate_with_witness g
+             {
+               E2e_workload.Feasible_gen.n_tasks = 4;
+               n_processors = 4;
+               mean_tau = 1.0;
+               stdev = 0.5;
+               slack_factor = 0.5;
+             }
+         in
+         ignore shop;
+         Schedule.is_feasible witness))
+
+let suite =
+  [
+    prop_left_shift_monotone;
+    prop_forward_pass_feasible_on_generated;
+    Alcotest.test_case "accessors" `Quick test_accessors;
+    Alcotest.test_case "feasible schedule" `Quick test_feasible;
+    Alcotest.test_case "release violation" `Quick test_release_violation;
+    Alcotest.test_case "deadline violation" `Quick test_deadline_violation;
+    Alcotest.test_case "precedence violation" `Quick test_precedence_violation;
+    Alcotest.test_case "overlap violation" `Quick test_overlap_violation;
+    Alcotest.test_case "overlap on reused processor" `Quick test_overlap_on_reused_processor;
+    Alcotest.test_case "forward pass" `Quick test_forward_pass;
+    Alcotest.test_case "forward pass release" `Quick test_forward_pass_respects_release;
+    Alcotest.test_case "left shift" `Quick test_left_shift;
+    Alcotest.test_case "left shift idempotent" `Quick test_left_shift_idempotent;
+    Alcotest.test_case "pretty printers" `Quick test_pp_smoke;
+  ]

@@ -1,0 +1,64 @@
+module Stats = E2e_stats.Stats
+
+let feq msg expected actual =
+  Alcotest.(check (float 1e-9)) msg expected actual
+
+let test_mean () =
+  feq "mean" 2.5 (Stats.mean [| 1.0; 2.0; 3.0; 4.0 |]);
+  feq "mean empty" 0.0 (Stats.mean [||])
+
+let test_variance () =
+  (* Sum of squares 10 over n-1 = 4. *)
+  feq "variance" 2.5 (Stats.variance [| 1.0; 2.0; 3.0; 4.0; 5.0 |]);
+  feq "variance singleton" 0.0 (Stats.variance [| 3.0 |]);
+  feq "stdev" (sqrt 2.5) (Stats.stdev [| 1.0; 2.0; 3.0; 4.0; 5.0 |])
+
+let test_wilson () =
+  let ci = Stats.wilson_interval ~successes:8 ~trials:10 ~z:Stats.z_90 in
+  feq "estimate" 0.8 ci.Stats.estimate;
+  Alcotest.(check bool) "lo < estimate < hi" true (ci.lo < 0.8 && 0.8 < ci.hi);
+  Alcotest.(check bool) "bounded" true (ci.lo >= 0.0 && ci.hi <= 1.0)
+
+let test_wilson_extremes () =
+  let ci0 = Stats.wilson_interval ~successes:0 ~trials:20 ~z:Stats.z_90 in
+  Alcotest.(check bool) "zero successes: lo = 0" true (ci0.Stats.lo = 0.0);
+  Alcotest.(check bool) "zero successes: hi > 0" true (ci0.Stats.hi > 0.0);
+  let ci1 = Stats.wilson_interval ~successes:20 ~trials:20 ~z:Stats.z_90 in
+  Alcotest.(check bool) "all successes: hi = 1" true (ci1.Stats.hi = 1.0);
+  Alcotest.(check bool) "all successes: lo < 1" true (ci1.Stats.lo < 1.0)
+
+let test_normal_interval () =
+  let ci = Stats.normal_interval ~successes:50 ~trials:100 ~z:Stats.z_95 in
+  feq "estimate" 0.5 ci.Stats.estimate;
+  feq "half width" (1.96 *. sqrt (0.25 /. 100.0)) ((ci.Stats.hi -. ci.Stats.lo) /. 2.0)
+
+let test_wider_with_confidence () =
+  let w z =
+    let ci = Stats.wilson_interval ~successes:30 ~trials:60 ~z in
+    ci.Stats.hi -. ci.Stats.lo
+  in
+  Alcotest.(check bool) "95% interval wider than 90%" true (w Stats.z_95 > w Stats.z_90)
+
+let test_mean_interval () =
+  let m, lo, hi = Stats.mean_interval [| 1.0; 2.0; 3.0 |] ~z:Stats.z_90 in
+  feq "mean" 2.0 m;
+  Alcotest.(check bool) "brackets mean" true (lo < m && m < hi)
+
+let test_narrows_with_trials () =
+  let w trials =
+    let ci = Stats.wilson_interval ~successes:(trials / 2) ~trials ~z:Stats.z_90 in
+    ci.Stats.hi -. ci.Stats.lo
+  in
+  Alcotest.(check bool) "more trials narrow the interval" true (w 1000 < w 10)
+
+let suite =
+  [
+    Alcotest.test_case "mean" `Quick test_mean;
+    Alcotest.test_case "variance/stdev" `Quick test_variance;
+    Alcotest.test_case "wilson interval" `Quick test_wilson;
+    Alcotest.test_case "wilson extremes" `Quick test_wilson_extremes;
+    Alcotest.test_case "normal interval" `Quick test_normal_interval;
+    Alcotest.test_case "confidence widens" `Quick test_wider_with_confidence;
+    Alcotest.test_case "mean interval" `Quick test_mean_interval;
+    Alcotest.test_case "trials narrow" `Quick test_narrows_with_trials;
+  ]

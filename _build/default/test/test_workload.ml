@@ -1,0 +1,151 @@
+module Rat = E2e_rat.Rat
+module Task = E2e_model.Task
+module Flow_shop = E2e_model.Flow_shop
+module Schedule = E2e_schedule.Schedule
+module Prng = E2e_prng.Prng
+module Gen = E2e_workload.Feasible_gen
+module Paper = E2e_workload.Paper_instances
+open Helpers
+
+let params ?(n = 5) ?(m = 4) ?(stdev = 0.3) ?(slack = 1.0) () =
+  { Gen.n_tasks = n; n_processors = m; mean_tau = 1.0; stdev; slack_factor = slack }
+
+let test_witness_feasible () =
+  let g = Prng.create 1 in
+  for _ = 1 to 200 do
+    let shop, witness = Gen.generate_with_witness g (params ()) in
+    ignore shop;
+    assert_feasible "witness schedule" witness
+  done
+
+let test_shapes () =
+  let g = Prng.create 2 in
+  let shop = Gen.generate g (params ~n:7 ~m:3 ()) in
+  Alcotest.(check int) "tasks" 7 (Flow_shop.n_tasks shop);
+  Alcotest.(check int) "processors" 3 shop.Flow_shop.processors
+
+let test_releases_nonnegative () =
+  let g = Prng.create 3 in
+  for _ = 1 to 100 do
+    let shop = Gen.generate g (params ~slack:2.0 ()) in
+    Array.iter
+      (fun (t : Task.t) ->
+        Alcotest.(check bool) "release >= 0" true Rat.(t.release >= Rat.zero))
+      shop.Flow_shop.tasks
+  done
+
+let test_nominal_slack () =
+  (* When the witness span does not exceed the window, the nominal slack
+     is exactly slack_factor * tau_i; it is never below. *)
+  let g = Prng.create 4 in
+  let slack_factor = Rat.of_float ~max_den:1000 1.5 in
+  for _ = 1 to 100 do
+    let shop = Gen.generate g (params ~slack:1.5 ()) in
+    Array.iter
+      (fun (t : Task.t) ->
+        let nominal = Rat.mul slack_factor (Task.total_time t) in
+        Alcotest.(check bool) "slack >= nominal" true Rat.(Task.slack t >= nominal))
+      shop.Flow_shop.tasks
+  done
+
+let test_determinism () =
+  let shop1 = Gen.generate (Prng.create 42) (params ()) in
+  let shop2 = Gen.generate (Prng.create 42) (params ()) in
+  Alcotest.(check bool) "same seed, same instance" true
+    (Array.for_all2
+       (fun (a : Task.t) (b : Task.t) ->
+         Rat.equal a.release b.release && Rat.equal a.deadline b.deadline
+         && Array.for_all2 Rat.equal a.proc_times b.proc_times)
+       shop1.Flow_shop.tasks shop2.Flow_shop.tasks)
+
+let test_stdev_effect () =
+  (* Larger stdev must produce more dispersed processing times. *)
+  let spread stdev =
+    let g = Prng.create 77 in
+    let samples = ref [] in
+    for _ = 1 to 40 do
+      let shop = Gen.generate g (params ~stdev ()) in
+      Array.iter
+        (fun (t : Task.t) ->
+          Array.iter (fun tau -> samples := Rat.to_float tau :: !samples) t.proc_times)
+        shop.Flow_shop.tasks
+    done;
+    E2e_stats.Stats.stdev (Array.of_list !samples)
+  in
+  Alcotest.(check bool) "stdev 0.5 spreads more than 0.1" true (spread 0.5 > spread 0.1)
+
+let test_identical_generator () =
+  let g = Prng.create 5 in
+  let shop = Gen.identical_length g ~n:4 ~m:3 ~tau:(Rat.make 3 2) ~window:5 in
+  match Flow_shop.classify shop with
+  | `Identical_length tau -> check_rat "tau" (Rat.make 3 2) tau
+  | _ -> Alcotest.fail "not identical length"
+
+let test_homogeneous_generator () =
+  let g = Prng.create 6 in
+  let shop = Gen.homogeneous g ~n:4 ~m:3 ~max_tau:3 ~window:5 in
+  match Flow_shop.classify shop with
+  | `Homogeneous _ | `Identical_length _ -> ()
+  | `Arbitrary -> Alcotest.fail "not homogeneous"
+
+let test_paper_table1 () =
+  let shop = Paper.table1 () in
+  Alcotest.(check int) "4 tasks" 4 (E2e_model.Recurrence_shop.n_tasks shop);
+  Alcotest.(check int) "7 stages" 7 (E2e_model.Visit.length shop.E2e_model.Recurrence_shop.visit)
+
+let test_paper_table2 () =
+  let shop = Paper.table2 () in
+  match Flow_shop.classify shop with
+  | `Homogeneous taus ->
+      check_rat "bottleneck time 4" (r 4) taus.(2)
+  | _ -> Alcotest.fail "table 2 must be homogeneous"
+
+let test_paper_table3_stable () =
+  let a = Paper.table3 () and b = Paper.table3 () in
+  Alcotest.(check bool) "memoised/deterministic" true (a == b || a = b)
+
+let test_paper_table4_utilizations () =
+  let sys = Paper.table4 () in
+  check_rat "u1 = 0.33" (q "0.33") (E2e_model.Periodic_shop.utilization sys 0);
+  check_rat "u2 = 0.36" (q "0.36") (E2e_model.Periodic_shop.utilization sys 1)
+
+let test_paper_table5_utilizations () =
+  let sys = Paper.table5 () in
+  check_rat "u1 = 0.55" (q "0.55") (E2e_model.Periodic_shop.utilization sys 0);
+  check_rat "u2 = 0.55" (q "0.55") (E2e_model.Periodic_shop.utilization sys 1)
+
+let test_single_loop_visit_generator () =
+  let g = Prng.create 111 in
+  for _ = 1 to 300 do
+    let visit = Gen.single_loop_visit g ~max_stages:7 in
+    Alcotest.(check bool) "stage cap" true (E2e_model.Visit.length visit <= 7);
+    match E2e_model.Visit.single_loop visit with
+    | Some { E2e_model.Visit.span; reused; _ } ->
+        Alcotest.(check bool) "well-formed loop" true (span >= reused && reused >= 1)
+    | None -> Alcotest.fail "generator must produce a single loop"
+  done
+
+let test_non_permutation_witness_memoised () =
+  let a = Paper.non_permutation_witness () in
+  let b = Paper.non_permutation_witness () in
+  Alcotest.(check bool) "memoised" true (a == b)
+
+let suite =
+  [
+    Alcotest.test_case "single-loop visit generator" `Quick test_single_loop_visit_generator;
+    Alcotest.test_case "non-permutation witness memoised" `Quick
+      test_non_permutation_witness_memoised;
+    Alcotest.test_case "witness always feasible" `Quick test_witness_feasible;
+    Alcotest.test_case "shapes" `Quick test_shapes;
+    Alcotest.test_case "releases nonnegative" `Quick test_releases_nonnegative;
+    Alcotest.test_case "nominal slack respected" `Quick test_nominal_slack;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "stdev effect" `Quick test_stdev_effect;
+    Alcotest.test_case "identical generator" `Quick test_identical_generator;
+    Alcotest.test_case "homogeneous generator" `Quick test_homogeneous_generator;
+    Alcotest.test_case "paper table 1" `Quick test_paper_table1;
+    Alcotest.test_case "paper table 2" `Quick test_paper_table2;
+    Alcotest.test_case "paper table 3 stable" `Quick test_paper_table3_stable;
+    Alcotest.test_case "paper table 4 utilizations" `Quick test_paper_table4_utilizations;
+    Alcotest.test_case "paper table 5 utilizations" `Quick test_paper_table5_utilizations;
+  ]
