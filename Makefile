@@ -1,0 +1,28 @@
+METRICS := /tmp/e2e_sched_metrics.jsonl
+
+.PHONY: all build test bench check clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# Build, run the test suite, then smoke-test the telemetry pipeline:
+# regenerate one paper artifact with --metrics and validate that the
+# resulting file is non-empty, well-formed JSONL.
+check:
+	dune build
+	dune runtest
+	rm -f $(METRICS)
+	dune exec bin/experiments.exe -- table1 --metrics $(METRICS)
+	dune exec bin/jsonl_check.exe $(METRICS)
+
+clean:
+	dune clean
+	rm -f $(METRICS)

@@ -1,7 +1,8 @@
 (* Bechamel micro-benchmarks: one Test.make per reproduced table/figure
    workload, plus scaling and ablation benches.
 
-   Run with: dune exec bench/main.exe *)
+   Run with: dune exec bench/main.exe
+   Pass `--metrics FILE` to also append one JSONL record per bench. *)
 
 open Bechamel
 open Toolkit
@@ -216,6 +217,27 @@ let tests =
       bench_dispatcher;
     ]
 
+(* `--metrics FILE`: append one {"bench":...,"ns_per_run":...} JSONL
+   record per bench, machine-readable alongside the printed table. *)
+let metrics_file () =
+  let rec find = function
+    | "--metrics" :: path :: _ -> Some path
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  find (Array.to_list Sys.argv)
+
+let append_metrics path rows =
+  let module Json = E2e_obs.Json in
+  let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path in
+  List.iter
+    (fun (name, ns) ->
+      output_string oc
+        (Json.to_string (Json.Obj [ ("bench", Json.Str name); ("ns_per_run", Json.Num ns) ]));
+      output_char oc '\n')
+    rows;
+  close_out oc
+
 let () =
   let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
@@ -242,4 +264,5 @@ let () =
         else Printf.sprintf "%8.0f ns" ns
       in
       Format.printf "%-45s %15s@." name pretty)
-    rows
+    rows;
+  match metrics_file () with None -> () | Some path -> append_metrics path rows

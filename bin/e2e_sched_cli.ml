@@ -15,6 +15,7 @@ module Recurrence_shop = E2e_model.Recurrence_shop
 module Instance_io = E2e_model.Instance_io
 module Schedule = E2e_schedule.Schedule
 module Solver = E2e_core.Solver
+module Obs = E2e_obs.Obs
 
 let load path =
   match Instance_io.parse_file path with
@@ -35,6 +36,66 @@ let classify_to_string shop =
     | `Homogeneous _ -> "homogeneous"
     | `Arbitrary -> "arbitrary"
 
+(* Telemetry flags for the schedule command.  No flag, no sink: the
+   solvers run exactly as before, and output is unchanged. *)
+let trace_arg =
+  let doc =
+    "Write a telemetry trace of the run to $(docv): solver-phase spans, per-task \
+     decision events (effective deadlines, forbidden regions, bottleneck choices, \
+     inflation and compaction deltas) and counter updates.  The format is chosen \
+     with $(b,--trace-format)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let trace_format_arg =
+  let doc =
+    "Trace format: $(b,jsonl) writes one self-describing JSON object per event \
+     per line; $(b,chrome) writes Chrome trace_event JSON that Perfetto \
+     (ui.perfetto.dev) and chrome://tracing open as a timeline."
+  in
+  Arg.(
+    value
+    & opt (Arg.enum [ ("jsonl", `Jsonl); ("chrome", `Chrome) ]) `Jsonl
+    & info [ "trace-format" ] ~docv:"FORMAT" ~doc)
+
+let stats_arg =
+  let doc =
+    "After the run, print every telemetry counter, gauge and histogram \
+     (dispatches, forbidden regions, solver verdicts, ...)."
+  in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+(* Install the requested sink and stats registry around [f], tearing both
+   down (and flushing the trace file) even if [f] raises. *)
+let with_telemetry ~trace ~trace_format ~stats f =
+  match
+    match trace with
+    | None -> Ok ()
+    | Some path -> (
+        match open_out path with
+        | oc ->
+            Obs.install
+              (match trace_format with
+              | `Jsonl -> Obs.Sink.jsonl oc
+              | `Chrome -> Obs.Sink.chrome oc);
+            Ok ()
+        | exception Sys_error msg -> Error (`Msg ("cannot open trace file: " ^ msg)))
+  with
+  | Error _ as e -> e
+  | Ok () ->
+      if stats then begin
+        Obs.set_stats true;
+        Obs.reset_metrics ()
+      end;
+      Fun.protect
+        ~finally:(fun () ->
+          Obs.uninstall ();
+          if stats then begin
+            Format.printf "@.%a@." Obs.pp_metrics ();
+            Obs.set_stats false
+          end)
+        f
+
 let schedule_cmd =
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   let gantt = Arg.(value & flag & info [ "gantt"; "g" ] ~doc:"Also print an ASCII Gantt chart.") in
@@ -52,10 +113,12 @@ let schedule_cmd =
            ~doc:"Algorithm: auto, eedf, a, h, portfolio, localsearch, exact (traditional \
                  shops), r or greedy (recurrence allowed).")
   in
-  let run path gantt csv algo =
+  let run path gantt csv algo trace trace_format stats =
     match load path with
     | Error e -> Error e
-    | Ok shop -> (
+    | Ok shop ->
+        with_telemetry ~trace ~trace_format ~stats @@ fun () ->
+        (
         let traditional () =
           if Visit.is_traditional shop.Recurrence_shop.visit then
             Ok (Flow_shop.make ~processors:shop.Recurrence_shop.visit.Visit.processors
@@ -163,7 +226,11 @@ let schedule_cmd =
               | Error e -> Error (Format.asprintf "%a" E2e_core.Algo_r.pp_error e)))
   in
   let doc = "Find an end-to-end schedule for a task-set file." in
-  Cmd.v (Cmd.info "schedule" ~doc) Term.(term_result (const run $ path $ gantt $ csv $ algo))
+  Cmd.v
+    (Cmd.info "schedule" ~doc)
+    Term.(
+      term_result
+        (const run $ path $ gantt $ csv $ algo $ trace_arg $ trace_format_arg $ stats_arg))
 
 let check_cmd =
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in

@@ -2,10 +2,13 @@
 
    e2e-experiments all           # everything, in paper order
    e2e-experiments fig9a --trials 2000
-   e2e-experiments table3        # the Figure-8 before/after example *)
+   e2e-experiments table3        # the Figure-8 before/after example
+   e2e-experiments all --metrics runs.jsonl   # plus one JSONL record each *)
 
 open Cmdliner
 module E = E2e_experiments.Experiments
+module Obs = E2e_obs.Obs
+module Json = E2e_obs.Json
 
 let ppf = Format.std_formatter
 
@@ -17,21 +20,79 @@ let seed =
   let doc = "PRNG seed for the randomized experiments." in
   Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let metrics =
+  let doc =
+    "Append one JSON object per artifact run to $(docv): the artifact name, its \
+     wall-clock seconds, and every telemetry counter, gauge and histogram \
+     accumulated while it ran (instances generated, feasible schedules found, \
+     solver verdicts, simulator events, ...)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
 let override sweep trials seed =
   let sweep = match trials with Some t -> { sweep with E.trials = t } | None -> sweep in
   match seed with Some s -> { sweep with E.seed = s } | None -> sweep
 
+let append_record path record =
+  let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path in
+  output_string oc (Json.to_string record);
+  output_char oc '\n';
+  close_out oc
+
+(* Run one named artifact.  With [--metrics FILE], metrics are collected
+   from a clean slate while it runs and appended to FILE as one JSONL
+   record; without, this is exactly [f ppf]. *)
+let run_artifact metrics name f =
+  match metrics with
+  | None -> f ppf
+  | Some path ->
+      Obs.set_stats true;
+      Obs.reset_metrics ();
+      let t0 = Obs.Clock.now () in
+      Fun.protect ~finally:(fun () -> Obs.set_stats false) (fun () -> f ppf);
+      let wall = Obs.Clock.now () -. t0 in
+      let metric_fields =
+        match Obs.metrics_json () with Json.Obj kvs -> kvs | j -> [ ("metrics", j) ]
+      in
+      append_record path
+        (Json.Obj
+           (("artifact", Json.Str name) :: ("wall_s", Json.Num wall) :: metric_fields))
+
 let fixed name doc f =
-  let term = Term.(const (fun () -> f ppf) $ const ()) in
-  Cmd.v (Cmd.info name ~doc) term
+  let run metrics = run_artifact metrics name f in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ metrics)
 
 let swept name doc default f =
-  let run trials seed = f ~sweep:(override default trials seed) ppf in
-  Cmd.v (Cmd.info name ~doc) Term.(const run $ trials $ seed)
+  let run trials seed metrics =
+    run_artifact metrics name (fun ppf -> f ~sweep:(override default trials seed) ppf)
+  in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ trials $ seed $ metrics)
+
+(* Everything, in paper order — the same sequence as [E.all], but run
+   artifact by artifact so [--metrics] gets one record per artifact. *)
+let all_artifacts : (string * (Format.formatter -> unit)) list =
+  [
+    ("table1", E.table1);
+    ("table2", E.table2);
+    ("table3", E.table3);
+    ("fig9a", fun ppf -> E.fig9a ppf);
+    ("fig9b", fun ppf -> E.fig9b ppf);
+    ("fig10", fun ppf -> E.fig10 ppf);
+    ("table4", E.table4);
+    ("table5", E.table5);
+    ("section6", E.section6);
+    ("nonpermutation", E.nonpermutation);
+    ("fig9x", fun ppf -> E.fig9_extensions ppf);
+    ("periodic-sweep", fun ppf -> E.periodic_sweep ppf);
+    ("ablation", fun ppf -> E.ablation ppf);
+  ]
 
 let all_cmd =
   let doc = "Regenerate every table and figure (DESIGN.md experiment index)." in
-  Cmd.v (Cmd.info "all" ~doc) Term.(const (fun () -> E.all ppf) $ const ())
+  let run metrics =
+    List.iter (fun (name, f) -> run_artifact metrics name f) all_artifacts
+  in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ metrics)
 
 let () =
   let info =

@@ -1,0 +1,45 @@
+(* Validate a JSONL file: every line must parse as a JSON value, and the
+   file must contain at least one record.  Used by `make check` to verify
+   the metrics files the experiment drivers emit.
+
+   Usage: jsonl_check FILE...   (exit 0 iff every file is well-formed) *)
+
+let check_file path =
+  let ic = open_in path in
+  let records = ref 0 in
+  let bad = ref 0 in
+  let line_no = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr line_no;
+       if String.trim line <> "" then begin
+         incr records;
+         match E2e_obs.Json.of_string line with
+         | Ok _ -> ()
+         | Error msg ->
+             incr bad;
+             Printf.eprintf "%s:%d: invalid JSON: %s\n" path !line_no msg
+       end
+     done
+   with End_of_file -> ());
+  close_in ic;
+  if !records = 0 then begin
+    Printf.eprintf "%s: no JSON records\n" path;
+    false
+  end
+  else if !bad > 0 then false
+  else begin
+    Printf.printf "%s: %d well-formed JSONL record%s\n" path !records
+      (if !records = 1 then "" else "s");
+    true
+  end
+
+let () =
+  let files = List.tl (Array.to_list Sys.argv) in
+  if files = [] then begin
+    prerr_endline "usage: jsonl_check FILE...";
+    exit 2
+  end;
+  let ok = List.fold_left (fun acc f -> check_file f && acc) true files in
+  exit (if ok then 0 else 1)

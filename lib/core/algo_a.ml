@@ -2,6 +2,7 @@ module Rat = E2e_rat.Rat
 module Task = E2e_model.Task
 module Flow_shop = E2e_model.Flow_shop
 module Schedule = E2e_schedule.Schedule
+module Obs = E2e_obs.Obs
 
 let bottleneck_jobs (shop : Flow_shop.t) ~bottleneck =
   Array.map
@@ -15,31 +16,56 @@ let bottleneck_jobs (shop : Flow_shop.t) ~bottleneck =
 
 let propagate_from_bottleneck (shop : Flow_shop.t) ~bottleneck starts_b =
   let m = shop.processors in
-  let starts =
-    Array.mapi
-      (fun i (task : Task.t) ->
-        let row = Array.make m Rat.zero in
-        row.(bottleneck) <- starts_b.(i);
-        (* Downstream: each stage starts the instant its predecessor ends. *)
-        for j = bottleneck + 1 to m - 1 do
-          row.(j) <- Rat.add row.(j - 1) task.Task.proc_times.(j - 1)
-        done;
-        (* Upstream: stages laid back-to-back, ending exactly at the
-           bottleneck start (Step 3 of Figure 4). *)
-        for j = bottleneck - 1 downto 0 do
-          row.(j) <- Rat.sub row.(j + 1) task.Task.proc_times.(j)
-        done;
-        row)
-      shop.tasks
-  in
+  let n = Array.length shop.tasks in
+  let starts = Array.init n (fun _ -> Array.make m Rat.zero) in
+  Array.iteri (fun i _ -> starts.(i).(bottleneck) <- starts_b.(i)) shop.tasks;
+  let pass j body = Obs.span "algo_a.pass" ~fields:[ ("processor", Obs.Int j) ] body in
+  (* Downstream: each stage starts the instant its predecessor ends. *)
+  for j = bottleneck + 1 to m - 1 do
+    pass j (fun () ->
+        for i = 0 to n - 1 do
+          starts.(i).(j) <- Rat.add starts.(i).(j - 1) shop.tasks.(i).Task.proc_times.(j - 1)
+        done)
+  done;
+  (* Upstream: stages laid back-to-back, ending exactly at the
+     bottleneck start (Step 3 of Figure 4). *)
+  for j = bottleneck - 1 downto 0 do
+    pass j (fun () ->
+        for i = 0 to n - 1 do
+          starts.(i).(j) <- Rat.sub starts.(i).(j + 1) shop.tasks.(i).Task.proc_times.(j)
+        done)
+  done;
   Schedule.of_flow_shop shop starts
 
 let schedule ?bottleneck (shop : Flow_shop.t) =
   match Flow_shop.is_homogeneous shop with
   | None -> Error `Not_homogeneous
   | Some taus ->
-      let b = match bottleneck with Some b -> b | None -> Flow_shop.bottleneck shop in
-      let tau_b = taus.(b) in
-      (match Single_machine.schedule ~tau:tau_b (bottleneck_jobs shop ~bottleneck:b) with
-      | Error `Infeasible -> Error `Infeasible
-      | Ok starts_b -> Ok (propagate_from_bottleneck shop ~bottleneck:b starts_b))
+      Obs.span "algo_a.schedule"
+        ~fields:[ ("tasks", Obs.Int (Flow_shop.n_tasks shop)) ]
+        (fun () ->
+          let b = match bottleneck with Some b -> b | None -> Flow_shop.bottleneck shop in
+          let tau_b = taus.(b) in
+          if Obs.enabled () then
+            Obs.event "algo_a.bottleneck"
+              ~fields:
+                (( ("processor", Obs.Int b)
+                 :: ("forced", Obs.Bool (bottleneck <> None))
+                 :: ("tau", Obs.Str (Rat.to_string tau_b)) :: [] )
+                @ Array.to_list
+                    (Array.mapi
+                       (fun j tau ->
+                         (Printf.sprintf "tau_p%d" (j + 1), Obs.Str (Rat.to_string tau)))
+                       taus));
+          match
+            Obs.span "algo_a.bottleneck_pass" (fun () ->
+                Single_machine.schedule ~tau:tau_b (bottleneck_jobs shop ~bottleneck:b))
+          with
+          | Error `Infeasible ->
+              Obs.incr "algo_a.infeasible";
+              Error `Infeasible
+          | Ok starts_b ->
+              Obs.incr "algo_a.feasible";
+              Ok
+                (Obs.span "algo_a.propagate" (fun () ->
+                     propagate_from_bottleneck shop ~bottleneck:b starts_b)))

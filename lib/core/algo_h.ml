@@ -1,6 +1,7 @@
 module Rat = E2e_rat.Rat
 module Flow_shop = E2e_model.Flow_shop
 module Schedule = E2e_schedule.Schedule
+module Obs = E2e_obs.Obs
 
 type failure = [ `Inflated_infeasible | `Compacted_infeasible of Schedule.t ]
 
@@ -17,34 +18,95 @@ type report = {
   result : (Schedule.t, failure) result;
 }
 
+(* Total processing time added by Step 2's inflation, per processor, as a
+   float (telemetry only). *)
+let inflation_fields (shop : Flow_shop.t) maxima =
+  let m = shop.Flow_shop.processors in
+  let per_proc = Array.make m 0.0 in
+  Array.iter
+    (fun (task : E2e_model.Task.t) ->
+      Array.iteri
+        (fun j tau -> per_proc.(j) <- per_proc.(j) +. Rat.to_float (Rat.sub maxima.(j) tau))
+        task.E2e_model.Task.proc_times)
+    shop.Flow_shop.tasks;
+  let total = Array.fold_left ( +. ) 0.0 per_proc in
+  ("total", Obs.Float total)
+  :: Array.to_list
+       (Array.mapi (fun j d -> (Printf.sprintf "p%d" (j + 1), Obs.Float d)) per_proc)
+
+(* How far Algorithm C moved the raw schedule: entries changed and the
+   summed absolute shift (telemetry only). *)
+let compaction_fields (raw : Schedule.t) (final : Schedule.t) =
+  let moved = ref 0 and shift = ref 0.0 in
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun j s ->
+          let s' = final.Schedule.starts.(i).(j) in
+          if not (Rat.equal s s') then begin
+            incr moved;
+            shift := !shift +. Rat.to_float (Rat.abs (Rat.sub s' s))
+          end)
+        row)
+    raw.Schedule.starts;
+  [
+    ("moved", Obs.Int !moved);
+    ("total_shift", Obs.Float !shift);
+    ("violations_before", Obs.Int (List.length (Schedule.violations raw)));
+  ]
+
 let run ?(compact = true) ?bottleneck (shop : Flow_shop.t) =
-  (* Steps 2-3: inflate every subtask on P_j to tau_max,j.  Note that the
-     effective release times and deadlines fed to Algorithm A come from
-     Step 1, i.e. from the ORIGINAL processing times — the inflated
-     windows are not recomputed.  This is why the schedule of Figure 8(a)
-     can violate release times: the rigid upstream propagation uses the
-     longer inflated durations against the original windows. *)
-  let inflated = Flow_shop.inflate shop in
-  let maxima = Flow_shop.max_proc_times shop in
-  let b = match bottleneck with Some b -> b | None -> Flow_shop.bottleneck inflated in
-  (* Step 4: Algorithm A's Step 2 on the bottleneck — an equal-length
-     (tau_max,b) single-machine instance over the original effective
-     windows. *)
-  match Single_machine.schedule ~tau:maxima.(b) (Algo_a.bottleneck_jobs shop ~bottleneck:b) with
-  | Error `Infeasible ->
-      { inflated; bottleneck = b; raw = None; result = Error `Inflated_infeasible }
-  | Ok starts_b ->
-      (* Algorithm A's Step 3 with the inflated durations; the inflated
-         schedule is then reread with the original processing times (each
-         inflated subtask = busy segment first, idle padding after). *)
-      let inflated_schedule = Algo_a.propagate_from_bottleneck inflated ~bottleneck:b starts_b in
-      let raw = Schedule.make (E2e_model.Recurrence_shop.of_traditional shop)
-                  inflated_schedule.Schedule.starts in
-      (* Step 5: Algorithm C. *)
-      let final = if compact then Algo_c.compact raw else raw in
-      let result =
-        if Schedule.is_feasible final then Ok final else Error (`Compacted_infeasible final)
-      in
-      { inflated; bottleneck = b; raw = Some raw; result }
+  Obs.span "algo_h.run"
+    ~fields:[ ("tasks", Obs.Int (Flow_shop.n_tasks shop)) ]
+    (fun () ->
+      (* Steps 2-3: inflate every subtask on P_j to tau_max,j.  Note that the
+         effective release times and deadlines fed to Algorithm A come from
+         Step 1, i.e. from the ORIGINAL processing times — the inflated
+         windows are not recomputed.  This is why the schedule of Figure 8(a)
+         can violate release times: the rigid upstream propagation uses the
+         longer inflated durations against the original windows. *)
+      let inflated = Flow_shop.inflate shop in
+      let maxima = Flow_shop.max_proc_times shop in
+      let b = match bottleneck with Some b -> b | None -> Flow_shop.bottleneck inflated in
+      if Obs.enabled () then
+        Obs.event "algo_h.inflation"
+          ~fields:(("bottleneck", Obs.Int b) :: inflation_fields shop maxima);
+      (* Step 4: Algorithm A's Step 2 on the bottleneck — an equal-length
+         (tau_max,b) single-machine instance over the original effective
+         windows. *)
+      match
+        Obs.span "algo_h.bottleneck_pass" (fun () ->
+            Single_machine.schedule ~tau:maxima.(b) (Algo_a.bottleneck_jobs shop ~bottleneck:b))
+      with
+      | Error `Infeasible ->
+          Obs.incr "algo_h.inflated_infeasible";
+          { inflated; bottleneck = b; raw = None; result = Error `Inflated_infeasible }
+      | Ok starts_b ->
+          (* Algorithm A's Step 3 with the inflated durations; the inflated
+             schedule is then reread with the original processing times (each
+             inflated subtask = busy segment first, idle padding after). *)
+          let inflated_schedule =
+            Algo_a.propagate_from_bottleneck inflated ~bottleneck:b starts_b
+          in
+          let raw = Schedule.make (E2e_model.Recurrence_shop.of_traditional shop)
+                      inflated_schedule.Schedule.starts in
+          (* Step 5: Algorithm C. *)
+          let final =
+            if compact then Obs.span "algo_h.compact" (fun () -> Algo_c.compact raw)
+            else raw
+          in
+          if Obs.enabled () && compact then
+            Obs.event "algo_h.compaction" ~fields:(compaction_fields raw final);
+          let result =
+            if Schedule.is_feasible final then begin
+              Obs.incr "algo_h.feasible";
+              Ok final
+            end
+            else begin
+              Obs.incr "algo_h.compacted_infeasible";
+              Error (`Compacted_infeasible final)
+            end
+          in
+          { inflated; bottleneck = b; raw = Some raw; result })
 
 let schedule shop = (run shop).result

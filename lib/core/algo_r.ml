@@ -3,6 +3,7 @@ module Task = E2e_model.Task
 module Visit = E2e_model.Visit
 module Recurrence_shop = E2e_model.Recurrence_shop
 module Schedule = E2e_schedule.Schedule
+module Obs = E2e_obs.Obs
 
 type error = [ `Not_identical_unit | `Not_identical_release | `No_single_loop | `Infeasible ]
 
@@ -91,6 +92,17 @@ let step1 (shop : Recurrence_shop.t) tau (loop : Visit.loop) =
                 starts2.(i) <- t;
                 ready2.(i) <- None;
                 trace := { task = i; stage = l + q; start = t } :: !trace);
+            if Obs.enabled () then begin
+              Obs.incr "algo_r.dispatches";
+              Obs.event "algo_r.dispatch"
+                ~fields:
+                  [
+                    ("task", Obs.Int i);
+                    ("stage", Obs.Int (match kind with First -> l | Second -> l + q));
+                    ("visit", Obs.Str (match kind with First -> "first" | Second -> "second"));
+                    ("t", Obs.Float (Rat.to_float t));
+                  ]
+            end;
             free := Rat.add t tau;
             decr remaining)
   done;
@@ -118,9 +130,24 @@ let schedule shop =
   match preconditions shop with
   | Error e -> Error (e :> error)
   | Ok (tau, loop) ->
-      let starts1, starts2, _ = step1 shop tau loop in
-      let sched = propagate shop tau loop starts1 starts2 in
-      if Schedule.is_feasible sched then Ok sched else Error `Infeasible
+      Obs.span "algo_r.schedule"
+        ~fields:
+          [
+            ("tasks", Obs.Int (Recurrence_shop.n_tasks shop));
+            ("decision_stage", Obs.Int loop.Visit.first_pos);
+            ("span", Obs.Int loop.Visit.span);
+          ]
+        (fun () ->
+          let starts1, starts2, _ = step1 shop tau loop in
+          let sched = propagate shop tau loop starts1 starts2 in
+          if Schedule.is_feasible sched then begin
+            Obs.incr "algo_r.feasible";
+            Ok sched
+          end
+          else begin
+            Obs.incr "algo_r.infeasible";
+            Error `Infeasible
+          end)
 
 let decision_trace shop =
   match preconditions shop with

@@ -2,6 +2,7 @@ module Rat = E2e_rat.Rat
 module Task = E2e_model.Task
 module Flow_shop = E2e_model.Flow_shop
 module Schedule = E2e_schedule.Schedule
+module Obs = E2e_obs.Obs
 
 type rat = Rat.t
 
@@ -34,9 +35,28 @@ let with_identical_length shop f =
 
 let schedule shop =
   with_identical_length shop (fun tau ->
-      match Single_machine.schedule ~tau (single_machine_jobs shop ~tau) with
-      | Error `Infeasible -> Error `Infeasible
-      | Ok starts -> Ok (propagate shop ~tau starts))
+      Obs.span "eedf.schedule"
+        ~fields:[ ("tasks", Obs.Int (Flow_shop.n_tasks shop)) ]
+        (fun () ->
+          let jobs = single_machine_jobs shop ~tau in
+          if Obs.enabled () then
+            Array.iter2
+              (fun (task : Task.t) (j : Single_machine.job) ->
+                Obs.event "eedf.effective_deadline"
+                  ~fields:
+                    [
+                      ("task", Obs.Int task.id);
+                      ("deadline", Obs.Str (Rat.to_string task.deadline));
+                      ("effective", Obs.Str (Rat.to_string j.deadline));
+                    ])
+              shop.tasks jobs;
+          match Single_machine.schedule ~tau jobs with
+          | Error `Infeasible ->
+              Obs.incr "eedf.infeasible";
+              Error `Infeasible
+          | Ok starts ->
+              Obs.incr "eedf.feasible";
+              Ok (propagate shop ~tau starts)))
 
 let schedule_no_regions shop =
   with_identical_length shop (fun tau ->

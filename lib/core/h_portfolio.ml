@@ -3,6 +3,7 @@ module Task = E2e_model.Task
 module Flow_shop = E2e_model.Flow_shop
 module Recurrence_shop = E2e_model.Recurrence_shop
 module Schedule = E2e_schedule.Schedule
+module Obs = E2e_obs.Obs
 
 type strategy =
   | H_with_bottleneck of int
@@ -51,13 +52,34 @@ let try_strategy shop = function
       if Schedule.is_feasible s then Some s else None
 
 let schedule shop =
-  let rec go = function
-    | [] -> Error `All_failed
-    | strat :: rest -> (
-        match try_strategy shop strat with
-        | Some s -> Ok (s, strat)
-        | None -> go rest)
-  in
-  go (strategies shop)
+  Obs.span "portfolio.schedule" (fun () ->
+      let rec go = function
+        | [] ->
+            Obs.incr "portfolio.all_failed";
+            Error `All_failed
+        | strat :: rest -> (
+            Obs.incr "portfolio.attempts";
+            match try_strategy shop strat with
+            | Some s ->
+                if Obs.enabled () then
+                  Obs.event "portfolio.attempt"
+                    ~fields:
+                      [
+                        ("strategy", Obs.Str (Format.asprintf "%a" pp_strategy strat));
+                        ("ok", Obs.Bool true);
+                      ];
+                Obs.incr "portfolio.solved";
+                Ok (s, strat)
+            | None ->
+                if Obs.enabled () then
+                  Obs.event "portfolio.attempt"
+                    ~fields:
+                      [
+                        ("strategy", Obs.Str (Format.asprintf "%a" pp_strategy strat));
+                        ("ok", Obs.Bool false);
+                      ];
+                go rest)
+      in
+      go (strategies shop))
 
 let schedule_opt shop = match schedule shop with Ok (s, _) -> Some s | Error `All_failed -> None

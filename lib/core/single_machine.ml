@@ -1,4 +1,5 @@
 module Rat = E2e_rat.Rat
+module Obs = E2e_obs.Obs
 
 type rat = Rat.t
 type job = { id : int; release : rat; deadline : rat }
@@ -69,9 +70,29 @@ let forbidden_regions ~tau jobs =
             in
             if count > 0 then begin
               let c = pack_latest !regions ~tau ~count ~deadline:d in
-              if Rat.(c < r) then raise Infeasible;
+              if Rat.(c < r) then begin
+                if Obs.enabled () then
+                  Obs.event "single_machine.infeasible_window"
+                    ~fields:
+                      [
+                        ("release", Obs.Str (Rat.to_string r));
+                        ("deadline", Obs.Str (Rat.to_string d));
+                        ("jobs", Obs.Int count);
+                      ];
+                raise Infeasible
+              end;
               let left = Rat.sub c tau in
-              if Rat.(left < r) then regions := insert_region !regions { left; right = r }
+              if Rat.(left < r) then begin
+                if Obs.enabled () then
+                  Obs.event "single_machine.forbidden_region"
+                    ~fields:
+                      [
+                        ("left", Obs.Str (Rat.to_string left));
+                        ("right", Obs.Str (Rat.to_string r));
+                        ("jobs", Obs.Int count);
+                      ];
+                regions := insert_region !regions { left; right = r }
+              end
             end)
           deadlines)
       releases_desc;
@@ -131,7 +152,29 @@ let edf_dispatch ~tau ~advance jobs =
             done_.(j.id) <- true;
             let finish = Rat.add !t tau in
             free := finish;
-            if Rat.(finish > j.deadline) && !missed = None then missed := Some j.id)
+            if Obs.enabled () then begin
+              Obs.incr "single_machine.dispatches";
+              Obs.event "single_machine.dispatch"
+                ~fields:
+                  [
+                    ("job", Obs.Int j.id);
+                    ("t", Obs.Float (Rat.to_float !t));
+                    ("deadline", Obs.Float (Rat.to_float j.deadline));
+                  ]
+            end;
+            if Rat.(finish > j.deadline) && !missed = None then begin
+              if Obs.enabled () then begin
+                Obs.incr "single_machine.deadline_misses";
+                Obs.event "single_machine.deadline_miss"
+                  ~fields:
+                    [
+                      ("job", Obs.Int j.id);
+                      ("finish", Obs.Float (Rat.to_float finish));
+                      ("deadline", Obs.Float (Rat.to_float j.deadline));
+                    ]
+              end;
+              missed := Some j.id
+            end)
   done;
   (starts, !missed)
 
@@ -144,12 +187,21 @@ let with_dense_ids jobs f =
 let schedule ~tau jobs =
   if Array.length jobs = 0 then Ok [||]
   else
-    match forbidden_regions ~tau jobs with
-    | Error `Infeasible -> Error `Infeasible
-    | Ok regions ->
-        with_dense_ids jobs (fun dense ->
-            let starts, missed = edf_dispatch ~tau ~advance:(adjust_up regions) dense in
-            match missed with Some _ -> Error `Infeasible | None -> Ok starts)
+    Obs.span "single_machine.schedule"
+      ~fields:[ ("jobs", Obs.Int (Array.length jobs)) ]
+      (fun () ->
+        match Obs.span "single_machine.forbidden_regions" (fun () -> forbidden_regions ~tau jobs) with
+        | Error `Infeasible -> Error `Infeasible
+        | Ok regions ->
+            if Obs.enabled () then
+              Obs.event "single_machine.regions"
+                ~fields:[ ("count", Obs.Int (List.length regions)) ];
+            with_dense_ids jobs (fun dense ->
+                let starts, missed =
+                  Obs.span "single_machine.edf_dispatch" (fun () ->
+                      edf_dispatch ~tau ~advance:(adjust_up regions) dense)
+                in
+                match missed with Some _ -> Error `Infeasible | None -> Ok starts))
 
 let edf_schedule_no_regions ~tau jobs =
   if Array.length jobs = 0 then Ok [||]

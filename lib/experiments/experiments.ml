@@ -19,6 +19,7 @@ module Rm_bounds = E2e_periodic.Rm_bounds
 module Analysis = E2e_periodic.Analysis
 module Pipeline_sim = E2e_sim.Pipeline_sim
 module Partition = E2e_partition.Partition
+module Obs = E2e_obs.Obs
 
 type sweep = { seed : int; trials : int; n_tasks : int; n_processors : int }
 
@@ -40,7 +41,12 @@ let success_rate sweep ~stdev ~slack =
   let successes = ref 0 in
   for _ = 1 to sweep.trials do
     let shop = Gen.generate g params in
-    match Algo_h.schedule shop with Ok _ -> incr successes | Error _ -> ()
+    Obs.incr "experiments.instances";
+    match Algo_h.schedule shop with
+    | Ok _ ->
+        Obs.incr "experiments.feasible_found";
+        incr successes
+    | Error _ -> ()
   done;
   Stats.wilson_interval ~successes:!successes ~trials:sweep.trials ~z:Stats.z_90
 
@@ -192,7 +198,11 @@ let fig9_extensions ?(sweep = { default_fig9b with trials = 300 }) ppf =
           in
           let ok = ref 0 in
           for _ = 1 to sweep.trials do
-            if solves (Gen.generate g params) then incr ok
+            Obs.incr "experiments.instances";
+            if solves (Gen.generate g params) then begin
+              Obs.incr "experiments.feasible_found";
+              incr ok
+            end
           done;
           Format.fprintf ppf "  %20s"
             (Printf.sprintf "%.3f" (float_of_int !ok /. float_of_int sweep.trials)))
@@ -214,7 +224,11 @@ let periodic_sweep ?(trials = 300) ?(seed = 3) ppf =
         let ok = ref 0 in
         for _ = 1 to trials do
           let sys = Gen.periodic g ~n:4 ~m:2 ~utilization:u in
-          if criterion sys then incr ok
+          Obs.incr "experiments.instances";
+          if criterion sys then begin
+            Obs.incr "experiments.feasible_found";
+            incr ok
+          end
         done;
         float_of_int !ok /. float_of_int trials
       in
@@ -400,6 +414,7 @@ let ablation ?(sweep = { seed = 7; trials = 300; n_tasks = 6; n_processors = 4 }
       Gen.identical_length g ~n:sweep.n_tasks ~m:sweep.n_processors ~tau:(Rat.make 3 2)
         ~window:(2 * sweep.n_tasks)
     in
+    Obs.incr "experiments.instances";
     (match Eedf.schedule shop with Ok _ -> incr with_regions | Error _ -> ());
     match Eedf.schedule_no_regions shop with
     | Ok s when Schedule.is_feasible s -> incr without_regions
@@ -424,6 +439,7 @@ let ablation ?(sweep = { seed = 7; trials = 300; n_tasks = 6; n_processors = 4 }
   in
   for _ = 1 to sweep.trials do
     let shop = Gen.generate g params in
+    Obs.incr "experiments.instances";
     (match (Algo_h.run shop).Algo_h.result with Ok _ -> incr h_on | Error _ -> ());
     (match (Algo_h.run ~compact:false shop).Algo_h.result with
     | Ok _ -> incr h_off

@@ -1,0 +1,33 @@
+(** Minimal self-contained JSON tree, encoder and parser.
+
+    The telemetry sinks ({!Obs.Sink.jsonl}, {!Obs.Sink.chrome}) must emit
+    machine-readable output without pulling a JSON dependency into the
+    build, and the tests and the [jsonl-check] tool must be able to parse
+    back every line they emitted.  This module implements exactly the
+    JSON subset needed for that round trip: the full value grammar of
+    RFC 8259 with numbers read as OCaml floats. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val int : int -> t
+(** [int n] is [Num (float_of_int n)]. *)
+
+val member : string -> t -> t option
+(** [member key (Obj _)] looks up [key]; [None] on missing key or on a
+    non-object. *)
+
+val to_string : t -> string
+(** Compact one-line encoding.  Integral floats print without a decimal
+    point, so counter values round-trip as JSON integers. *)
+
+val pp : Format.formatter -> t -> unit
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value (surrounding whitespace allowed); [Error msg]
+    carries a character offset. *)

@@ -1,0 +1,322 @@
+type value = Bool of bool | Int of int | Float of float | Str of string
+
+type field = string * value
+
+type kind = Span_begin | Span_end of float | Instant | Counter of float
+
+type event = {
+  ts : float;
+  name : string;
+  kind : kind;
+  depth : int;
+  fields : field list;
+}
+
+let value_json = function
+  | Bool b -> Json.Bool b
+  | Int n -> Json.int n
+  | Float f -> Json.Num f
+  | Str s -> Json.Str s
+
+let field_json fields = Json.Obj (List.map (fun (k, v) -> (k, value_json v)) fields)
+
+(* ------------------------------------------------------------------ *)
+(* Clock: any float source, clamped so trace timestamps never go        *)
+(* backwards even if the wall clock is stepped underneath us.           *)
+
+module Clock = struct
+  let wall = Unix.gettimeofday
+  let source = ref wall
+  let last = ref neg_infinity
+
+  let now () =
+    let t = !source () in
+    if t > !last then last := t;
+    !last
+
+  let set_source f =
+    source := f;
+    last := neg_infinity
+
+  let use_wall_clock () = set_source wall
+end
+
+(* ------------------------------------------------------------------ *)
+(* Sinks.                                                              *)
+
+module Sink = struct
+  type t = { emit : event -> unit; close : unit -> unit }
+
+  let null = { emit = ignore; close = ignore }
+
+  let memory () =
+    let buffer = ref [] in
+    ( { emit = (fun e -> buffer := e :: !buffer); close = ignore },
+      fun () -> List.rev !buffer )
+
+  let tee sinks =
+    {
+      emit = (fun e -> List.iter (fun s -> s.emit e) sinks);
+      close = (fun () -> List.iter (fun s -> s.close ()) sinks);
+    }
+
+  let src = Logs.Src.create "e2e_sched.obs" ~doc:"e2e_sched telemetry"
+
+  let pp_fields ppf = function
+    | [] -> ()
+    | fields ->
+        List.iter
+          (fun (k, v) ->
+            Format.fprintf ppf " %s=%s" k
+              (match v with
+              | Bool b -> string_of_bool b
+              | Int n -> string_of_int n
+              | Float f -> Printf.sprintf "%g" f
+              | Str s -> s))
+          fields
+
+  let logs ?(level = Logs.Debug) () =
+    {
+      emit =
+        (fun e ->
+          let pad = String.make e.depth ' ' in
+          let line =
+            match e.kind with
+            | Span_begin ->
+                Format.asprintf "[%.6f] %s> %s%a" e.ts pad e.name pp_fields e.fields
+            | Span_end dur ->
+                Format.asprintf "[%.6f] %s< %s (%.6fs)%a" e.ts pad e.name dur pp_fields
+                  e.fields
+            | Instant ->
+                Format.asprintf "[%.6f] %s. %s%a" e.ts pad e.name pp_fields e.fields
+            | Counter v ->
+                Format.asprintf "[%.6f] %s# %s = %g%a" e.ts pad e.name v pp_fields
+                  e.fields
+          in
+          Logs.msg ~src level (fun m -> m "%s" line));
+      close = ignore;
+    }
+
+  let jsonl_record e =
+    let kind, extra =
+      match e.kind with
+      | Span_begin -> ("span_begin", [])
+      | Span_end dur -> ("span_end", [ ("dur", Json.Num dur) ])
+      | Instant -> ("event", [])
+      | Counter v -> ("counter", [ ("value", Json.Num v) ])
+    in
+    Json.Obj
+      ([ ("ts", Json.Num e.ts); ("type", Json.Str kind); ("name", Json.Str e.name);
+         ("depth", Json.int e.depth) ]
+      @ extra
+      @ (match e.fields with [] -> [] | fs -> [ ("fields", field_json fs) ]))
+
+  let jsonl oc =
+    {
+      emit =
+        (fun e ->
+          output_string oc (Json.to_string (jsonl_record e));
+          output_char oc '\n');
+      close =
+        (fun () ->
+          flush oc;
+          close_out oc);
+    }
+
+  (* Chrome trace_event array format.  Timestamps are microseconds; all
+     events live on one pid/tid so nested spans stack in the UI. *)
+  let chrome_record e =
+    let us = e.ts *. 1e6 in
+    let base = [ ("pid", Json.int 1); ("tid", Json.int 1); ("ts", Json.Num us) ] in
+    match e.kind with
+    | Span_begin ->
+        Json.Obj
+          (( ("name", Json.Str e.name) :: ("cat", Json.Str "e2e_sched")
+           :: ("ph", Json.Str "B") :: base )
+          @ [ ("args", field_json e.fields) ])
+    | Span_end _ ->
+        Json.Obj
+          (( ("name", Json.Str e.name) :: ("cat", Json.Str "e2e_sched")
+           :: ("ph", Json.Str "E") :: base )
+          @ [ ("args", field_json e.fields) ])
+    | Instant ->
+        Json.Obj
+          (( ("name", Json.Str e.name) :: ("cat", Json.Str "e2e_sched")
+           :: ("ph", Json.Str "i") :: ("s", Json.Str "t") :: base )
+          @ [ ("args", field_json e.fields) ])
+    | Counter v ->
+        Json.Obj
+          (( ("name", Json.Str e.name) :: ("cat", Json.Str "e2e_sched")
+           :: ("ph", Json.Str "C") :: base )
+          @ [ ("args", Json.Obj [ ("value", Json.Num v) ]) ])
+
+  let chrome oc =
+    let first = ref true in
+    output_char oc '[';
+    {
+      emit =
+        (fun e ->
+          if !first then first := false else output_string oc ",\n";
+          output_string oc (Json.to_string (chrome_record e)));
+      close =
+        (fun () ->
+          output_string oc "]\n";
+          flush oc;
+          close_out oc);
+    }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Global state.  [on] mirrors (sink <> None || stats): the single      *)
+(* bool the hot paths read.                                             *)
+
+let sink : Sink.t option ref = ref None
+let stats = ref false
+let on = ref false
+let t0 = ref 0.0
+let depth = ref 0
+
+let refresh () = on := !sink <> None || !stats
+
+let enabled () = !on
+let stats_enabled () = !stats
+
+let uninstall () =
+  (match !sink with Some s -> s.Sink.close () | None -> ());
+  sink := None;
+  depth := 0;
+  refresh ()
+
+let install s =
+  uninstall ();
+  sink := Some s;
+  t0 := Clock.now ();
+  refresh ()
+
+let set_stats b =
+  stats := b;
+  refresh ()
+
+let emit kind name fields =
+  match !sink with
+  | None -> ()
+  | Some s ->
+      s.Sink.emit
+        { ts = Clock.now () -. !t0; name; kind; depth = !depth; fields }
+
+let event ?(fields = []) name = if !on then emit Instant name fields
+
+let span ?(fields = []) name f =
+  if not !on then f ()
+  else begin
+    let start = Clock.now () in
+    emit Span_begin name fields;
+    incr depth;
+    let finish () =
+      decr depth;
+      emit (Span_end (Clock.now () -. start)) name fields
+    in
+    match f () with
+    | result ->
+        finish ();
+        result
+    | exception exn ->
+        finish ();
+        raise exn
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Metrics.                                                            *)
+
+type histogram = { count : int; sum : float; min : float; max : float }
+
+let counter_tbl : (string, int ref) Hashtbl.t = Hashtbl.create 32
+let gauge_tbl : (string, float ref) Hashtbl.t = Hashtbl.create 16
+let hist_tbl : (string, histogram ref) Hashtbl.t = Hashtbl.create 16
+
+let incr ?(by = 1) name =
+  if !on then begin
+    let cell =
+      match Hashtbl.find_opt counter_tbl name with
+      | Some cell -> cell
+      | None ->
+          let cell = ref 0 in
+          Hashtbl.add counter_tbl name cell;
+          cell
+    in
+    cell := !cell + by;
+    emit (Counter (float_of_int !cell)) name []
+  end
+
+let gauge name v =
+  if !on then begin
+    (match Hashtbl.find_opt gauge_tbl name with
+    | Some cell -> cell := v
+    | None -> Hashtbl.add gauge_tbl name (ref v));
+    emit (Counter v) name []
+  end
+
+let observe name v =
+  if !on then begin
+    (match Hashtbl.find_opt hist_tbl name with
+    | Some cell ->
+        let h = !cell in
+        cell :=
+          {
+            count = h.count + 1;
+            sum = h.sum +. v;
+            min = Float.min h.min v;
+            max = Float.max h.max v;
+          }
+    | None -> Hashtbl.add hist_tbl name (ref { count = 1; sum = v; min = v; max = v }))
+  end
+
+let counter_value name =
+  match Hashtbl.find_opt counter_tbl name with Some c -> !c | None -> 0
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, !v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let counters () = sorted_bindings counter_tbl
+let gauges () = sorted_bindings gauge_tbl
+let histograms () = sorted_bindings hist_tbl
+
+let reset_metrics () =
+  Hashtbl.reset counter_tbl;
+  Hashtbl.reset gauge_tbl;
+  Hashtbl.reset hist_tbl
+
+let metrics_json () =
+  Json.Obj
+    [
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.int v)) (counters ())));
+      ("gauges", Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) (gauges ())));
+      ( "histograms",
+        Json.Obj
+          (List.map
+             (fun (k, h) ->
+               ( k,
+                 Json.Obj
+                   [
+                     ("count", Json.int h.count);
+                     ("sum", Json.Num h.sum);
+                     ("min", Json.Num h.min);
+                     ("max", Json.Num h.max);
+                   ] ))
+             (histograms ())) );
+    ]
+
+let pp_metrics ppf () =
+  let cs = counters () and gs = gauges () and hs = histograms () in
+  if cs = [] && gs = [] && hs = [] then
+    Format.fprintf ppf "no metrics recorded@."
+  else begin
+    List.iter (fun (k, v) -> Format.fprintf ppf "%-42s %12d@." k v) cs;
+    List.iter (fun (k, v) -> Format.fprintf ppf "%-42s %12g@." k v) gs;
+    List.iter
+      (fun (k, h) ->
+        Format.fprintf ppf "%-42s n=%d sum=%g min=%g max=%g@." k h.count h.sum h.min
+          h.max)
+      hs
+  end

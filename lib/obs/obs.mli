@@ -1,0 +1,162 @@
+(** Tracing, counters and structured event telemetry for the scheduling
+    stack.
+
+    Every solver, simulator and experiment in this repository can emit
+    {e spans} (timed, nestable phases), {e metrics} (named counters,
+    gauges and histograms) and {e structured events} (a name plus typed
+    fields).  By default nothing is recorded: no sink is installed, the
+    metric registry is off, and every instrumentation call reduces to one
+    mutable-bool read — instrumentation never changes what a solver
+    computes (the test suite asserts bit-identical schedules with
+    telemetry on and off).
+
+    Telemetry becomes visible by installing a {!Sink.t}:
+    - {!Sink.jsonl} — one self-describing JSON object per line, for
+      machine consumption;
+    - {!Sink.chrome} — the Chrome [trace_event] array format, loadable in
+      Perfetto / [chrome://tracing], rendering a solver run or pipeline
+      simulation as a timeline;
+    - {!Sink.logs} — human-readable lines through the [Logs] library;
+    - {!Sink.memory} — an in-process buffer for tests;
+    - {!Sink.tee} — fan out to several of the above.
+
+    Metrics are enabled independently with {!set_stats} (the CLIs'
+    [--stats] and [--metrics] flags) and read back with {!counters},
+    {!metrics_json} or {!pp_metrics}.
+
+    In hot loops, guard the construction of fields on {!enabled}:
+    {[ if Obs.enabled () then Obs.event "edf.dispatch" ~fields:[ ... ] ]}
+    so the disabled path allocates nothing. *)
+
+type value = Bool of bool | Int of int | Float of float | Str of string
+
+type field = string * value
+
+type kind =
+  | Span_begin
+  | Span_end of float  (** Wall-clock duration of the span, in seconds. *)
+  | Instant
+  | Counter of float  (** Value of the metric {e after} the update. *)
+
+type event = {
+  ts : float;  (** Seconds since the sink was installed (monotonic). *)
+  name : string;
+  kind : kind;
+  depth : int;  (** Span-nesting depth when the event was emitted. *)
+  fields : field list;
+}
+
+val field_json : field list -> Json.t
+(** The fields as a JSON object (exposed for sinks and tests). *)
+
+(** {1 Sinks} *)
+
+module Sink : sig
+  type t = { emit : event -> unit; close : unit -> unit }
+
+  val null : t
+  (** Accepts and discards everything. *)
+
+  val memory : unit -> t * (unit -> event list)
+  (** An in-process buffer and a function returning the events emitted so
+      far, oldest first.  For tests. *)
+
+  val tee : t list -> t
+  (** Forward every event to each sink, close them all on close. *)
+
+  val logs : ?level:Logs.level -> unit -> t
+  (** Human-readable telemetry through {!Logs} (source
+      ["e2e_sched.obs"], default level [Debug]).  Output appears once the
+      application installs a [Logs] reporter. *)
+
+  val jsonl : out_channel -> t
+  (** One JSON object per event per line:
+      [{"ts":s,"type":"span_begin"|"span_end"|"event"|"counter",
+        "name":n,"depth":d,...}] with ["dur"] on span ends, ["value"] on
+      counters and ["fields"] when any were attached.  [close] flushes
+      and closes the channel. *)
+
+  val chrome : out_channel -> t
+  (** Chrome [trace_event] JSON (an array of phase [B]/[E]/[i]/[C]
+      records with microsecond timestamps), understood by Perfetto and
+      [chrome://tracing].  [close] terminates the array, flushes and
+      closes the channel. *)
+end
+
+val install : Sink.t -> unit
+(** Install [sink] (replacing any previous one, which is closed) and
+    restart the trace clock at 0. *)
+
+val uninstall : unit -> unit
+(** Close and remove the current sink, if any. *)
+
+val enabled : unit -> bool
+(** True when a sink is installed or metrics are on — the one-word test
+    call sites use to skip building fields. *)
+
+val set_stats : bool -> unit
+(** Turn the metric registry on or off.  Turning it on does not clear
+    previously accumulated values; use {!reset_metrics}. *)
+
+val stats_enabled : unit -> bool
+
+(** {1 Spans and events} *)
+
+val span : ?fields:field list -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f ()] inside a timed span: a [Span_begin] event
+    before, a [Span_end] (with the elapsed wall-clock duration) after,
+    even when [f] raises.  Nesting is tracked in {!event.depth}.  When
+    telemetry is {!enabled}[ = false] this is exactly [f ()]. *)
+
+val event : ?fields:field list -> string -> unit
+(** Emit an [Instant] structured event to the sink, if one is installed. *)
+
+(** {1 Metrics} *)
+
+val incr : ?by:int -> string -> unit
+(** Bump a named counter (default [by:1]).  Counters also reach the
+    sink as [Counter] events, so Chrome traces grow counter tracks. *)
+
+val gauge : string -> float -> unit
+(** Set a named gauge to its latest value. *)
+
+val observe : string -> float -> unit
+(** Add an observation to a named histogram (count/sum/min/max summary). *)
+
+type histogram = { count : int; sum : float; min : float; max : float }
+
+val counter_value : string -> int
+(** Current value of a counter, 0 if never bumped. *)
+
+val counters : unit -> (string * int) list
+(** All counters, sorted by name. *)
+
+val gauges : unit -> (string * float) list
+
+val histograms : unit -> (string * histogram) list
+
+val reset_metrics : unit -> unit
+(** Zero every counter, gauge and histogram. *)
+
+val metrics_json : unit -> Json.t
+(** [{"counters":{...},"gauges":{...},"histograms":{name:
+    {"count":..,"sum":..,"min":..,"max":..}}}] — the payload of the
+    experiment drivers' [--metrics] files. *)
+
+val pp_metrics : Format.formatter -> unit -> unit
+(** Human-readable metric dump (the CLIs' [--stats] output).  Prints a
+    placeholder line when nothing was recorded. *)
+
+(** {1 Clock} *)
+
+module Clock : sig
+  val now : unit -> float
+  (** Current time in seconds, from the installed source, clamped to be
+      non-decreasing across calls. *)
+
+  val set_source : (unit -> float) -> unit
+  (** Replace the time source (tests install a hand-cranked clock). *)
+
+  val use_wall_clock : unit -> unit
+  (** Restore the default source ([Unix.gettimeofday]). *)
+end

@@ -3,6 +3,7 @@ module Task = E2e_model.Task
 module Visit = E2e_model.Visit
 module Recurrence_shop = E2e_model.Recurrence_shop
 module Schedule = E2e_schedule.Schedule
+module Obs = E2e_obs.Obs
 
 type rat = Rat.t
 type discipline = Time_triggered | Work_conserving
@@ -97,20 +98,55 @@ let count_structural (s : Schedule.t) (e : execution) =
 
 let run discipline (s : Schedule.t) ~actual =
   validate_actual s actual;
+  Obs.span "dispatcher.run"
+    ~fields:
+      [
+        ( "discipline",
+          Obs.Str
+            (match discipline with
+            | Time_triggered -> "time_triggered"
+            | Work_conserving -> "work_conserving") );
+      ]
+  @@ fun () ->
+  Obs.incr "dispatcher.runs";
   let execution = execute discipline s actual in
   let shop = s.Schedule.shop in
   let n = Array.length execution.starts and k = Array.length execution.starts.(0) in
+  if Obs.enabled () then
+    for i = 0 to n - 1 do
+      for j = 0 to k - 1 do
+        Obs.event "dispatcher.execute"
+          ~fields:
+            [
+              ("task", Obs.Int i); ("stage", Obs.Int j);
+              ("processor", Obs.Int shop.Recurrence_shop.visit.Visit.sequence.(j));
+              ("start", Obs.Float (Rat.to_float execution.starts.(i).(j)));
+              ("finish", Obs.Float (Rat.to_float execution.finishes.(i).(j)));
+            ]
+      done
+    done;
   let misses = ref [] in
   for i = n - 1 downto 0 do
     let completion = execution.finishes.(i).(k - 1) in
-    if Rat.(completion > shop.Recurrence_shop.tasks.(i).Task.deadline) then
+    if Rat.(completion > shop.Recurrence_shop.tasks.(i).Task.deadline) then begin
+      if Obs.enabled () then begin
+        Obs.incr "dispatcher.deadline_misses";
+        Obs.event "dispatcher.deadline_miss"
+          ~fields:
+            [
+              ("task", Obs.Int i);
+              ("finish", Obs.Float (Rat.to_float completion));
+              ( "deadline",
+                Obs.Float (Rat.to_float shop.Recurrence_shop.tasks.(i).Task.deadline) );
+            ]
+      end;
       misses := (i, completion) :: !misses
+    end
   done;
-  {
-    execution;
-    deadline_misses = !misses;
-    structural_violations = count_structural s execution;
-  }
+  let structural_violations = count_structural s execution in
+  if structural_violations > 0 then
+    Obs.incr ~by:structural_violations "dispatcher.structural_violations";
+  { execution; deadline_misses = !misses; structural_violations }
 
 let scale_durations (s : Schedule.t) ~factor =
   Array.map

@@ -1,5 +1,6 @@
 module Rat = E2e_rat.Rat
 module Periodic_shop = E2e_model.Periodic_shop
+module Obs = E2e_obs.Obs
 
 type policy = [ `Postponed_phases of float array | `Direct_sync ]
 
@@ -56,17 +57,43 @@ let simulate_postponed ~deadline_factor ~horizon (sys : Periodic_shop.t) deltas 
       if (not complete_chain) || ready >= horizon then continue_ := false
       else begin
         incr requests;
+        Obs.incr "pipeline_sim.requests";
         (* Precedence: the postponed release of stage j must not precede
            the completion of stage j-1. *)
         for j = 1 to m - 1 do
           let release_j = phases.(i).(j) +. (float_of_int !k *. p) in
           let prev_finish = Hashtbl.find tables.(j - 1) (i, !k) in
-          if prev_finish > release_j +. eps then incr precedence_violations
+          if prev_finish > release_j +. eps then begin
+            incr precedence_violations;
+            if Obs.enabled () then begin
+              Obs.incr "pipeline_sim.precedence_violations";
+              Obs.event "pipeline_sim.precedence_violation"
+                ~fields:
+                  [
+                    ("job", Obs.Int i); ("request", Obs.Int !k); ("stage", Obs.Int j);
+                    ("release", Obs.Float release_j);
+                    ("prev_finish", Obs.Float prev_finish);
+                  ]
+            end
+          end
         done;
         let finish = Hashtbl.find tables.(m - 1) (i, !k) in
         let response = finish -. ready in
+        if Obs.enabled () then Obs.observe "pipeline_sim.response" response;
         if response > end_to_end.(i) then end_to_end.(i) <- response;
-        if response > (deadline_factor *. p) +. eps then incr deadline_misses;
+        if response > (deadline_factor *. p) +. eps then begin
+          incr deadline_misses;
+          if Obs.enabled () then begin
+            Obs.incr "pipeline_sim.deadline_misses";
+            Obs.event "pipeline_sim.deadline_miss"
+              ~fields:
+                [
+                  ("job", Obs.Int i); ("request", Obs.Int !k);
+                  ("response", Obs.Float response);
+                  ("deadline", Obs.Float (deadline_factor *. p));
+                ]
+          end
+        end;
         incr k
       end
     done
@@ -137,8 +164,22 @@ let simulate_direct ~deadline_factor ~horizon (sys : Periodic_shop.t) =
                    +. (float_of_int j.k *. period j.job) in
       let response = finish -. ready0 in
       incr requests;
+      Obs.incr "pipeline_sim.requests";
+      if Obs.enabled () then Obs.observe "pipeline_sim.response" response;
       if response > end_to_end.(j.job) then end_to_end.(j.job) <- response;
-      if response > (deadline_factor *. period j.job) +. eps then incr deadline_misses
+      if response > (deadline_factor *. period j.job) +. eps then begin
+        incr deadline_misses;
+        if Obs.enabled () then begin
+          Obs.incr "pipeline_sim.deadline_misses";
+          Obs.event "pipeline_sim.deadline_miss"
+            ~fields:
+              [
+                ("job", Obs.Int j.job); ("request", Obs.Int j.k);
+                ("response", Obs.Float response);
+                ("deadline", Obs.Float (deadline_factor *. period j.job));
+              ]
+        end
+      end
     end
   in
   let rec run t arrivals =
@@ -198,6 +239,18 @@ let simulate_direct ~deadline_factor ~horizon (sys : Periodic_shop.t) =
 
 let simulate ?(deadline_factor = 1.0) ~horizon ~policy sys =
   if horizon <= 0.0 then invalid_arg "Pipeline_sim.simulate: nonpositive horizon";
-  match policy with
-  | `Postponed_phases deltas -> simulate_postponed ~deadline_factor ~horizon sys deltas
-  | `Direct_sync -> simulate_direct ~deadline_factor ~horizon sys
+  Obs.span "pipeline_sim.simulate"
+    ~fields:
+      [
+        ("jobs", Obs.Int (Periodic_shop.n_jobs sys));
+        ("horizon", Obs.Float horizon);
+        ( "policy",
+          Obs.Str
+            (match policy with
+            | `Postponed_phases _ -> "postponed_phases"
+            | `Direct_sync -> "direct_sync") );
+      ]
+    (fun () ->
+      match policy with
+      | `Postponed_phases deltas -> simulate_postponed ~deadline_factor ~horizon sys deltas
+      | `Direct_sync -> simulate_direct ~deadline_factor ~horizon sys)

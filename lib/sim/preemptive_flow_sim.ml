@@ -2,6 +2,7 @@ module Rat = E2e_rat.Rat
 module Task = E2e_model.Task
 module Visit = E2e_model.Visit
 module Recurrence_shop = E2e_model.Recurrence_shop
+module Obs = E2e_obs.Obs
 
 type rat = Rat.t
 type segment = { task : int; stage : int; from_ : rat; until : rat }
@@ -20,6 +21,9 @@ type pending = {
 }
 
 let run (shop : Recurrence_shop.t) =
+  Obs.span "preemptive_sim.run"
+    ~fields:[ ("tasks", Obs.Int (Recurrence_shop.n_tasks shop)) ]
+  @@ fun () ->
   let n = Recurrence_shop.n_tasks shop in
   let k = Visit.length shop.visit in
   let m = shop.visit.Visit.processors in
@@ -94,10 +98,23 @@ let run (shop : Recurrence_shop.t) =
               match job with
               | None -> ()
               | Some j ->
-                  if Rat.(dt > Rat.zero) then
+                  if Rat.(dt > Rat.zero) then begin
+                    if Obs.enabled () then begin
+                      Obs.incr "preemptive_sim.slices";
+                      Obs.event "preemptive_sim.dispatch"
+                        ~fields:
+                          [
+                            ("task", Obs.Int j.p_task);
+                            ("stage", Obs.Int j.p_stage);
+                            ("processor", Obs.Int p);
+                            ("from", Obs.Float (Rat.to_float t));
+                            ("until", Obs.Float (Rat.to_float t'));
+                          ]
+                    end;
                     segments.(p) <-
                       { task = j.p_task; stage = j.p_stage; from_ = t; until = t' }
-                      :: segments.(p);
+                      :: segments.(p)
+                  end;
                   j.remaining <- Rat.sub j.remaining dt)
             running;
           (* Handle completions at t'. *)
@@ -110,6 +127,17 @@ let run (shop : Recurrence_shop.t) =
                     ready.(p) <- List.filter (fun x -> x != j) ready.(p);
                     completions.(j.p_task).(j.p_stage) <- t';
                     decr total;
+                    if Obs.enabled () then begin
+                      Obs.incr "preemptive_sim.completions";
+                      Obs.event "preemptive_sim.complete"
+                        ~fields:
+                          [
+                            ("task", Obs.Int j.p_task);
+                            ("stage", Obs.Int j.p_stage);
+                            ("processor", Obs.Int p);
+                            ("t", Obs.Float (Rat.to_float t'));
+                          ]
+                    end;
                     if j.p_stage + 1 < k then begin
                       let q = shop.visit.Visit.sequence.(j.p_stage + 1) in
                       ready.(q) <- make_pending j.p_task (j.p_stage + 1) :: ready.(q)
@@ -130,6 +158,18 @@ let run (shop : Recurrence_shop.t) =
         Rat.(finish > shop.tasks.(i).Task.deadline))
       (List.init n Fun.id)
   in
+  if Obs.enabled () then
+    List.iter
+      (fun i ->
+        Obs.incr "preemptive_sim.deadline_misses";
+        Obs.event "preemptive_sim.deadline_miss"
+          ~fields:
+            [
+              ("task", Obs.Int i);
+              ("finish", Obs.Float (Rat.to_float completions.(i).(k - 1)));
+              ("deadline", Obs.Float (Rat.to_float shop.tasks.(i).Task.deadline));
+            ])
+      misses;
   (* Coalesce adjacent slices of the same stage for readability. *)
   let coalesce slices =
     List.fold_left
@@ -143,6 +183,19 @@ let run (shop : Recurrence_shop.t) =
       (List.rev slices)
     |> List.rev
   in
-  { completions; segments = Array.map coalesce segments; deadline_misses = misses }
+  let segments = Array.map coalesce segments in
+  (* A stage split over s > 1 coalesced slices was preempted s - 1 times. *)
+  if Obs.enabled () then begin
+    let slice_counts = Hashtbl.create 32 in
+    Array.iter
+      (List.iter (fun s ->
+           let key = (s.task, s.stage) in
+           Hashtbl.replace slice_counts key
+             (1 + Option.value ~default:0 (Hashtbl.find_opt slice_counts key))))
+      segments;
+    let preemptions = Hashtbl.fold (fun _ c acc -> acc + (c - 1)) slice_counts 0 in
+    if preemptions > 0 then Obs.incr ~by:preemptions "preemptive_sim.preemptions"
+  end;
+  { completions; segments; deadline_misses = misses }
 
 let feasible shop = (run shop).deadline_misses = []

@@ -25,4 +25,5 @@ let () =
       ("distributed", Test_distributed.suite);
       ("local_search", Test_local_search.suite);
       ("misc", Test_misc_coverage.suite);
+      ("obs", Test_obs.suite);
     ]
