@@ -1,6 +1,10 @@
 METRICS := /tmp/e2e_sched_metrics.jsonl
+PAR_METRICS := /tmp/e2e_sched_metrics_par.jsonl
+PAR_A := /tmp/e2e_sched_fig9a_j1.txt
+PAR_B := /tmp/e2e_sched_fig9a_j4.txt
+JOBS ?= 4
 
-.PHONY: all build test bench check clean
+.PHONY: all build test bench bench-par check clean
 
 all: build
 
@@ -13,16 +17,28 @@ test:
 bench:
 	dune exec bench/main.exe
 
-# Build, run the test suite, then smoke-test the telemetry pipeline:
-# regenerate one paper artifact with --metrics and validate that the
-# resulting file is non-empty, well-formed JSONL.
+# Sequential-vs-parallel wall-clock on the fig9/fig10 Monte Carlo
+# sweeps, written to BENCH_parallel.json (speedup > 1 needs real cores).
+bench-par:
+	dune exec bench/main.exe -- --parallel BENCH_parallel.json --jobs $(JOBS)
+
+# Build, run the test suite, then smoke-test the telemetry pipeline
+# (regenerate one paper artifact with --metrics and validate the file as
+# JSONL) and the parallel engine (the same sweep on 1 and 4 domains must
+# be byte-identical, and metrics collected under -j 4 must still be
+# well-formed JSONL).
 check:
 	dune build
 	dune runtest
-	rm -f $(METRICS)
+	rm -f $(METRICS) $(PAR_METRICS) $(PAR_A) $(PAR_B)
 	dune exec bin/experiments.exe -- table1 --metrics $(METRICS)
 	dune exec bin/jsonl_check.exe $(METRICS)
+	dune exec bin/experiments.exe -- fig9a --trials 120 -j 1 > $(PAR_A)
+	dune exec bin/experiments.exe -- fig9a --trials 120 -j 4 > $(PAR_B)
+	cmp $(PAR_A) $(PAR_B)
+	dune exec bin/experiments.exe -- fig9a --trials 120 -j 4 --metrics $(PAR_METRICS) > /dev/null
+	dune exec bin/jsonl_check.exe $(PAR_METRICS)
 
 clean:
 	dune clean
-	rm -f $(METRICS)
+	rm -f $(METRICS) $(PAR_METRICS) $(PAR_A) $(PAR_B) BENCH_parallel.json

@@ -2,7 +2,11 @@
    workload, plus scaling and ablation benches.
 
    Run with: dune exec bench/main.exe
-   Pass `--metrics FILE` to also append one JSONL record per bench. *)
+   Pass `--metrics FILE` to also append one JSONL record per bench.
+   Pass `--jobs N` to also time the fig9/fig10 Monte Carlo sweeps
+   sequentially and on N domains and print the speedups.
+   Pass `--parallel FILE` to write those sweep timings as JSON to FILE
+   (skipping the bechamel micro-benches). *)
 
 open Bechamel
 open Toolkit
@@ -217,15 +221,92 @@ let tests =
       bench_dispatcher;
     ]
 
-(* `--metrics FILE`: append one {"bench":...,"ns_per_run":...} JSONL
-   record per bench, machine-readable alongside the printed table. *)
-let metrics_file () =
+(* Minimal argv parsing: `--metrics FILE`, `--jobs N`, `--parallel FILE`. *)
+let argv_value key =
   let rec find = function
-    | "--metrics" :: path :: _ -> Some path
+    | k :: v :: _ when String.equal k key -> Some v
     | _ :: rest -> find rest
     | [] -> None
   in
   find (Array.to_list Sys.argv)
+
+let metrics_file () = argv_value "--metrics"
+let parallel_file () = argv_value "--parallel"
+
+let jobs_arg () =
+  match argv_value "--jobs" with
+  | None -> None
+  | Some v -> (
+      match int_of_string_opt v with
+      | Some n when n >= 1 -> Some n
+      | _ -> failwith (Printf.sprintf "bench: --jobs expects a positive integer, got %S" v))
+
+(* Wall-clock timing of the full Monte Carlo sweeps, sequential vs on
+   [jobs] domains.  The sweeps render to a null formatter so the timing
+   covers generation + scheduling + aggregation, not terminal I/O; trial
+   counts are reduced so the whole section stays in the seconds range.
+   Output is byte-identical either way (per-trial PRNG streams), so the
+   pair is a pure like-for-like speedup measurement. *)
+let null_ppf = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
+
+let sweep_benches : (string * (jobs:int -> unit)) list =
+  let module E = E2e_experiments.Experiments in
+  [
+    ( "fig9a",
+      fun ~jobs -> E.fig9a ~sweep:{ E.default_fig9a with E.trials = 150 } ~jobs null_ppf );
+    ( "fig9b",
+      fun ~jobs -> E.fig9b ~sweep:{ E.default_fig9b with E.trials = 150 } ~jobs null_ppf );
+    ( "fig10",
+      fun ~jobs -> E.fig10 ~sweep:{ E.default_fig10 with E.trials = 100 } ~jobs null_ppf );
+  ]
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+let run_sweep_benches ~jobs =
+  List.map
+    (fun (name, run) ->
+      let seq_s = time (fun () -> run ~jobs:1) in
+      let par_s = time (fun () -> run ~jobs) in
+      (name, seq_s, par_s))
+    sweep_benches
+
+let print_sweep_rows ~jobs rows =
+  Format.printf "@.%-45s %9s %9s %9s@."
+    (Printf.sprintf "sweep (sequential vs %d domains)" jobs)
+    "seq" "par" "speedup";
+  Format.printf "%s@." (String.make 76 '-');
+  List.iter
+    (fun (name, seq_s, par_s) ->
+      Format.printf "%-45s %8.2fs %8.2fs %8.2fx@." name seq_s par_s (seq_s /. par_s))
+    rows
+
+let write_parallel_json path ~jobs rows =
+  let module Json = E2e_obs.Json in
+  let record =
+    Json.Obj
+      [
+        ("jobs", Json.Num (float_of_int jobs));
+        ( "sweeps",
+          Json.Obj
+            (List.map
+               (fun (name, seq_s, par_s) ->
+                 ( name,
+                   Json.Obj
+                     [
+                       ("seq_s", Json.Num seq_s);
+                       ("par_s", Json.Num par_s);
+                       ("speedup", Json.Num (seq_s /. par_s));
+                     ] ))
+               rows) );
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string record);
+  output_char oc '\n';
+  close_out oc
 
 let append_metrics path rows =
   let module Json = E2e_obs.Json in
@@ -238,7 +319,7 @@ let append_metrics path rows =
     rows;
   close_out oc
 
-let () =
+let run_micro_benches () =
   let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
@@ -266,3 +347,22 @@ let () =
       Format.printf "%-45s %15s@." name pretty)
     rows;
   match metrics_file () with None -> () | Some path -> append_metrics path rows
+
+let () =
+  match parallel_file () with
+  | Some path ->
+      (* Parallel-speedup mode: sweep timings only, written as JSON. *)
+      let jobs =
+        match jobs_arg () with Some n -> n | None -> E2e_exec.Pool.recommended_jobs ()
+      in
+      let rows = run_sweep_benches ~jobs in
+      print_sweep_rows ~jobs rows;
+      write_parallel_json path ~jobs rows;
+      Format.printf "wrote %s@." path
+  | None -> (
+      run_micro_benches ();
+      (* With `--jobs N` the micro-bench table is followed by the
+         sequential-vs-parallel sweep comparison. *)
+      match jobs_arg () with
+      | Some jobs when jobs > 1 -> print_sweep_rows ~jobs (run_sweep_benches ~jobs)
+      | _ -> ())

@@ -2,11 +2,16 @@
 
    e2e-experiments all           # everything, in paper order
    e2e-experiments fig9a --trials 2000
+   e2e-experiments fig9b -j 4    # trials fanned over 4 domains
    e2e-experiments table3        # the Figure-8 before/after example
-   e2e-experiments all --metrics runs.jsonl   # plus one JSONL record each *)
+   e2e-experiments all --metrics runs.jsonl   # plus one JSONL record each
+
+   Monte Carlo trials use one PRNG stream per trial, so the output is
+   byte-identical whatever -j/--jobs (or E2E_JOBS) says. *)
 
 open Cmdliner
 module E = E2e_experiments.Experiments
+module Pool = E2e_exec.Pool
 module Obs = E2e_obs.Obs
 module Json = E2e_obs.Json
 
@@ -19,6 +24,14 @@ let trials =
 let seed =
   let doc = "PRNG seed for the randomized experiments." in
   Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let jobs =
+  let doc =
+    "Worker domains for the Monte Carlo sweeps.  Defaults to $(b,E2E_JOBS) \
+     (capped at the runtime's recommended domain count) or 1.  Results are \
+     byte-identical for every value."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
 let metrics =
   let doc =
@@ -63,36 +76,50 @@ let fixed name doc f =
   Cmd.v (Cmd.info name ~doc) Term.(const run $ metrics)
 
 let swept name doc default f =
-  let run trials seed metrics =
-    run_artifact metrics name (fun ppf -> f ~sweep:(override default trials seed) ppf)
+  let run trials seed jobs metrics =
+    run_artifact metrics name (fun ppf ->
+        f ~sweep:(override default trials seed) ~jobs:(Pool.resolve_jobs jobs) ppf)
   in
-  Cmd.v (Cmd.info name ~doc) Term.(const run $ trials $ seed $ metrics)
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ trials $ seed $ jobs $ metrics)
 
 (* Everything, in paper order — the same sequence as [E.all], but run
-   artifact by artifact so [--metrics] gets one record per artifact. *)
-let all_artifacts : (string * (Format.formatter -> unit)) list =
+   artifact by artifact so [--metrics] gets one record per artifact, and
+   with the --trials/--seed/-j overrides applied to every randomized
+   one. *)
+let all_artifacts ~trials ~seed ~jobs : (string * (Format.formatter -> unit)) list =
   [
     ("table1", E.table1);
     ("table2", E.table2);
     ("table3", E.table3);
-    ("fig9a", fun ppf -> E.fig9a ppf);
-    ("fig9b", fun ppf -> E.fig9b ppf);
-    ("fig10", fun ppf -> E.fig10 ppf);
+    ("fig9a", fun ppf -> E.fig9a ~sweep:(override E.default_fig9a trials seed) ~jobs ppf);
+    ("fig9b", fun ppf -> E.fig9b ~sweep:(override E.default_fig9b trials seed) ~jobs ppf);
+    ("fig10", fun ppf -> E.fig10 ~sweep:(override E.default_fig10 trials seed) ~jobs ppf);
     ("table4", E.table4);
     ("table5", E.table5);
     ("section6", E.section6);
     ("nonpermutation", E.nonpermutation);
-    ("fig9x", fun ppf -> E.fig9_extensions ppf);
-    ("periodic-sweep", fun ppf -> E.periodic_sweep ppf);
-    ("ablation", fun ppf -> E.ablation ppf);
+    ( "fig9x",
+      fun ppf ->
+        E.fig9_extensions
+          ~sweep:(override { E.default_fig9b with E.trials = 300 } trials seed)
+          ~jobs ppf );
+    ("periodic-sweep", fun ppf -> E.periodic_sweep ?trials ?seed ~jobs ppf);
+    ( "ablation",
+      fun ppf ->
+        E.ablation
+          ~sweep:(override { E.seed = 7; trials = 300; n_tasks = 6; n_processors = 4 } trials seed)
+          ~jobs ppf );
   ]
 
 let all_cmd =
   let doc = "Regenerate every table and figure (DESIGN.md experiment index)." in
-  let run metrics =
-    List.iter (fun (name, f) -> run_artifact metrics name f) all_artifacts
+  let run trials seed jobs metrics =
+    let jobs = Pool.resolve_jobs jobs in
+    List.iter
+      (fun (name, f) -> run_artifact metrics name f)
+      (all_artifacts ~trials ~seed ~jobs)
   in
-  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ metrics)
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ trials $ seed $ jobs $ metrics)
 
 let () =
   let info =
@@ -107,11 +134,11 @@ let () =
       fixed "table2" "Table 2 / Figure 5: Algorithm A worked example." E.table2;
       fixed "table3" "Table 3 / Figure 8: Algorithm H before/after compaction." E.table3;
       swept "fig9a" "Figure 9(a): success rate, 4 tasks x 4 processors." E.default_fig9a
-        (fun ~sweep ppf -> E.fig9a ~sweep ppf);
+        (fun ~sweep ~jobs ppf -> E.fig9a ~sweep ~jobs ppf);
       swept "fig9b" "Figure 9(b): success rate, 6 tasks x 4 processors." E.default_fig9b
-        (fun ~sweep ppf -> E.fig9b ~sweep ppf);
+        (fun ~sweep ~jobs ppf -> E.fig9b ~sweep ~jobs ppf);
       swept "fig10" "Figure 10: success rate, 10 tasks x 4 processors." E.default_fig10
-        (fun ~sweep ppf -> E.fig10 ~sweep ppf);
+        (fun ~sweep ~jobs ppf -> E.fig10 ~sweep ~jobs ppf);
       fixed "table4" "Table 4: periodic phase postponement." E.table4;
       fixed "table5" "Table 5: postponed deadlines." E.table5;
       fixed "section6" "Section 6: processor sharing." E.section6;
@@ -119,12 +146,16 @@ let () =
         E.nonpermutation;
       swept "fig9x" "Extension: every scheduler on the Figure 9(b) sweep."
         { E.default_fig9b with E.trials = 300 }
-        (fun ~sweep ppf -> E.fig9_extensions ~sweep ppf);
-      fixed "periodic-sweep" "Extension: periodic schedulability curves." (fun ppf ->
-          E.periodic_sweep ppf);
+        (fun ~sweep ~jobs ppf -> E.fig9_extensions ~sweep ~jobs ppf);
+      (let doc = "Extension: periodic schedulability curves." in
+       let run trials seed jobs metrics =
+         run_artifact metrics "periodic-sweep" (fun ppf ->
+             E.periodic_sweep ?trials ?seed ~jobs:(Pool.resolve_jobs jobs) ppf)
+       in
+       Cmd.v (Cmd.info "periodic-sweep" ~doc) Term.(const run $ trials $ seed $ jobs $ metrics));
       swept "ablation" "Design-choice ablations."
         { E.seed = 7; trials = 300; n_tasks = 6; n_processors = 4 }
-        (fun ~sweep ppf -> E.ablation ~sweep ppf);
+        (fun ~sweep ~jobs ppf -> E.ablation ~sweep ~jobs ppf);
       all_cmd;
     ]
   in

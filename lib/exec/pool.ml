@@ -1,0 +1,52 @@
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+let default_jobs () =
+  match Sys.getenv_opt "E2E_JOBS" with
+  | None -> 1
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> min n (recommended_jobs ())
+      | _ -> 1)
+
+let resolve_jobs = function
+  | None -> default_jobs ()
+  | Some n ->
+      if n < 1 then invalid_arg "Pool.resolve_jobs: jobs must be >= 1";
+      n
+
+(* One slot per job: the result, or the exception it raised.  Workers
+   write disjoint slots; [Domain.join] publishes them to the caller. *)
+type 'b slot = Empty | Value of 'b | Raised of exn * Printexc.raw_backtrace
+
+let map ~jobs f items =
+  if jobs < 1 then invalid_arg "Pool.map: jobs must be >= 1";
+  let n = Array.length items in
+  if jobs = 1 || n <= 1 then Array.map f items
+  else begin
+    let slots = Array.make n Empty in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (slots.(i) <-
+             (match f items.(i) with
+             | v -> Value v
+             | exception e -> Raised (e, Printexc.get_raw_backtrace ())));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = Array.init (min jobs n) (fun _ -> Domain.spawn worker) in
+    Array.iter Domain.join domains;
+    (* Lowest-index exception wins, whatever order the domains ran in. *)
+    Array.iter
+      (function Raised (e, bt) -> Printexc.raise_with_backtrace e bt | _ -> ())
+      slots;
+    Array.map (function Value v -> v | Empty | Raised _ -> assert false) slots
+  end
+
+let init ~jobs n f =
+  if n < 0 then invalid_arg "Pool.init: negative length";
+  map ~jobs f (Array.init n Fun.id)

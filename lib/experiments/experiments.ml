@@ -20,6 +20,7 @@ module Analysis = E2e_periodic.Analysis
 module Pipeline_sim = E2e_sim.Pipeline_sim
 module Partition = E2e_partition.Partition
 module Obs = E2e_obs.Obs
+module Pool = E2e_exec.Pool
 
 type sweep = { seed : int; trials : int; n_tasks : int; n_processors : int }
 
@@ -27,8 +28,18 @@ let default_fig9a = { seed = 1992; trials = 500; n_tasks = 4; n_processors = 4 }
 let default_fig9b = { seed = 1992; trials = 500; n_tasks = 6; n_processors = 4 }
 let default_fig10 = { seed = 1992; trials = 500; n_tasks = 10; n_processors = 4 }
 
-let success_rate sweep ~stdev ~slack =
-  let g = Prng.create (sweep.seed + int_of_float (stdev *. 1000.) + int_of_float (slack *. 7919.)) in
+(* Every Monte Carlo point below is a batch of pure per-trial jobs: trial
+   [k] of a point draws from its own PRNG stream, derived with
+   [Prng.of_path] from the sweep seed, the point's parameters and [k].
+   No generator is shared across trials, so results — and the printed
+   output — are byte-identical whatever [jobs] count runs them and in
+   whatever order the pool's domains pick them up. *)
+
+let fkey x = int_of_float (Float.round (x *. 1000.))
+
+let count_where f rows = Array.fold_left (fun acc r -> if f r then acc + 1 else acc) 0 rows
+
+let success_rate ?(jobs = 1) sweep ~stdev ~slack =
   let params =
     {
       Gen.n_tasks = sweep.n_tasks;
@@ -38,17 +49,18 @@ let success_rate sweep ~stdev ~slack =
       slack_factor = slack;
     }
   in
-  let successes = ref 0 in
-  for _ = 1 to sweep.trials do
+  let trial k =
+    let g = Prng.of_path [| sweep.seed; fkey stdev; fkey slack; k |] in
     let shop = Gen.generate g params in
     Obs.incr "experiments.instances";
     match Algo_h.schedule shop with
     | Ok _ ->
         Obs.incr "experiments.feasible_found";
-        incr successes
-    | Error _ -> ()
-  done;
-  Stats.wilson_interval ~successes:!successes ~trials:sweep.trials ~z:Stats.z_90
+        true
+    | Error _ -> false
+  in
+  let successes = count_where Fun.id (Pool.init ~jobs sweep.trials trial) in
+  Stats.wilson_interval ~successes ~trials:sweep.trials ~z:Stats.z_90
 
 let hr ppf = Format.fprintf ppf "%s@." (String.make 72 '-')
 
@@ -118,7 +130,7 @@ let table3 ppf =
 (* ------------------------------------------------------------------ *)
 (* Figures 9 and 10: success rate of Algorithm H.                      *)
 
-let print_series ppf ~title sweep ~stdevs ~slacks =
+let print_series ppf ~title ~jobs sweep ~stdevs ~slacks =
   Format.fprintf ppf "@.%s@." title;
   hr ppf;
   Format.fprintf ppf
@@ -132,35 +144,35 @@ let print_series ppf ~title sweep ~stdevs ~slacks =
       Format.fprintf ppf "%8.2f" slack;
       List.iter
         (fun stdev ->
-          let ci = success_rate sweep ~stdev ~slack in
+          let ci = success_rate ~jobs sweep ~stdev ~slack in
           Format.fprintf ppf "  %20s"
             (Printf.sprintf "%.3f [%.3f,%.3f]" ci.Stats.estimate ci.Stats.lo ci.Stats.hi))
         stdevs;
       Format.fprintf ppf "@.")
     slacks
 
-let fig9a ?(sweep = default_fig9a) ppf =
+let fig9a ?(sweep = default_fig9a) ?(jobs = 1) ppf =
   print_series ppf
     ~title:
       (Printf.sprintf "Figure 9(a): %d tasks on %d processors" sweep.n_tasks sweep.n_processors)
-    sweep ~stdevs:[ 0.1; 0.2; 0.5 ]
+    ~jobs sweep ~stdevs:[ 0.1; 0.2; 0.5 ]
     ~slacks:[ 0.4; 0.6; 0.8; 1.0; 1.2; 1.5 ]
 
-let fig9b ?(sweep = default_fig9b) ppf =
+let fig9b ?(sweep = default_fig9b) ?(jobs = 1) ppf =
   print_series ppf
     ~title:
       (Printf.sprintf "Figure 9(b): %d tasks on %d processors" sweep.n_tasks sweep.n_processors)
-    sweep ~stdevs:[ 0.1; 0.2; 0.5 ]
+    ~jobs sweep ~stdevs:[ 0.1; 0.2; 0.5 ]
     ~slacks:[ 0.4; 0.6; 0.8; 1.0; 1.2; 1.5 ]
 
-let fig10 ?(sweep = default_fig10) ppf =
+let fig10 ?(sweep = default_fig10) ?(jobs = 1) ppf =
   print_series ppf
     ~title:
       (Printf.sprintf "Figure 10: %d tasks on %d processors, larger slack" sweep.n_tasks
          sweep.n_processors)
-    sweep ~stdevs:[ 0.5 ] ~slacks:[ 2.0; 3.0; 4.0; 5.0; 6.0 ]
+    ~jobs sweep ~stdevs:[ 0.5 ] ~slacks:[ 2.0; 3.0; 4.0; 5.0; 6.0 ]
 
-let fig9_extensions ?(sweep = { default_fig9b with trials = 300 }) ppf =
+let fig9_extensions ?(sweep = { default_fig9b with trials = 300 }) ?(jobs = 1) ppf =
   Format.fprintf ppf "@.Extension figure: every scheduler on the Figure 9(b) sweep (stdev 0.5)@.";
   hr ppf;
   Format.fprintf ppf "%d tasks x %d processors, %d feasible instances per point@."
@@ -184,69 +196,71 @@ let fig9_extensions ?(sweep = { default_fig9b with trials = 300 }) ppf =
   List.iter
     (fun slack ->
       Format.fprintf ppf "%8.2f" slack;
-      List.iter
-        (fun (_, solves) ->
-          let g = Prng.create (sweep.seed + int_of_float (slack *. 7919.)) in
-          let params =
-            {
-              Gen.n_tasks = sweep.n_tasks;
-              n_processors = sweep.n_processors;
-              mean_tau = 1.0;
-              stdev = 0.5;
-              slack_factor = slack;
-            }
-          in
-          let ok = ref 0 in
-          for _ = 1 to sweep.trials do
-            Obs.incr "experiments.instances";
-            if solves (Gen.generate g params) then begin
-              Obs.incr "experiments.feasible_found";
-              incr ok
-            end
-          done;
+      let params =
+        {
+          Gen.n_tasks = sweep.n_tasks;
+          n_processors = sweep.n_processors;
+          mean_tau = 1.0;
+          stdev = 0.5;
+          slack_factor = slack;
+        }
+      in
+      (* One instance per trial, judged by every scheduler, so the
+         columns compare on identical task sets. *)
+      let trial k =
+        let g = Prng.of_path [| sweep.seed; fkey slack; k |] in
+        let shop = Gen.generate g params in
+        Obs.incr "experiments.instances";
+        let outcomes = List.map (fun (_, solves) -> solves shop) schedulers in
+        List.iter (fun ok -> if ok then Obs.incr "experiments.feasible_found") outcomes;
+        Array.of_list outcomes
+      in
+      let rows = Pool.init ~jobs sweep.trials trial in
+      List.iteri
+        (fun column _ ->
+          let ok = count_where (fun row -> row.(column)) rows in
           Format.fprintf ppf "  %20s"
-            (Printf.sprintf "%.3f" (float_of_int !ok /. float_of_int sweep.trials)))
+            (Printf.sprintf "%.3f" (float_of_int ok /. float_of_int sweep.trials)))
         schedulers;
       Format.fprintf ppf "@.")
     [ 0.4; 0.8; 1.2 ]
 
-let periodic_sweep ?(trials = 300) ?(seed = 3) ppf =
+let periodic_sweep ?(trials = 300) ?(seed = 3) ?(jobs = 1) ppf =
   Format.fprintf ppf
     "@.Extension figure: periodic schedulability curves (2-processor flow shops, 4 jobs)@.";
   hr ppf;
   Format.fprintf ppf
     "fraction of random systems schedulable within the period, %d systems per point@." trials;
   Format.fprintf ppf "%8s  %14s  %14s  %14s@." "u/proc" "Equation 1" "EDF density" "exact RTA";
+  let eq1 sys =
+    match Analysis.analyse sys with Analysis.Schedulable _ -> true | _ -> false
+  in
+  let edf sys =
+    let policies = Array.make sys.Periodic_shop.processors Analysis.Edf in
+    match Analysis.analyse_policies ~policies sys with
+    | Analysis.Schedulable _ -> true
+    | _ -> false
+  in
+  let rta sys =
+    match E2e_periodic.Response_time.analyse sys with
+    | E2e_periodic.Response_time.Schedulable _ -> true
+    | _ -> false
+  in
   List.iter
     (fun u ->
-      let count criterion =
-        let g = Prng.create (seed + int_of_float (u *. 1000.)) in
-        let ok = ref 0 in
-        for _ = 1 to trials do
-          let sys = Gen.periodic g ~n:4 ~m:2 ~utilization:u in
-          Obs.incr "experiments.instances";
-          if criterion sys then begin
-            Obs.incr "experiments.feasible_found";
-            incr ok
-          end
-        done;
-        float_of_int !ok /. float_of_int trials
+      let trial k =
+        let g = Prng.of_path [| seed; fkey u; k |] in
+        let sys = Gen.periodic g ~n:4 ~m:2 ~utilization:u in
+        Obs.incr "experiments.instances";
+        let verdicts = [| eq1 sys; edf sys; rta sys |] in
+        Array.iter (fun ok -> if ok then Obs.incr "experiments.feasible_found") verdicts;
+        verdicts
       in
-      let eq1 sys =
-        match Analysis.analyse sys with Analysis.Schedulable _ -> true | _ -> false
+      let rows = Pool.init ~jobs trials trial in
+      let frac column =
+        float_of_int (count_where (fun row -> row.(column)) rows) /. float_of_int trials
       in
-      let edf sys =
-        let policies = Array.make sys.Periodic_shop.processors Analysis.Edf in
-        match Analysis.analyse_policies ~policies sys with
-        | Analysis.Schedulable _ -> true
-        | _ -> false
-      in
-      let rta sys =
-        match E2e_periodic.Response_time.analyse sys with
-        | E2e_periodic.Response_time.Schedulable _ -> true
-        | _ -> false
-      in
-      Format.fprintf ppf "%8.2f  %14.3f  %14.3f  %14.3f@." u (count eq1) (count edf) (count rta))
+      Format.fprintf ppf "%8.2f  %14.3f  %14.3f  %14.3f@." u (frac 0) (frac 1) (frac 2))
     [ 0.2; 0.3; 0.4; 0.45; 0.5; 0.55; 0.6; 0.7 ]
 
 (* ------------------------------------------------------------------ *)
@@ -399,7 +413,8 @@ let nonpermutation ppf =
 let rate_of successes trials =
   Printf.sprintf "%.3f" (float_of_int successes /. float_of_int trials)
 
-let ablation ?(sweep = { seed = 7; trials = 300; n_tasks = 6; n_processors = 4 }) ppf =
+let ablation ?(sweep = { seed = 7; trials = 300; n_tasks = 6; n_processors = 4 }) ?(jobs = 1)
+    ppf =
   Format.fprintf ppf "@.Ablations (%d trials each)@." sweep.trials;
   hr ppf;
   (* 1. Forbidden regions on/off, on random identical-length sets whose
@@ -407,27 +422,29 @@ let ablation ?(sweep = { seed = 7; trials = 300; n_tasks = 6; n_processors = 4 }
      needs the Garey et al. machinery).  EEDF is optimal, so its success
      rate is exactly the fraction of feasible instances; the gap to plain
      EDF is the value of the forbidden regions. *)
-  let g = Prng.create sweep.seed in
-  let with_regions = ref 0 and without_regions = ref 0 in
-  for _ = 1 to sweep.trials do
+  let regions_trial k =
+    let g = Prng.of_path [| sweep.seed; 1; k |] in
     let shop =
       Gen.identical_length g ~n:sweep.n_tasks ~m:sweep.n_processors ~tau:(Rat.make 3 2)
         ~window:(2 * sweep.n_tasks)
     in
     Obs.incr "experiments.instances";
-    (match Eedf.schedule shop with Ok _ -> incr with_regions | Error _ -> ());
-    match Eedf.schedule_no_regions shop with
-    | Ok s when Schedule.is_feasible s -> incr without_regions
-    | _ -> ()
-  done;
+    let with_regions = Result.is_ok (Eedf.schedule shop) in
+    let without_regions =
+      match Eedf.schedule_no_regions shop with
+      | Ok s when Schedule.is_feasible s -> true
+      | _ -> false
+    in
+    (with_regions, without_regions)
+  in
+  let rows = Pool.init ~jobs sweep.trials regions_trial in
   Format.fprintf ppf
     "EEDF on random identical-length sets:     with forbidden regions %s (= exact feasible fraction) | plain EDF %s@."
-    (rate_of !with_regions sweep.trials)
-    (rate_of !without_regions sweep.trials);
-  (* 2. Compaction on/off and 3. bottleneck choice, on Figure-9 style sets. *)
-  let g = Prng.create (sweep.seed + 1) in
-  let h_on = ref 0 and h_off = ref 0 and h_worst_b = ref 0 and edf_greedy = ref 0 in
-  let portfolio = ref 0 and preemptive = ref 0 and local_search = ref 0 in
+    (rate_of (count_where fst rows) sweep.trials)
+    (rate_of (count_where snd rows) sweep.trials);
+  (* 2. Compaction on/off and 3. bottleneck choice, on Figure-9 style
+     sets.  Each trial judges one instance under every variant; columns
+     index into the verdict array. *)
   let params =
     {
       Gen.n_tasks = sweep.n_tasks;
@@ -437,13 +454,10 @@ let ablation ?(sweep = { seed = 7; trials = 300; n_tasks = 6; n_processors = 4 }
       slack_factor = 0.8;
     }
   in
-  for _ = 1 to sweep.trials do
+  let variant_trial k =
+    let g = Prng.of_path [| sweep.seed; 2; k |] in
     let shop = Gen.generate g params in
     Obs.incr "experiments.instances";
-    (match (Algo_h.run shop).Algo_h.result with Ok _ -> incr h_on | Error _ -> ());
-    (match (Algo_h.run ~compact:false shop).Algo_h.result with
-    | Ok _ -> incr h_off
-    | Error _ -> ());
     let worst =
       let maxima = Flow_shop.max_proc_times shop in
       let best = ref 0 in
@@ -452,38 +466,32 @@ let ablation ?(sweep = { seed = 7; trials = 300; n_tasks = 6; n_processors = 4 }
       done;
       !best
     in
-    (match (Algo_h.run ~bottleneck:worst shop).Algo_h.result with
-    | Ok _ -> incr h_worst_b
-    | Error _ -> ());
-    if List_edf.feasible (Recurrence_shop.of_traditional shop) then incr edf_greedy;
-    if E2e_sim.Preemptive_flow_sim.feasible (Recurrence_shop.of_traditional shop) then
-      incr preemptive;
-    (match E2e_baselines.Local_search.schedule shop with
-    | Some _ -> incr local_search
-    | None -> ());
-    match E2e_core.H_portfolio.schedule shop with
-    | Ok _ -> incr portfolio
-    | Error `All_failed -> ()
-  done;
+    [|
+      Result.is_ok (Algo_h.run shop).Algo_h.result;
+      Result.is_ok (Algo_h.run ~compact:false shop).Algo_h.result;
+      Result.is_ok (Algo_h.run ~bottleneck:worst shop).Algo_h.result;
+      Result.is_ok (E2e_core.H_portfolio.schedule shop);
+      List_edf.feasible (Recurrence_shop.of_traditional shop);
+      E2e_sim.Preemptive_flow_sim.feasible (Recurrence_shop.of_traditional shop);
+      Option.is_some (E2e_baselines.Local_search.schedule shop);
+    |]
+  in
+  let rows = Pool.init ~jobs sweep.trials variant_trial in
+  let col i = rate_of (count_where (fun row -> row.(i)) rows) sweep.trials in
   Format.fprintf ppf
     "Algorithm H (stdev 0.5, slack 0.8):       full %s | no compaction %s | worst bottleneck %s | portfolio %s@."
-    (rate_of !h_on sweep.trials) (rate_of !h_off sweep.trials)
-    (rate_of !h_worst_b sweep.trials)
-    (rate_of !portfolio sweep.trials);
+    (col 0) (col 1) (col 2) (col 3);
   Format.fprintf ppf
     "other heuristics, same instances:         greedy list-EDF %s | preemptive EDF %s | local search %s@."
-    (rate_of !edf_greedy sweep.trials)
-    (rate_of !preemptive sweep.trials)
-    (rate_of !local_search sweep.trials);
+    (col 4) (col 5) (col 6);
   (* 4. H vs exhaustive permutation search: the two named causes of H's
      sub-optimality.  On feasible-by-construction instances (which always
      have a permutation witness) every H failure is a wrong bottleneck
      order, since a feasible permutation schedule provably exists. *)
-  let g = Prng.create (sweep.seed + 2) in
   let n_small = min sweep.n_tasks 5 in
   let trials_small = min sweep.trials 200 in
-  let h_ok = ref 0 and perm_ok = ref 0 in
-  for _ = 1 to trials_small do
+  let exact_trial k =
+    let g = Prng.of_path [| sweep.seed; 3; k |] in
     let shop =
       Gen.generate g
         {
@@ -494,24 +502,26 @@ let ablation ?(sweep = { seed = 7; trials = 300; n_tasks = 6; n_processors = 4 }
           slack_factor = 0.8;
         }
     in
-    (match Algo_h.schedule shop with Ok _ -> incr h_ok | Error _ -> ());
-    if Exhaustive.permutation_feasible shop then incr perm_ok
-  done;
+    (Result.is_ok (Algo_h.schedule shop), Exhaustive.permutation_feasible shop)
+  in
+  let rows = Pool.init ~jobs trials_small exact_trial in
   Format.fprintf ppf
     "H vs exhaustive on feasible sets (%dx3):   H %s | exhaustive permutation search %s (every H failure = wrong bottleneck order)@."
-    n_small (rate_of !h_ok trials_small) (rate_of !perm_ok trials_small)
+    n_small
+    (rate_of (count_where fst rows) trials_small)
+    (rate_of (count_where snd rows) trials_small)
 
-let all ppf =
+let all ?(jobs = 1) ppf =
   table1 ppf;
   table2 ppf;
   table3 ppf;
-  fig9a ppf;
-  fig9b ppf;
-  fig10 ppf;
+  fig9a ~jobs ppf;
+  fig9b ~jobs ppf;
+  fig10 ~jobs ppf;
   table4 ppf;
   table5 ppf;
   section6 ppf;
   nonpermutation ppf;
-  fig9_extensions ppf;
-  periodic_sweep ppf;
-  ablation ppf
+  fig9_extensions ~jobs ppf;
+  periodic_sweep ~jobs ppf;
+  ablation ~jobs ppf

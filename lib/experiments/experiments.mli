@@ -3,7 +3,14 @@
     Each function prints, on the given formatter, the rows or series the
     corresponding paper artifact reports (see DESIGN.md for the
     experiment index and EXPERIMENTS.md for paper-vs-measured numbers).
-    All randomised experiments are seeded and deterministic. *)
+
+    All randomised experiments are seeded and deterministic.  Every
+    Monte Carlo trial draws from its own PRNG stream
+    ({!E2e_prng.Prng.of_path} over the sweep seed, the point's
+    parameters and the trial index), and the [?jobs] argument (default
+    [1]) fans the trials of each point over that many domains with
+    {!E2e_exec.Pool} — the printed output is byte-identical for every
+    [jobs] value. *)
 
 type sweep = {
   seed : int;
@@ -22,7 +29,7 @@ val default_fig10 : sweep
 (** 10 tasks on 4 processors. *)
 
 val success_rate :
-  sweep -> stdev:float -> slack:float -> E2e_stats.Stats.proportion_ci
+  ?jobs:int -> sweep -> stdev:float -> slack:float -> E2e_stats.Stats.proportion_ci
 (** Probability that Algorithm H finds a feasible schedule on
     feasible-by-construction instances (the quantity plotted in
     Figures 9 and 10), with its 90% confidence interval. *)
@@ -36,13 +43,13 @@ val table2 : Format.formatter -> unit
 val table3 : Format.formatter -> unit
 (** Table 3 + Figure 8: Algorithm H before/after compaction. *)
 
-val fig9a : ?sweep:sweep -> Format.formatter -> unit
+val fig9a : ?sweep:sweep -> ?jobs:int -> Format.formatter -> unit
 (** Figure 9(a): success rate vs slack, stdev in {0.1, 0.2, 0.5}. *)
 
-val fig9b : ?sweep:sweep -> Format.formatter -> unit
+val fig9b : ?sweep:sweep -> ?jobs:int -> Format.formatter -> unit
 (** Figure 9(b): same sweep with 6 tasks. *)
 
-val fig10 : ?sweep:sweep -> Format.formatter -> unit
+val fig10 : ?sweep:sweep -> ?jobs:int -> Format.formatter -> unit
 (** Figure 10: 10 tasks, stdev 0.5, larger slacks. *)
 
 val table4 : Format.formatter -> unit
@@ -61,22 +68,22 @@ val nonpermutation : Format.formatter -> unit
     non-permutation schedules, with the branch-and-bound witness and the
     failing permutation search side by side. *)
 
-val fig9_extensions : ?sweep:sweep -> Format.formatter -> unit
+val fig9_extensions : ?sweep:sweep -> ?jobs:int -> Format.formatter -> unit
 (** Extension figure: the Figure 9(b) slack sweep (stdev 0.5) with every
     scheduler in the repository overlaid — Algorithm H, the H portfolio,
     greedy list-EDF, preemptive EDF, local search, and exact permutation
     search as the ceiling. *)
 
-val periodic_sweep : ?trials:int -> ?seed:int -> Format.formatter -> unit
+val periodic_sweep : ?trials:int -> ?seed:int -> ?jobs:int -> Format.formatter -> unit
 (** Extension figure: acceptance ratio of random periodic flow shops as
     per-processor utilization grows, under Equation (1), the EDF density
     criterion, and exact response-time analysis — the schedulability
     curves implied by Section 5's closing remark. *)
 
-val ablation : ?sweep:sweep -> Format.formatter -> unit
+val ablation : ?sweep:sweep -> ?jobs:int -> Format.formatter -> unit
 (** Design-choice ablations: forbidden regions on/off, compaction
     on/off, bottleneck choice, Algorithm H vs exhaustive permutation
     search and vs greedy list-EDF. *)
 
-val all : Format.formatter -> unit
+val all : ?jobs:int -> Format.formatter -> unit
 (** Everything above, in paper order. *)

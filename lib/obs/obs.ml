@@ -27,16 +27,22 @@ let field_json fields = Json.Obj (List.map (fun (k, v) -> (k, value_json v)) fie
 module Clock = struct
   let wall = Unix.gettimeofday
   let source = ref wall
-  let last = ref neg_infinity
+
+  (* The clamp is an atomic max so concurrent domains reading the clock
+     cannot move it backwards for each other. *)
+  let last = Atomic.make neg_infinity
 
   let now () =
     let t = !source () in
-    if t > !last then last := t;
-    !last
+    let rec clamp () =
+      let l = Atomic.get last in
+      if t > l then if Atomic.compare_and_set last l t then t else clamp () else l
+    in
+    clamp ()
 
   let set_source f =
     source := f;
-    last := neg_infinity
+    Atomic.set last neg_infinity
 
   let use_wall_clock () = set_source wall
 end
@@ -168,13 +174,16 @@ end
 
 (* ------------------------------------------------------------------ *)
 (* Global state.  [on] mirrors (sink <> None || stats): the single      *)
-(* bool the hot paths read.                                             *)
+(* bool the hot paths read.  Install/uninstall/set_stats are main-      *)
+(* domain operations; the instrumentation calls themselves are domain-  *)
+(* safe: sinks are fed under a mutex and span depth is domain-local.    *)
 
 let sink : Sink.t option ref = ref None
 let stats = ref false
 let on = ref false
 let t0 = ref 0.0
-let depth = ref 0
+let sink_mu = Mutex.create ()
+let depth_key = Domain.DLS.new_key (fun () -> ref 0)
 
 let refresh () = on := !sink <> None || !stats
 
@@ -182,14 +191,15 @@ let enabled () = !on
 let stats_enabled () = !stats
 
 let uninstall () =
-  (match !sink with Some s -> s.Sink.close () | None -> ());
-  sink := None;
-  depth := 0;
+  Mutex.protect sink_mu (fun () ->
+      (match !sink with Some s -> s.Sink.close () | None -> ());
+      sink := None);
+  Domain.DLS.get depth_key := 0;
   refresh ()
 
 let install s =
   uninstall ();
-  sink := Some s;
+  Mutex.protect sink_mu (fun () -> sink := Some s);
   t0 := Clock.now ();
   refresh ()
 
@@ -200,15 +210,19 @@ let set_stats b =
 let emit kind name fields =
   match !sink with
   | None -> ()
-  | Some s ->
-      s.Sink.emit
-        { ts = Clock.now () -. !t0; name; kind; depth = !depth; fields }
+  | Some _ ->
+      let ts = Clock.now () -. !t0 and depth = !(Domain.DLS.get depth_key) in
+      Mutex.protect sink_mu (fun () ->
+          match !sink with
+          | None -> ()
+          | Some s -> s.Sink.emit { ts; name; kind; depth; fields })
 
 let event ?(fields = []) name = if !on then emit Instant name fields
 
 let span ?(fields = []) name f =
   if not !on then f ()
   else begin
+    let depth = Domain.DLS.get depth_key in
     let start = Clock.now () in
     emit Span_begin name fields;
     incr depth;
@@ -226,39 +240,73 @@ let span ?(fields = []) name f =
   end
 
 (* ------------------------------------------------------------------ *)
-(* Metrics.                                                            *)
+(* Metrics.  Each domain accumulates into its own store, created        *)
+(* lazily through domain-local storage, so the hot update path takes no *)
+(* lock and never contends.  Readers ([counters], [metrics_json], ...)  *)
+(* merge across stores; [Domain.join] publishes a worker's writes, so   *)
+(* merged totals read after a pool join equal the sequential totals.    *)
+(* Merging and [reset_metrics] assume no worker domain is concurrently  *)
+(* updating — the experiment engine only reads metrics between points.  *)
 
 type histogram = { count : int; sum : float; min : float; max : float }
 
-let counter_tbl : (string, int ref) Hashtbl.t = Hashtbl.create 32
-let gauge_tbl : (string, float ref) Hashtbl.t = Hashtbl.create 16
-let hist_tbl : (string, histogram ref) Hashtbl.t = Hashtbl.create 16
+type store = {
+  counter_tbl : (string, int ref) Hashtbl.t;
+  gauge_tbl : (string, (float * int) ref) Hashtbl.t;  (* value, update seq *)
+  hist_tbl : (string, histogram ref) Hashtbl.t;
+}
+
+let stores_mu = Mutex.create ()
+let stores : store list ref = ref []
+
+(* Orders gauge updates across domains so the merge keeps the latest. *)
+let gauge_seq = Atomic.make 0
+
+let new_store () =
+  let s =
+    {
+      counter_tbl = Hashtbl.create 32;
+      gauge_tbl = Hashtbl.create 16;
+      hist_tbl = Hashtbl.create 16;
+    }
+  in
+  Mutex.protect stores_mu (fun () -> stores := s :: !stores);
+  s
+
+let store_key = Domain.DLS.new_key new_store
+let my_store () = Domain.DLS.get store_key
+let all_stores () = Mutex.protect stores_mu (fun () -> !stores)
 
 let incr ?(by = 1) name =
   if !on then begin
+    let st = my_store () in
     let cell =
-      match Hashtbl.find_opt counter_tbl name with
+      match Hashtbl.find_opt st.counter_tbl name with
       | Some cell -> cell
       | None ->
           let cell = ref 0 in
-          Hashtbl.add counter_tbl name cell;
+          Hashtbl.add st.counter_tbl name cell;
           cell
     in
     cell := !cell + by;
+    (* The emitted running value is this domain's own tally. *)
     emit (Counter (float_of_int !cell)) name []
   end
 
 let gauge name v =
   if !on then begin
-    (match Hashtbl.find_opt gauge_tbl name with
-    | Some cell -> cell := v
-    | None -> Hashtbl.add gauge_tbl name (ref v));
+    let st = my_store () in
+    let stamped = (v, Atomic.fetch_and_add gauge_seq 1) in
+    (match Hashtbl.find_opt st.gauge_tbl name with
+    | Some cell -> cell := stamped
+    | None -> Hashtbl.add st.gauge_tbl name (ref stamped));
     emit (Counter v) name []
   end
 
 let observe name v =
   if !on then begin
-    (match Hashtbl.find_opt hist_tbl name with
+    let st = my_store () in
+    match Hashtbl.find_opt st.hist_tbl name with
     | Some cell ->
         let h = !cell in
         cell :=
@@ -268,24 +316,58 @@ let observe name v =
             min = Float.min h.min v;
             max = Float.max h.max v;
           }
-    | None -> Hashtbl.add hist_tbl name (ref { count = 1; sum = v; min = v; max = v }))
+    | None -> Hashtbl.add st.hist_tbl name (ref { count = 1; sum = v; min = v; max = v })
   end
 
-let counter_value name =
-  match Hashtbl.find_opt counter_tbl name with Some c -> !c | None -> 0
-
-let sorted_bindings tbl =
-  Hashtbl.fold (fun k v acc -> (k, !v) :: acc) tbl []
+(* Merge one kind of table across every store into an alist sorted by
+   name.  [combine] folds a store's cell into the accumulated value. *)
+let merge_tables project combine =
+  let acc = Hashtbl.create 32 in
+  List.iter
+    (fun st ->
+      Hashtbl.iter
+        (fun name cell ->
+          let v = !cell in
+          match Hashtbl.find_opt acc name with
+          | Some prev -> Hashtbl.replace acc name (combine prev v)
+          | None -> Hashtbl.replace acc name v)
+        (project st))
+    (all_stores ());
+  Hashtbl.fold (fun k v l -> (k, v) :: l) acc []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
-let counters () = sorted_bindings counter_tbl
-let gauges () = sorted_bindings gauge_tbl
-let histograms () = sorted_bindings hist_tbl
+let counters () = merge_tables (fun st -> st.counter_tbl) ( + )
+
+let gauges () =
+  merge_tables
+    (fun st -> st.gauge_tbl)
+    (fun (v1, s1) (v2, s2) -> if s2 > s1 then (v2, s2) else (v1, s1))
+  |> List.map (fun (name, (v, _)) -> (name, v))
+
+let histograms () =
+  merge_tables
+    (fun st -> st.hist_tbl)
+    (fun a b ->
+      {
+        count = a.count + b.count;
+        sum = a.sum +. b.sum;
+        min = Float.min a.min b.min;
+        max = Float.max a.max b.max;
+      })
+
+let counter_value name =
+  List.fold_left
+    (fun acc st ->
+      match Hashtbl.find_opt st.counter_tbl name with Some c -> acc + !c | None -> acc)
+    0 (all_stores ())
 
 let reset_metrics () =
-  Hashtbl.reset counter_tbl;
-  Hashtbl.reset gauge_tbl;
-  Hashtbl.reset hist_tbl
+  List.iter
+    (fun st ->
+      Hashtbl.reset st.counter_tbl;
+      Hashtbl.reset st.gauge_tbl;
+      Hashtbl.reset st.hist_tbl)
+    (all_stores ())
 
 let metrics_json () =
   Json.Obj

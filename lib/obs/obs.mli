@@ -26,7 +26,20 @@
 
     In hot loops, guard the construction of fields on {!enabled}:
     {[ if Obs.enabled () then Obs.event "edf.dispatch" ~fields:[ ... ] ]}
-    so the disabled path allocates nothing. *)
+    so the disabled path allocates nothing.
+
+    {b Domain safety.}  Instrumentation calls may run concurrently from
+    several domains (the parallel experiment engine, {!E2e_exec.Pool}).
+    Counters, gauges and histograms accumulate into per-domain
+    collectors with no locking on the update path; the read-back
+    functions ({!counters}, {!counter_value}, {!metrics_json}, ...)
+    merge across collectors, and because [Domain.join] publishes a
+    worker's writes, totals read after a pool join equal the sequential
+    totals.  The sink path is serialised by a mutex and span-nesting
+    depth is domain-local.  {!install}, {!uninstall}, {!set_stats},
+    {!reset_metrics} and the metric readers are management operations:
+    call them when no worker domain is concurrently instrumenting
+    (between experiment points), not from inside a parallel job. *)
 
 type value = Bool of bool | Int of int | Float of float | Str of string
 
@@ -115,7 +128,10 @@ val event : ?fields:field list -> string -> unit
 
 val incr : ?by:int -> string -> unit
 (** Bump a named counter (default [by:1]).  Counters also reach the
-    sink as [Counter] events, so Chrome traces grow counter tracks. *)
+    sink as [Counter] events, so Chrome traces grow counter tracks.
+    Under several domains each domain bumps its own collector (the
+    emitted running value is the domain's own tally); {!counters} and
+    {!counter_value} return the merged total. *)
 
 val gauge : string -> float -> unit
 (** Set a named gauge to its latest value. *)

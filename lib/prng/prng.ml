@@ -20,6 +20,17 @@ let split t =
   let s = bits64 t in
   { state = mix s }
 
+let of_path path =
+  (* Fold each component through the SplitMix64 finaliser so that any two
+     distinct paths land in statistically independent stream positions:
+     s_{k+1} = mix (s_k * gamma + mix component_k). *)
+  let state =
+    Array.fold_left
+      (fun s k -> mix (Int64.add (Int64.mul s golden_gamma) (mix (Int64.of_int k))))
+      0x2545F4914F6CDD1DL path
+  in
+  { state }
+
 let int t bound =
   assert (bound > 0);
   (* Rejection sampling over the top 62 bits to avoid modulo bias. *)

@@ -18,6 +18,15 @@ val split : t -> t
 (** A new generator statistically independent from the parent; the parent
     advances.  Useful to give sub-experiments their own streams. *)
 
+val of_path : int array -> t
+(** [of_path [| seed; point; trial |]] derives an independent stream from
+    a hierarchical path of integers.  Equal paths yield identical
+    streams; paths differing in any component yield statistically
+    independent ones (each component passes through the SplitMix64
+    finaliser).  This is the seeding discipline of the parallel
+    experiment engine: one stream per Monte Carlo trial, so results do
+    not depend on the order in which trials execute. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

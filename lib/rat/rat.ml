@@ -1,18 +1,48 @@
 type t = { num : int; den : int }
 
 exception Division_by_zero
+exception Overflow
 
 let rec gcd a b = if b = 0 then a else gcd b (a mod b)
 
+(* Overflow-checked native-int arithmetic.  The fast paths below skip
+   the checks when every operand is small enough that no intermediate
+   can wrap; the slow paths use these, raising [Overflow] rather than
+   ever returning a silently wrapped (hence wrong) rational. *)
+
+(* |v| < 2^30: products of two such fit in 60 bits and sums of two such
+   products in 61, comfortably inside OCaml's 63-bit native int. *)
+let fits v = v > -0x4000_0000 && v < 0x4000_0000
+
+let checked_add a b =
+  let s = a + b in
+  if (a >= 0) = (b >= 0) && (s >= 0) <> (a >= 0) then raise Overflow;
+  s
+
+let checked_mul a b =
+  if a = 0 || b = 0 then 0
+  else if a = 1 then b
+  else if b = 1 then a
+  else if a = min_int || b = min_int then raise Overflow
+  else begin
+    let p = a * b in
+    if p / b <> a then raise Overflow;
+    p
+  end
+
 let make num den =
   if den = 0 then raise Division_by_zero
+  else if num = min_int || den = min_int then
+    (* Keeping |num| and |den| <= max_int makes negation, absolute value
+       and the gcd normalisation total on every constructed value. *)
+    raise Overflow
   else
     let sign = if den < 0 then -1 else 1 in
     let num = sign * num and den = sign * den in
     let g = gcd (Stdlib.abs num) den in
     if g = 0 then { num = 0; den = 1 } else { num = num / g; den = den / g }
 
-let of_int n = { num = n; den = 1 }
+let of_int n = if n = min_int then raise Overflow else { num = n; den = 1 }
 let zero = of_int 0
 let one = of_int 1
 let minus_one = of_int (-1)
@@ -25,14 +55,24 @@ let neg t = { t with num = -t.num }
 let add a b =
   let g = gcd a.den b.den in
   let bd = b.den / g in
-  make ((a.num * bd) + (b.num * (a.den / g))) (a.den * bd)
+  if fits a.num && fits a.den && fits b.num && fits b.den then
+    make ((a.num * bd) + (b.num * (a.den / g))) (a.den * bd)
+  else
+    make
+      (checked_add (checked_mul a.num bd) (checked_mul b.num (a.den / g)))
+      (checked_mul a.den bd)
 
 let sub a b = add a (neg b)
 
 let mul a b =
   let g1 = gcd (Stdlib.abs a.num) b.den and g2 = gcd (Stdlib.abs b.num) a.den in
   let g1 = if g1 = 0 then 1 else g1 and g2 = if g2 = 0 then 1 else g2 in
-  make (a.num / g1 * (b.num / g2)) (a.den / g2 * (b.den / g1))
+  if fits a.num && fits a.den && fits b.num && fits b.den then
+    make (a.num / g1 * (b.num / g2)) (a.den / g2 * (b.den / g1))
+  else
+    make
+      (checked_mul (a.num / g1) (b.num / g2))
+      (checked_mul (a.den / g2) (b.den / g1))
 
 let inv t =
   if t.num = 0 then raise Division_by_zero
@@ -41,12 +81,25 @@ let inv t =
 
 let div a b = mul a (inv b)
 let abs t = { t with num = Stdlib.abs t.num }
-let mul_int t k = make (t.num * k) t.den
-let div_int t k = if k = 0 then raise Division_by_zero else make t.num (t.den * k)
+let mul_int t k =
+  if fits t.num && fits k then make (t.num * k) t.den else make (checked_mul t.num k) t.den
+
+let div_int t k =
+  if k = 0 then raise Division_by_zero
+  else if fits t.den && fits k then make t.num (t.den * k)
+  else make t.num (checked_mul t.den k)
 
 let compare a b =
   (* Cross-multiplication; denominators are positive. *)
-  Stdlib.compare (a.num * b.den) (b.num * a.den)
+  if fits a.num && fits a.den && fits b.num && fits b.den then
+    Stdlib.compare (a.num * b.den) (b.num * a.den)
+  else
+    (* Differing signs decide without multiplying; equal signs fall back
+       to checked cross-multiplication, which raises [Overflow] rather
+       than comparing wrapped products. *)
+    let sa = Stdlib.compare a.num 0 and sb = Stdlib.compare b.num 0 in
+    if sa <> sb then Stdlib.compare sa sb
+    else Stdlib.compare (checked_mul a.num b.den) (checked_mul b.num a.den)
 
 let equal a b = a.num = b.num && a.den = b.den
 let min a b = if compare a b <= 0 then a else b
@@ -67,7 +120,11 @@ let is_multiple_of x q = is_integer (div x q)
 let to_float t = float_of_int t.num /. float_of_int t.den
 
 let of_float ?(max_den = 1_000_000) x =
-  if Float.is_nan x || Float.is_integer x then of_int (int_of_float x)
+  if not (Float.is_finite x) then invalid_arg "Rat.of_float: non-finite input"
+  else if Float.abs x >= 0x1p62 then
+    (* int_of_float would wrap on integral magnitudes >= 2^62. *)
+    raise Overflow
+  else if Float.is_integer x then of_int (int_of_float x)
   else begin
     (* Continued-fraction convergents p/q of |x| until q exceeds max_den. *)
     let negative = x < 0.0 in

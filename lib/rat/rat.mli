@@ -15,9 +15,19 @@ type t = private { num : int; den : int }
 
 exception Division_by_zero
 
+exception Overflow
+(** Raised whenever an operation's exact result (or a required
+    intermediate, such as the cross-products of {!compare}) cannot be
+    represented in native integers.  Silent wraparound would return a
+    {e wrong} rational, which the exact-arithmetic guarantees of the
+    schedulers cannot tolerate; operations on values small enough not to
+    overflow (all task parameters in practice) never raise. *)
+
 val make : int -> int -> t
 (** [make num den] is the normalised rational [num / den].
-    @raise Division_by_zero if [den = 0]. *)
+    @raise Division_by_zero if [den = 0].
+    @raise Overflow if [num] or [den] is [min_int] (magnitudes must stay
+    representable after negation). *)
 
 val of_int : int -> t
 val zero : t
@@ -46,6 +56,10 @@ val div_int : t -> int -> t
 (** {1 Comparison} *)
 
 val compare : t -> t -> int
+(** Total order by exact value.  For operands with huge components whose
+    cross-products overflow (and whose signs do not already decide),
+    raises {!Overflow} rather than returning a wrong answer. *)
+
 val equal : t -> t -> bool
 val ( = ) : t -> t -> bool
 val ( <> ) : t -> t -> bool
@@ -89,7 +103,9 @@ val to_float : t -> float
 val of_float : ?max_den:int -> float -> t
 (** Best rational approximation with denominator at most [max_den]
     (default [1_000_000]), via continued fractions.  Intended for
-    constructing test inputs from decimal literals, not for round-trips. *)
+    constructing test inputs from decimal literals, not for round-trips.
+    @raise Invalid_argument on NaN or infinite input.
+    @raise Overflow on finite magnitudes of [2^62] or more. *)
 
 val of_decimal_string : string -> t
 (** Parse ["3"], ["-2.75"], ["4/3"] style literals exactly.

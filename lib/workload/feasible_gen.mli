@@ -14,7 +14,15 @@
     uniformly at random around the span.  The witness schedule meets
     every constraint, so a feasible schedule exists; the nominal slack
     [(d_i - r_i) - tau_i] is [slack_factor * tau_i] whenever the witness
-    span does not already exceed the window. *)
+    span does not already exceed the window.
+
+    {b Domain safety.} Every generator here is a pure function of the
+    {!E2e_prng.Prng.t} it is handed — no hidden global state — so
+    generators may run concurrently on different domains as long as each
+    domain uses its own generator.  The parallel experiment engine
+    derives one independent stream per Monte Carlo trial with
+    {!E2e_prng.Prng.of_path}, which is what makes the figure sweeps
+    byte-identical at every [-j]/[--jobs] setting. *)
 
 type params = {
   n_tasks : int;

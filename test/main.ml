@@ -26,4 +26,5 @@ let () =
       ("local_search", Test_local_search.suite);
       ("misc", Test_misc_coverage.suite);
       ("obs", Test_obs.suite);
+      ("exec", Test_exec.suite);
     ]

@@ -63,6 +63,86 @@ let test_of_float () =
   check_rat "integer float" (r 3) (Rat.of_float 3.0);
   check_rat "negative" (Rat.make (-1) 4) (Rat.of_float (-0.25))
 
+let test_of_float_non_finite () =
+  let rejects name x =
+    Alcotest.check_raises name (Invalid_argument "Rat.of_float: non-finite input") (fun () ->
+        ignore (Rat.of_float x))
+  in
+  rejects "nan" Float.nan;
+  rejects "+inf" Float.infinity;
+  rejects "-inf" Float.neg_infinity;
+  Alcotest.check_raises "2^62 overflows" Rat.Overflow (fun () -> ignore (Rat.of_float 0x1p62));
+  Alcotest.check_raises "-2^63 overflows" Rat.Overflow (fun () ->
+      ignore (Rat.of_float (-0x1p63)))
+
+(* The overflow satellite: operations near max_int must raise
+   {!Rat.Overflow} rather than silently wrap. *)
+let test_overflow () =
+  let big = Rat.of_int (max_int - 1) in
+  let raises name f = Alcotest.check_raises name Rat.Overflow (fun () -> ignore (f ())) in
+  raises "make min_int _" (fun () -> Rat.make min_int 1);
+  raises "make _ min_int" (fun () -> Rat.make 1 min_int);
+  raises "of_int min_int" (fun () -> Rat.of_int min_int);
+  raises "add doubles past max_int" (fun () -> Rat.add big big);
+  raises "mul squares past max_int" (fun () -> Rat.mul big big);
+  raises "mul_int past max_int" (fun () -> Rat.mul_int big 3);
+  raises "add with overflowing common denominator" (fun () ->
+      Rat.add (Rat.make 1 (max_int - 1)) (Rat.make 1 (max_int - 2)));
+  raises "compare with overflowing cross products" (fun () ->
+      Rat.compare (Rat.make (max_int - 1) (max_int - 2)) (Rat.make (max_int - 3) (max_int - 4)));
+  (* Near-limit cases that must NOT raise. *)
+  check_rat "max_int representable" (Rat.of_int max_int) (Rat.make max_int 1);
+  check_rat "big + 1" (Rat.of_int max_int) (Rat.add big Rat.one);
+  check_rat "big - big" Rat.zero (Rat.sub big big);
+  check_rat "big * 1" big (Rat.mul big Rat.one);
+  check_rat "big / big" Rat.one (Rat.div big big);
+  (* Opposite signs are decided without cross-multiplying. *)
+  Alcotest.(check int) "sign shortcut avoids overflow" 1
+    (Rat.compare (Rat.make (max_int - 1) (max_int - 2)) (Rat.make (-(max_int - 3)) (max_int - 4)));
+  Alcotest.(check bool) "huge == itself" true (Rat.equal big big)
+
+(* Random near-max_int operands: every operation either returns the
+   exact result (checked against floats, which are reliable at this
+   coarse tolerance) or raises Overflow — never a silently wrong value. *)
+let arb_huge =
+  let gen st =
+    let magnitude = QCheck.Gen.oneofl [ max_int - 1; max_int / 2; 1 lsl 40; 1 lsl 31 ] st in
+    let num = if QCheck.Gen.bool st then magnitude else -magnitude in
+    let den = QCheck.Gen.oneofl [ 1; 3; max_int / 3; max_int - 2 ] st in
+    Rat.make num den
+  in
+  QCheck.make ~print:Rat.to_string gen
+
+let prop_overflow_add =
+  QCheck.Test.make ~name:"rat huge add: exact or Overflow" ~count:300
+    (QCheck.pair arb_huge arb_huge) (fun (a, b) ->
+      match Rat.add a b with
+      | exception Rat.Overflow -> true
+      | c ->
+          let expect = Rat.to_float a +. Rat.to_float b in
+          Float.abs (Rat.to_float c -. expect) <= 1e-6 *. Float.max 1.0 (Float.abs expect))
+
+let prop_overflow_mul =
+  QCheck.Test.make ~name:"rat huge mul: exact or Overflow" ~count:300
+    (QCheck.pair arb_huge arb_huge) (fun (a, b) ->
+      match Rat.mul a b with
+      | exception Rat.Overflow -> true
+      | c ->
+          let expect = Rat.to_float a *. Rat.to_float b in
+          Float.abs (Rat.to_float c -. expect) <= 1e-6 *. Float.max 1.0 (Float.abs expect))
+
+let prop_overflow_compare =
+  QCheck.Test.make ~name:"rat huge compare: agrees with floats or Overflow" ~count:300
+    (QCheck.pair arb_huge arb_huge) (fun (a, b) ->
+      match Rat.compare a b with
+      | exception Rat.Overflow -> true
+      | c ->
+          let fa = Rat.to_float a and fb = Rat.to_float b in
+          (* Floats can collapse nearby huge rationals; only check when
+             they are far enough apart to be trusted. *)
+          if Float.abs (fa -. fb) <= 1e-3 *. Float.max 1.0 (Float.abs fa) then true
+          else Stdlib.compare (Stdlib.compare fa fb) 0 = Stdlib.compare c 0)
+
 let test_sum () =
   check_rat "sum list" (Rat.make 11 6) (Rat.sum [ Rat.one; Rat.make 1 2; Rat.make 1 3 ]);
   check_rat "sum empty" Rat.zero (Rat.sum []);
@@ -120,6 +200,8 @@ let suite =
     Alcotest.test_case "parsing" `Quick test_parse;
     Alcotest.test_case "printing" `Quick test_to_string;
     Alcotest.test_case "of_float" `Quick test_of_float;
+    Alcotest.test_case "of_float rejects non-finite" `Quick test_of_float_non_finite;
+    Alcotest.test_case "overflow detection" `Quick test_overflow;
     Alcotest.test_case "sums" `Quick test_sum;
     to_alcotest prop_add_comm;
     to_alcotest prop_add_assoc;
@@ -129,4 +211,7 @@ let suite =
     to_alcotest prop_compare_total;
     to_alcotest prop_floor_ceil;
     to_alcotest prop_to_float_order;
+    to_alcotest prop_overflow_add;
+    to_alcotest prop_overflow_mul;
+    to_alcotest prop_overflow_compare;
   ]
