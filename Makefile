@@ -2,9 +2,11 @@ METRICS := /tmp/e2e_sched_metrics.jsonl
 PAR_METRICS := /tmp/e2e_sched_metrics_par.jsonl
 PAR_A := /tmp/e2e_sched_fig9a_j1.txt
 PAR_B := /tmp/e2e_sched_fig9a_j4.txt
+FUZZ_A := /tmp/e2e_sched_fuzz_j1.txt
+FUZZ_B := /tmp/e2e_sched_fuzz_j4.txt
 JOBS ?= 4
 
-.PHONY: all build test bench bench-par check clean
+.PHONY: all build test bench bench-par fuzz-smoke check clean
 
 all: build
 
@@ -22,6 +24,17 @@ bench:
 bench-par:
 	dune exec bench/main.exe -- --parallel BENCH_parallel.json --jobs $(JOBS)
 
+# Short differential-fuzzing campaign over every model class: each
+# solver against its exhaustive oracle and the independent checker, on a
+# fixed seed, run on 1 and 4 domains — any disagreement or any
+# scheduling nondeterminism (output not byte-identical) fails the
+# target.  Full campaigns: dune exec bin/fuzz.exe -- --trials 2000.
+fuzz-smoke:
+	rm -f $(FUZZ_A) $(FUZZ_B)
+	dune exec bin/fuzz.exe -- --class all --trials 300 --seed 42 -j 1 > $(FUZZ_A)
+	dune exec bin/fuzz.exe -- --class all --trials 300 --seed 42 -j 4 > $(FUZZ_B)
+	cmp $(FUZZ_A) $(FUZZ_B)
+
 # Build, run the test suite, then smoke-test the telemetry pipeline
 # (regenerate one paper artifact with --metrics and validate the file as
 # JSONL) and the parallel engine (the same sweep on 1 and 4 domains must
@@ -38,7 +51,9 @@ check:
 	cmp $(PAR_A) $(PAR_B)
 	dune exec bin/experiments.exe -- fig9a --trials 120 -j 4 --metrics $(PAR_METRICS) > /dev/null
 	dune exec bin/jsonl_check.exe $(PAR_METRICS)
+	$(MAKE) fuzz-smoke
 
 clean:
 	dune clean
-	rm -f $(METRICS) $(PAR_METRICS) $(PAR_A) $(PAR_B) BENCH_parallel.json
+	rm -f $(METRICS) $(PAR_METRICS) $(PAR_A) $(PAR_B) $(FUZZ_A) $(FUZZ_B) \
+	  BENCH_parallel.json

@@ -1,0 +1,133 @@
+module Recurrence_shop = E2e_model.Recurrence_shop
+module Instance_io = E2e_model.Instance_io
+module Pool = E2e_exec.Pool
+module Obs = E2e_obs.Obs
+
+type finding = {
+  trial : int;
+  kind : Oracle.kind;
+  detail : string;
+  original : Recurrence_shop.t;
+  shrunk : Recurrence_shop.t;
+  shrink_steps : int;
+}
+
+type report = {
+  cls : Gen.model_class;
+  seed : int;
+  trials : int;
+  agreed : int;
+  skipped : int;
+  findings : finding list;
+}
+
+let run_class ?(jobs = 1) ?max_shrink ~seed ~trials cls =
+  Obs.span "fuzz.class" ~fields:[ ("class", Obs.Str (Gen.name cls)) ] @@ fun () ->
+  let outcomes =
+    Pool.init ~jobs trials (fun trial ->
+        let g = E2e_prng.Prng.of_path [| seed; Gen.code cls; trial |] in
+        let shop = Gen.instance g cls in
+        let outcome = Oracle.run cls shop in
+        Obs.incr "fuzz.trials";
+        (match outcome with
+        | Oracle.Agree -> Obs.incr "fuzz.agree"
+        | Oracle.Skip _ -> Obs.incr "fuzz.skip"
+        | Oracle.Bug _ -> Obs.incr "fuzz.disagreements");
+        (shop, outcome))
+  in
+  let agreed = ref 0 and skipped = ref 0 and findings = ref [] in
+  Array.iteri
+    (fun trial (shop, outcome) ->
+      match outcome with
+      | Oracle.Agree -> incr agreed
+      | Oracle.Skip _ -> incr skipped
+      | Oracle.Bug { kind; detail } ->
+          (* Shrinking happens sequentially after the pool joined, so it
+             cannot perturb trial results or their order. *)
+          let keeps_failing s = Oracle.is_bug (Oracle.run cls s) in
+          let shrunk, shrink_steps = Shrink.minimize ?max_steps:max_shrink ~keeps_failing shop in
+          Obs.incr ~by:shrink_steps "fuzz.shrink_steps";
+          findings := { trial; kind; detail; original = shop; shrunk; shrink_steps } :: !findings)
+    outcomes;
+  { cls; seed; trials; agreed = !agreed; skipped = !skipped; findings = List.rev !findings }
+
+let run ?jobs ?max_shrink ~seed ~trials classes =
+  List.map (fun cls -> run_class ?jobs ?max_shrink ~seed ~trials cls) classes
+
+let total_findings reports =
+  List.fold_left (fun acc r -> acc + List.length r.findings) 0 reports
+
+let pp_instance ppf shop =
+  String.split_on_char '\n' (Instance_io.to_string shop)
+  |> List.iter (fun line -> if line <> "" then Format.fprintf ppf "@,    %s" line)
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>class %-4s: %d trials, %d agree, %d skipped, %d disagreements"
+    (Gen.name r.cls) r.trials r.agreed r.skipped
+    (List.length r.findings);
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "@,  FINDING trial=%d %a: %s" f.trial Oracle.pp_kind f.kind f.detail;
+      Format.fprintf ppf "@,  shrunk in %d steps to:" f.shrink_steps;
+      pp_instance ppf f.shrunk)
+    r.findings;
+  Format.fprintf ppf "@]"
+
+(* {1 Corpus} *)
+
+let corpus_entry ~cls ?provenance shop =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "# e2e-fuzz reproducer; replayed by the test suite\n";
+  Buffer.add_string buf (Printf.sprintf "# class: %s\n" (Gen.name cls));
+  (match provenance with
+  | Some p -> Buffer.add_string buf (Printf.sprintf "# provenance: %s\n" p)
+  | None -> ());
+  Buffer.add_string buf (Instance_io.to_string shop);
+  Buffer.contents buf
+
+let corpus_file_name ~cls shop =
+  (* Content-addressed over the instance body alone, so the same minimal
+     reproducer found twice (or with different provenance) is one file. *)
+  let digest = Digest.to_hex (Digest.string (Instance_io.to_string shop)) in
+  Printf.sprintf "%s-%s.txt" (Gen.name cls) (String.sub digest 0 12)
+
+let write_corpus ~dir ~cls ?provenance shop =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (corpus_file_name ~cls shop) in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (corpus_entry ~cls ?provenance shop));
+  path
+
+let class_of_header text =
+  String.split_on_char '\n' text
+  |> List.find_map (fun line ->
+         let line = String.trim line in
+         let prefix = "# class:" in
+         if String.length line > String.length prefix
+            && String.sub line 0 (String.length prefix) = prefix
+         then
+           Gen.of_name
+             (String.trim
+                (String.sub line (String.length prefix)
+                   (String.length line - String.length prefix)))
+         else None)
+
+let replay_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error m -> Error m
+  | text -> (
+      match class_of_header text with
+      | None -> Error (Printf.sprintf "%s: missing or unknown '# class:' header" path)
+      | Some cls -> (
+          match Instance_io.parse text with
+          | Error m -> Error (Printf.sprintf "%s: %s" path m)
+          | Ok shop -> Ok (cls, Oracle.run cls shop)))
+
+let replay_dir dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+      Array.to_list names
+      |> List.filter (fun n -> Filename.check_suffix n ".txt")
+      |> List.sort String.compare
+      |> List.map (fun n -> (n, replay_file (Filename.concat dir n)))

@@ -1,0 +1,77 @@
+(** Differential fuzzing campaigns: generate, cross-check, shrink,
+    serialize.
+
+    A campaign runs [trials] independent trials per model class.  Trial
+    [t] of class [c] draws its instance from the stream
+    [Prng.of_path [| seed; Gen.code c; t |]] and is a pure job, so trials
+    fan out over the {!E2e_exec.Pool} ([~jobs]) with byte-identical
+    results at every job count.  Disagreements are shrunk to minimal
+    reproducers by {!Shrink.minimize} (sequentially, after the pool
+    joins, so shrinking cost never perturbs result order) and can be
+    serialized in the {!E2e_model.Instance_io} text format into a corpus
+    directory that the test suite replays forever after.
+
+    Telemetry: the campaign emits one [fuzz.class] span per class and
+    counters [fuzz.trials], [fuzz.agree], [fuzz.skip],
+    [fuzz.disagreements] and [fuzz.shrink_steps]. *)
+
+type finding = {
+  trial : int;  (** Trial index within the class (PRNG path component). *)
+  kind : Oracle.kind;
+  detail : string;
+  original : E2e_model.Recurrence_shop.t;  (** As generated. *)
+  shrunk : E2e_model.Recurrence_shop.t;  (** Minimal reproducer. *)
+  shrink_steps : int;
+}
+
+type report = {
+  cls : Gen.model_class;
+  seed : int;
+  trials : int;
+  agreed : int;
+  skipped : int;
+  findings : finding list;  (** In trial order. *)
+}
+
+val run_class :
+  ?jobs:int -> ?max_shrink:int -> seed:int -> trials:int -> Gen.model_class -> report
+(** One class's campaign.  [jobs] defaults to 1; [max_shrink] bounds the
+    accepted shrink steps per finding. *)
+
+val run :
+  ?jobs:int -> ?max_shrink:int -> seed:int -> trials:int -> Gen.model_class list -> report list
+(** [run_class] over each class, in list order. *)
+
+val total_findings : report list -> int
+
+val pp_report : Format.formatter -> report -> unit
+(** One summary line, then every finding with its shrunk reproducer —
+    deterministic, so campaign output can be compared byte-for-byte
+    across [-j] values. *)
+
+(** {1 Corpus}
+
+    A reproducer file is the {!E2e_model.Instance_io} rendering of the
+    shrunk instance preceded by [#]-comment headers, one of which names
+    the model class ([# class: eedf]).  File names are content-addressed
+    ([<class>-<digest>.txt]), so re-finding the same minimal instance
+    never duplicates corpus entries. *)
+
+val corpus_entry : cls:Gen.model_class -> ?provenance:string -> E2e_model.Recurrence_shop.t -> string
+(** The serialized file contents. *)
+
+val corpus_file_name : cls:Gen.model_class -> E2e_model.Recurrence_shop.t -> string
+
+val write_corpus :
+  dir:string -> cls:Gen.model_class -> ?provenance:string -> E2e_model.Recurrence_shop.t -> string
+(** Write the reproducer into [dir] (created if missing) and return its
+    path. *)
+
+val replay_file : string -> (Gen.model_class * Oracle.outcome, string) result
+(** Parse one corpus file, recover its class from the [# class:] header,
+    and re-run the differential comparison.  [Error] on parse failures or
+    a missing/unknown class header. *)
+
+val replay_dir : string -> (string * (Gen.model_class * Oracle.outcome, string) result) list
+(** Every [.txt] file in [dir], sorted by name.  The empty list if [dir]
+    does not exist. *)

@@ -1,0 +1,91 @@
+module Rat = E2e_rat.Rat
+module Prng = E2e_prng.Prng
+module Task = E2e_model.Task
+module Visit = E2e_model.Visit
+module Flow_shop = E2e_model.Flow_shop
+module Recurrence_shop = E2e_model.Recurrence_shop
+module Feasible_gen = E2e_workload.Feasible_gen
+
+type model_class = Eedf | R | A | H
+
+let all = [ Eedf; R; A; H ]
+let name = function Eedf -> "eedf" | R -> "r" | A -> "a" | H -> "h"
+
+let of_name = function
+  | "eedf" -> Some Eedf
+  | "r" -> Some R
+  | "a" -> Some A
+  | "h" -> Some H
+  | _ -> None
+
+let code = function Eedf -> 0 | R -> 1 | A -> 2 | H -> 3
+
+(* The feasible_gen helpers never produce a window below the task's total
+   processing time, so on their own they only exercise the feasible and
+   contention-infeasible paths.  Cut one task's window about a quarter of
+   the time to reach the trivially-infeasible branches as well. *)
+let tighten g (fs : Flow_shop.t) =
+  if Prng.int g 4 <> 0 then fs
+  else begin
+    let victim = Prng.int g (Flow_shop.n_tasks fs) in
+    let u = Prng.rat_uniform g ~den:4 Rat.zero Rat.one in
+    let tasks =
+      Array.map
+        (fun (t : Task.t) ->
+          if t.id <> victim then t
+          else
+            let deadline = Rat.add t.release (Rat.mul u (Rat.sub t.deadline t.release)) in
+            Task.make ~id:t.id ~release:t.release ~deadline ~proc_times:t.proc_times)
+        fs.tasks
+    in
+    Flow_shop.make ~processors:fs.processors tasks
+  end
+
+(* Shapes stay inside the oracle guards: branch and bound accepts up to 8
+   tasks on 6 processors, the permutation oracle up to 10 tasks. *)
+let small_shape g = (1 + Prng.int g 5, 1 + Prng.int g 4, 1 + Prng.int g 5)
+
+let identical g =
+  let n, m, window = small_shape g in
+  let tau = Prng.rat_uniform g ~den:2 (Rat.make 1 2) (Rat.of_int 2) in
+  tighten g (Feasible_gen.identical_length g ~n ~m ~tau ~window)
+
+let homogeneous g =
+  let n, m, window = small_shape g in
+  tighten g (Feasible_gen.homogeneous g ~n ~m ~max_tau:2 ~window)
+
+let arbitrary g =
+  let n, m, window = small_shape g in
+  tighten g (Feasible_gen.arbitrary g ~n ~m ~max_tau:2 ~window)
+
+(* Single-loop recurrence shops inside Exhaustive_recurrence's guards:
+   at most 4 tasks, 7 stages, 24 deadline slots, identical unit times
+   and a common release. *)
+let recurrent g =
+  let visit = Feasible_gen.single_loop_visit g ~max_stages:7 in
+  let k = Visit.length visit in
+  let n = 1 + Prng.int g 4 in
+  let tau = if Prng.bool g then Rat.one else Rat.make 1 2 in
+  let release = Prng.rat_uniform g ~den:4 Rat.zero (Rat.of_int 2) in
+  let tasks =
+    Array.init n (fun id ->
+        (* Slots below [k] are deliberately reachable: such a task cannot
+           finish even alone, which must make Algorithm R and the oracle
+           agree on infeasibility. *)
+        let slots = Stdlib.max 1 (k - 2 + Prng.int g (k + 6)) in
+        let jitter =
+          match Prng.int g 3 with
+          | 0 -> Rat.zero
+          | 1 -> Rat.mul tau (Rat.make 1 4)
+          | _ -> Rat.mul tau (Rat.make 1 2)
+        in
+        let deadline = Rat.add release (Rat.add (Rat.mul_int tau slots) jitter) in
+        Task.make ~id ~release ~deadline ~proc_times:(Array.make k tau))
+  in
+  Recurrence_shop.make ~visit tasks
+
+let instance g = function
+  | Eedf -> Recurrence_shop.of_traditional (identical g)
+  | R -> recurrent g
+  | A -> Recurrence_shop.of_traditional (homogeneous g)
+  | H -> Recurrence_shop.of_traditional (arbitrary g)

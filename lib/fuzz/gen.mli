@@ -1,0 +1,36 @@
+(** Random instance generation for the differential fuzzer.
+
+    One generator per optimality claim of the paper: identical-length
+    flow shops for EEDF, single-loop recurrence shops for Algorithm R,
+    homogeneous sets for Algorithm A, and arbitrary sets for Algorithm H
+    and the portfolio.  Every instance is kept inside the guards of the
+    class's exhaustive oracle ({!E2e_baselines.Branch_bound},
+    {!E2e_baselines.Exhaustive}, {!E2e_baselines.Exhaustive_recurrence}),
+    so the differential comparison is decidable, and every generator is a
+    pure function of the {!E2e_prng.Prng.t} it is handed — the campaign
+    driver derives one stream per trial with {!E2e_prng.Prng.of_path},
+    which makes results independent of how trials are spread over
+    domains. *)
+
+type model_class = Eedf | R | A | H
+
+val all : model_class list
+(** Every class, in the fixed campaign order [Eedf; R; A; H]. *)
+
+val name : model_class -> string
+(** CLI / corpus spelling: ["eedf"], ["r"], ["a"], ["h"]. *)
+
+val of_name : string -> model_class option
+
+val code : model_class -> int
+(** Stable per-class component for {!E2e_prng.Prng.of_path} paths, so
+    the classes draw statistically independent trial streams from one
+    campaign seed. *)
+
+val instance : E2e_prng.Prng.t -> model_class -> E2e_model.Recurrence_shop.t
+(** One random instance of the class.  Traditional classes (EEDF, A, H)
+    return shops with the identity visit sequence; [R] returns a
+    single-loop recurrence shop with identical unit times and a common
+    release.  Roughly a quarter of the instances get one task's window
+    tightened below its total processing time, so the claimed-infeasible
+    branches of the solvers are exercised too. *)

@@ -1,0 +1,208 @@
+module Rat = E2e_rat.Rat
+module Visit = E2e_model.Visit
+module Flow_shop = E2e_model.Flow_shop
+module Recurrence_shop = E2e_model.Recurrence_shop
+module Schedule = E2e_schedule.Schedule
+module Eedf = E2e_core.Eedf
+module Algo_r = E2e_core.Algo_r
+module Algo_a = E2e_core.Algo_a
+module Algo_h = E2e_core.Algo_h
+module H_portfolio = E2e_core.H_portfolio
+module Solver = E2e_core.Solver
+module Exhaustive = E2e_baselines.Exhaustive
+module Branch_bound = E2e_baselines.Branch_bound
+module Exhaustive_recurrence = E2e_baselines.Exhaustive_recurrence
+
+type kind =
+  | Invalid_schedule
+  | Claimed_infeasible
+  | Claimed_feasible
+  | Precondition
+  | Crash of string
+
+type outcome = Agree | Skip of string | Bug of { kind : kind; detail : string }
+
+let is_bug = function Bug _ -> true | Agree | Skip _ -> false
+
+let pp_kind ppf = function
+  | Invalid_schedule -> Format.pp_print_string ppf "schedule-invalid"
+  | Claimed_infeasible -> Format.pp_print_string ppf "claimed-infeasible-but-oracle-feasible"
+  | Claimed_feasible -> Format.pp_print_string ppf "claimed-feasible-but-oracle-infeasible"
+  | Precondition -> Format.pp_print_string ppf "precondition-violation"
+  | Crash e -> Format.fprintf ppf "crash (%s)" e
+
+let pp_outcome ppf = function
+  | Agree -> Format.pp_print_string ppf "agree"
+  | Skip m -> Format.fprintf ppf "skip (%s)" m
+  | Bug { kind; detail } -> Format.fprintf ppf "BUG %a: %s" pp_kind kind detail
+
+let bug kind fmt = Format.kasprintf (fun detail -> Bug { kind; detail }) fmt
+
+(* The independent checker's verdict on a returned schedule. *)
+let invalid s =
+  match Schedule.check s with
+  | Ok () -> None
+  | Error vs ->
+      Some
+        (Format.asprintf "%a"
+           (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+              Schedule.pp_violation)
+           vs)
+
+(* Keeping the node budget well below the default makes 2000-trial
+   campaigns cheap; exhaustion is a Skip, not a verdict. *)
+let bb_budget = 60_000
+
+let all_schedules_feasible fs =
+  match Branch_bound.feasible ~budget:bb_budget fs with
+  | Some b -> Ok b
+  | None -> Error "branch-and-bound budget exhausted"
+
+let to_flow_shop (shop : Recurrence_shop.t) =
+  if not (Visit.is_traditional shop.visit) then None
+  else Some (Flow_shop.make ~processors:shop.visit.Visit.processors shop.tasks)
+
+(* Shared shape of the two optimal traditional-shop algorithms: a
+   claimed-optimal solver against the all-schedules oracle. *)
+let run_optimal ~solver_name ~schedule fs =
+  match schedule fs with
+  | `Ok s -> (
+      match invalid s with
+      | Some v -> bug Invalid_schedule "%s schedule rejected by checker: %s" solver_name v
+      | None -> (
+          match all_schedules_feasible fs with
+          | Ok true | Error _ -> Agree
+          | Ok false ->
+              bug Claimed_feasible
+                "%s returned a checker-clean schedule on an instance branch and bound proves \
+                 infeasible"
+                solver_name))
+  | `Infeasible -> (
+      match all_schedules_feasible fs with
+      | Ok false -> Agree
+      | Ok true ->
+          bug Claimed_infeasible "%s claims infeasible; branch and bound found a schedule"
+            solver_name
+      | Error m -> Skip m)
+  | `Precondition p -> bug Precondition "%s rejected a generated instance: %s" solver_name p
+
+let run_eedf fs =
+  run_optimal ~solver_name:"EEDF"
+    ~schedule:(fun fs ->
+      match Eedf.schedule fs with
+      | Ok s -> `Ok s
+      | Error `Infeasible -> `Infeasible
+      | Error `Not_identical_length -> `Precondition "not identical-length")
+    fs
+
+let run_a fs =
+  run_optimal ~solver_name:"Algorithm A"
+    ~schedule:(fun fs ->
+      match Algo_a.schedule fs with
+      | Ok s -> `Ok s
+      | Error `Infeasible -> `Infeasible
+      | Error `Not_homogeneous -> `Precondition "not homogeneous")
+    fs
+
+let run_r (shop : Recurrence_shop.t) =
+  let oracle () =
+    match Exhaustive_recurrence.feasible shop with
+    | b -> Ok b
+    | exception Invalid_argument m -> Error m
+  in
+  match Algo_r.schedule shop with
+  | Ok s -> (
+      match invalid s with
+      | Some v -> bug Invalid_schedule "Algorithm R schedule rejected by checker: %s" v
+      | None -> (
+          match oracle () with
+          | Ok true | Error _ -> Agree
+          | Ok false ->
+              bug Claimed_feasible
+                "Algorithm R returned a checker-clean schedule the exhaustive oracle proves \
+                 infeasible"))
+  | Error `Infeasible -> (
+      match oracle () with
+      | Ok true ->
+          bug Claimed_infeasible "Algorithm R claims infeasible; exhaustive search found a \
+                                  schedule"
+      | Ok false -> Agree
+      | Error m -> Skip m)
+  | Error e -> bug Precondition "Algorithm R rejected a generated instance: %a" Algo_r.pp_error e
+
+(* Algorithm H and friends.  H may fail on feasible instances (the paper
+   names the two causes), so only positive claims are falsifiable. *)
+let run_h fs =
+  let permutation_oracle () =
+    match Exhaustive.permutation_feasible fs with
+    | b -> Ok b
+    | exception Invalid_argument m -> Error m
+  in
+  let h_verdict =
+    match Algo_h.schedule fs with
+    | Ok s -> (
+        match invalid s with
+        | Some v -> bug Invalid_schedule "Algorithm H schedule rejected by checker: %s" v
+        | None -> (
+            (* A feasible compacted schedule is a permutation schedule, so
+               the earliest-start schedule of its order must be feasible
+               too — the permutation oracle has to find it. *)
+            match permutation_oracle () with
+            | Ok true | Error _ -> Agree
+            | Ok false ->
+                bug Claimed_feasible
+                  "Algorithm H returned a feasible schedule but the exhaustive oracle finds no \
+                   feasible permutation order"))
+    | Error `Inflated_infeasible -> Agree
+    | Error (`Compacted_infeasible s) ->
+        (* H gave up because its own compacted schedule is infeasible; the
+           attached witness must indeed violate a constraint. *)
+        if Schedule.is_feasible s then
+          bug Invalid_schedule
+            "Algorithm H reported its compacted schedule infeasible, but the checker accepts it"
+        else Agree
+  in
+  let portfolio_verdict () =
+    match H_portfolio.schedule_opt fs with
+    | None -> Agree
+    | Some s -> (
+        match invalid s with
+        | Some v -> bug Invalid_schedule "portfolio schedule rejected by checker: %s" v
+        | None -> Agree)
+  in
+  let solver_verdict () =
+    match Solver.solve fs with
+    | Solver.Feasible (s, _) -> (
+        match invalid s with
+        | Some v -> bug Invalid_schedule "solver front-end schedule rejected by checker: %s" v
+        | None -> Agree)
+    | Solver.Proved_infeasible _ -> (
+        match all_schedules_feasible fs with
+        | Ok true ->
+            bug Claimed_infeasible
+              "solver front end proved infeasible; branch and bound found a schedule"
+        | Ok false | Error _ -> Agree)
+    | Solver.Heuristic_failed -> Agree
+  in
+  match h_verdict with
+  | Bug _ as b -> b
+  | first -> (
+      match portfolio_verdict () with
+      | Bug _ as b -> b
+      | _ -> ( match solver_verdict () with Bug _ as b -> b | _ -> first))
+
+let run cls (shop : Recurrence_shop.t) =
+  let traditional run_fs =
+    match to_flow_shop shop with
+    | Some fs -> run_fs fs
+    | None -> Skip "visit sequence is not traditional"
+  in
+  match
+    match cls with
+    | Gen.Eedf -> traditional run_eedf
+    | Gen.A -> traditional run_a
+    | Gen.H -> traditional run_h
+    | Gen.R -> run_r shop
+  with
+  | outcome -> outcome
+  | exception exn -> Bug { kind = Crash (Printexc.to_string exn); detail = "solver raised" }

@@ -1,0 +1,51 @@
+(** The differential judgment: one solver run cross-checked against the
+    exhaustive oracles and the independent schedule checker.
+
+    Each model class pits the algorithm whose optimality the paper claims
+    against a baseline that shares nothing with it:
+
+    - [Eedf] — {!E2e_core.Eedf.schedule} vs. all-schedule branch and
+      bound ({!E2e_baselines.Branch_bound});
+    - [R] — {!E2e_core.Algo_r.schedule} vs. the slotted exhaustive search
+      ({!E2e_baselines.Exhaustive_recurrence});
+    - [A] — {!E2e_core.Algo_a.schedule} vs. branch and bound;
+    - [H] — {!E2e_core.Algo_h}, {!E2e_core.H_portfolio} and the
+      {!E2e_core.Solver} front end vs. the permutation-order oracle
+      ({!E2e_baselines.Exhaustive}) and branch and bound.  H is a
+      heuristic, so a failure is never a bug by itself; but any schedule
+      it returns must pass {!E2e_schedule.Schedule.check}, a feasible H
+      schedule implies a feasible permutation order the oracle must also
+      find, and the front end's infeasibility proofs must hold up.
+
+    Every returned schedule, from solver and oracle alike, is validated
+    by the independent checker. *)
+
+type kind =
+  | Invalid_schedule
+      (** The solver returned a schedule the independent checker rejects. *)
+  | Claimed_infeasible
+      (** The solver proved infeasibility, but the oracle found a
+          feasible schedule. *)
+  | Claimed_feasible
+      (** The solver returned a (checker-clean) schedule on an instance
+          the oracle proves infeasible — one of the two sides is wrong. *)
+  | Precondition
+      (** The solver rejected optimality preconditions the generator
+          guarantees (identical lengths, homogeneity, single loop, ...). *)
+  | Crash of string  (** The solver raised. *)
+
+type outcome =
+  | Agree  (** Solver and oracle concur; all schedules checker-clean. *)
+  | Skip of string
+      (** The oracle could not decide (search budget or guard); nothing
+          was falsified. *)
+  | Bug of { kind : kind; detail : string }
+
+val is_bug : outcome -> bool
+val pp_kind : Format.formatter -> kind -> unit
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val run : Gen.model_class -> E2e_model.Recurrence_shop.t -> outcome
+(** Run the class's differential comparison on one instance.  Solver
+    exceptions are caught and classified as [Bug Crash]; oracle guard
+    violations become [Skip]. *)

@@ -1,0 +1,151 @@
+module Rat = E2e_rat.Rat
+module Task = E2e_model.Task
+module Visit = E2e_model.Visit
+module Recurrence_shop = E2e_model.Recurrence_shop
+
+let rat_weight r = Stdlib.abs (Rat.num r) + Rat.den r
+
+let measure (shop : Recurrence_shop.t) =
+  let params =
+    Array.fold_left
+      (fun acc (t : Task.t) ->
+        Array.fold_left
+          (fun acc tau -> acc + rat_weight tau)
+          (acc + rat_weight t.release + rat_weight t.deadline)
+          t.proc_times)
+      0 shop.tasks
+  in
+  (Recurrence_shop.n_tasks shop * 1_000_000) + (Visit.length shop.visit * 10_000) + params
+
+(* Raw task parameters, rebuilt through the validating constructors;
+   candidates that violate an invariant (tau <= 0, deadline < release,
+   bad visit) vanish instead of raising. *)
+type params = { release : Rat.t; deadline : Rat.t; proc_times : Rat.t array }
+
+let params_of (t : Task.t) =
+  { release = t.release; deadline = t.deadline; proc_times = t.proc_times }
+
+let rebuild visit params =
+  match
+    Recurrence_shop.make ~visit
+      (Array.mapi
+         (fun id { release; deadline; proc_times } ->
+           Task.make ~id ~release ~deadline ~proc_times)
+         params)
+  with
+  | shop -> Some shop
+  | exception Invalid_argument _ -> None
+
+(* Nearest multiple of 1/den (ties round down). *)
+let round_to den v = Rat.make (Rat.floor (Rat.add (Rat.mul_int v den) (Rat.make 1 2))) den
+
+(* Strictly simpler stand-ins for one rational, most aggressive first. *)
+let simpler v =
+  [ Rat.zero; Rat.of_int (Rat.floor v); Rat.of_int (Rat.ceil v); round_to 2 v; round_to 4 v ]
+  |> List.filter (fun c -> rat_weight c < rat_weight v)
+  |> List.sort_uniq Rat.compare
+
+let drop_task (shop : Recurrence_shop.t) =
+  let n = Recurrence_shop.n_tasks shop in
+  if n <= 1 then []
+  else
+    List.filter_map
+      (fun victim ->
+        rebuild shop.visit
+          (Array.of_list
+             (List.filter_map
+                (fun i -> if i = victim then None else Some (params_of shop.tasks.(i)))
+                (List.init n Fun.id))))
+      (List.init n Fun.id)
+
+(* Dropping stage [j] removes one visit position and every task's j-th
+   processing time; surviving processors are renumbered densely so the
+   visit stays valid. *)
+let drop_stage (shop : Recurrence_shop.t) =
+  let k = Visit.length shop.visit in
+  if k <= 1 then []
+  else
+    List.filter_map
+      (fun victim ->
+        let remove arr =
+          Array.of_list
+            (List.filter_map
+               (fun j -> if j = victim then None else Some arr.(j))
+               (List.init k Fun.id))
+        in
+        let seq = remove shop.visit.Visit.sequence in
+        let survivors = List.sort_uniq Stdlib.compare (Array.to_list seq) in
+        let rank p =
+          let rec idx i = function
+            | [] -> assert false
+            | q :: rest -> if q = p then i else idx (i + 1) rest
+          in
+          idx 0 survivors
+        in
+        match Visit.make (Array.map rank seq) with
+        | visit ->
+            rebuild visit
+              (Array.map
+                 (fun (t : Task.t) ->
+                   { (params_of t) with proc_times = remove t.proc_times })
+                 shop.tasks)
+        | exception Invalid_argument _ -> None)
+      (List.init k Fun.id)
+
+let shift_horizon (shop : Recurrence_shop.t) =
+  let earliest =
+    Array.fold_left
+      (fun acc (t : Task.t) -> Rat.min acc t.release)
+      shop.tasks.(0).Task.release shop.tasks
+  in
+  if Rat.is_zero earliest then []
+  else
+    Option.to_list
+      (rebuild shop.visit
+         (Array.map
+            (fun (t : Task.t) ->
+              {
+                (params_of t) with
+                release = Rat.sub t.release earliest;
+                deadline = Rat.sub t.deadline earliest;
+              })
+            shop.tasks))
+
+let round_params (shop : Recurrence_shop.t) =
+  let n = Recurrence_shop.n_tasks shop in
+  List.concat_map
+    (fun i ->
+      let t = shop.tasks.(i) in
+      let with_task p =
+        rebuild shop.visit
+          (Array.init n (fun j -> if j = i then p else params_of shop.tasks.(j)))
+      in
+      let field candidates apply =
+        List.filter_map (fun v -> with_task (apply v)) candidates
+      in
+      field (simpler t.Task.release) (fun v -> { (params_of t) with release = v })
+      @ field (simpler t.Task.deadline) (fun v -> { (params_of t) with deadline = v })
+      @ List.concat_map
+          (fun j ->
+            field (simpler t.Task.proc_times.(j)) (fun v ->
+                let proc_times = Array.copy t.Task.proc_times in
+                proc_times.(j) <- v;
+                { (params_of t) with proc_times }))
+          (List.init (Array.length t.Task.proc_times) Fun.id))
+    (List.init n Fun.id)
+
+let candidates shop =
+  let m = measure shop in
+  List.filter
+    (fun c -> measure c < m)
+    (drop_task shop @ drop_stage shop @ shift_horizon shop @ round_params shop)
+
+let minimize ?(max_steps = 10_000) ~keeps_failing shop =
+  let rec loop shop steps =
+    if steps >= max_steps then (shop, steps)
+    else
+      match List.find_opt keeps_failing (candidates shop) with
+      | Some smaller -> loop smaller (steps + 1)
+      | None -> (shop, steps)
+  in
+  loop shop 0

@@ -1,0 +1,32 @@
+(** Deterministic counterexample minimization.
+
+    Given an instance on which the differential comparison disagrees,
+    [minimize] greedily applies the first structure-reducing step that
+    keeps the disagreement alive, until none applies: drop a task, drop a
+    stage (renumbering processors), round a rational parameter toward a
+    smaller denominator, or shift the whole horizon toward 0.  Steps are
+    tried in a fixed order and each accepted step strictly decreases a
+    well-founded size measure, so minimization terminates and the result
+    depends only on the input instance and the predicate — never on
+    randomness or scheduling. *)
+
+val measure : E2e_model.Recurrence_shop.t -> int
+(** Well-founded instance size: task and stage counts dominate, then the
+    total magnitude ([|num| + den]) of every rational parameter.  Every
+    shrink candidate is strictly smaller under this measure. *)
+
+val candidates : E2e_model.Recurrence_shop.t -> E2e_model.Recurrence_shop.t list
+(** All one-step reductions of the instance, in the fixed trial order:
+    task drops (ascending index), stage drops, the horizon shift, then
+    per-task parameter roundings.  Only structurally valid, strictly
+    smaller variants are produced.  Exposed for tests. *)
+
+val minimize :
+  ?max_steps:int ->
+  keeps_failing:(E2e_model.Recurrence_shop.t -> bool) ->
+  E2e_model.Recurrence_shop.t ->
+  E2e_model.Recurrence_shop.t * int
+(** [minimize ~keeps_failing shop] is the greedy fixpoint and the number
+    of accepted shrink steps.  [keeps_failing] is re-evaluated on every
+    candidate (typically by re-running {!Oracle.run}); [max_steps]
+    (default 10_000) is a safety stop well above any reachable depth. *)

@@ -49,9 +49,15 @@ let processor_entries t p =
 let is_permutation t =
   let m = t.shop.Recurrence_shop.visit.Visit.processors in
   let order_of p = List.map (fun (_, i, _) -> i) (processor_entries t p) in
-  let rec distinct_order = function
-    | [] | [ _ ] -> true
-    | a :: (b :: _ as rest) -> a <> b && distinct_order rest
+  (* Global distinctness: a task may appear at most once per processor, not
+     merely on non-adjacent positions (T1,T2,T1 is not a permutation order). *)
+  let distinct_order order =
+    let sorted = List.sort Stdlib.compare order in
+    let rec no_dup = function
+      | [] | [ _ ] -> true
+      | a :: (b :: _ as rest) -> a <> b && no_dup rest
+    in
+    no_dup sorted
   in
   (* Only meaningful when every processor runs each task once. *)
   let orders = List.init m order_of in
@@ -97,14 +103,21 @@ let violations t =
   done;
   let m = t.shop.Recurrence_shop.visit.Visit.processors in
   for p = 0 to m - 1 do
-    let rec scan = function
-      | (_, i1, j1) :: ((s2, i2, j2) :: _ as rest) ->
-          let f1 = finish t ~task:i1 ~stage:j1 in
-          if Rat.(s2 < f1) then push (Overlap { processor = p; a = (i1, j1); b = (i2, j2) });
-          scan rest
-      | [] | [ _ ] -> ()
+    (* Scan start-sorted entries carrying the running maximum finish; a
+       long entry hides later overlaps from a purely adjacent comparison
+       (A = [0,10], B = [1,2], C = [3,4]: B-C are disjoint but both sit
+       inside A). *)
+    let rec scan (max_f, mi, mj) = function
+      | (s2, i2, j2) :: rest ->
+          if Rat.(s2 < max_f) then push (Overlap { processor = p; a = (mi, mj); b = (i2, j2) });
+          let f2 = finish t ~task:i2 ~stage:j2 in
+          let running = if Rat.(f2 > max_f) then (f2, i2, j2) else (max_f, mi, mj) in
+          scan running rest
+      | [] -> ()
     in
-    scan (processor_entries t p)
+    match processor_entries t p with
+    | [] -> ()
+    | (_, i1, j1) :: rest -> scan (finish t ~task:i1 ~stage:j1, i1, j1) rest
   done;
   List.rev !out
 
@@ -202,17 +215,29 @@ let to_csv t =
 
 let pp_gantt ?(unit_time = Rat.one) ppf t =
   let m = t.shop.Recurrence_shop.visit.Visit.processors in
-  let horizon = makespan t in
+  (* Column 0 sits at the earliest start, not at 0: clamping negative
+     starts into cell 0 would draw overlaps that do not exist.  For the
+     common all-nonnegative case the origin stays 0, keeping the axis of
+     every existing chart. *)
+  let origin = ref Rat.zero in
+  for i = 0 to n_tasks t - 1 do
+    for j = 0 to stages t - 1 do
+      origin := Rat.min !origin t.starts.(i).(j)
+    done
+  done;
+  let origin = !origin in
+  let horizon = Rat.sub (makespan t) origin in
   let cells = Rat.ceil (Rat.div horizon unit_time) in
   let cells = Stdlib.min cells 200 in
   Format.fprintf ppf "@[<v>";
+  if not (Rat.is_zero origin) then Format.fprintf ppf "t = %a at column 0@," Rat.pp origin;
   for p = 0 to m - 1 do
     let row = Bytes.make cells '.' in
     List.iter
       (fun (s, i, j) ->
         let f = finish t ~task:i ~stage:j in
-        let c0 = Rat.floor (Rat.div s unit_time) in
-        let c1 = Rat.ceil (Rat.div f unit_time) in
+        let c0 = Rat.floor (Rat.div (Rat.sub s origin) unit_time) in
+        let c1 = Rat.ceil (Rat.div (Rat.sub f origin) unit_time) in
         for c = Stdlib.max 0 c0 to Stdlib.min (cells - 1) (c1 - 1) do
           Bytes.set row c (Char.chr (Char.code '0' + (i + 1) mod 10))
         done)

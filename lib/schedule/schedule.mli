@@ -85,4 +85,8 @@ val pp_gantt : ?unit_time:rat -> Format.formatter -> t -> unit
 (** ASCII Gantt chart, one row per processor, one column per [unit_time]
     (default 1).  Stage occupying a cell prints the task id (mod 10);
     idle prints [.].  Starts that fall inside a cell round down, so the
-    chart is exact when all times are multiples of [unit_time]. *)
+    chart is exact when all times are multiples of [unit_time].  Column 0
+    is time 0, unless some stage starts earlier, in which case the axis
+    is offset to the earliest start (announced by a [t = ... at column 0]
+    header line) so pre-zero entries are drawn instead of being clamped
+    into the first cell. *)

@@ -27,4 +27,5 @@ let () =
       ("misc", Test_misc_coverage.suite);
       ("obs", Test_obs.suite);
       ("exec", Test_exec.suite);
+      ("fuzz", Test_fuzz.suite);
     ]

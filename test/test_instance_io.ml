@@ -66,6 +66,68 @@ let test_roundtrip_recurrent () =
     (original.Recurrence_shop.visit.Visit.sequence
     = reparsed.Recurrence_shop.visit.Visit.sequence)
 
+(* Property: any instance the fuzzer can generate survives
+   to_string/parse unchanged — both structurally and byte-for-byte on a
+   second render. *)
+let shop_equal (a : Recurrence_shop.t) (b : Recurrence_shop.t) =
+  a.Recurrence_shop.visit.E2e_model.Visit.sequence
+  = b.Recurrence_shop.visit.E2e_model.Visit.sequence
+  && Array.length a.Recurrence_shop.tasks = Array.length b.Recurrence_shop.tasks
+  && Array.for_all2
+       (fun (x : Task.t) (y : Task.t) ->
+         Rat.equal x.release y.release && Rat.equal x.deadline y.deadline
+         && Array.for_all2 Rat.equal x.proc_times y.proc_times)
+       a.Recurrence_shop.tasks b.Recurrence_shop.tasks
+
+let test_roundtrip_fuzzed () =
+  List.iter
+    (fun cls ->
+      for trial = 0 to 60 do
+        let g = E2e_prng.Prng.of_path [| 7; E2e_fuzz.Gen.code cls; trial |] in
+        let shop = E2e_fuzz.Gen.instance g cls in
+        let text = Instance_io.to_string shop in
+        let reparsed = parse_ok text in
+        if not (shop_equal shop reparsed) then
+          Alcotest.failf "%s trial %d: fields changed across round trip:\n%s"
+            (E2e_fuzz.Gen.name cls) trial text;
+        Alcotest.(check string)
+          (Printf.sprintf "%s trial %d: render is a fixed point" (E2e_fuzz.Gen.name cls) trial)
+          text
+          (Instance_io.to_string reparsed)
+      done)
+    E2e_fuzz.Gen.all
+
+let test_malformed_rationals () =
+  List.iter
+    (fun text ->
+      match Instance_io.parse text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "must reject %S" text)
+    [
+      "task 0 10 1/0\n" (* zero denominator *);
+      "task 0 10 1//2\n" (* doubled slash *);
+      "task 0 10 1/\n" (* missing denominator *);
+      "task 0 10 /2\n" (* missing numerator *);
+      "task 0 10 1.2.3\n" (* doubled point *);
+      "task 0 10 --1\n" (* doubled sign *);
+      "task 0 10 -1\n" (* negative processing time *);
+      "task 0 10 1 -2\n" (* negative later stage *);
+    ]
+
+let test_malformed_structure () =
+  List.iter
+    (fun text ->
+      match Instance_io.parse text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "must reject %S" text)
+    [
+      "task 0 10\n" (* no stages at all *);
+      "task 0\n" (* not even a deadline *);
+      "visit 1 3\ntask 0 10 1 1\n" (* processor numbering with a gap *);
+      "visit 0 1\ntask 0 10 1 1\n" (* processors are 1-based *);
+      "visit 1 2\n" (* visit but no tasks *);
+    ]
+
 let test_deadline_before_release_rejected () =
   Alcotest.(check bool) "window validation propagates" true
     (match Instance_io.parse "task 5 3 1\n" with Error _ -> true | Ok _ -> false)
@@ -92,5 +154,8 @@ let suite =
     Alcotest.test_case "errors" `Quick test_errors;
     Alcotest.test_case "round trip (traditional)" `Quick test_roundtrip_traditional;
     Alcotest.test_case "round trip (recurrent)" `Quick test_roundtrip_recurrent;
+    Alcotest.test_case "round trip (fuzzed, all classes)" `Quick test_roundtrip_fuzzed;
+    Alcotest.test_case "malformed rationals rejected" `Quick test_malformed_rationals;
+    Alcotest.test_case "malformed structure rejected" `Quick test_malformed_structure;
     Alcotest.test_case "bad window rejected" `Quick test_deadline_before_release_rejected;
   ]

@@ -64,6 +64,63 @@ let test_overlap_on_reused_processor () =
   Alcotest.(check bool) "collision across visits detected" true
     (has_violation (function Schedule.Overlap { processor = 0; _ } -> true | _ -> false) s)
 
+(* Regression: the duplicate check in is_permutation used to compare
+   only adjacent entries of the processor order, so an interleaved
+   revisit pattern like T1,T2,T1,T2 slipped through as a "permutation". *)
+let test_is_permutation_nonadjacent_duplicate () =
+  let visit = Visit.of_one_based [| 1; 2; 1 |] in
+  let tasks =
+    Array.init 2 (fun id ->
+        Task.make ~id ~release:Rat.zero ~deadline:(r 20) ~proc_times:(Array.make 3 (r 1)))
+  in
+  let shop = Recurrence_shop.make ~visit tasks in
+  let s = Schedule.make shop [| [| r 0; r 2; r 4 |]; [| r 2; r 4; r 6 |] |] in
+  assert_feasible "interleaved revisits are feasible" s;
+  Alcotest.(check bool) "P1 order T1,T2,T1,T2 is not a permutation" false
+    (Schedule.is_permutation s)
+
+(* Regression: the overlap scan used to compare only adjacent entries in
+   start order, so an entry hidden entirely behind a long earlier entry
+   was never compared against it. *)
+let test_overlap_hidden_behind_long_entry () =
+  let shop =
+    Flow_shop.of_params
+      [|
+        (r 0, r 30, [| r 10 |]) (* A occupies [0,10] *);
+        (r 0, r 30, [| r 1 |]) (* B at [2,3]: adjacent to A, caught before *);
+        (r 0, r 30, [| r 1 |]) (* C at [5,6]: only overlaps A, two entries back *);
+      |]
+  in
+  let s = Schedule.of_flow_shop shop [| [| r 0 |]; [| r 2 |]; [| r 5 |] |] in
+  let overlaps_with_c =
+    List.exists
+      (function
+        | Schedule.Overlap { a = 2, _; _ } | Schedule.Overlap { b = 2, _; _ } -> true
+        | _ -> false)
+      (Schedule.violations s)
+  in
+  Alcotest.(check bool) "overlap against the long entry is reported" true overlaps_with_c
+
+(* Regression: pp_gantt used to clamp negative start times into cell 0,
+   drawing such entries on top of whatever legitimately sat there. *)
+let test_pp_gantt_negative_start () =
+  let shop = Flow_shop.of_params [| (r 0, r 20, [| r 2; r 2 |]) |] in
+  let s = Schedule.of_flow_shop shop [| [| r (-2); r 1 |] |] in
+  let gantt = Format.asprintf "%a" (Schedule.pp_gantt ?unit_time:None) s in
+  Alcotest.(check bool) "axis origin is announced" true
+    (Helpers.contains gantt "t = -2 at column 0");
+  (* Stage 0 runs over [-2,0] and stage 1 over [1,3]; with the axis
+     shifted they occupy cells 0-1 on P1 and cells 3-4 on P2 instead of
+     both being clamped against column 0. *)
+  Alcotest.(check bool) "P1 entry drawn from the shifted origin" true
+    (Helpers.contains gantt "P1 |11...|");
+  Alcotest.(check bool) "P2 entry keeps its true offset" true
+    (Helpers.contains gantt "P2 |...11|");
+  let nonneg = Schedule.of_flow_shop shop [| [| r 0; r 2 |] |] in
+  let plain = Format.asprintf "%a" (Schedule.pp_gantt ?unit_time:None) nonneg in
+  Alcotest.(check bool) "non-negative schedules keep the bare axis" false
+    (Helpers.contains plain "at column 0")
+
 let test_forward_pass () =
   let shop = Recurrence_shop.of_traditional (two_task_shop ()) in
   let s = Schedule.forward_pass shop ~order:[| 0; 1 |] in
@@ -164,6 +221,11 @@ let suite =
     Alcotest.test_case "precedence violation" `Quick test_precedence_violation;
     Alcotest.test_case "overlap violation" `Quick test_overlap_violation;
     Alcotest.test_case "overlap on reused processor" `Quick test_overlap_on_reused_processor;
+    Alcotest.test_case "non-adjacent duplicate breaks permutation" `Quick
+      test_is_permutation_nonadjacent_duplicate;
+    Alcotest.test_case "overlap hidden behind long entry" `Quick
+      test_overlap_hidden_behind_long_entry;
+    Alcotest.test_case "gantt with negative starts" `Quick test_pp_gantt_negative_start;
     Alcotest.test_case "forward pass" `Quick test_forward_pass;
     Alcotest.test_case "forward pass release" `Quick test_forward_pass_respects_release;
     Alcotest.test_case "left shift" `Quick test_left_shift;
