@@ -4,9 +4,12 @@ PAR_A := /tmp/e2e_sched_fig9a_j1.txt
 PAR_B := /tmp/e2e_sched_fig9a_j4.txt
 FUZZ_A := /tmp/e2e_sched_fuzz_j1.txt
 FUZZ_B := /tmp/e2e_sched_fuzz_j4.txt
+SERVE_A := /tmp/e2e_sched_serve_j1.txt
+SERVE_B := /tmp/e2e_sched_serve_j4.txt
 JOBS ?= 4
 
-.PHONY: all build test bench bench-par fuzz-smoke check clean
+.PHONY: all build test bench bench-par bench-serve fuzz-smoke serve-smoke \
+  check clean
 
 all: build
 
@@ -24,6 +27,26 @@ bench:
 bench-par:
 	dune exec bench/main.exe -- --parallel BENCH_parallel.json --jobs $(JOBS)
 
+# Fixed-seed open-loop load-generator run against the in-process
+# admission service: requests/sec, latency percentiles and the solver
+# cache hit rate, written to BENCH_serve.json.
+bench-serve:
+	dune exec bin/loadgen.exe -- --requests 2000 --seed 42 -j $(JOBS) \
+	  --out BENCH_serve.json
+
+# Replay the full-grammar request fixture through the stdio transport on
+# 1 and 4 domains: the reply logs must be byte-identical and contain
+# admitted verdicts.
+serve-smoke:
+	rm -f $(SERVE_A) $(SERVE_B)
+	dune exec bin/serve.exe -- --stdio -j 1 \
+	  < test/serve_smoke_requests.txt > $(SERVE_A)
+	dune exec bin/serve.exe -- --stdio -j 4 \
+	  < test/serve_smoke_requests.txt > $(SERVE_B)
+	cmp $(SERVE_A) $(SERVE_B)
+	grep -q '^admitted ' $(SERVE_A)
+	grep -q '^rejected ' $(SERVE_A)
+
 # Short differential-fuzzing campaign over every model class: each
 # solver against its exhaustive oracle and the independent checker, on a
 # fixed seed, run on 1 and 4 domains — any disagreement or any
@@ -37,9 +60,10 @@ fuzz-smoke:
 
 # Build, run the test suite, then smoke-test the telemetry pipeline
 # (regenerate one paper artifact with --metrics and validate the file as
-# JSONL) and the parallel engine (the same sweep on 1 and 4 domains must
+# JSONL), the parallel engine (the same sweep on 1 and 4 domains must
 # be byte-identical, and metrics collected under -j 4 must still be
-# well-formed JSONL).
+# well-formed JSONL), the differential fuzzer and the admission service
+# (stdio transport, -j 1 vs -j 4 byte-compare).
 check:
 	dune build
 	dune runtest
@@ -52,8 +76,9 @@ check:
 	dune exec bin/experiments.exe -- fig9a --trials 120 -j 4 --metrics $(PAR_METRICS) > /dev/null
 	dune exec bin/jsonl_check.exe $(PAR_METRICS)
 	$(MAKE) fuzz-smoke
+	$(MAKE) serve-smoke
 
 clean:
 	dune clean
 	rm -f $(METRICS) $(PAR_METRICS) $(PAR_A) $(PAR_B) $(FUZZ_A) $(FUZZ_B) \
-	  BENCH_parallel.json
+	  $(SERVE_A) $(SERVE_B) BENCH_parallel.json BENCH_serve.json

@@ -12,19 +12,31 @@
 open Cmdliner
 module Fuzz = E2e_fuzz.Fuzz
 module Gen = E2e_fuzz.Gen
+module Serve_fuzz = E2e_fuzz.Serve_fuzz
 module Pool = E2e_exec.Pool
 module Obs = E2e_obs.Obs
 module Json = E2e_obs.Json
 
+(* Model classes check one solver against its oracle on one instance;
+   the serve class checks the whole admission service (batching + cache)
+   against its sequential reference on one request log. *)
+type cls = Model of Gen.model_class | Serve
+
+let all_classes = List.map (fun c -> Model c) Gen.all @ [ Serve ]
+
 let classes_arg =
   let classes_conv =
-    Arg.enum (("all", Gen.all) :: List.map (fun c -> (Gen.name c, [ c ])) Gen.all)
+    Arg.enum
+      (("all", all_classes) :: ("serve", [ Serve ])
+      :: List.map (fun c -> (Gen.name c, [ Model c ])) Gen.all)
   in
   let doc =
     "Model class to fuzz: $(b,eedf) (identical-length flow shops), $(b,r) (single-loop \
-     recurrence shops), $(b,a) (homogeneous sets), $(b,h) (arbitrary sets), or $(b,all)."
+     recurrence shops), $(b,a) (homogeneous sets), $(b,h) (arbitrary sets), $(b,serve) \
+     (admission-service request logs, batched-and-cached vs sequential reference), or \
+     $(b,all)."
   in
-  Arg.(value & opt classes_conv Gen.all & info [ "class" ] ~docv:"CLASS" ~doc)
+  Arg.(value & opt classes_conv all_classes & info [ "class" ] ~docv:"CLASS" ~doc)
 
 let trials_arg =
   let doc = "Random instances per model class." in
@@ -66,8 +78,17 @@ let run classes trials seed jobs corpus max_shrink metrics =
     Obs.set_stats true;
     Obs.reset_metrics ()
   end;
-  let reports = Fuzz.run ~jobs ~max_shrink ~seed ~trials classes in
+  let model_classes = List.filter_map (function Model c -> Some c | Serve -> None) classes in
+  let reports = Fuzz.run ~jobs ~max_shrink ~seed ~trials model_classes in
   List.iter (fun r -> Format.printf "%a@." Fuzz.pp_report r) reports;
+  let serve_report =
+    if List.mem Serve classes then begin
+      let r = Serve_fuzz.run ~jobs ~max_shrink ~seed ~trials () in
+      Format.printf "%a@." Serve_fuzz.pp_report r;
+      Some r
+    end
+    else None
+  in
   (match corpus with
   | None -> ()
   | Some dir ->
@@ -90,7 +111,12 @@ let run classes trials seed jobs corpus max_shrink metrics =
           output_string oc (Json.to_string (Obs.metrics_json ()));
           output_char oc '\n');
       Obs.set_stats false);
-  let bugs = Fuzz.total_findings reports in
+  let bugs =
+    Fuzz.total_findings reports
+    + match serve_report with
+      | None -> 0
+      | Some r -> List.length r.Serve_fuzz.findings
+  in
   Format.printf "total: %d class(es), %d trials each, %d disagreement(s)@."
     (List.length classes) trials bugs;
   if bugs > 0 then exit 1

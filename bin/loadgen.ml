@@ -1,0 +1,364 @@
+(* Load generator for the admission service.
+
+   e2e-loadgen --requests 2000 --seed 42 -j 4 --out BENCH_serve.json
+   e2e-loadgen --connect 127.0.0.1:7070 --requests 500
+
+   Replays a Prng-seeded open-loop request stream — submits of fresh
+   task sets, permuted resubmissions (canonical-cache exercisers),
+   incremental adds, queries and drops — either against an in-process
+   Batcher (default; measures the engine itself) or over TCP against a
+   running e2e-serve.  Reports throughput, latency percentiles and the
+   cache hit rate, optionally as a JSON file (`make bench-serve` writes
+   BENCH_serve.json). *)
+
+open Cmdliner
+module Rat = E2e_rat.Rat
+module Prng = E2e_prng.Prng
+module Task = E2e_model.Task
+module Recurrence_shop = E2e_model.Recurrence_shop
+module Feasible_gen = E2e_workload.Feasible_gen
+module Admission = E2e_serve.Admission
+module Batcher = E2e_serve.Batcher
+module Cache = E2e_serve.Cache
+module Protocol = E2e_serve.Protocol
+module Pool = E2e_exec.Pool
+module Json = E2e_obs.Json
+
+(* ------------------------------------------------------------------ *)
+(* Request-stream generation: a pure function of the seed.            *)
+
+let gen_instance g =
+  let n = 3 + Prng.int g 4 and m = 3 + Prng.int g 2 in
+  Recurrence_shop.of_traditional
+    (Feasible_gen.generate g
+       { Feasible_gen.n_tasks = n; n_processors = m; mean_tau = 1.0; stdev = 0.5;
+         slack_factor = 1.0 +. Prng.float g 1.0 })
+
+(* Same instance, tasks relabelled: a canonical-cache hit that is not a
+   textual repeat. *)
+let permute g (shop : Recurrence_shop.t) =
+  let order = Prng.permutation g (Recurrence_shop.n_tasks shop) in
+  let tasks =
+    Array.mapi
+      (fun p orig ->
+        let t = shop.Recurrence_shop.tasks.(orig) in
+        Task.make ~id:p ~release:t.release ~deadline:t.deadline ~proc_times:t.proc_times)
+      order
+  in
+  Recurrence_shop.make ~visit:shop.visit tasks
+
+let gen_stream ~seed ~requests =
+  let g = Prng.create seed in
+  let submitted = ref [] (* (shop, instance), most recent first *) in
+  let fresh = ref 0 in
+  let fresh_shop () =
+    incr fresh;
+    Printf.sprintf "s%d" !fresh
+  in
+  let pick_shop g =
+    match !submitted with
+    | [] -> None
+    | l -> Some (List.nth l (Prng.int g (List.length l)))
+  in
+  List.init requests (fun _ ->
+      let p = Prng.float g 1.0 in
+      if p < 0.45 || !submitted = [] then begin
+        let shop = fresh_shop () and instance = gen_instance g in
+        submitted := (shop, instance) :: !submitted;
+        Admission.Submit { shop; instance }
+      end
+      else if p < 0.65 then begin
+        (* Resubmit a permutation of an earlier set under a new name. *)
+        let _, earlier = Option.get (pick_shop g) in
+        let shop = fresh_shop () and instance = permute g earlier in
+        submitted := (shop, instance) :: !submitted;
+        Admission.Submit { shop; instance }
+      end
+      else if p < 0.83 then begin
+        let shop, committed = Option.get (pick_shop g) in
+        let k = Array.length committed.Recurrence_shop.tasks.(0).Task.proc_times in
+        let count = 1 + Prng.int g 2 in
+        let tasks =
+          List.init count (fun _ ->
+              let taus =
+                Array.init k (fun _ -> Prng.rat_uniform g ~den:100 (Rat.make 1 2) (Rat.of_int 2))
+              in
+              let total = Rat.sum_array taus in
+              let release = Prng.rat_uniform g ~den:100 Rat.zero (Rat.of_int 4) in
+              let window = Rat.mul_int total (2 + Prng.int g 3) in
+              (release, Rat.add release window, taus))
+        in
+        Admission.Add { shop; tasks }
+      end
+      else if p < 0.95 then
+        let shop = match pick_shop g with Some (s, _) -> s | None -> "none" in
+        Admission.Query { shop }
+      else begin
+        let shop = match pick_shop g with Some (s, _) -> s | None -> "none" in
+        submitted := List.filter (fun (s, _) -> s <> shop) !submitted;
+        Admission.Drop { shop }
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Measurement                                                        *)
+
+type tally = {
+  mutable admitted : int;
+  mutable rejected : int;
+  mutable undecided : int;
+  mutable info : int;
+  mutable dropped : int;
+  mutable errors : int;
+  mutable overloaded : int;
+}
+
+let tally_reply t = function
+  | Admission.Decided { decision = Admission.Admitted _; _ } -> t.admitted <- t.admitted + 1
+  | Admission.Decided { decision = Admission.Rejected _; _ } -> t.rejected <- t.rejected + 1
+  | Admission.Decided { decision = Admission.Undecided _; _ } ->
+      t.undecided <- t.undecided + 1
+  | Admission.Queried _ -> t.info <- t.info + 1
+  | Admission.Dropped _ -> t.dropped <- t.dropped + 1
+  | Admission.Request_error _ -> t.errors <- t.errors + 1
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0. else sorted.(min (n - 1) (int_of_float (q *. float_of_int (n - 1) +. 0.5)))
+
+(* In-process replay: open-loop pacing (when [rate] > 0) against the
+   batcher; per-request latency = reply wall time - arrival wall time. *)
+let run_inproc ~stream ~config ~rate =
+  let batcher = Batcher.create ~config () in
+  let n = List.length stream in
+  let t_arrival = Array.make n 0. in
+  let latency = ref [] in
+  let tally =
+    { admitted = 0; rejected = 0; undecided = 0; info = 0; dropped = 0; errors = 0;
+      overloaded = 0 }
+  in
+  let pending_idx = Queue.create () in
+  let record_replies replies =
+    let t = Unix.gettimeofday () in
+    List.iter
+      (fun (_, reply) ->
+        let i = Queue.pop pending_idx in
+        latency := (t -. t_arrival.(i)) :: !latency;
+        tally_reply tally reply)
+      replies
+  in
+  let t0 = Unix.gettimeofday () in
+  let next_arrival = ref t0 in
+  let pace_g = Prng.create 0x9e3779b9 in
+  List.iteri
+    (fun i req ->
+      if rate > 0. then begin
+        (* Open loop: arrivals at exponential spacing, independent of
+           service progress. *)
+        next_arrival := !next_arrival +. Prng.exponential pace_g ~rate;
+        let now = Unix.gettimeofday () in
+        if !next_arrival > now then Unix.sleepf (!next_arrival -. now)
+      end;
+      t_arrival.(i) <- Unix.gettimeofday ();
+      (match Batcher.submit batcher req with
+      | `Queued -> Queue.push i pending_idx
+      | `Overloaded -> tally.overloaded <- tally.overloaded + 1);
+      if Batcher.pending batcher >= config.Batcher.batch then
+        record_replies (Batcher.step batcher))
+    stream;
+  let rec drain () =
+    match Batcher.step batcher with [] -> () | replies -> record_replies replies; drain ()
+  in
+  drain ();
+  let duration = Unix.gettimeofday () -. t0 in
+  (duration, Array.of_list (List.rev !latency), tally, Batcher.cache_stats batcher)
+
+(* TCP replay: synchronous request/reply per line. *)
+let run_tcp ~stream ~addr =
+  let host, port =
+    match String.split_on_char ':' addr with
+    | [ h; p ] -> (h, int_of_string p)
+    | _ -> failwith "--connect expects HOST:PORT"
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  let ic = Unix.in_channel_of_descr fd and oc = Unix.out_channel_of_descr fd in
+  ignore (input_line ic) (* greeting *);
+  let tally =
+    { admitted = 0; rejected = 0; undecided = 0; info = 0; dropped = 0; errors = 0;
+      overloaded = 0 }
+  in
+  let latency = ref [] in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun req ->
+      let t_send = Unix.gettimeofday () in
+      output_string oc (Protocol.render_request req ^ "\n");
+      flush oc;
+      let reply = input_line ic in
+      latency := (Unix.gettimeofday () -. t_send) :: !latency;
+      match String.split_on_char ' ' reply with
+      | "admitted" :: _ -> tally.admitted <- tally.admitted + 1
+      | "rejected" :: _ -> tally.rejected <- tally.rejected + 1
+      | "undecided" :: _ -> tally.undecided <- tally.undecided + 1
+      | "info" :: _ -> tally.info <- tally.info + 1
+      | "dropped" :: _ -> tally.dropped <- tally.dropped + 1
+      | "overloaded" :: _ -> tally.overloaded <- tally.overloaded + 1
+      | _ -> tally.errors <- tally.errors + 1)
+    stream;
+  let duration = Unix.gettimeofday () -. t0 in
+  output_string oc "quit\n";
+  flush oc;
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  (duration, Array.of_list (List.rev !latency), tally, None)
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                          *)
+
+let report ~out ~requests ~jobs ~config ~duration ~latency ~tally ~cache_stats =
+  let sorted = Array.copy latency in
+  Array.sort compare sorted;
+  let ms x = x *. 1000. in
+  let p q = ms (percentile sorted q) in
+  let completed = Array.length latency in
+  let rps = if duration > 0. then float_of_int completed /. duration else 0. in
+  let hit_rate hits misses =
+    let total = hits + misses in
+    if total = 0 then 0. else float_of_int hits /. float_of_int total
+  in
+  Format.printf "requests      %d (%d completed, %d overloaded)@." requests completed
+    tally.overloaded;
+  Format.printf "duration      %.3fs  (%.0f requests/s)@." duration rps;
+  Format.printf "latency (ms)  p50=%.3f p95=%.3f p99=%.3f max=%.3f@." (p 0.50) (p 0.95)
+    (p 0.99)
+    (ms (if completed = 0 then 0. else sorted.(completed - 1)));
+  Format.printf "verdicts      admitted=%d rejected=%d undecided=%d info=%d dropped=%d \
+                 errors=%d@."
+    tally.admitted tally.rejected tally.undecided tally.info tally.dropped tally.errors;
+  (match cache_stats with
+  | None -> Format.printf "cache         off or remote@."
+  | Some { Cache.hits; misses; evictions; size } ->
+      Format.printf "cache         hits=%d misses=%d evictions=%d size=%d hit_rate=%.3f@."
+        hits misses evictions size (hit_rate hits misses));
+  match out with
+  | None -> ()
+  | Some path ->
+      let cache_json =
+        match cache_stats with
+        | None -> Json.Null
+        | Some { Cache.hits; misses; evictions; size } ->
+            Json.Obj
+              [
+                ("hits", Json.Num (float_of_int hits));
+                ("misses", Json.Num (float_of_int misses));
+                ("evictions", Json.Num (float_of_int evictions));
+                ("size", Json.Num (float_of_int size));
+                ("hit_rate", Json.Num (hit_rate hits misses));
+              ]
+      in
+      let record =
+        Json.Obj
+          [
+            ("requests", Json.Num (float_of_int requests));
+            ("completed", Json.Num (float_of_int completed));
+            ("overloaded", Json.Num (float_of_int tally.overloaded));
+            ("duration_s", Json.Num duration);
+            ("requests_per_sec", Json.Num rps);
+            ( "latency_ms",
+              Json.Obj
+                [
+                  ("p50", Json.Num (p 0.50));
+                  ("p95", Json.Num (p 0.95));
+                  ("p99", Json.Num (p 0.99));
+                ] );
+            ( "verdicts",
+              Json.Obj
+                [
+                  ("admitted", Json.Num (float_of_int tally.admitted));
+                  ("rejected", Json.Num (float_of_int tally.rejected));
+                  ("undecided", Json.Num (float_of_int tally.undecided));
+                  ("info", Json.Num (float_of_int tally.info));
+                  ("dropped", Json.Num (float_of_int tally.dropped));
+                  ("errors", Json.Num (float_of_int tally.errors));
+                ] );
+            ("cache", cache_json);
+            ( "config",
+              Json.Obj
+                [
+                  ("jobs", Json.Num (float_of_int jobs));
+                  ("batch", Json.Num (float_of_int config.Batcher.batch));
+                  ("queue", Json.Num (float_of_int config.Batcher.queue_capacity));
+                  ("cache_capacity", Json.Num (float_of_int config.Batcher.cache_capacity));
+                ] );
+          ]
+      in
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc (Json.to_string record);
+          output_char oc '\n');
+      Format.printf "wrote %s@." path
+
+(* ------------------------------------------------------------------ *)
+
+let requests_arg =
+  let doc = "Number of requests in the stream." in
+  Arg.(value & opt int 1000 & info [ "requests" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Stream seed: the request sequence is a pure function of it." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let rate_arg =
+  let doc =
+    "Open-loop arrival rate in requests/second (exponential inter-arrivals); 0 replays as \
+     fast as possible."
+  in
+  Arg.(value & opt float 0. & info [ "rate" ] ~docv:"R" ~doc)
+
+let jobs_arg =
+  let doc = "Worker domains for the in-process engine's batch solves." in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let batch_arg =
+  let doc = "Batch size of the in-process engine." in
+  Arg.(value & opt int Batcher.default_config.Batcher.batch & info [ "batch" ] ~docv:"N" ~doc)
+
+let queue_arg =
+  let doc = "Queue bound of the in-process engine." in
+  Arg.(value & opt int Batcher.default_config.Batcher.queue_capacity
+       & info [ "queue" ] ~docv:"N" ~doc)
+
+let cache_arg =
+  let doc = "Solver-cache capacity of the in-process engine (0 = off)." in
+  Arg.(value & opt int Batcher.default_config.Batcher.cache_capacity
+       & info [ "cache" ] ~docv:"N" ~doc)
+
+let connect_arg =
+  let doc = "Replay over TCP against a running e2e-serve at $(docv) instead of in-process." in
+  Arg.(value & opt (some string) None & info [ "connect" ] ~docv:"HOST:PORT" ~doc)
+
+let out_arg =
+  let doc = "Write the run summary as one JSON object to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+
+let run requests seed rate jobs batch queue cache connect out =
+  let jobs = Pool.resolve_jobs jobs in
+  let stream = gen_stream ~seed ~requests in
+  let config =
+    { Batcher.queue_capacity = queue; batch; budget = Admission.Unbounded; jobs;
+      cache_capacity = cache }
+  in
+  let duration, latency, tally, cache_stats =
+    match connect with
+    | None -> run_inproc ~stream ~config ~rate
+    | Some addr -> run_tcp ~stream ~addr
+  in
+  report ~out ~requests ~jobs ~config ~duration ~latency ~tally ~cache_stats
+
+let () =
+  let doc = "Open-loop load generator for the e2e-serve admission service" in
+  let info = Cmd.info "e2e-loadgen" ~version:"1.0.0" ~doc in
+  let term =
+    Term.(
+      const run $ requests_arg $ seed_arg $ rate_arg $ jobs_arg $ batch_arg $ queue_arg
+      $ cache_arg $ connect_arg $ out_arg)
+  in
+  exit (Cmd.eval (Cmd.v info term))

@@ -1,0 +1,113 @@
+(* Admission-control scheduling service front end.
+
+   e2e-serve --stdio < requests.txt          # pipelined replay transport
+   e2e-serve --tcp 7070 -j 4 --cache 1024    # iterative TCP server
+
+   One request per line in, one reply per request out (see the Protocol
+   module / README "Serving" for the grammar).  The engine layers are
+   deterministic: the same request stream produces a byte-identical
+   reply stream at any -j value. *)
+
+open Cmdliner
+module Batcher = E2e_serve.Batcher
+module Server = E2e_serve.Server
+module Admission = E2e_serve.Admission
+module Pool = E2e_exec.Pool
+module Obs = E2e_obs.Obs
+module Json = E2e_obs.Json
+
+let stdio_arg =
+  let doc = "Serve one session over stdin/stdout (the default transport)." in
+  Arg.(value & flag & info [ "stdio" ] ~doc)
+
+let tcp_arg =
+  let doc = "Serve TCP connections on $(docv) (default transport: stdin/stdout)." in
+  Arg.(value & opt (some int) None & info [ "tcp" ] ~docv:"PORT" ~doc)
+
+let host_arg =
+  let doc = "Address to bind the TCP listener to." in
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc)
+
+let max_conns_arg =
+  let doc = "Stop the TCP accept loop after $(docv) connections (for scripted runs)." in
+  Arg.(value & opt (some int) None & info [ "max-connections" ] ~docv:"N" ~doc)
+
+let queue_arg =
+  let doc = "Pending-request queue bound; submissions past it are answered $(b,overloaded)." in
+  Arg.(value & opt int Batcher.default_config.Batcher.queue_capacity
+       & info [ "queue" ] ~docv:"N" ~doc)
+
+let batch_arg =
+  let doc = "Maximum requests per batch (and the stdio pipelining depth)." in
+  Arg.(value & opt int Batcher.default_config.Batcher.batch & info [ "batch" ] ~docv:"N" ~doc)
+
+let cache_arg =
+  let doc = "Canonical solver-cache capacity in entries; $(b,0) disables the cache." in
+  Arg.(value & opt int Batcher.default_config.Batcher.cache_capacity
+       & info [ "cache" ] ~docv:"N" ~doc)
+
+let budget_arg =
+  let doc =
+    "Per-request deterministic solve budget: portfolio strategies attempted after Algorithm \
+     H fails.  Unbounded when omitted."
+  in
+  Arg.(value & opt (some int) None & info [ "budget" ] ~docv:"N" ~doc)
+
+let jobs_arg =
+  let doc =
+    "Worker domains each batch's solves fan out over.  Defaults to $(b,E2E_JOBS) (capped at \
+     the runtime's recommended domain count) or 1.  Replies are byte-identical for every \
+     value."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let no_schedules_arg =
+  let doc = "Omit the $(b,schedule=) field from admitted replies." in
+  Arg.(value & flag & info [ "no-schedules" ] ~doc)
+
+let stats_arg =
+  let doc = "Print telemetry counters to stderr on exit." in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let metrics_arg =
+  let doc = "Write one JSON object with every telemetry counter/gauge/histogram to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let run stdio tcp host max_conns queue batch cache budget jobs no_schedules stats metrics =
+  if stdio && tcp <> None then begin
+    prerr_endline "e2e-serve: --stdio and --tcp are mutually exclusive";
+    exit 2
+  end;
+  let jobs = Pool.resolve_jobs jobs in
+  if stats || metrics <> None then begin
+    Obs.set_stats true;
+    Obs.reset_metrics ()
+  end;
+  let budget =
+    match budget with None -> Admission.Unbounded | Some k -> Admission.Strategies k
+  in
+  let config =
+    { Batcher.queue_capacity = queue; batch; budget; jobs; cache_capacity = cache }
+  in
+  let batcher = Batcher.create ~config () in
+  let schedules = not no_schedules in
+  (match tcp with
+  | None -> Server.serve_stdio ~schedules batcher
+  | Some port -> Server.serve_tcp ~schedules ~host ?max_connections:max_conns ~port batcher);
+  (match metrics with
+  | None -> ()
+  | Some path ->
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc (Json.to_string (Obs.metrics_json ()));
+          output_char oc '\n'));
+  if stats then Format.eprintf "%a@." Obs.pp_metrics ()
+
+let () =
+  let doc = "Online admission-control scheduling service over flow-shop workloads" in
+  let info = Cmd.info "e2e-serve" ~version:"1.0.0" ~doc in
+  let term =
+    Term.(
+      const run $ stdio_arg $ tcp_arg $ host_arg $ max_conns_arg $ queue_arg $ batch_arg $ cache_arg
+      $ budget_arg $ jobs_arg $ no_schedules_arg $ stats_arg $ metrics_arg)
+  in
+  exit (Cmd.eval (Cmd.v info term))

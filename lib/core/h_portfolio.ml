@@ -51,7 +51,12 @@ let try_strategy shop = function
       let s = Schedule.forward_pass (Recurrence_shop.of_traditional shop) ~order in
       if Schedule.is_feasible s then Some s else None
 
-let schedule shop =
+let truncate_strategies budget strats =
+  match budget with
+  | None -> strats
+  | Some k -> List.filteri (fun i _ -> i < k) strats
+
+let schedule ?budget shop =
   Obs.span "portfolio.schedule" (fun () ->
       let rec go = function
         | [] ->
@@ -80,6 +85,6 @@ let schedule shop =
                       ];
                 go rest)
       in
-      go (strategies shop))
+      go (truncate_strategies budget (strategies shop)))
 
 let schedule_opt shop = match schedule shop with Ok (s, _) -> Some s | Error `All_failed -> None

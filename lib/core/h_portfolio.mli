@@ -24,7 +24,13 @@ val strategies : E2e_model.Flow_shop.t -> strategy list
     other processors, then the direct orders. *)
 
 val schedule :
-  E2e_model.Flow_shop.t -> (E2e_schedule.Schedule.t * strategy, [ `All_failed ]) result
-(** First feasible schedule found, with the strategy that produced it. *)
+  ?budget:int ->
+  E2e_model.Flow_shop.t ->
+  (E2e_schedule.Schedule.t * strategy, [ `All_failed ]) result
+(** First feasible schedule found, with the strategy that produced it.
+    [budget] caps the number of strategies attempted (a deterministic
+    work budget — the admission service bounds per-request solve cost
+    with it; wall-clock timeouts would make replies nondeterministic);
+    omitted, the whole portfolio is tried. *)
 
 val schedule_opt : E2e_model.Flow_shop.t -> E2e_schedule.Schedule.t option

@@ -1,0 +1,214 @@
+module Rat = E2e_rat.Rat
+module Task = E2e_model.Task
+module Visit = E2e_model.Visit
+module Flow_shop = E2e_model.Flow_shop
+module Recurrence_shop = E2e_model.Recurrence_shop
+module Schedule = E2e_schedule.Schedule
+module Solver = E2e_core.Solver
+module H_portfolio = E2e_core.H_portfolio
+module Infeasibility = E2e_core.Infeasibility
+module Obs = E2e_obs.Obs
+module Smap = Map.Make (String)
+
+type rat = Rat.t
+
+type budget = Unbounded | Strategies of int
+
+type decision =
+  | Admitted of { schedule : Schedule.t; algo : string }
+  | Rejected of { certificate : Infeasibility.certificate option }
+  | Undecided of { reason : string }
+
+type t = Recurrence_shop.t Smap.t
+
+type request =
+  | Submit of { shop : string; instance : Recurrence_shop.t }
+  | Add of { shop : string; tasks : (rat * rat * rat array) list }
+  | Query of { shop : string }
+  | Drop of { shop : string }
+
+type reply =
+  | Decided of { shop : string; n_tasks : int; decision : decision }
+  | Queried of { shop : string; n_tasks : int option }
+  | Dropped of { shop : string; existed : bool }
+  | Request_error of { shop : string; message : string }
+
+let empty = Smap.empty
+let shops t = Smap.bindings t
+let find t shop = Smap.find_opt shop t
+let n_committed t = Smap.fold (fun _ s acc -> acc + Recurrence_shop.n_tasks s) t 0
+
+let record_decision = function
+  | Admitted _ -> Obs.incr "serve.admitted"
+  | Rejected _ -> Obs.incr "serve.rejected"
+  | Undecided _ -> Obs.incr "serve.undecided"
+
+let algo_name = function
+  | `Eedf -> "eedf"
+  | `Algorithm_a -> "algo_a"
+  | `Algorithm_h -> "algo_h"
+
+(* One candidate set, no cache: the strongest applicable algorithm, then
+   certificates and the portfolio on the NP-hard path.  Pure, so batched
+   solves can run on worker domains. *)
+let decide_uncached budget (shop : Recurrence_shop.t) =
+  Obs.incr "serve.solves";
+  if Visit.is_traditional shop.Recurrence_shop.visit then begin
+    let fs = Flow_shop.make ~processors:shop.visit.Visit.processors shop.tasks in
+    match Solver.solve fs with
+    | Solver.Feasible (s, alg) -> Admitted { schedule = s; algo = algo_name alg }
+    | Solver.Proved_infeasible _ -> Rejected { certificate = Infeasibility.check fs }
+    | Solver.Heuristic_failed -> (
+        match Infeasibility.check fs with
+        | Some cert -> Rejected { certificate = Some cert }
+        | None -> (
+            match budget with
+            | Strategies 0 -> Undecided { reason = "budget-exhausted" }
+            | Strategies k -> (
+                match H_portfolio.schedule ~budget:k fs with
+                | Ok (s, _) -> Admitted { schedule = s; algo = "portfolio" }
+                | Error `All_failed -> Undecided { reason = "budget-exhausted" })
+            | Unbounded -> (
+                match H_portfolio.schedule fs with
+                | Ok (s, _) -> Admitted { schedule = s; algo = "portfolio" }
+                | Error `All_failed -> Undecided { reason = "heuristic-failed" })))
+  end
+  else
+    match Solver.solve_recurrent_or_fallback shop with
+    | Solver.Recurrent_feasible (s, which) ->
+        let algo =
+          match which with
+          | `Algorithm_r -> "algo_r"
+          | `Greedy_edf -> "greedy_edf"
+          | `Traditional -> "solver"
+        in
+        Admitted { schedule = s; algo }
+    | Solver.Recurrent_proved_infeasible -> Rejected { certificate = None }
+    | Solver.Recurrent_undecided -> Undecided { reason = "heuristic-failed" }
+
+(* Relabel a decision computed on the canonical shop back to the
+   candidate's task ids.  Feasibility is invariant under the relabelling
+   (all constraints are per-task or set-based), so the restored schedule
+   passes the checker exactly when the canonical one does. *)
+let relabel canon (shop : Recurrence_shop.t) = function
+  | Admitted { schedule; algo } ->
+      let starts = Cache.restore_starts canon schedule.Schedule.starts in
+      Admitted { schedule = Schedule.make shop starts; algo }
+  | (Rejected _ | Undecided _) as d -> d
+
+let solve ~budget shop = decide_uncached budget shop
+
+(* The budget is part of the cache key: a set undecided under a small
+   budget may be admitted under a larger one, so decisions taken under
+   different budgets must never alias. *)
+let budget_tag = function Unbounded -> "u" | Strategies k -> "s" ^ string_of_int k
+let cache_key ~budget canon = canon.Cache.key ^ ":" ^ budget_tag budget
+
+(* Every solve runs on the canonical form, cached or not: heuristics may
+   be sensitive to task order, so solving the original labelling only
+   when the cache is off would let cache-on and cache-off runs reach
+   different verdicts.  Canonicalize-always makes the transparency
+   contract (identical verdicts) hold by construction; the cache only
+   controls reuse. *)
+let decide ?(budget = Unbounded) ?cache (shop : Recurrence_shop.t) =
+  let canon = Cache.canonicalize shop in
+  let decision =
+    match cache with
+    | None -> relabel canon shop (decide_uncached budget canon.Cache.shop)
+    | Some c -> (
+        let key = cache_key ~budget canon in
+        match Cache.find c key with
+        | Some d -> relabel canon shop d
+        | None ->
+            let d = decide_uncached budget canon.Cache.shop in
+            Cache.add c key d;
+            relabel canon shop d)
+  in
+  record_decision decision;
+  decision
+
+let request_error shop message =
+  Obs.incr "serve.request_errors";
+  Request_error { shop; message }
+
+let merge_candidate (committed : Recurrence_shop.t) tasks =
+  let n = Recurrence_shop.n_tasks committed in
+  let fresh =
+    Array.of_list
+      (List.mapi
+         (fun i (release, deadline, proc_times) ->
+           Task.make ~id:(n + i) ~release ~deadline ~proc_times)
+         tasks)
+  in
+  Recurrence_shop.make ~visit:committed.visit (Array.append committed.tasks fresh)
+
+let candidate_of_request t = function
+  | Submit { shop; instance } ->
+      if Smap.mem shop t then
+        Error (request_error shop "shop already exists; add to it or drop it first")
+      else Ok instance
+  | Add { shop; tasks } -> (
+      match Smap.find_opt shop t with
+      | None -> Error (request_error shop "unknown shop")
+      | Some _ when tasks = [] -> Error (request_error shop "add expects at least one task")
+      | Some committed -> (
+          match merge_candidate committed tasks with
+          | candidate -> Ok candidate
+          | exception Invalid_argument m -> Error (request_error shop m)))
+  | Query { shop } ->
+      Error
+        (Queried { shop; n_tasks = Option.map Recurrence_shop.n_tasks (Smap.find_opt shop t) })
+  | Drop { shop } -> Error (Dropped { shop; existed = Smap.mem shop t })
+
+let commit t request decision =
+  match (request, decision) with
+  | (Submit { shop; _ } | Add { shop; _ }), Some (Admitted _) -> (
+      match candidate_of_request t request with
+      | Ok candidate -> Smap.add shop candidate t
+      | Error _ -> t)
+  | Drop { shop }, _ -> Smap.remove shop t
+  | _, _ -> t
+
+let apply ?budget ?cache t request =
+  Obs.incr "serve.requests";
+  match candidate_of_request t request with
+  | Error reply -> (commit t request None, reply)
+  | Ok candidate ->
+      let decision = decide ?budget ?cache candidate in
+      let shop =
+        match request with
+        | Submit { shop; _ } | Add { shop; _ } | Query { shop } | Drop { shop } -> shop
+      in
+      ( commit t request (Some decision),
+        Decided { shop; n_tasks = Recurrence_shop.n_tasks candidate; decision } )
+
+let decision_kind = function
+  | Admitted _ -> "admitted"
+  | Rejected _ -> "rejected"
+  | Undecided _ -> "undecided"
+
+let one_line s =
+  String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+let pp_certificate ppf = function
+  | None -> Format.pp_print_string ppf "none"
+  | Some (Infeasibility.Negative_slack { task }) ->
+      Format.fprintf ppf "negative-slack(task=T%d)" task
+  | Some (Infeasibility.Overloaded_window { processor; window_start; window_end; demand }) ->
+      Format.fprintf ppf "overloaded-window(proc=P%d,window=[%s,%s],demand=%s)" (processor + 1)
+        (Rat.to_string window_start) (Rat.to_string window_end) (Rat.to_string demand)
+
+let pp_reply ppf = function
+  | Decided { shop; n_tasks; decision = Admitted { schedule; algo } } ->
+      Format.fprintf ppf "admitted shop=%s tasks=%d algo=%s makespan=%s" shop n_tasks algo
+        (Rat.to_string (Schedule.makespan schedule))
+  | Decided { shop; n_tasks; decision = Rejected { certificate } } ->
+      Format.fprintf ppf "rejected shop=%s tasks=%d certificate=%a" shop n_tasks pp_certificate
+        certificate
+  | Decided { shop; n_tasks; decision = Undecided { reason } } ->
+      Format.fprintf ppf "undecided shop=%s tasks=%d reason=%s" shop n_tasks reason
+  | Queried { shop; n_tasks = Some n } -> Format.fprintf ppf "info shop=%s tasks=%d" shop n
+  | Queried { shop; n_tasks = None } -> Format.fprintf ppf "info shop=%s unknown" shop
+  | Dropped { shop; existed } -> Format.fprintf ppf "dropped shop=%s existed=%b" shop existed
+  | Request_error { shop; message } ->
+      Format.fprintf ppf "error shop=%s %s" shop (one_line message)

@@ -1,0 +1,141 @@
+(** Online admission control over committed flow-shop workloads.
+
+    The paper's algorithms decide feasibility of a task set handed to
+    them whole; a serving system receives task sets {e continuously} and
+    must answer each arrival against the work it has already promised.
+    This module is that decision core: a pure, deterministic engine
+    holding, per named flow shop, the {e committed} task set — the tasks
+    whose deadlines the service has already guaranteed.
+
+    A request either proposes a whole task set for a new shop
+    ({!request.Submit}) or adds tasks to an existing one
+    ({!request.Add}).  The engine re-solves the committed-plus-candidate
+    set through the strongest applicable algorithm
+    ({!E2e_core.Solver}, escalating to {!E2e_core.H_portfolio} when
+    Algorithm H gives up) and answers:
+
+    - [Admitted]: a checker-verified schedule of the {e whole} committed
+      set including the candidate exists; the candidate is committed and
+      the new schedule returned.
+    - [Rejected]: the candidate is {e not} committed.  When an optimal
+      algorithm applied, or a polynomial {!E2e_core.Infeasibility}
+      certificate exists, the rejection carries that proof.
+    - [Undecided]: the heuristic path failed and no certificate exists
+      (the general problem is NP-hard); the candidate is not committed,
+      but a retry with a larger {!budget} may succeed.
+
+    The per-request {!budget} bounds solve cost {e deterministically}
+    (portfolio strategies attempted, not wall-clock), so identical
+    request logs always produce identical replies — the property the
+    batcher and the differential fuzzer build on.
+
+    Telemetry: counters [serve.requests], [serve.admitted],
+    [serve.rejected], [serve.undecided], [serve.request_errors]. *)
+
+type rat = E2e_rat.Rat.t
+
+type budget =
+  | Unbounded  (** Try the full portfolio on heuristic failure. *)
+  | Strategies of int
+      (** Attempt at most this many portfolio strategies after Algorithm
+          H fails; [Strategies 0] answers [Undecided] straight away. *)
+
+type decision =
+  | Admitted of { schedule : E2e_schedule.Schedule.t; algo : string }
+      (** [algo] names what produced the schedule ([eedf], [algo_a],
+          [algo_h], [algo_r], [greedy_edf], [portfolio], [cache]). *)
+  | Rejected of { certificate : E2e_core.Infeasibility.certificate option }
+      (** [None] when an optimal algorithm proved infeasibility but the
+          polynomial certificate generator found no witness window. *)
+  | Undecided of { reason : string }
+
+type t
+(** Immutable committed state: a map from shop name to its committed
+    task set.  All transitions go through {!apply}. *)
+
+type request =
+  | Submit of { shop : string; instance : E2e_model.Recurrence_shop.t }
+      (** Propose a whole task set for a shop that must not yet exist. *)
+  | Add of { shop : string; tasks : (rat * rat * rat array) list }
+      (** Propose [(release, deadline, proc_times)] tasks for an
+          existing shop; stage counts must match its visit sequence. *)
+  | Query of { shop : string }
+  | Drop of { shop : string }  (** Release the shop's commitments. *)
+
+type reply =
+  | Decided of { shop : string; n_tasks : int; decision : decision }
+      (** [n_tasks]: size of the candidate set the decision is about. *)
+  | Queried of { shop : string; n_tasks : int option }
+      (** [None] when the shop does not exist. *)
+  | Dropped of { shop : string; existed : bool }
+  | Request_error of { shop : string; message : string }
+
+val empty : t
+val shops : t -> (string * E2e_model.Recurrence_shop.t) list
+(** Committed shops, sorted by name. *)
+
+val find : t -> string -> E2e_model.Recurrence_shop.t option
+val n_committed : t -> int
+(** Total committed tasks across all shops. *)
+
+val solve : budget:budget -> E2e_model.Recurrence_shop.t -> decision
+(** The raw, cache-free solve {!decide} builds on — a pure function of
+    the candidate, safe to run from worker domains.  Does not bump the
+    verdict counters ({!decide} and the batcher do, once per reply). *)
+
+val relabel :
+  Cache.canonical -> E2e_model.Recurrence_shop.t -> decision -> decision
+(** Map a decision computed on [canonical.shop] back to the candidate's
+    original task labelling (schedules get their rows permuted;
+    rejections and undecideds pass through). *)
+
+val cache_key : budget:budget -> Cache.canonical -> string
+(** The cache key for a canonical candidate under a budget — the budget
+    is part of the key, so decisions taken under different budgets never
+    alias. *)
+
+val record_decision : decision -> unit
+(** Bump the [serve.admitted]/[serve.rejected]/[serve.undecided]
+    counter for one reply (exposed for the batcher, which replays
+    {!decide}'s cache dance in deterministic phases). *)
+
+val decide :
+  ?budget:budget ->
+  ?cache:decision Cache.t ->
+  E2e_model.Recurrence_shop.t ->
+  decision
+(** Decide one candidate set in isolation (the committed set merged with
+    the proposal — {!apply} constructs it).  The candidate is always
+    canonicalized and the solve runs on the canonical form (so verdicts
+    are independent of task labelling, whether or not a cache is in
+    play); with [cache], a hit replays the cached decision with its
+    schedule relabelled to the candidate's task ids and a miss stores
+    the canonical decision.  Default budget: [Unbounded]. *)
+
+val candidate_of_request :
+  t -> request -> (E2e_model.Recurrence_shop.t, reply) result
+(** The merged committed-plus-candidate set a [Submit]/[Add] asks the
+    engine to guarantee, or the error/informational reply for requests
+    that need no solve ([Query], [Drop], malformed [Submit]/[Add]).
+    Exposed so the batcher can validate and canonicalize sequentially
+    while fanning only the solves out in parallel. *)
+
+val commit : t -> request -> decision option -> t
+(** Fold a processed request into the state: a [Submit]/[Add] decided
+    [Admitted] commits its candidate, [Drop] removes its shop, and
+    everything else ([Rejected], [Undecided], [Query], no-solve
+    replies) leaves the state unchanged. *)
+
+val apply : ?budget:budget -> ?cache:decision Cache.t -> t -> request -> t * reply
+(** [candidate_of_request] + [decide] + [commit] in one step — the
+    sequential reference interpreter the differential fuzzer checks the
+    batched engine against. *)
+
+val decision_kind : decision -> string
+(** ["admitted"], ["rejected"] or ["undecided"] — the verdict signature
+    that must agree between cached and uncached runs (schedules may
+    legitimately differ between permuted instances; verdicts never). *)
+
+val pp_reply : Format.formatter -> reply -> unit
+(** One-line, deterministic rendering (the transport protocol reuses
+    it). *)

@@ -1,0 +1,184 @@
+module Recurrence_shop = E2e_model.Recurrence_shop
+module Pool = E2e_exec.Pool
+module Obs = E2e_obs.Obs
+
+type config = {
+  queue_capacity : int;
+  batch : int;
+  budget : Admission.budget;
+  jobs : int;
+  cache_capacity : int;
+}
+
+let default_config =
+  { queue_capacity = 1024; batch = 16; budget = Admission.Unbounded; jobs = 1; cache_capacity = 512 }
+
+type t = {
+  cfg : config;
+  cache : Admission.decision Cache.t option;
+  mutable engine : Admission.t;
+  queue : Admission.request Queue.t;
+}
+
+let create ?(config = default_config) () =
+  if config.queue_capacity < 1 then invalid_arg "Batcher.create: queue_capacity must be >= 1";
+  if config.batch < 1 then invalid_arg "Batcher.create: batch must be >= 1";
+  if config.jobs < 1 then invalid_arg "Batcher.create: jobs must be >= 1";
+  if config.cache_capacity < 0 then invalid_arg "Batcher.create: cache_capacity must be >= 0";
+  {
+    cfg = config;
+    cache =
+      (if config.cache_capacity = 0 then None
+       else Some (Cache.create ~capacity:config.cache_capacity));
+    engine = Admission.empty;
+    queue = Queue.create ();
+  }
+
+let config t = t.cfg
+let engine t = t.engine
+let cache_stats t = Option.map Cache.stats t.cache
+let pending t = Queue.length t.queue
+
+let shop_of = function
+  | Admission.Submit { shop; _ } | Add { shop; _ } | Query { shop } | Drop { shop } -> shop
+
+let submit t request =
+  Obs.incr "serve.requests";
+  if Queue.length t.queue >= t.cfg.queue_capacity then begin
+    Obs.incr "serve.overloaded";
+    `Overloaded
+  end
+  else begin
+    Queue.push request t.queue;
+    `Queued
+  end
+
+(* Phase-1 classification of one batch member. *)
+type slot =
+  | Resolved of Admission.reply  (* no solve needed (error/query/drop) *)
+  | Hit of { decision : Admission.decision; n_tasks : int }
+      (* [decision] already relabelled to the candidate *)
+  | Miss of { candidate : Recurrence_shop.t; canon : Cache.canonical }
+      (* Solves always run on the canonical form — whether or not the
+         result will be cached — so verdicts are independent of the
+         candidate's task labelling and cache-on/cache-off runs agree
+         by construction. *)
+
+let take_batch t =
+  let rec go acc shops =
+    if List.length acc >= t.cfg.batch then List.rev acc
+    else
+      match Queue.peek_opt t.queue with
+      | None -> List.rev acc
+      | Some req ->
+          let shop = shop_of req in
+          if List.mem shop shops then List.rev acc
+          else begin
+            ignore (Queue.pop t.queue);
+            go (req :: acc) (shop :: shops)
+          end
+  in
+  go [] []
+
+let step t =
+  match take_batch t with
+  | [] -> []
+  | batch ->
+      Obs.span "serve.batch" (fun () ->
+          Obs.incr "serve.batches";
+          if Obs.stats_enabled () then
+            Obs.observe "serve.batch_size" (float_of_int (List.length batch));
+          (* Phase 1 (sequential, submission order): preconditions and
+             cache lookups.  All cache mutation stays on this domain. *)
+          let slots =
+            List.map
+              (fun req ->
+                match Admission.candidate_of_request t.engine req with
+                | Error reply -> (req, Resolved reply)
+                | Ok candidate -> (
+                    let canon = Cache.canonicalize candidate in
+                    match t.cache with
+                    | None -> (req, Miss { candidate; canon })
+                    | Some cache -> (
+                        let key = Admission.cache_key ~budget:t.cfg.budget canon in
+                        match Cache.find cache key with
+                        | Some d ->
+                            ( req,
+                              Hit
+                                {
+                                  decision = Admission.relabel canon candidate d;
+                                  n_tasks = Recurrence_shop.n_tasks candidate;
+                                } )
+                        | None -> (req, Miss { candidate; canon }))))
+              batch
+          in
+          (* Phase 2 (parallel): solve the misses.  Submission order is
+             preserved by Pool.map and each solve is pure, so the result
+             array is independent of the domain count. *)
+          let misses =
+            List.filter_map
+              (function
+                | _, Miss { canon; _ } -> Some canon.Cache.shop
+                | _, (Resolved _ | Hit _) -> None)
+              slots
+            |> Array.of_list
+          in
+          let solved =
+            Pool.map ~jobs:t.cfg.jobs (Admission.solve ~budget:t.cfg.budget) misses
+          in
+          (* Phase 3 (sequential, submission order): cache insertion,
+             commits, reply emission. *)
+          let next_miss = ref 0 in
+          List.map
+            (fun (req, slot) ->
+              match slot with
+              | Resolved reply ->
+                  t.engine <- Admission.commit t.engine req None;
+                  (req, reply)
+              | Hit { decision; n_tasks } ->
+                  Admission.record_decision decision;
+                  t.engine <- Admission.commit t.engine req (Some decision);
+                  (req, Admission.Decided { shop = shop_of req; n_tasks; decision })
+              | Miss { candidate; canon } ->
+                  let decision = solved.(!next_miss) in
+                  incr next_miss;
+                  (match t.cache with
+                  | Some cache ->
+                      Cache.add cache
+                        (Admission.cache_key ~budget:t.cfg.budget canon)
+                        decision
+                  | None -> ());
+                  let decision = Admission.relabel canon candidate decision in
+                  Admission.record_decision decision;
+                  t.engine <- Admission.commit t.engine req (Some decision);
+                  ( req,
+                    Admission.Decided
+                      {
+                        shop = shop_of req;
+                        n_tasks = Recurrence_shop.n_tasks candidate;
+                        decision;
+                      } ))
+            slots)
+
+let drain t =
+  let rec go acc = match step t with [] -> List.concat (List.rev acc) | r -> go (r :: acc) in
+  go []
+
+type outcome = Reply of Admission.reply | Overloaded
+
+let pp_outcome ppf = function
+  | Reply r -> Admission.pp_reply ppf r
+  | Overloaded -> Format.pp_print_string ppf "overloaded"
+
+let process_log t log =
+  let log = Array.of_list log in
+  let outcomes = Array.make (Array.length log) Overloaded in
+  let queued = Queue.create () in
+  Array.iteri
+    (fun i req ->
+      match submit t req with `Queued -> Queue.push i queued | `Overloaded -> ())
+    log;
+  List.iter
+    (fun (_, reply) -> outcomes.(Queue.pop queued) <- Reply reply)
+    (drain t);
+  outcomes

@@ -1,0 +1,80 @@
+(** Request batching, fan-out and backpressure for the admission engine.
+
+    The batcher sits between a transport and {!Admission}: requests are
+    queued FIFO into a {e bounded} queue and processed in batches whose
+    solves fan out over the {!E2e_exec.Pool} worker domains.
+
+    {b Fairness and determinism.}  A batch is always a prefix of the
+    queue: requests are taken strictly FIFO until the batch is full or
+    the next request names a flow shop already in the batch (two
+    requests on the same shop are order-dependent, so the second waits
+    for the next batch — requests on distinct shops are independent by
+    construction, since an admission decision reads only its own shop's
+    committed set).  Each batch runs in three phases: precondition
+    checks and cache lookups sequentially in submission order, cache
+    misses solved in parallel ({!E2e_exec.Pool.map} preserves
+    submission order and every solve is a pure function of its
+    candidate), then cache insertion, state commits and reply emission
+    sequentially in submission order again.  Replies therefore depend
+    only on the request log and the configuration — the same log yields
+    a byte-identical reply log at any [jobs] value.
+
+    {b Backpressure.}  [submit] on a full queue answers [`Overloaded]
+    immediately: the request is refused loudly, never silently dropped
+    and never blocked on.  {b Cost bounding.}  The per-request
+    [budget] is the deterministic analogue of a per-request timeout:
+    it caps solver work in portfolio strategies rather than wall-clock
+    seconds, so an overloaded service degrades to fast [Undecided]
+    answers instead of nondeterministic ones.
+
+    Telemetry: counters [serve.requests], [serve.overloaded],
+    [serve.batches]; histogram [serve.batch_size]; span [serve.batch]. *)
+
+type t
+
+type config = {
+  queue_capacity : int;  (** Pending-request bound; above it [submit] refuses. *)
+  batch : int;  (** Maximum requests per batch. *)
+  budget : Admission.budget;  (** Per-request deterministic solve budget. *)
+  jobs : int;  (** Worker domains each batch's solves fan out over. *)
+  cache_capacity : int;  (** Canonical solver cache entries; [0] disables. *)
+}
+
+val default_config : config
+(** [{ queue_capacity = 1024; batch = 16; budget = Unbounded; jobs = 1;
+      cache_capacity = 512 }] *)
+
+val create : ?config:config -> unit -> t
+(** A fresh batcher over an empty {!Admission.empty} engine.
+    @raise Invalid_argument if [queue_capacity < 1], [batch < 1] or
+    [jobs < 1]. *)
+
+val config : t -> config
+val engine : t -> Admission.t
+(** Current committed state (between batches). *)
+
+val cache_stats : t -> Cache.stats option
+(** [None] when the cache is disabled. *)
+
+val pending : t -> int
+
+val submit : t -> Admission.request -> [ `Queued | `Overloaded ]
+
+val step : t -> (Admission.request * Admission.reply) list
+(** Process one batch; [[]] when the queue is empty.  Replies are in
+    submission order. *)
+
+val drain : t -> (Admission.request * Admission.reply) list
+(** [step] until the queue is empty, concatenating the replies. *)
+
+type outcome = Reply of Admission.reply | Overloaded
+
+val pp_outcome : Format.formatter -> outcome -> unit
+(** [Reply r] prints via {!Admission.pp_reply}; [Overloaded] prints
+    ["overloaded"]. *)
+
+val process_log : t -> Admission.request list -> outcome array
+(** Replay a whole request log: submit every request in order (requests
+    past queue capacity get [Overloaded]), then drain.  [outcomes.(i)]
+    answers request [i] — the array the determinism and fuzzing
+    harnesses compare byte-for-byte across [jobs] and cache settings. *)

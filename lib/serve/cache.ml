@@ -1,0 +1,150 @@
+module Rat = E2e_rat.Rat
+module Task = E2e_model.Task
+module Recurrence_shop = E2e_model.Recurrence_shop
+module Instance_io = E2e_model.Instance_io
+module Visit = E2e_model.Visit
+module Obs = E2e_obs.Obs
+
+type canonical = { shop : Recurrence_shop.t; perm : int array; key : string }
+
+let compare_task (a : Task.t) (b : Task.t) =
+  let c = Rat.compare a.release b.release in
+  if c <> 0 then c
+  else
+    let c = Rat.compare a.deadline b.deadline in
+    if c <> 0 then c
+    else
+      let rec go j =
+        if j >= Array.length a.proc_times then 0
+        else
+          let c = Rat.compare a.proc_times.(j) b.proc_times.(j) in
+          if c <> 0 then c else go (j + 1)
+      in
+      go 0
+
+let canonicalize (shop : Recurrence_shop.t) =
+  let n = Recurrence_shop.n_tasks shop in
+  let perm = Array.init n Fun.id in
+  (* Stable, so equal tasks keep their relative order and the permutation
+     is a deterministic function of the instance. *)
+  let perm =
+    Array.of_list
+      (List.stable_sort
+         (fun a b -> compare_task shop.tasks.(a) shop.tasks.(b))
+         (Array.to_list perm))
+  in
+  let tasks =
+    Array.mapi
+      (fun p orig ->
+        let t = shop.Recurrence_shop.tasks.(orig) in
+        Task.make ~id:p ~release:t.release ~deadline:t.deadline ~proc_times:t.proc_times)
+      perm
+  in
+  let canonical_shop = Recurrence_shop.make ~visit:shop.visit tasks in
+  (* The visit sequence is part of the key: Instance_io omits the
+     identity sequence, and two shops with the same tasks but different
+     sequences are different instances. *)
+  let rendering =
+    Printf.sprintf "visit:%s\n%s"
+      (String.concat ","
+         (Array.to_list (Array.map string_of_int canonical_shop.visit.Visit.sequence)))
+      (Instance_io.to_string canonical_shop)
+  in
+  { shop = canonical_shop; perm; key = Digest.to_hex (Digest.string rendering) }
+
+let key shop = (canonicalize shop).key
+
+let restore_starts { perm; _ } (starts : Rat.t array array) =
+  let out = Array.make (Array.length starts) [||] in
+  Array.iteri (fun p orig -> out.(orig) <- starts.(p)) perm;
+  out
+
+(* Doubly-linked intrusive LRU list: [head] is most recent, [tail] the
+   eviction candidate. *)
+type 'a node = {
+  nkey : string;
+  mutable value : 'a;
+  mutable prev : 'a node option;
+  mutable next : 'a node option;
+}
+
+type 'a t = {
+  cap : int;
+  table : (string, 'a node) Hashtbl.t;
+  mutable head : 'a node option;
+  mutable tail : 'a node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Cache.create: capacity must be >= 0";
+  {
+    cap = capacity;
+    table = Hashtbl.create (max 16 capacity);
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let capacity t = t.cap
+let length t = Hashtbl.length t.table
+
+let unlink t node =
+  (match node.prev with Some p -> p.next <- node.next | None -> t.head <- node.next);
+  (match node.next with Some n -> n.prev <- node.prev | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some node ->
+      t.hits <- t.hits + 1;
+      Obs.incr "serve.cache.hit";
+      unlink t node;
+      push_front t node;
+      Some node.value
+  | None ->
+      t.misses <- t.misses + 1;
+      Obs.incr "serve.cache.miss";
+      None
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some node ->
+      unlink t node;
+      Hashtbl.remove t.table node.nkey;
+      t.evictions <- t.evictions + 1;
+      Obs.incr "serve.cache.eviction"
+
+let add t key value =
+  if t.cap > 0 then
+    match Hashtbl.find_opt t.table key with
+    | Some node ->
+        node.value <- value;
+        unlink t node;
+        push_front t node
+    | None ->
+        if Hashtbl.length t.table >= t.cap then evict_lru t;
+        let node = { nkey = key; value; prev = None; next = None } in
+        Hashtbl.replace t.table key node;
+        push_front t node
+
+type stats = { hits : int; misses : int; evictions : int; size : int }
+
+let stats (t : 'a t) =
+  { hits = t.hits; misses = t.misses; evictions = t.evictions; size = length t }
+
+let hit_rate (t : 'a t) =
+  let total = t.hits + t.misses in
+  if total = 0 then 0. else float_of_int t.hits /. float_of_int total

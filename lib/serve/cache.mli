@@ -1,0 +1,74 @@
+(** Canonicalizing solver cache.
+
+    The admission engine re-solves the committed-plus-candidate task set
+    on every request, and production request streams repeat themselves:
+    the same task set is proposed again, or a permutation of it (task
+    ids are labels, not semantics).  This module makes such repeats
+    free.
+
+    {b Canonical form.}  A (possibly recurrent) flow shop is normalised
+    by sorting its tasks lexicographically by (release, deadline,
+    processing-time vector) under exact rational comparison — rationals
+    are already in canonical form (lowest terms, positive denominator,
+    {!E2e_rat.Rat.t}), so the sorted {!E2e_model.Instance_io} rendering
+    is a canonical representative of the instance's permutation class.
+    The cache key is its digest.  Feasibility is invariant under task
+    relabelling, so one cached solve answers every permutation of the
+    instance; {!restore_starts} maps a schedule computed on the
+    canonical shop back to the original task labelling.
+
+    {b Replacement and metering.}  A bounded LRU: [find] refreshes
+    recency, [add] evicts the least-recently-used entry once past
+    capacity.  Hits, misses and evictions are counted both per cache
+    ({!stats}) and in the global {!E2e_obs.Obs} registry
+    ([serve.cache.hit], [serve.cache.miss], [serve.cache.eviction]).
+
+    The cache is mutable but all operations are deterministic; the
+    batcher keeps replies reproducible by performing every lookup and
+    insertion at fixed points in submission order (never from worker
+    domains). *)
+
+type canonical = {
+  shop : E2e_model.Recurrence_shop.t;  (** Tasks in canonical order, ids [0..n-1]. *)
+  perm : int array;
+      (** [perm.(p)] is the original id of the task at canonical
+          position [p]. *)
+  key : string;  (** Digest of the canonical rendering. *)
+}
+
+val canonicalize : E2e_model.Recurrence_shop.t -> canonical
+
+val key : E2e_model.Recurrence_shop.t -> string
+(** [key shop] = [(canonicalize shop).key]. *)
+
+val restore_starts :
+  canonical -> E2e_rat.Rat.t array array -> E2e_rat.Rat.t array array
+(** Map per-task start times computed against the canonical shop back to
+    the original task order: row [perm.(p)] of the result is row [p] of
+    the input. *)
+
+type 'a t
+(** An LRU cache from canonical keys to ['a]. *)
+
+val create : capacity:int -> 'a t
+(** [capacity] is the maximum number of entries; [0] disables the cache
+    ({!find} always misses, {!add} is a no-op).
+    @raise Invalid_argument if [capacity < 0]. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+val find : 'a t -> string -> 'a option
+(** Lookup by canonical key, refreshing recency and counting a hit or a
+    miss. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Insert (or refresh) a binding, evicting the least-recently-used
+    entry when the cache would exceed capacity. *)
+
+type stats = { hits : int; misses : int; evictions : int; size : int }
+
+val stats : 'a t -> stats
+
+val hit_rate : 'a t -> float
+(** [hits / (hits + misses)]; [0.] before any lookup. *)

@@ -1,0 +1,138 @@
+module Rat = E2e_rat.Rat
+module Task = E2e_model.Task
+module Recurrence_shop = E2e_model.Recurrence_shop
+module Instance_io = E2e_model.Instance_io
+module Schedule = E2e_schedule.Schedule
+
+let version = "e2e-serve/1"
+let greeting = version ^ " ready"
+
+type item =
+  | Hello of string
+  | Request of Admission.request
+  | Stats
+  | Quit
+  | Blank
+
+let is_shop_char = function
+  | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '_' | '.' | '-' -> true
+  | _ -> false
+
+let valid_shop s = s <> "" && String.for_all is_shop_char s
+
+(* First whitespace-delimited word and the (trimmed) remainder. *)
+let cut_word s =
+  let s = String.trim s in
+  match String.index_opt s ' ' with
+  | None -> (s, "")
+  | Some i -> (String.sub s 0 i, String.trim (String.sub s (i + 1) (String.length s - i - 1)))
+
+(* The payload of submit/add is the Instance_io text format with ';'
+   standing for newline, so multi-directive instances fit one framed
+   line. *)
+let unframe payload = String.map (function ';' -> '\n' | c -> c) payload
+
+let parse_instance payload = Instance_io.parse (unframe payload)
+
+let parse_tasks payload =
+  let text = unframe payload in
+  let has_visit =
+    String.split_on_char '\n' text
+    |> List.exists (fun line ->
+           match String.trim line with
+           | l -> String.length l >= 5 && String.sub l 0 5 = "visit")
+  in
+  if has_visit then Error "add payload must contain only task directives"
+  else
+    match Instance_io.parse text with
+    | Error e -> Error e
+    | Ok shop ->
+        Ok
+          (Array.to_list shop.Recurrence_shop.tasks
+          |> List.map (fun (t : Task.t) -> (t.release, t.deadline, t.proc_times)))
+
+let parse_request line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then Ok Blank
+  else
+    let keyword, rest = cut_word line in
+    match keyword with
+    | "hello" -> Ok (Hello rest)
+    | "stats" -> if rest = "" then Ok Stats else Error "stats takes no arguments"
+    | "quit" -> if rest = "" then Ok Quit else Error "quit takes no arguments"
+    | "query" | "drop" ->
+        let shop, extra = cut_word rest in
+        if not (valid_shop shop) then
+          Error (Printf.sprintf "%s expects a shop name ([A-Za-z0-9_.-]+)" keyword)
+        else if extra <> "" then Error (Printf.sprintf "%s takes one argument" keyword)
+        else if keyword = "query" then Ok (Request (Admission.Query { shop }))
+        else Ok (Request (Admission.Drop { shop }))
+    | "submit" -> (
+        let shop, payload = cut_word rest in
+        if not (valid_shop shop) then Error "submit expects: submit <shop> <instance>"
+        else
+          match parse_instance payload with
+          | Ok instance -> Ok (Request (Admission.Submit { shop; instance }))
+          | Error e -> Error e)
+    | "add" -> (
+        let shop, payload = cut_word rest in
+        if not (valid_shop shop) then Error "add expects: add <shop> <tasks>"
+        else
+          match parse_tasks payload with
+          | Ok tasks -> Ok (Request (Admission.Add { shop; tasks }))
+          | Error e -> Error e)
+    | "" -> Ok Blank
+    | other -> Error (Printf.sprintf "unknown request %S" other)
+
+(* Newlines of the Instance_io rendering become " ; " so the instance
+   fits one framed request line; [parse_request] inverts this. *)
+let frame text =
+  String.trim text |> String.split_on_char '\n' |> List.map String.trim
+  |> String.concat " ; "
+
+let render_request = function
+  | Admission.Submit { shop; instance } ->
+      Printf.sprintf "submit %s %s" shop (frame (Instance_io.to_string instance))
+  | Admission.Add { shop; tasks } ->
+      let task_line (release, deadline, proc_times) =
+        Printf.sprintf "task %s %s %s" (Rat.to_string release) (Rat.to_string deadline)
+          (String.concat " " (Array.to_list (Array.map Rat.to_string proc_times)))
+      in
+      Printf.sprintf "add %s %s" shop (String.concat " ; " (List.map task_line tasks))
+  | Admission.Query { shop } -> "query " ^ shop
+  | Admission.Drop { shop } -> "drop " ^ shop
+
+let render_schedule schedule =
+  let csv = Schedule.to_csv schedule in
+  let csv =
+    if String.length csv > 0 && csv.[String.length csv - 1] = '\n' then
+      String.sub csv 0 (String.length csv - 1)
+    else csv
+  in
+  String.map (function '\n' -> ';' | c -> c) csv
+
+let render_reply ?(schedules = true) outcome =
+  let base = Format.asprintf "%a" Batcher.pp_outcome outcome in
+  match outcome with
+  | Batcher.Reply
+      (Admission.Decided { decision = Admission.Admitted { schedule; _ }; _ })
+    when schedules ->
+      base ^ " schedule=" ^ render_schedule schedule
+  | _ -> base
+
+let render_hello ~requested =
+  if requested = version then "ok " ^ version
+  else Printf.sprintf "error unsupported version %S (this server speaks %s)" requested version
+
+let render_stats batcher =
+  let engine = Batcher.engine batcher in
+  let base =
+    Printf.sprintf "stats pending=%d shops=%d tasks=%d" (Batcher.pending batcher)
+      (List.length (Admission.shops engine))
+      (Admission.n_committed engine)
+  in
+  match Batcher.cache_stats batcher with
+  | None -> base ^ " cache=off"
+  | Some { Cache.hits; misses; evictions; size } ->
+      Printf.sprintf "%s cache_hits=%d cache_misses=%d cache_evictions=%d cache_size=%d" base
+        hits misses evictions size

@@ -1,0 +1,108 @@
+module Obs = E2e_obs.Obs
+
+(* One chunk's worth of session work: each parsed line becomes either an
+   immediate output line or a pending admission request; pending requests
+   drain through the batcher as one group, then outputs are emitted in
+   request order.  Control replies (hello/stats) are rendered at emission
+   time, after the drain, so they observe the chunk's completed work. *)
+type action =
+  | Emit of string
+  | Emit_stats
+  | Pending  (* resolved by the next drained reply, in order *)
+
+let read_chunk ic n =
+  let rec go acc k =
+    if k = 0 then List.rev acc
+    else
+      match In_channel.input_line ic with
+      | None -> List.rev acc
+      | Some line -> go (line :: acc) (k - 1)
+  in
+  go [] n
+
+let process_chunk ~schedules batcher lines =
+  (* Returns (output lines, saw quit). *)
+  let rec classify acc = function
+    | [] -> (List.rev acc, false)
+    | line :: rest -> (
+        match Protocol.parse_request line with
+        | Ok Protocol.Blank -> classify acc rest
+        | Ok (Protocol.Hello requested) ->
+            classify (Emit (Protocol.render_hello ~requested) :: acc) rest
+        | Ok Protocol.Stats -> classify (Emit_stats :: acc) rest
+        | Ok Protocol.Quit -> (List.rev (Emit "bye" :: acc), true)
+        | Ok (Protocol.Request req) -> (
+            match Batcher.submit batcher req with
+            | `Queued -> classify (Pending :: acc) rest
+            | `Overloaded ->
+                classify
+                  (Emit (Protocol.render_reply ~schedules Batcher.Overloaded) :: acc)
+                  rest)
+        | Error message ->
+            classify (Emit (Protocol.render_reply ~schedules
+                              (Batcher.Reply
+                                 (Admission.Request_error { shop = "-"; message })))
+                      :: acc)
+              rest)
+  in
+  let actions, quit = classify [] lines in
+  let replies = ref (Batcher.drain batcher) in
+  let outputs =
+    List.map
+      (fun action ->
+        match action with
+        | Emit line -> line
+        | Emit_stats -> Protocol.render_stats batcher
+        | Pending -> (
+            match !replies with
+            | (_, reply) :: rest ->
+                replies := rest;
+                Protocol.render_reply ~schedules (Batcher.Reply reply)
+            | [] -> assert false (* one drained reply per queued request *)))
+      actions
+  in
+  (outputs, quit)
+
+let session ?(schedules = true) ?chunk batcher ic oc =
+  let chunk = match chunk with Some c -> max 1 c | None -> (Batcher.config batcher).batch in
+  Obs.incr "serve.sessions";
+  output_string oc (Protocol.greeting ^ "\n");
+  flush oc;
+  let rec loop () =
+    match read_chunk ic chunk with
+    | [] -> ()
+    | lines ->
+        let outputs, quit = process_chunk ~schedules batcher lines in
+        List.iter (fun line -> output_string oc (line ^ "\n")) outputs;
+        flush oc;
+        if not quit then loop ()
+  in
+  loop ()
+
+let serve_stdio ?schedules batcher = session ?schedules batcher stdin stdout
+
+let serve_tcp ?schedules ?(host = "127.0.0.1") ?max_connections ~port batcher =
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock addr;
+  Unix.listen sock 16;
+  let handle fd =
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    (* chunk = 1: a TCP client expects each request line answered before
+       it sends the next; pipelined replay belongs to stdio/loadgen. *)
+    (try session ?schedules ~chunk:1 batcher ic oc with End_of_file | Sys_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+  in
+  let rec accept_loop served =
+    match max_connections with
+    | Some n when served >= n -> ()
+    | _ ->
+        let fd, _ = Unix.accept sock in
+        handle fd;
+        accept_loop (served + 1)
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () -> accept_loop 0)

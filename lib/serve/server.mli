@@ -1,0 +1,40 @@
+(** Transports for the admission service.
+
+    {!session} runs the framed line protocol ({!Protocol}) over any
+    in/out channel pair; {!serve_stdio} binds it to stdin/stdout and
+    {!serve_tcp} to an iterative TCP accept loop (connections are served
+    one at a time, in arrival order — the engine itself is the shared
+    resource, so connection-level parallelism would only re-serialise on
+    it; batching inside a session is where the parallelism lives).
+
+    Sessions are {e pipelined}: up to [chunk] request lines are read
+    before replies are written, so a replayed request log flows through
+    the batcher in real batches.  Replies always come in request order,
+    one line per non-blank request.  With a fixed chunk size the reply
+    stream is a deterministic function of the request stream — the
+    stdio smoke test in [make check] compares it byte-for-byte across
+    worker-domain counts. *)
+
+val session : ?schedules:bool -> ?chunk:int -> Batcher.t -> in_channel -> out_channel -> unit
+(** Serve one session: write {!Protocol.greeting}, then read request
+    lines until end-of-stream or [quit].  [chunk] (default: the
+    batcher's batch size) is the pipelining depth — how many lines are
+    read before the pending requests are drained and their replies
+    written.  Interactive transports use [chunk = 1] so every request
+    line is answered before the next is read. *)
+
+val serve_stdio : ?schedules:bool -> Batcher.t -> unit
+(** {!session} over stdin/stdout. *)
+
+val serve_tcp :
+  ?schedules:bool ->
+  ?host:string ->
+  ?max_connections:int ->
+  port:int ->
+  Batcher.t ->
+  unit
+(** Listen on [host:port] (default host 127.0.0.1) and serve
+    connections iteratively with [chunk = 1]; committed state persists
+    across connections.  [max_connections] stops the accept loop after
+    that many sessions (tests and scripted runs); omitted, the loop
+    runs until the process is killed. *)

@@ -28,4 +28,5 @@ let () =
       ("obs", Test_obs.suite);
       ("exec", Test_exec.suite);
       ("fuzz", Test_fuzz.suite);
+      ("serve", Test_serve.suite);
     ]

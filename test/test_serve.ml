@@ -1,0 +1,393 @@
+(* The admission service: canonical cache behaviour, batched
+   determinism across domain counts, cache transparency, soundness of
+   admitted schedules and rejection certificates, backpressure, the
+   wire protocol, and the dispatcher replaying admitted schedules. *)
+
+module Rat = E2e_rat.Rat
+module Prng = E2e_prng.Prng
+module Task = E2e_model.Task
+module Flow_shop = E2e_model.Flow_shop
+module Recurrence_shop = E2e_model.Recurrence_shop
+module Schedule = E2e_schedule.Schedule
+module Infeasibility = E2e_core.Infeasibility
+module Feasible_gen = E2e_workload.Feasible_gen
+module Dispatcher = E2e_sim.Dispatcher
+module Admission = E2e_serve.Admission
+module Batcher = E2e_serve.Batcher
+module Cache = E2e_serve.Cache
+module Protocol = E2e_serve.Protocol
+module Serve_fuzz = E2e_fuzz.Serve_fuzz
+
+(* ------------------------------------------------------------------ *)
+(* Workload helpers                                                   *)
+
+let gen_instance g =
+  let n = 2 + Prng.int g 3 and m = 2 + Prng.int g 2 in
+  Recurrence_shop.of_traditional
+    (Feasible_gen.generate g
+       { Feasible_gen.n_tasks = n; n_processors = m; mean_tau = 1.0; stdev = 0.5;
+         slack_factor = 1.0 +. Prng.float g 1.0 })
+
+let permute g (shop : Recurrence_shop.t) =
+  let order = Prng.permutation g (Recurrence_shop.n_tasks shop) in
+  let tasks =
+    Array.mapi
+      (fun p orig ->
+        let t = shop.Recurrence_shop.tasks.(orig) in
+        Task.make ~id:p ~release:t.release ~deadline:t.deadline ~proc_times:t.proc_times)
+      order
+  in
+  Recurrence_shop.make ~visit:shop.visit tasks
+
+(* Window strictly below total processing time: provably infeasible. *)
+let infeasible_instance () =
+  let tasks =
+    [|
+      Task.make ~id:0 ~release:Rat.zero ~deadline:Rat.one
+        ~proc_times:[| Rat.one; Rat.one |];
+    |]
+  in
+  Recurrence_shop.of_traditional (Flow_shop.make ~processors:2 tasks)
+
+(* A mixed request log: submits, permuted resubmissions, adds, queries,
+   drops — a pure function of the seed. *)
+let gen_log seed requests =
+  let g = Prng.of_path [| seed; 97; 0 |] in
+  let live = ref [] and fresh = ref 0 in
+  let fresh_shop () = incr fresh; Printf.sprintf "s%d" !fresh in
+  let pick () =
+    match !live with [] -> None | l -> Some (List.nth l (Prng.int g (List.length l)))
+  in
+  List.init requests (fun _ ->
+      let p = Prng.float g 1.0 in
+      if p < 0.40 || !live = [] then begin
+        let shop = fresh_shop () and instance = gen_instance g in
+        live := (shop, instance) :: !live;
+        Admission.Submit { shop; instance }
+      end
+      else if p < 0.60 then begin
+        let _, earlier = Option.get (pick ()) in
+        let shop = fresh_shop () and instance = permute g earlier in
+        live := (shop, instance) :: !live;
+        Admission.Submit { shop; instance }
+      end
+      else if p < 0.80 then begin
+        let shop, committed = Option.get (pick ()) in
+        let k = Array.length committed.Recurrence_shop.tasks.(0).Task.proc_times in
+        let taus = Array.make k Rat.one in
+        let release = Prng.rat_uniform g ~den:10 Rat.zero (Rat.of_int 3) in
+        Admission.Add
+          { shop; tasks = [ (release, Rat.add release (Rat.of_int (3 * k)), taus) ] }
+      end
+      else if p < 0.92 then
+        Admission.Query { shop = (match pick () with Some (s, _) -> s | None -> "none") }
+      else begin
+        let shop = match pick () with Some (s, _) -> s | None -> "none" in
+        live := List.filter (fun (s, _) -> s <> shop) !live;
+        Admission.Drop { shop }
+      end)
+
+let render_outcomes outcomes =
+  String.concat "\n"
+    (Array.to_list
+       (Array.map (fun o -> Format.asprintf "%a" Batcher.pp_outcome o) outcomes))
+
+let run_log ~jobs ~cache_capacity log =
+  let config =
+    { Batcher.queue_capacity = max 1 (List.length log); batch = 4;
+      budget = Admission.Unbounded; jobs; cache_capacity }
+  in
+  let b = Batcher.create ~config () in
+  (Batcher.process_log b log, b)
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                              *)
+
+let test_cache_lru () =
+  let c = Cache.create ~capacity:2 in
+  Cache.add c "a" 1;
+  Cache.add c "b" 2;
+  Alcotest.(check (option int)) "a present" (Some 1) (Cache.find c "a");
+  (* "a" is now most recent, so adding "c" evicts "b". *)
+  Cache.add c "c" 3;
+  Alcotest.(check (option int)) "b evicted" None (Cache.find c "b");
+  Alcotest.(check (option int)) "a survives" (Some 1) (Cache.find c "a");
+  Alcotest.(check (option int)) "c present" (Some 3) (Cache.find c "c");
+  let s = Cache.stats c in
+  Alcotest.(check int) "hits" 3 s.Cache.hits;
+  Alcotest.(check int) "misses" 1 s.Cache.misses;
+  Alcotest.(check int) "evictions" 1 s.Cache.evictions;
+  Alcotest.(check int) "size" 2 s.Cache.size
+
+let test_cache_disabled_and_invalid () =
+  let c = Cache.create ~capacity:0 in
+  Cache.add c "a" 1;
+  Alcotest.(check (option int)) "capacity 0 never stores" None (Cache.find c "a");
+  Alcotest.check_raises "negative capacity rejected"
+    (Invalid_argument "Cache.create: capacity must be >= 0") (fun () ->
+      ignore (Cache.create ~capacity:(-1)))
+
+let test_canonical_key_permutation_invariant () =
+  let g = Prng.of_path [| 5; 98; 0 |] in
+  for _ = 1 to 20 do
+    let shop = gen_instance g in
+    let shuffled = permute g shop in
+    Alcotest.(check string)
+      "permutation has the same canonical key" (Cache.key shop) (Cache.key shuffled);
+    (* A schedule computed on the canonical form, restored to the
+       original labelling, must still satisfy every constraint. *)
+    let canon = Cache.canonicalize shuffled in
+    let sched = E2e_core.Greedy_edf.schedule canon.Cache.shop in
+    let restored =
+      Schedule.make shuffled (Cache.restore_starts canon sched.Schedule.starts)
+    in
+    match Schedule.check restored with
+    | Ok () -> ()
+    | Error _ -> Alcotest.fail "restored schedule violates constraints"
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Determinism and cache transparency                                 *)
+
+let test_deterministic_across_jobs () =
+  List.iter
+    (fun seed ->
+      let log = gen_log seed 40 in
+      let o1, _ = run_log ~jobs:1 ~cache_capacity:64 log in
+      let o4, _ = run_log ~jobs:4 ~cache_capacity:64 log in
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d: -j1 and -j4 reply logs identical" seed)
+        (render_outcomes o1) (render_outcomes o4))
+    [ 1; 2; 3 ]
+
+let test_cache_transparent () =
+  List.iter
+    (fun seed ->
+      let log = gen_log seed 40 in
+      let on, b = run_log ~jobs:2 ~cache_capacity:64 log in
+      let off, _ = run_log ~jobs:2 ~cache_capacity:0 log in
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d: cached and uncached replies identical" seed)
+        (render_outcomes off) (render_outcomes on);
+      (* The comparison only means something if the cache actually got
+         exercised. *)
+      let s = Option.get (Batcher.cache_stats b) in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: cache saw lookups" seed)
+        true
+        (s.Cache.hits + s.Cache.misses > 0))
+    [ 1; 2; 3 ]
+
+(* The fuzzer's own differential harness, as a regression test: batched
+   cached engine vs sequential cache-free reference. *)
+let test_fuzz_serve_class () =
+  let r = Serve_fuzz.run ~jobs:2 ~seed:11 ~trials:25 () in
+  Alcotest.(check int) "trials" 25 r.Serve_fuzz.trials;
+  Alcotest.(check int) "all agreed" 25 r.Serve_fuzz.agreed
+
+(* ------------------------------------------------------------------ *)
+(* Soundness                                                          *)
+
+let admitted_schedules outcomes =
+  Array.to_list outcomes
+  |> List.filter_map (function
+       | Batcher.Reply
+           (Admission.Decided { decision = Admission.Admitted { schedule; _ }; _ }) ->
+           Some schedule
+       | _ -> None)
+
+let test_admitted_schedules_check () =
+  let log = gen_log 7 60 in
+  let outcomes, _ = run_log ~jobs:4 ~cache_capacity:32 log in
+  let schedules = admitted_schedules outcomes in
+  Alcotest.(check bool) "log admits something" true (List.length schedules > 0);
+  List.iter
+    (fun s ->
+      match Schedule.check s with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "admitted schedule fails the checker")
+    schedules
+
+let test_rejection_certificate () =
+  let instance = infeasible_instance () in
+  let _, reply =
+    Admission.apply Admission.empty (Admission.Submit { shop = "bad"; instance })
+  in
+  match reply with
+  | Admission.Decided { decision = Admission.Rejected { certificate = Some _ }; _ } ->
+      let fs =
+        Flow_shop.make ~processors:instance.Recurrence_shop.visit.E2e_model.Visit.processors
+          instance.Recurrence_shop.tasks
+      in
+      Alcotest.(check bool)
+        "certificate confirmed by the independent checker" true
+        (Infeasibility.is_provably_infeasible fs)
+  | _ -> Alcotest.fail "infeasible set not rejected with a certificate"
+
+let test_rejected_never_commits () =
+  let state, _ =
+    Admission.apply Admission.empty
+      (Admission.Submit { shop = "bad"; instance = infeasible_instance () })
+  in
+  Alcotest.(check int) "nothing committed" 0 (Admission.n_committed state)
+
+(* ------------------------------------------------------------------ *)
+(* Backpressure                                                       *)
+
+let test_backpressure () =
+  let config =
+    { Batcher.queue_capacity = 4; batch = 2; budget = Admission.Unbounded; jobs = 1;
+      cache_capacity = 8 }
+  in
+  let b = Batcher.create ~config () in
+  let log = List.init 10 (fun i -> Admission.Query { shop = Printf.sprintf "q%d" i }) in
+  let outcomes = Batcher.process_log b log in
+  let overloaded =
+    Array.to_list outcomes
+    |> List.filter (function Batcher.Overloaded -> true | _ -> false)
+    |> List.length
+  in
+  Alcotest.(check int) "exactly the overflow is refused" 6 overloaded;
+  Alcotest.(check int) "every request got an answer" 10 (Array.length outcomes);
+  Array.iteri
+    (fun i o ->
+      let expect_overloaded = i >= 4 in
+      let is_overloaded = o = Batcher.Overloaded in
+      Alcotest.(check bool)
+        (Printf.sprintf "request %d backpressure position" i)
+        expect_overloaded is_overloaded)
+    outcomes;
+  Alcotest.(check int) "queue drained" 0 (Batcher.pending b)
+
+let test_batch_splits_same_shop () =
+  (* Two requests on one shop are order-dependent: the duplicate submit
+     must be answered after (and because of) the first one committing. *)
+  let g = Prng.of_path [| 13; 96; 0 |] in
+  let instance = gen_instance g in
+  let log =
+    [
+      Admission.Submit { shop = "x"; instance };
+      Admission.Submit { shop = "x"; instance = permute g instance };
+    ]
+  in
+  let outcomes, _ = run_log ~jobs:2 ~cache_capacity:8 log in
+  (match outcomes.(0) with
+  | Batcher.Reply (Admission.Decided { decision = Admission.Admitted _; _ }) -> ()
+  | _ -> Alcotest.fail "first submit should be admitted");
+  match outcomes.(1) with
+  | Batcher.Reply (Admission.Request_error _) -> ()
+  | _ -> Alcotest.fail "duplicate submit should be an error"
+
+(* ------------------------------------------------------------------ *)
+(* Admitted schedules replayed through the runtime dispatcher         *)
+
+let test_dispatcher_replays_admissions () =
+  let log = gen_log 21 40 in
+  let outcomes, _ = run_log ~jobs:2 ~cache_capacity:32 log in
+  let schedules = admitted_schedules outcomes in
+  Alcotest.(check bool) "log admits something" true (List.length schedules > 0);
+  List.iter
+    (fun s ->
+      List.iter
+        (fun discipline ->
+          let nominal = Dispatcher.scale_durations s ~factor:Rat.one in
+          let out = Dispatcher.run discipline s ~actual:nominal in
+          Alcotest.(check int)
+            "no structural violations under nominal durations" 0
+            out.Dispatcher.structural_violations;
+          Alcotest.(check int)
+            "no deadline misses under nominal durations" 0
+            (List.length out.Dispatcher.deadline_misses))
+        [ Dispatcher.Time_triggered; Dispatcher.Work_conserving ];
+      (* Early completions must stay sustainable. *)
+      let early = Dispatcher.scale_durations s ~factor:(Rat.make 1 2) in
+      Alcotest.(check bool)
+        "time-triggered sustainable under early completion" true
+        (Dispatcher.sustainable_time_triggered s ~actual:early))
+    schedules
+
+(* ------------------------------------------------------------------ *)
+(* Protocol                                                           *)
+
+let roundtrip line =
+  match Protocol.parse_request line with
+  | Ok (Protocol.Request r) -> Protocol.render_request r
+  | Ok _ -> Alcotest.fail (Printf.sprintf "%S: not a request" line)
+  | Error m -> Alcotest.fail (Printf.sprintf "%S: %s" line m)
+
+let test_protocol_roundtrip () =
+  List.iter
+    (fun line -> Alcotest.(check string) line line (roundtrip line))
+    [
+      "submit s1 task 0 10 1 1 ; task 0 8 2 2";
+      "submit s2 visit 1 2 1 ; task 0 10 1 1 1 ; task 1/2 21/2 2 2 2";
+      "add s1 task 3/4 5 1 2";
+      "query s1";
+      "drop s1";
+    ]
+
+let test_protocol_errors_and_controls () =
+  (match Protocol.parse_request "hello e2e-serve/1" with
+  | Ok (Protocol.Hello v) -> Alcotest.(check string) "hello version" Protocol.version v
+  | _ -> Alcotest.fail "hello not parsed");
+  (match Protocol.parse_request "stats" with
+  | Ok Protocol.Stats -> ()
+  | _ -> Alcotest.fail "stats not parsed");
+  (match Protocol.parse_request "quit" with
+  | Ok Protocol.Quit -> ()
+  | _ -> Alcotest.fail "quit not parsed");
+  (match Protocol.parse_request "# comment" with
+  | Ok Protocol.Blank -> ()
+  | _ -> Alcotest.fail "comment not blank");
+  (match Protocol.parse_request "" with
+  | Ok Protocol.Blank -> ()
+  | _ -> Alcotest.fail "empty not blank");
+  List.iter
+    (fun line ->
+      match Protocol.parse_request line with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail (Printf.sprintf "%S should not parse" line))
+    [
+      "submit";
+      "submit bad/name! task 0 1 1";
+      "submit s1 nonsense 1 2";
+      "add s1 visit 1 2 ; task 0 1 1 1" (* visit not allowed in add *);
+      "frobnicate s1";
+      "query";
+    ]
+
+let test_protocol_render_reply () =
+  let reply =
+    Admission.Queried { shop = "s1"; n_tasks = Some 3 }
+  in
+  Alcotest.(check string)
+    "info rendering" "info shop=s1 tasks=3"
+    (Protocol.render_reply (Batcher.Reply reply));
+  Alcotest.(check string)
+    "overloaded rendering" "overloaded"
+    (Protocol.render_reply Batcher.Overloaded);
+  Alcotest.(check string)
+    "hello ok" "ok e2e-serve/1"
+    (Protocol.render_hello ~requested:Protocol.version)
+
+let suite =
+  [
+    ("cache: LRU bookkeeping", `Quick, test_cache_lru);
+    ("cache: capacity 0 and invalid", `Quick, test_cache_disabled_and_invalid);
+    ("cache: canonical key permutation-invariant", `Quick,
+     test_canonical_key_permutation_invariant);
+    ("batcher: byte-identical replies across jobs", `Slow, test_deterministic_across_jobs);
+    ("batcher: cache transparency", `Slow, test_cache_transparent);
+    ("fuzz: serve differential class agrees", `Slow, test_fuzz_serve_class);
+    ("admission: admitted schedules pass the checker", `Quick, test_admitted_schedules_check);
+    ("admission: rejection carries a confirmed certificate", `Quick,
+     test_rejection_certificate);
+    ("admission: rejected sets never commit", `Quick, test_rejected_never_commits);
+    ("batcher: backpressure answers overloaded", `Quick, test_backpressure);
+    ("batcher: same-shop requests split batches", `Quick, test_batch_splits_same_shop);
+    ("dispatcher: admitted schedules replay without misses", `Slow,
+     test_dispatcher_replays_admissions);
+    ("protocol: request round-trips", `Quick, test_protocol_roundtrip);
+    ("protocol: controls and parse errors", `Quick, test_protocol_errors_and_controls);
+    ("protocol: reply rendering", `Quick, test_protocol_render_reply);
+  ]
