@@ -6,10 +6,14 @@ FUZZ_A := /tmp/e2e_sched_fuzz_j1.txt
 FUZZ_B := /tmp/e2e_sched_fuzz_j4.txt
 SERVE_A := /tmp/e2e_sched_serve_j1.txt
 SERVE_B := /tmp/e2e_sched_serve_j4.txt
+CORE_SMOKE := /tmp/e2e_sched_bench_core_small.json
 JOBS ?= 4
+# full = sizes 10..5000 with 7 trimmed trials; small = the CI smoke
+# configuration (sizes 10 and 100 only).
+BENCH_TRIALS ?= full
 
-.PHONY: all build test bench bench-par bench-serve fuzz-smoke serve-smoke \
-  check clean
+.PHONY: all build test bench bench-par bench-serve bench-core fuzz-smoke \
+  serve-smoke check clean
 
 all: build
 
@@ -32,7 +36,15 @@ bench-par:
 # cache hit rate, written to BENCH_serve.json.
 bench-serve:
 	dune exec bin/loadgen.exe -- --requests 2000 --seed 42 -j $(JOBS) \
-	  --out BENCH_serve.json
+	  --cache-sweep 128,512,4096 --out BENCH_serve.json
+
+# Tracked hot-path micro-benchmarks: the indexed single-machine engine
+# against the retained scan-based reference (the speedup ratio is part
+# of the output), Algorithms A and H, and the admission request path,
+# written to BENCH_core.json.
+bench-core:
+	dune exec bench/core_bench.exe -- --trials $(BENCH_TRIALS) \
+	  --out BENCH_core.json
 
 # Replay the full-grammar request fixture through the stdio transport on
 # 1 and 4 domains: the reply logs must be byte-identical and contain
@@ -47,11 +59,13 @@ serve-smoke:
 	grep -q '^admitted ' $(SERVE_A)
 	grep -q '^rejected ' $(SERVE_A)
 
-# Short differential-fuzzing campaign over every model class: each
-# solver against its exhaustive oracle and the independent checker, on a
-# fixed seed, run on 1 and 4 domains — any disagreement or any
-# scheduling nondeterminism (output not byte-identical) fails the
-# target.  Full campaigns: dune exec bin/fuzz.exe -- --trials 2000.
+# Short differential-fuzzing campaign over every model class (including
+# eedf-fast, which pits the indexed single-machine engine against the
+# retained scan-based reference on larger instances): each solver
+# against its oracle and the independent checker, on a fixed seed, run
+# on 1 and 4 domains — any disagreement or any scheduling
+# nondeterminism (output not byte-identical) fails the target.  Full
+# campaigns: dune exec bin/fuzz.exe -- --trials 2000.
 fuzz-smoke:
 	rm -f $(FUZZ_A) $(FUZZ_B)
 	dune exec bin/fuzz.exe -- --class all --trials 300 --seed 42 -j 1 > $(FUZZ_A)
@@ -77,8 +91,11 @@ check:
 	dune exec bin/jsonl_check.exe $(PAR_METRICS)
 	$(MAKE) fuzz-smoke
 	$(MAKE) serve-smoke
+	dune exec bench/core_bench.exe -- --trials small --out $(CORE_SMOKE)
+	dune exec bin/jsonl_check.exe $(CORE_SMOKE)
 
 clean:
 	dune clean
 	rm -f $(METRICS) $(PAR_METRICS) $(PAR_A) $(PAR_B) $(FUZZ_A) $(FUZZ_B) \
-	  $(SERVE_A) $(SERVE_B) BENCH_parallel.json BENCH_serve.json
+	  $(SERVE_A) $(SERVE_B) $(CORE_SMOKE) BENCH_parallel.json \
+	  BENCH_serve.json BENCH_core.json

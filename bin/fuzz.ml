@@ -32,9 +32,10 @@ let classes_arg =
   in
   let doc =
     "Model class to fuzz: $(b,eedf) (identical-length flow shops), $(b,r) (single-loop \
-     recurrence shops), $(b,a) (homogeneous sets), $(b,h) (arbitrary sets), $(b,serve) \
-     (admission-service request logs, batched-and-cached vs sequential reference), or \
-     $(b,all)."
+     recurrence shops), $(b,a) (homogeneous sets), $(b,h) (arbitrary sets), $(b,eedf-fast) \
+     (indexed single-machine engine vs the retained scan-based reference, large instances), \
+     $(b,serve) (admission-service request logs, batched-and-cached vs sequential \
+     reference), or $(b,all)."
   in
   Arg.(value & opt classes_conv all_classes & info [ "class" ] ~docv:"CLASS" ~doc)
 

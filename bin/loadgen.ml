@@ -62,17 +62,25 @@ let gen_stream ~seed ~requests =
   in
   List.init requests (fun _ ->
       let p = Prng.float g 1.0 in
-      if p < 0.45 || !submitted = [] then begin
+      if p < 0.40 || !submitted = [] then begin
         let shop = fresh_shop () and instance = gen_instance g in
         submitted := (shop, instance) :: !submitted;
         Admission.Submit { shop; instance }
       end
-      else if p < 0.65 then begin
+      else if p < 0.55 then begin
         (* Resubmit a permutation of an earlier set under a new name. *)
         let _, earlier = Option.get (pick_shop g) in
         let shop = fresh_shop () and instance = permute g earlier in
         submitted := (shop, instance) :: !submitted;
         Admission.Submit { shop; instance }
+      end
+      else if p < 0.65 then begin
+        (* Exact resubmission under a new name: the common "same client,
+           new session" pattern the structural keyer short-circuits. *)
+        let _, earlier = Option.get (pick_shop g) in
+        let shop = fresh_shop () in
+        submitted := (shop, earlier) :: !submitted;
+        Admission.Submit { shop; instance = earlier }
       end
       else if p < 0.83 then begin
         let shop, committed = Option.get (pick_shop g) in
@@ -170,7 +178,11 @@ let run_inproc ~stream ~config ~rate =
   in
   drain ();
   let duration = Unix.gettimeofday () -. t0 in
-  (duration, Array.of_list (List.rev !latency), tally, Batcher.cache_stats batcher)
+  ( duration,
+    Array.of_list (List.rev !latency),
+    tally,
+    Batcher.cache_stats batcher,
+    Some (Batcher.keyer_stats batcher) )
 
 (* TCP replay: synchronous request/reply per line. *)
 let run_tcp ~stream ~addr =
@@ -209,12 +221,13 @@ let run_tcp ~stream ~addr =
   output_string oc "quit\n";
   flush oc;
   (try Unix.close fd with Unix.Unix_error _ -> ());
-  (duration, Array.of_list (List.rev !latency), tally, None)
+  (duration, Array.of_list (List.rev !latency), tally, None, None)
 
 (* ------------------------------------------------------------------ *)
 (* Reporting                                                          *)
 
-let report ~out ~requests ~jobs ~config ~duration ~latency ~tally ~cache_stats =
+let report ~out ~requests ~jobs ~config ~duration ~latency ~tally ~cache_stats ~keyer_stats
+    ~sweep =
   let sorted = Array.copy latency in
   Array.sort compare sorted;
   let ms x = x *. 1000. in
@@ -239,6 +252,15 @@ let report ~out ~requests ~jobs ~config ~duration ~latency ~tally ~cache_stats =
   | Some { Cache.hits; misses; evictions; size } ->
       Format.printf "cache         hits=%d misses=%d evictions=%d size=%d hit_rate=%.3f@."
         hits misses evictions size (hit_rate hits misses));
+  (match keyer_stats with
+  | None -> ()
+  | Some { Cache.Keyer.reused; rendered } ->
+      Format.printf "keyer         reused=%d rendered=%d@." reused rendered);
+  List.iter
+    (fun (capacity, { Cache.hits; misses; evictions; _ }) ->
+      Format.printf "sweep cap=%-6d hits=%d misses=%d evictions=%d hit_rate=%.3f@." capacity
+        hits misses evictions (hit_rate hits misses))
+    sweep;
   match out with
   | None -> ()
   | Some path ->
@@ -281,6 +303,28 @@ let report ~out ~requests ~jobs ~config ~duration ~latency ~tally ~cache_stats =
                   ("errors", Json.Num (float_of_int tally.errors));
                 ] );
             ("cache", cache_json);
+            ( "keyer",
+              match keyer_stats with
+              | None -> Json.Null
+              | Some { Cache.Keyer.reused; rendered } ->
+                  Json.Obj
+                    [
+                      ("reused", Json.Num (float_of_int reused));
+                      ("rendered", Json.Num (float_of_int rendered));
+                    ] );
+            ( "cache_sweep",
+              Json.List
+                (List.map
+                   (fun (capacity, { Cache.hits; misses; evictions; _ }) ->
+                     Json.Obj
+                       [
+                         ("capacity", Json.Num (float_of_int capacity));
+                         ("hits", Json.Num (float_of_int hits));
+                         ("misses", Json.Num (float_of_int misses));
+                         ("evictions", Json.Num (float_of_int evictions));
+                         ("hit_rate", Json.Num (hit_rate hits misses));
+                       ])
+                   sweep) );
             ( "config",
               Json.Obj
                 [
@@ -329,7 +373,14 @@ let queue_arg =
 let cache_arg =
   let doc = "Solver-cache capacity of the in-process engine (0 = off)." in
   Arg.(value & opt int Batcher.default_config.Batcher.cache_capacity
-       & info [ "cache" ] ~docv:"N" ~doc)
+       & info [ "cache"; "cache-capacity" ] ~docv:"N" ~doc)
+
+let sweep_arg =
+  let doc =
+    "Replay the same stream once per capacity in the comma-separated list and record each \
+     run's cache statistics alongside the main run (in-process only)."
+  in
+  Arg.(value & opt (some (list int)) None & info [ "cache-sweep" ] ~docv:"N,N,..." ~doc)
 
 let connect_arg =
   let doc = "Replay over TCP against a running e2e-serve at $(docv) instead of in-process." in
@@ -339,19 +390,31 @@ let out_arg =
   let doc = "Write the run summary as one JSON object to $(docv)." in
   Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
 
-let run requests seed rate jobs batch queue cache connect out =
+let run requests seed rate jobs batch queue cache sweep connect out =
   let jobs = Pool.resolve_jobs jobs in
   let stream = gen_stream ~seed ~requests in
   let config =
     { Batcher.queue_capacity = queue; batch; budget = Admission.Unbounded; jobs;
       cache_capacity = cache }
   in
-  let duration, latency, tally, cache_stats =
+  let duration, latency, tally, cache_stats, keyer_stats =
     match connect with
     | None -> run_inproc ~stream ~config ~rate
     | Some addr -> run_tcp ~stream ~addr
   in
-  report ~out ~requests ~jobs ~config ~duration ~latency ~tally ~cache_stats
+  let sweep =
+    match (sweep, connect) with
+    | None, _ | _, Some _ -> []
+    | Some capacities, None ->
+        List.filter_map
+          (fun capacity ->
+            let config = { config with Batcher.cache_capacity = capacity } in
+            let _, _, _, stats, _ = run_inproc ~stream ~config ~rate:0. in
+            Option.map (fun s -> (capacity, s)) stats)
+          capacities
+  in
+  report ~out ~requests ~jobs ~config ~duration ~latency ~tally ~cache_stats ~keyer_stats
+    ~sweep
 
 let () =
   let doc = "Open-loop load generator for the e2e-serve admission service" in
@@ -359,6 +422,6 @@ let () =
   let term =
     Term.(
       const run $ requests_arg $ seed_arg $ rate_arg $ jobs_arg $ batch_arg $ queue_arg
-      $ cache_arg $ connect_arg $ out_arg)
+      $ cache_arg $ sweep_arg $ connect_arg $ out_arg)
   in
   exit (Cmd.eval (Cmd.v info term))

@@ -44,7 +44,7 @@ let batch_arg =
 let cache_arg =
   let doc = "Canonical solver-cache capacity in entries; $(b,0) disables the cache." in
   Arg.(value & opt int Batcher.default_config.Batcher.cache_capacity
-       & info [ "cache" ] ~docv:"N" ~doc)
+       & info [ "cache"; "cache-capacity" ] ~docv:"N" ~doc)
 
 let budget_arg =
   let doc =

@@ -4,13 +4,22 @@ module Flow_shop = E2e_model.Flow_shop
 module Schedule = E2e_schedule.Schedule
 module Obs = E2e_obs.Obs
 
+(* Effective release and deadline of the bottleneck stage in one sweep
+   over each task's processing times (rather than one O(m) pass each):
+   r_ib = r_i + sum_{j<b} tau_ij and d_ib = d_i - sum_{j>b} tau_ij. *)
 let bottleneck_jobs (shop : Flow_shop.t) ~bottleneck =
   Array.map
     (fun (task : Task.t) ->
+      let before = ref Rat.zero and after = ref Rat.zero in
+      Array.iteri
+        (fun j tau ->
+          if j < bottleneck then before := Rat.add !before tau
+          else if j > bottleneck then after := Rat.add !after tau)
+        task.Task.proc_times;
       {
         Single_machine.id = task.id;
-        release = Task.effective_release task bottleneck;
-        deadline = Task.effective_deadline task bottleneck;
+        release = Rat.add task.release !before;
+        deadline = Rat.sub task.deadline !after;
       })
     shop.tasks
 

@@ -3,72 +3,91 @@ module Task = E2e_model.Task
 module Visit = E2e_model.Visit
 module Recurrence_shop = E2e_model.Recurrence_shop
 module Schedule = E2e_schedule.Schedule
+module Heap = E2e_ds.Heap
 
-(* Discrete-event greedy dispatch.  Each task exposes one pending stage at
-   a time (its next one); a processor that can dispatch earliest (over
-   max(processor free, earliest pending ready)) does so, choosing among
-   the subtasks ready at that instant by earliest effective deadline. *)
+(* Discrete-event greedy dispatch.  Each task exposes one pending stage
+   at a time (its next one); the processor that can dispatch earliest
+   (over max(processor free, earliest pending ready)) does so, choosing
+   among the subtasks ready at that instant by earliest effective
+   deadline.
+
+   Each task lives in exactly one heap at a time.  Per processor,
+   [arrivals] holds the stages whose ready time may still be in that
+   processor's future, keyed by (ready, task); once a stage's ready time
+   has been overtaken by a dispatch instant it migrates to [edf], keyed
+   by (effective deadline, task) — the pop order is the dispatch rule.
+   Every migrated stage became ready before the processor last went
+   busy, so a non-empty [edf] pins the processor's candidate instant to
+   its free time, and the candidate scan is O(m) per dispatch instead of
+   the former O(m n) task sweep. *)
+
+type entry = { ready : Rat.t; dl : Rat.t; task : int }
+
 let schedule (shop : Recurrence_shop.t) =
   let n = Recurrence_shop.n_tasks shop in
   let k = Visit.length shop.visit in
   let m = shop.visit.Visit.processors in
   let starts = Array.make_matrix n k Rat.zero in
   let next_stage = Array.make n 0 in
-  let ready_time = Array.map (fun (t : Task.t) -> t.release) shop.tasks in
   let free = Array.make m Rat.zero in
-  let remaining = ref (n * k) in
-  while !remaining > 0 do
-    (* Earliest dispatch instant per processor. *)
+  let arrivals =
+    Array.init m (fun _ ->
+        Heap.create ~cmp:(fun a b ->
+            let c = Rat.compare a.ready b.ready in
+            if c <> 0 then c else compare a.task b.task))
+  in
+  let edf =
+    Array.init m (fun _ ->
+        Heap.create ~cmp:(fun a b ->
+            let c = Rat.compare a.dl b.dl in
+            if c <> 0 then c else compare a.task b.task))
+  in
+  let enqueue i stage ready =
+    let p = shop.visit.Visit.sequence.(stage) in
+    Heap.push arrivals.(p)
+      { ready; dl = Task.effective_deadline shop.tasks.(i) stage; task = i }
+  in
+  Array.iteri (fun i (t : Task.t) -> enqueue i 0 t.release) shop.tasks;
+  for _ = 1 to n * k do
+    (* Earliest dispatch instant per processor; ties keep the lowest
+       processor, matching the ascending scan order. *)
     let best : (Rat.t * int) option ref = ref None in
     for p = 0 to m - 1 do
-      let earliest_ready = ref None in
-      for i = 0 to n - 1 do
-        if next_stage.(i) < k && shop.visit.Visit.sequence.(next_stage.(i)) = p then
-          earliest_ready :=
-            Some
-              (match !earliest_ready with
-              | None -> ready_time.(i)
-              | Some t -> Rat.min t ready_time.(i))
-      done;
-      match !earliest_ready with
+      let candidate =
+        if not (Heap.is_empty edf.(p)) then Some free.(p)
+        else
+          match Heap.peek arrivals.(p) with
+          | Some e -> Some (Rat.max free.(p) e.ready)
+          | None -> None
+      in
+      match candidate with
       | None -> ()
-      | Some r ->
-          let t = Rat.max free.(p) r in
+      | Some t ->
           let better = match !best with None -> true | Some (t', _) -> Rat.(t < t') in
           if better then best := Some (t, p)
     done;
     match !best with
     | None -> assert false
     | Some (t, p) ->
-        (* Ready subtasks on p at t; earliest effective deadline wins. *)
-        let chosen = ref None in
-        for i = 0 to n - 1 do
-          if
-            next_stage.(i) < k
-            && shop.visit.Visit.sequence.(next_stage.(i)) = p
-            && Rat.(ready_time.(i) <= t)
-          then begin
-            let dl = Task.effective_deadline shop.tasks.(i) next_stage.(i) in
-            let better =
-              match !chosen with
-              | None -> true
-              | Some (dl', i') ->
-                  let c = Rat.compare dl dl' in
-                  if c <> 0 then c < 0 else i < i'
-            in
-            if better then chosen := Some (dl, i)
-          end
-        done;
-        (match !chosen with
+        (* Stages ready by t join the EDF order; the pop is the winner. *)
+        let rec migrate () =
+          match Heap.peek arrivals.(p) with
+          | Some e when Rat.(e.ready <= t) ->
+              ignore (Heap.pop arrivals.(p));
+              Heap.push edf.(p) e;
+              migrate ()
+          | _ -> ()
+        in
+        migrate ();
+        (match Heap.pop edf.(p) with
         | None -> assert false
-        | Some (_, i) ->
+        | Some { task = i; _ } ->
             let j = next_stage.(i) in
             starts.(i).(j) <- t;
             let finish = Rat.add t shop.tasks.(i).Task.proc_times.(j) in
             free.(p) <- finish;
             next_stage.(i) <- j + 1;
-            ready_time.(i) <- finish;
-            decr remaining)
+            if j + 1 < k then enqueue i (j + 1) finish)
   done;
   Schedule.make shop starts
 

@@ -1,5 +1,7 @@
 module Rat = E2e_rat.Rat
 module Obs = E2e_obs.Obs
+module Heap = E2e_ds.Heap
+module Interval_set = E2e_ds.Interval_set
 
 type rat = Rat.t
 type job = { id : int; release : rat; deadline : rat }
@@ -7,174 +9,178 @@ type region = { left : rat; right : rat }
 
 let pp_region ppf r = Format.fprintf ppf "(%a, %a)" Rat.pp r.left Rat.pp r.right
 
-(* Regions are kept sorted by [left] and pairwise disjoint.  Two regions
-   sharing only an endpoint are NOT merged: the shared point itself is a
-   legal start instant because regions are open intervals. *)
-let insert_region regions (r : region) =
-  if Rat.(r.left >= r.right) then regions
-  else
-    let rec merge acc r = function
-      | [] -> List.rev (r :: acc)
-      | r' :: rest ->
-          if Rat.(r'.right < r.left) || Rat.(r'.right = r.left) then merge (r' :: acc) r rest
-          else if Rat.(r.right < r'.left) || Rat.(r.right = r'.left) then
-            List.rev_append acc (r :: r' :: rest)
-          else
-            (* Overlapping: coalesce and keep scanning. *)
-            merge acc { left = Rat.min r.left r'.left; right = Rat.max r.right r'.right } rest
-    in
-    merge [] r regions
+(* Forbidden regions, indexed.
 
-(* Largest start time [<= s] that is not strictly inside a region. *)
-let adjust_down regions s =
-  List.fold_left
-    (fun s r -> if Rat.(r.left < s) && Rat.(s < r.right) then r.left else s)
-    s regions
+   The classical derivation packs, for every release r and every
+   deadline d, the jobs with release >= r and deadline <= d as late as
+   possible before d (avoiding regions already found); if that packing
+   starts at c, then (c - tau, r) is forbidden (and c < r proves
+   infeasibility).  Enumerating the (r, d) pairs costs O(n^2) packings
+   of O(n) steps each.
 
-(* Smallest start time [>= s] that is not strictly inside a region. *)
-let adjust_up regions s =
-  List.fold_left
-    (fun s r -> if Rat.(r.left < s) && Rat.(s < r.right) then r.right else s)
-    s regions
+   One backward pass per release subsumes the whole deadline loop: walk
+   the jobs with release >= r in decreasing-deadline order, keeping the
+   running packing start
 
-(* Earliest start of the latest packing of [count] jobs of length [tau]
-   all completing by [deadline], with every start outside [regions].
-   [adjust_down] folds left-to-right over the sorted region list, so a
-   single pass lands on a legal start even across adjacent regions. *)
-let pack_latest regions ~tau ~count ~deadline =
-  let rec go s remaining =
-    let s = adjust_down regions s in
-    if remaining = 1 then s else go (Rat.sub s tau) (remaining - 1)
+     s := adjust_down (min (deadline_j, s) - tau)
+
+   (each job must end both by its own deadline and by the start of the
+   job packed after it).  Take the last job whose own deadline was the
+   binding constraint, say with deadline d*: the suffix from that job on
+   is exactly the latest packing of the jobs with deadline <= d* — the
+   per-deadline packing for d* — and every per-deadline packing
+   restricted this way starts no earlier than the full pass does.  So
+   the final s equals the minimum over all deadlines of the classical
+   per-(r, d) packing starts, and the single region (s - tau, r) is
+   precisely the union of the per-deadline regions for r (they share
+   the right endpoint r).  Infeasibility (some packing starting before
+   r) also coincides: packing starts only decrease along the pass.
+
+   Cost: one O(n log n) sort, then per release one pass over the jobs
+   released at or after it with an O(log n) region lookup per step —
+   O(n^2 log n) worst case, O(n log n) when release times are few, and
+   free of the per-(r, d) re-packing that made the scan version
+   O(n^3). *)
+let forbidden_regions_iset ~tau jobs =
+  let n = Array.length jobs in
+  let by_deadline = Array.copy jobs in
+  Array.sort (fun a b -> Rat.compare b.deadline a.deadline) by_deadline;
+  let releases_desc =
+    List.rev
+      (List.sort_uniq Rat.compare (Array.to_list (Array.map (fun j -> j.release) jobs)))
   in
-  go (Rat.sub deadline tau) count
-
-let sorted_distinct values =
-  let sorted = List.sort_uniq Rat.compare values in
-  sorted
-
-let forbidden_regions ~tau jobs =
-  let releases = sorted_distinct (Array.to_list (Array.map (fun j -> j.release) jobs)) in
-  let deadlines = sorted_distinct (Array.to_list (Array.map (fun j -> j.deadline) jobs)) in
-  let releases_desc = List.rev releases in
   let exception Infeasible in
   try
-    let regions = ref [] in
+    let regions = ref Interval_set.empty in
     List.iter
       (fun r ->
-        List.iter
-          (fun d ->
-            let count =
-              Array.fold_left
-                (fun acc j -> if Rat.(j.release >= r) && Rat.(j.deadline <= d) then acc + 1 else acc)
-                0 jobs
-            in
-            if count > 0 then begin
-              let c = pack_latest !regions ~tau ~count ~deadline:d in
-              if Rat.(c < r) then begin
-                if Obs.enabled () then
-                  Obs.event "single_machine.infeasible_window"
-                    ~fields:
-                      [
-                        ("release", Obs.Str (Rat.to_string r));
-                        ("deadline", Obs.Str (Rat.to_string d));
-                        ("jobs", Obs.Int count);
-                      ];
-                raise Infeasible
-              end;
-              let left = Rat.sub c tau in
-              if Rat.(left < r) then begin
-                if Obs.enabled () then
-                  Obs.event "single_machine.forbidden_region"
-                    ~fields:
-                      [
-                        ("left", Obs.Str (Rat.to_string left));
-                        ("right", Obs.Str (Rat.to_string r));
-                        ("jobs", Obs.Int count);
-                      ];
-                regions := insert_region !regions { left; right = r }
-              end
+        let s = ref None in
+        for i = 0 to n - 1 do
+          let j = by_deadline.(i) in
+          if Rat.(j.release >= r) then begin
+            let cap = match !s with None -> j.deadline | Some s -> Rat.min j.deadline s in
+            s := Some (Interval_set.adjust_down !regions (Rat.sub cap tau))
+          end
+        done;
+        match !s with
+        | None -> ()
+        | Some e ->
+            if Rat.(e < r) then begin
+              if Obs.enabled () then
+                Obs.event "single_machine.infeasible_window"
+                  ~fields:
+                    [
+                      ("release", Obs.Str (Rat.to_string r));
+                      ("packing_start", Obs.Str (Rat.to_string e));
+                    ];
+              raise Infeasible
+            end;
+            let left = Rat.sub e tau in
+            if Rat.(left < r) then begin
+              if Obs.enabled () then
+                Obs.event "single_machine.forbidden_region"
+                  ~fields:
+                    [
+                      ("left", Obs.Str (Rat.to_string left));
+                      ("right", Obs.Str (Rat.to_string r));
+                    ];
+              regions := Interval_set.add !regions ~left ~right:r
             end)
-          deadlines)
       releases_desc;
     Ok !regions
   with Infeasible -> Error `Infeasible
 
-(* Priority-driven EDF dispatch; [advance] postpones candidate dispatch
-   instants (identity for the plain-EDF ablation, region hopping for the
-   optimal variant). *)
+let forbidden_regions ~tau jobs =
+  match forbidden_regions_iset ~tau jobs with
+  | Error `Infeasible -> Error `Infeasible
+  | Ok iset ->
+      Ok (List.map (fun (left, right) -> { left; right }) (Interval_set.to_list iset))
+
+(* Priority-driven EDF dispatch on two heaps: [pending] orders the
+   not-yet-released jobs by release time, [ready] orders the released
+   ones by (deadline, release, id) — the heap pop is exactly the EDF
+   choice with the deterministic tie-break.  [advance] postpones
+   candidate dispatch instants (identity for the plain-EDF ablation,
+   forbidden-region hopping for the optimal variant). *)
 let edf_dispatch ~tau ~advance jobs =
   let n = Array.length jobs in
   let starts = Array.make n Rat.zero in
-  let done_ = Array.make n false in
-  let free = ref Rat.zero in
   let missed = ref None in
+  let pending =
+    Heap.of_list
+      ~cmp:(fun a b ->
+        let c = Rat.compare a.release b.release in
+        if c <> 0 then c else compare a.id b.id)
+      (Array.to_list jobs)
+  in
+  let ready =
+    Heap.create
+      ~cmp:(fun a b ->
+        let c = Rat.compare a.deadline b.deadline in
+        let c = if c <> 0 then c else Rat.compare a.release b.release in
+        if c <> 0 then c else compare a.id b.id)
+  in
   (* Initialise the machine to the earliest release so time starts sane. *)
-  if n > 0 then
-    free := Array.fold_left (fun acc j -> Rat.min acc j.release) jobs.(0).release jobs;
+  let free = ref (match Heap.peek pending with Some j -> j.release | None -> Rat.zero) in
   for _ = 1 to n do
-    (* Candidate dispatch time: machine free, and at least one release. *)
-    let min_release =
-      Array.fold_left
-        (fun acc j ->
-          if done_.(j.id) then acc
-          else Some (match acc with None -> j.release | Some m -> Rat.min m j.release))
-        None jobs
+    (* Candidate dispatch time: machine free, and at least one release.
+       Every ready job was released before the machine last went busy,
+       so a non-empty ready queue pins the candidate to [free]. *)
+    let t =
+      ref
+        (if Heap.is_empty ready then
+           match Heap.peek pending with
+           | Some j -> Rat.max !free j.release
+           | None -> assert false
+         else !free)
     in
-    match min_release with
-    | None -> ()
-    | Some min_release ->
-        let t = ref (Rat.max !free min_release) in
-        let rec settle () =
-          let t' = advance !t in
-          if Rat.(t' > !t) then begin
-            t := t';
-            settle ()
-          end
-        in
-        settle ();
-        (* Among ready jobs pick the earliest deadline (ties: release, id). *)
-        let best = ref None in
-        Array.iter
-          (fun j ->
-            if (not done_.(j.id)) && Rat.(j.release <= !t) then
-              match !best with
-              | None -> best := Some j
-              | Some b ->
-                  let c = Rat.compare j.deadline b.deadline in
-                  let c = if c <> 0 then c else Rat.compare j.release b.release in
-                  let c = if c <> 0 then c else compare j.id b.id in
-                  if c < 0 then best := Some j)
-          jobs;
-        (match !best with
-        | None -> assert false
-        | Some j ->
-            starts.(j.id) <- !t;
-            done_.(j.id) <- true;
-            let finish = Rat.add !t tau in
-            free := finish;
-            if Obs.enabled () then begin
-              Obs.incr "single_machine.dispatches";
-              Obs.event "single_machine.dispatch"
-                ~fields:
-                  [
-                    ("job", Obs.Int j.id);
-                    ("t", Obs.Float (Rat.to_float !t));
-                    ("deadline", Obs.Float (Rat.to_float j.deadline));
-                  ]
-            end;
-            if Rat.(finish > j.deadline) && !missed = None then begin
-              if Obs.enabled () then begin
-                Obs.incr "single_machine.deadline_misses";
-                Obs.event "single_machine.deadline_miss"
-                  ~fields:
-                    [
-                      ("job", Obs.Int j.id);
-                      ("finish", Obs.Float (Rat.to_float finish));
-                      ("deadline", Obs.Float (Rat.to_float j.deadline));
-                    ]
-              end;
-              missed := Some j.id
-            end)
+    let rec settle () =
+      let t' = advance !t in
+      if Rat.(t' > !t) then begin
+        t := t';
+        settle ()
+      end
+    in
+    settle ();
+    (* Everything released by the dispatch instant competes. *)
+    let rec migrate () =
+      match Heap.peek pending with
+      | Some j when Rat.(j.release <= !t) ->
+          ignore (Heap.pop pending);
+          Heap.push ready j;
+          migrate ()
+      | _ -> ()
+    in
+    migrate ();
+    match Heap.pop ready with
+    | None -> assert false
+    | Some j ->
+        starts.(j.id) <- !t;
+        let finish = Rat.add !t tau in
+        free := finish;
+        if Obs.enabled () then begin
+          Obs.incr "single_machine.dispatches";
+          Obs.event "single_machine.dispatch"
+            ~fields:
+              [
+                ("job", Obs.Int j.id);
+                ("t", Obs.Float (Rat.to_float !t));
+                ("deadline", Obs.Float (Rat.to_float j.deadline));
+              ]
+        end;
+        if Rat.(finish > j.deadline) && !missed = None then begin
+          if Obs.enabled () then begin
+            Obs.incr "single_machine.deadline_misses";
+            Obs.event "single_machine.deadline_miss"
+              ~fields:
+                [
+                  ("job", Obs.Int j.id);
+                  ("finish", Obs.Float (Rat.to_float finish));
+                  ("deadline", Obs.Float (Rat.to_float j.deadline));
+                ]
+          end;
+          missed := Some j.id
+        end
   done;
   (starts, !missed)
 
@@ -190,16 +196,19 @@ let schedule ~tau jobs =
     Obs.span "single_machine.schedule"
       ~fields:[ ("jobs", Obs.Int (Array.length jobs)) ]
       (fun () ->
-        match Obs.span "single_machine.forbidden_regions" (fun () -> forbidden_regions ~tau jobs) with
+        match
+          Obs.span "single_machine.forbidden_regions" (fun () ->
+              forbidden_regions_iset ~tau jobs)
+        with
         | Error `Infeasible -> Error `Infeasible
-        | Ok regions ->
+        | Ok iset ->
             if Obs.enabled () then
               Obs.event "single_machine.regions"
-                ~fields:[ ("count", Obs.Int (List.length regions)) ];
+                ~fields:[ ("count", Obs.Int (Interval_set.cardinal iset)) ];
             with_dense_ids jobs (fun dense ->
                 let starts, missed =
                   Obs.span "single_machine.edf_dispatch" (fun () ->
-                      edf_dispatch ~tau ~advance:(adjust_up regions) dense)
+                      edf_dispatch ~tau ~advance:(Interval_set.adjust_up iset) dense)
                 in
                 match missed with Some _ -> Error `Infeasible | None -> Ok starts))
 

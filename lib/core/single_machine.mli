@@ -12,9 +12,16 @@
     make those [m] jobs late.  EDF that only dispatches outside the
     forbidden regions ("modified release times") is optimal.
 
-    We implement the transparent O(n^2) pair enumeration rather than the
-    original's O(n log n) machinery; instances in this repository have at
-    most a few hundred jobs per machine. *)
+    Both phases run on the indexed structures of {!E2e_ds}: forbidden
+    regions live in a sorted disjoint-interval set (O(log n) lookup) and
+    are built by one backward packing pass per distinct release time —
+    O(n^2 log n) worst case instead of the O(n^3) release x deadline x
+    job scan — and the EDF dispatch loop runs on two binary heaps
+    (pending jobs by release, ready jobs by deadline), O(n log n)
+    instead of the O(n^2) per-dispatch scan.  The historical scan-based
+    implementation is kept verbatim as [E2e_fuzz.Single_machine_ref];
+    the [eedf-fast] differential-fuzz class checks the two engines
+    byte-identical on every output. *)
 
 type rat = E2e_rat.Rat.t
 

@@ -1,0 +1,42 @@
+(** Sorted set of pairwise-disjoint open rational intervals with
+    binary-search queries — the index behind the solvers' forbidden
+    regions.
+
+    The set represents a union of {e open} intervals [(left, right)]:
+    the endpoints themselves are outside the set.  Intervals that would
+    merely {e touch} at an endpoint are kept separate (their shared
+    point is a legal value); intervals that strictly overlap are
+    coalesced by {!add}.  The representation is an immutable sorted
+    array, so queries are O(log n) and [add] is O(n) in the worst case
+    (one copy) — the solvers insert O(n) regions and query O(n log n)
+    times, so lookups, not insertions, dominate. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+
+val cardinal : t -> int
+(** Number of (disjoint) intervals. *)
+
+val add : t -> left:E2e_rat.Rat.t -> right:E2e_rat.Rat.t -> t
+(** Add the open interval [(left, right)], coalescing any strictly
+    overlapping intervals.  A degenerate interval ([left >= right]) is
+    ignored; an interval sharing only an endpoint with an existing one
+    is kept separate. *)
+
+val mem : t -> E2e_rat.Rat.t -> bool
+(** [mem t x] is [true] iff [x] lies strictly inside some interval. *)
+
+val adjust_up : t -> E2e_rat.Rat.t -> E2e_rat.Rat.t
+(** Smallest [y >= x] not strictly inside any interval: [x] itself, or
+    the right endpoint of the interval containing it (disjointness
+    guarantees that endpoint is itself legal). *)
+
+val adjust_down : t -> E2e_rat.Rat.t -> E2e_rat.Rat.t
+(** Largest [y <= x] not strictly inside any interval: [x] itself, or
+    the left endpoint of the interval containing it. *)
+
+val to_list : t -> (E2e_rat.Rat.t * E2e_rat.Rat.t) list
+(** The intervals as [(left, right)] pairs, sorted by left endpoint,
+    pairwise disjoint. *)

@@ -6,19 +6,26 @@ module Flow_shop = E2e_model.Flow_shop
 module Recurrence_shop = E2e_model.Recurrence_shop
 module Feasible_gen = E2e_workload.Feasible_gen
 
-type model_class = Eedf | R | A | H
+type model_class = Eedf | R | A | H | Eedf_fast
 
-let all = [ Eedf; R; A; H ]
-let name = function Eedf -> "eedf" | R -> "r" | A -> "a" | H -> "h"
+let all = [ Eedf; R; A; H; Eedf_fast ]
+
+let name = function
+  | Eedf -> "eedf"
+  | R -> "r"
+  | A -> "a"
+  | H -> "h"
+  | Eedf_fast -> "eedf-fast"
 
 let of_name = function
   | "eedf" -> Some Eedf
   | "r" -> Some R
   | "a" -> Some A
   | "h" -> Some H
+  | "eedf-fast" -> Some Eedf_fast
   | _ -> None
 
-let code = function Eedf -> 0 | R -> 1 | A -> 2 | H -> 3
+let code = function Eedf -> 0 | R -> 1 | A -> 2 | H -> 3 | Eedf_fast -> 4
 
 (* The feasible_gen helpers never produce a window below the task's total
    processing time, so on their own they only exercise the feasible and
@@ -84,8 +91,20 @@ let recurrent g =
   in
   Recurrence_shop.make ~visit tasks
 
+(* The differential class has no exhaustive oracle to stay inside, so it
+   can afford real contention: up to 40 tasks fighting over windows a few
+   jobs wide, which is where the indexed engine's heap order and interval
+   merges see interesting traffic. *)
+let identical_large g =
+  let n = 1 + Prng.int g 40 in
+  let m = 1 + Prng.int g 4 in
+  let window = 1 + Prng.int g 8 in
+  let tau = Prng.rat_uniform g ~den:2 (Rat.make 1 2) (Rat.of_int 2) in
+  tighten g (Feasible_gen.identical_length g ~n ~m ~tau ~window)
+
 let instance g = function
   | Eedf -> Recurrence_shop.of_traditional (identical g)
   | R -> recurrent g
   | A -> Recurrence_shop.of_traditional (homogeneous g)
   | H -> Recurrence_shop.of_traditional (arbitrary g)
+  | Eedf_fast -> Recurrence_shop.of_traditional (identical_large g)

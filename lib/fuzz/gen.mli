@@ -10,15 +10,21 @@
     pure function of the {!E2e_prng.Prng.t} it is handed — the campaign
     driver derives one stream per trial with {!E2e_prng.Prng.of_path},
     which makes results independent of how trials are spread over
-    domains. *)
+    domains.
 
-type model_class = Eedf | R | A | H
+    [Eedf_fast] is different in kind: it feeds the engine-vs-engine
+    differential ({!Single_machine_ref} against the indexed
+    {!E2e_core.Single_machine}), needs no exhaustive oracle, and so
+    generates much larger identical-length instances (up to 40 tasks)
+    than the optimality classes can afford. *)
+
+type model_class = Eedf | R | A | H | Eedf_fast
 
 val all : model_class list
-(** Every class, in the fixed campaign order [Eedf; R; A; H]. *)
+(** Every class, in the fixed campaign order [Eedf; R; A; H; Eedf_fast]. *)
 
 val name : model_class -> string
-(** CLI / corpus spelling: ["eedf"], ["r"], ["a"], ["h"]. *)
+(** CLI / corpus spelling: ["eedf"], ["r"], ["a"], ["h"], ["eedf-fast"]. *)
 
 val of_name : string -> model_class option
 

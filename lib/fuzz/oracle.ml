@@ -18,6 +18,7 @@ type kind =
   | Claimed_infeasible
   | Claimed_feasible
   | Precondition
+  | Divergence
   | Crash of string
 
 type outcome = Agree | Skip of string | Bug of { kind : kind; detail : string }
@@ -29,6 +30,7 @@ let pp_kind ppf = function
   | Claimed_infeasible -> Format.pp_print_string ppf "claimed-infeasible-but-oracle-feasible"
   | Claimed_feasible -> Format.pp_print_string ppf "claimed-feasible-but-oracle-infeasible"
   | Precondition -> Format.pp_print_string ppf "precondition-violation"
+  | Divergence -> Format.pp_print_string ppf "engine-divergence"
   | Crash e -> Format.fprintf ppf "crash (%s)" e
 
 let pp_outcome ppf = function
@@ -191,6 +193,95 @@ let run_h fs =
       | Bug _ as b -> b
       | _ -> ( match solver_verdict () with Bug _ as b -> b | _ -> first))
 
+(* Engine-vs-engine differential: the indexed Single_machine against the
+   retained scan-based reference, on the EEDF reduction of the instance.
+   Every output — region list, optimal starts, plain-EDF ablation — must
+   match for exact rational equality; there is no tolerance and no
+   oracle budget, so any mismatch is a bug. *)
+let run_eedf_fast fs =
+  match Flow_shop.is_identical_length fs with
+  | None -> bug Precondition "eedf-fast generator produced a non-identical-length shop"
+  | Some tau ->
+      let jobs = Eedf.single_machine_jobs fs ~tau in
+      let ref_jobs =
+        Array.map
+          (fun (j : E2e_core.Single_machine.job) ->
+            { Single_machine_ref.id = j.id; release = j.release; deadline = j.deadline })
+          jobs
+      in
+      let pp_rats ppf rs =
+        Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+          (fun ppf r -> Format.pp_print_string ppf (Rat.to_string r))
+          ppf (Array.to_list rs)
+      in
+      let starts_equal a b =
+        Array.length a = Array.length b && Array.for_all2 Rat.equal a b
+      in
+      let regions_verdict =
+        match
+          (E2e_core.Single_machine.forbidden_regions ~tau jobs,
+           Single_machine_ref.forbidden_regions ~tau:tau ref_jobs)
+        with
+        | Error `Infeasible, Error `Infeasible -> Agree
+        | Ok fast, Ok slow ->
+            let same =
+              List.length fast = List.length slow
+              && List.for_all2
+                   (fun (f : E2e_core.Single_machine.region) (s : Single_machine_ref.region) ->
+                     Rat.equal f.left s.left && Rat.equal f.right s.right)
+                   fast slow
+            in
+            if same then Agree
+            else
+              bug Divergence "forbidden regions differ: fast [%a] vs ref [%a]"
+                (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+                   E2e_core.Single_machine.pp_region)
+                fast
+                (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+                   (fun ppf (r : Single_machine_ref.region) ->
+                     Format.fprintf ppf "(%s, %s)" (Rat.to_string r.left)
+                       (Rat.to_string r.right)))
+                slow
+        | Ok _, Error `Infeasible ->
+            bug Divergence "fast engine built regions where the reference proves infeasible"
+        | Error `Infeasible, Ok _ ->
+            bug Divergence "fast engine claims infeasible during regions; reference succeeds"
+      in
+      let schedule_verdict () =
+        match
+          (E2e_core.Single_machine.schedule ~tau jobs,
+           Single_machine_ref.schedule ~tau:tau ref_jobs)
+        with
+        | Error `Infeasible, Error `Infeasible -> Agree
+        | Ok fast, Ok slow ->
+            if starts_equal fast slow then Agree
+            else bug Divergence "schedules differ: fast [%a] vs ref [%a]" pp_rats fast pp_rats slow
+        | Ok _, Error `Infeasible -> bug Divergence "fast schedules an instance the reference rejects"
+        | Error `Infeasible, Ok _ -> bug Divergence "fast rejects an instance the reference schedules"
+      in
+      let ablation_verdict () =
+        match
+          (E2e_core.Single_machine.edf_schedule_no_regions ~tau jobs,
+           Single_machine_ref.edf_schedule_no_regions ~tau:tau ref_jobs)
+        with
+        | Error (`Deadline_missed i), Error (`Deadline_missed i') ->
+            if i = i' then Agree
+            else bug Divergence "plain EDF misses different first deadlines: fast %d vs ref %d" i i'
+        | Ok fast, Ok slow ->
+            if starts_equal fast slow then Agree
+            else
+              bug Divergence "plain-EDF schedules differ: fast [%a] vs ref [%a]" pp_rats fast
+                pp_rats slow
+        | Ok _, Error (`Deadline_missed i) ->
+            bug Divergence "plain EDF: fast meets all deadlines, reference misses job %d" i
+        | Error (`Deadline_missed i), Ok _ ->
+            bug Divergence "plain EDF: fast misses job %d, reference meets all deadlines" i
+      in
+      (match regions_verdict with
+      | Bug _ as b -> b
+      | _ -> (
+          match schedule_verdict () with Bug _ as b -> b | _ -> ablation_verdict ()))
+
 let run cls (shop : Recurrence_shop.t) =
   let traditional run_fs =
     match to_flow_shop shop with
@@ -203,6 +294,7 @@ let run cls (shop : Recurrence_shop.t) =
     | Gen.A -> traditional run_a
     | Gen.H -> traditional run_h
     | Gen.R -> run_r shop
+    | Gen.Eedf_fast -> traditional run_eedf_fast
   with
   | outcome -> outcome
   | exception exn -> Bug { kind = Crash (Printexc.to_string exn); detail = "solver raised" }

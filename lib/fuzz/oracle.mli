@@ -15,7 +15,11 @@
       heuristic, so a failure is never a bug by itself; but any schedule
       it returns must pass {!E2e_schedule.Schedule.check}, a feasible H
       schedule implies a feasible permutation order the oracle must also
-      find, and the front end's infeasibility proofs must hold up.
+      find, and the front end's infeasibility proofs must hold up;
+    - [Eedf_fast] — the indexed {!E2e_core.Single_machine} engine vs.
+      the retained scan-based {!Single_machine_ref}, compared for exact
+      rational equality on region lists, optimal schedules and the
+      plain-EDF ablation.  No oracle budget: every trial is decidable.
 
     Every returned schedule, from solver and oracle alike, is validated
     by the independent checker. *)
@@ -32,6 +36,11 @@ type kind =
   | Precondition
       (** The solver rejected optimality preconditions the generator
           guarantees (identical lengths, homogeneity, single loop, ...). *)
+  | Divergence
+      (** The indexed {!E2e_core.Single_machine} engine and the retained
+          scan-based {!Single_machine_ref} disagree on some output
+          (regions, optimal starts, or the plain-EDF ablation) — the
+          [eedf-fast] class. *)
   | Crash of string  (** The solver raised. *)
 
 type outcome =

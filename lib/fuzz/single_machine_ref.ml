@@ -1,0 +1,151 @@
+module Rat = E2e_rat.Rat
+
+type rat = Rat.t
+type job = { id : int; release : rat; deadline : rat }
+type region = { left : rat; right : rat }
+
+(* Regions are kept sorted by [left] and pairwise disjoint.  Two regions
+   sharing only an endpoint are NOT merged: the shared point itself is a
+   legal start instant because regions are open intervals. *)
+let insert_region regions (r : region) =
+  if Rat.(r.left >= r.right) then regions
+  else
+    let rec merge acc r = function
+      | [] -> List.rev (r :: acc)
+      | r' :: rest ->
+          if Rat.(r'.right < r.left) || Rat.(r'.right = r.left) then merge (r' :: acc) r rest
+          else if Rat.(r.right < r'.left) || Rat.(r.right = r'.left) then
+            List.rev_append acc (r :: r' :: rest)
+          else
+            (* Overlapping: coalesce and keep scanning. *)
+            merge acc { left = Rat.min r.left r'.left; right = Rat.max r.right r'.right } rest
+    in
+    merge [] r regions
+
+(* Largest start time [<= s] that is not strictly inside a region. *)
+let adjust_down regions s =
+  List.fold_left
+    (fun s r -> if Rat.(r.left < s) && Rat.(s < r.right) then r.left else s)
+    s regions
+
+(* Smallest start time [>= s] that is not strictly inside a region. *)
+let adjust_up regions s =
+  List.fold_left
+    (fun s r -> if Rat.(r.left < s) && Rat.(s < r.right) then r.right else s)
+    s regions
+
+(* Earliest start of the latest packing of [count] jobs of length [tau]
+   all completing by [deadline], with every start outside [regions]. *)
+let pack_latest regions ~tau ~count ~deadline =
+  let rec go s remaining =
+    let s = adjust_down regions s in
+    if remaining = 1 then s else go (Rat.sub s tau) (remaining - 1)
+  in
+  go (Rat.sub deadline tau) count
+
+let sorted_distinct values = List.sort_uniq Rat.compare values
+
+let forbidden_regions ~tau jobs =
+  let releases = sorted_distinct (Array.to_list (Array.map (fun j -> j.release) jobs)) in
+  let deadlines = sorted_distinct (Array.to_list (Array.map (fun j -> j.deadline) jobs)) in
+  let releases_desc = List.rev releases in
+  let exception Infeasible in
+  try
+    let regions = ref [] in
+    List.iter
+      (fun r ->
+        List.iter
+          (fun d ->
+            let count =
+              Array.fold_left
+                (fun acc j ->
+                  if Rat.(j.release >= r) && Rat.(j.deadline <= d) then acc + 1 else acc)
+                0 jobs
+            in
+            if count > 0 then begin
+              let c = pack_latest !regions ~tau ~count ~deadline:d in
+              if Rat.(c < r) then raise Infeasible;
+              let left = Rat.sub c tau in
+              if Rat.(left < r) then regions := insert_region !regions { left; right = r }
+            end)
+          deadlines)
+      releases_desc;
+    Ok !regions
+  with Infeasible -> Error `Infeasible
+
+(* Priority-driven EDF dispatch over linear scans; [advance] postpones
+   candidate dispatch instants. *)
+let edf_dispatch ~tau ~advance jobs =
+  let n = Array.length jobs in
+  let starts = Array.make n Rat.zero in
+  let done_ = Array.make n false in
+  let free = ref Rat.zero in
+  let missed = ref None in
+  if n > 0 then
+    free := Array.fold_left (fun acc j -> Rat.min acc j.release) jobs.(0).release jobs;
+  for _ = 1 to n do
+    let min_release =
+      Array.fold_left
+        (fun acc j ->
+          if done_.(j.id) then acc
+          else Some (match acc with None -> j.release | Some m -> Rat.min m j.release))
+        None jobs
+    in
+    match min_release with
+    | None -> ()
+    | Some min_release ->
+        let t = ref (Rat.max !free min_release) in
+        let rec settle () =
+          let t' = advance !t in
+          if Rat.(t' > !t) then begin
+            t := t';
+            settle ()
+          end
+        in
+        settle ();
+        (* Among ready jobs pick the earliest deadline (ties: release, id). *)
+        let best = ref None in
+        Array.iter
+          (fun j ->
+            if (not done_.(j.id)) && Rat.(j.release <= !t) then
+              match !best with
+              | None -> best := Some j
+              | Some b ->
+                  let c = Rat.compare j.deadline b.deadline in
+                  let c = if c <> 0 then c else Rat.compare j.release b.release in
+                  let c = if c <> 0 then c else compare j.id b.id in
+                  if c < 0 then best := Some j)
+          jobs;
+        (match !best with
+        | None -> assert false
+        | Some j ->
+            starts.(j.id) <- !t;
+            done_.(j.id) <- true;
+            let finish = Rat.add !t tau in
+            free := finish;
+            if Rat.(finish > j.deadline) && !missed = None then missed := Some j.id)
+  done;
+  (starts, !missed)
+
+let with_dense_ids jobs f =
+  let dense = Array.mapi (fun i j -> { j with id = i }) jobs in
+  f dense
+
+let schedule ~tau jobs =
+  if Array.length jobs = 0 then Ok [||]
+  else
+    match forbidden_regions ~tau jobs with
+    | Error `Infeasible -> Error `Infeasible
+    | Ok regions ->
+        with_dense_ids jobs (fun dense ->
+            let starts, missed = edf_dispatch ~tau ~advance:(adjust_up regions) dense in
+            match missed with Some _ -> Error `Infeasible | None -> Ok starts)
+
+let edf_schedule_no_regions ~tau jobs =
+  if Array.length jobs = 0 then Ok [||]
+  else
+    with_dense_ids jobs (fun dense ->
+        let starts, missed = edf_dispatch ~tau ~advance:Fun.id dense in
+        match missed with
+        | Some i -> Error (`Deadline_missed jobs.(i).id)
+        | None -> Ok starts)

@@ -79,6 +79,14 @@ let parse_file path =
   | text -> parse text
   | exception Sys_error m -> Error m
 
+let task_line (task : Task.t) =
+  let buf = Buffer.create 32 in
+  Buffer.add_string buf
+    (Printf.sprintf "task %s %s" (Rat.to_string task.release) (Rat.to_string task.deadline));
+  Array.iter (fun tau -> Buffer.add_string buf (" " ^ Rat.to_string tau)) task.proc_times;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
 let to_string (shop : Recurrence_shop.t) =
   let buf = Buffer.create 256 in
   if not (Visit.is_traditional shop.visit) then begin
@@ -88,11 +96,5 @@ let to_string (shop : Recurrence_shop.t) =
       shop.visit.Visit.sequence;
     Buffer.add_char buf '\n'
   end;
-  Array.iter
-    (fun (task : Task.t) ->
-      Buffer.add_string buf
-        (Printf.sprintf "task %s %s" (Rat.to_string task.release) (Rat.to_string task.deadline));
-      Array.iter (fun tau -> Buffer.add_string buf (" " ^ Rat.to_string tau)) task.proc_times;
-      Buffer.add_char buf '\n')
-    shop.tasks;
+  Array.iter (fun task -> Buffer.add_string buf (task_line task)) shop.tasks;
   Buffer.contents buf

@@ -22,3 +22,10 @@ val parse_file : string -> (Recurrence_shop.t, string) result
 
 val to_string : Recurrence_shop.t -> string
 (** Render in the same format ([parse (to_string s)] round-trips). *)
+
+val task_line : Task.t -> string
+(** One [task ...] line (with trailing newline), exactly as {!to_string}
+    renders it.  Task ids do not appear in the rendering, so the line is
+    a pure function of the task's (release, deadline, processing times) —
+    the property the serve-layer cache relies on to reuse rendered lines
+    across relabellings and committed-set merges. *)

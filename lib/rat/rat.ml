@@ -90,8 +90,12 @@ let div_int t k =
   else make t.num (checked_mul t.den k)
 
 let compare a b =
+  (* Equal denominators — the common case inside solvers, where values
+     share a time grid — compare by numerator alone: no multiplication,
+     no overflow risk. *)
+  if a.den = b.den then Stdlib.compare a.num b.num
   (* Cross-multiplication; denominators are positive. *)
-  if fits a.num && fits a.den && fits b.num && fits b.den then
+  else if fits a.num && fits a.den && fits b.num && fits b.den then
     Stdlib.compare (a.num * b.den) (b.num * a.den)
   else
     (* Differing signs decide without multiplying; equal signs fall back

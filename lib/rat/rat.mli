@@ -56,9 +56,13 @@ val div_int : t -> int -> t
 (** {1 Comparison} *)
 
 val compare : t -> t -> int
-(** Total order by exact value.  For operands with huge components whose
-    cross-products overflow (and whose signs do not already decide),
-    raises {!Overflow} rather than returning a wrong answer. *)
+(** Total order by exact value.  Operands sharing a denominator — the
+    common case on solver hot paths, where values live on one time grid
+    — are decided by an allocation- and multiplication-free numerator
+    comparison ({!min} and {!max} inherit the fast path).  For operands
+    with huge components whose cross-products overflow (and whose signs
+    do not already decide), raises {!Overflow} rather than returning a
+    wrong answer. *)
 
 val equal : t -> t -> bool
 val ( = ) : t -> t -> bool

@@ -19,7 +19,12 @@ type decision =
   | Rejected of { certificate : Infeasibility.certificate option }
   | Undecided of { reason : string }
 
-type t = Recurrence_shop.t Smap.t
+(* Each committed shop carries the canonical form of its committed task
+   set, so the next Add re-solve starts from already-sorted, already-
+   rendered committed lines (Cache.merge) instead of canonicalizing the
+   whole merged candidate from scratch. *)
+type entry = { shop : Recurrence_shop.t; canon : Cache.canonical }
+type t = entry Smap.t
 
 type request =
   | Submit of { shop : string; instance : Recurrence_shop.t }
@@ -34,9 +39,9 @@ type reply =
   | Request_error of { shop : string; message : string }
 
 let empty = Smap.empty
-let shops t = Smap.bindings t
-let find t shop = Smap.find_opt shop t
-let n_committed t = Smap.fold (fun _ s acc -> acc + Recurrence_shop.n_tasks s) t 0
+let shops t = List.map (fun (name, e) -> (name, e.shop)) (Smap.bindings t)
+let find t shop = Option.map (fun e -> e.shop) (Smap.find_opt shop t)
+let n_committed t = Smap.fold (fun _ e acc -> acc + Recurrence_shop.n_tasks e.shop) t 0
 
 let record_decision = function
   | Admitted _ -> Obs.incr "serve.admitted"
@@ -110,8 +115,7 @@ let cache_key ~budget canon = canon.Cache.key ^ ":" ^ budget_tag budget
    different verdicts.  Canonicalize-always makes the transparency
    contract (identical verdicts) hold by construction; the cache only
    controls reuse. *)
-let decide ?(budget = Unbounded) ?cache (shop : Recurrence_shop.t) =
-  let canon = Cache.canonicalize shop in
+let decide_canonical ?(budget = Unbounded) ?cache canon (shop : Recurrence_shop.t) =
   let decision =
     match cache with
     | None -> relabel canon shop (decide_uncached budget canon.Cache.shop)
@@ -127,59 +131,79 @@ let decide ?(budget = Unbounded) ?cache (shop : Recurrence_shop.t) =
   record_decision decision;
   decision
 
+let decide ?budget ?cache (shop : Recurrence_shop.t) =
+  decide_canonical ?budget ?cache (Cache.canonicalize shop) shop
+
 let request_error shop message =
   Obs.incr "serve.request_errors";
   Request_error { shop; message }
 
-let merge_candidate (committed : Recurrence_shop.t) tasks =
+let fresh_tasks (committed : Recurrence_shop.t) tasks =
   let n = Recurrence_shop.n_tasks committed in
-  let fresh =
-    Array.of_list
-      (List.mapi
-         (fun i (release, deadline, proc_times) ->
-           Task.make ~id:(n + i) ~release ~deadline ~proc_times)
-         tasks)
-  in
-  Recurrence_shop.make ~visit:committed.visit (Array.append committed.tasks fresh)
+  Array.of_list
+    (List.mapi
+       (fun i (release, deadline, proc_times) ->
+         Task.make ~id:(n + i) ~release ~deadline ~proc_times)
+       tasks)
 
-let candidate_of_request t = function
+let merge_candidate (committed : Recurrence_shop.t) tasks =
+  Recurrence_shop.make ~visit:committed.visit
+    (Array.append committed.tasks (fresh_tasks committed tasks))
+
+type prepared = { candidate : Recurrence_shop.t; canon : Cache.canonical }
+
+let prepare ?keyer t = function
   | Submit { shop; instance } ->
       if Smap.mem shop t then
         Error (request_error shop "shop already exists; add to it or drop it first")
-      else Ok instance
+      else
+        let canon =
+          match keyer with
+          | Some k -> Cache.Keyer.canonicalize k instance
+          | None -> Cache.canonicalize instance
+        in
+        Ok { candidate = instance; canon }
   | Add { shop; tasks } -> (
       match Smap.find_opt shop t with
       | None -> Error (request_error shop "unknown shop")
       | Some _ when tasks = [] -> Error (request_error shop "add expects at least one task")
-      | Some committed -> (
+      | Some { shop = committed; canon = base } -> (
           match merge_candidate committed tasks with
-          | candidate -> Ok candidate
+          | candidate ->
+              (* The committed side arrives pre-sorted and pre-rendered:
+                 only the handful of fresh tasks pays canonicalization. *)
+              Ok { candidate; canon = Cache.merge ~base (fresh_tasks committed tasks) }
           | exception Invalid_argument m -> Error (request_error shop m)))
   | Query { shop } ->
       Error
-        (Queried { shop; n_tasks = Option.map Recurrence_shop.n_tasks (Smap.find_opt shop t) })
+        (Queried
+           { shop; n_tasks = Option.map (fun e -> Recurrence_shop.n_tasks e.shop) (Smap.find_opt shop t) })
   | Drop { shop } -> Error (Dropped { shop; existed = Smap.mem shop t })
 
-let commit t request decision =
+let candidate_of_request t request = Result.map (fun p -> p.candidate) (prepare t request)
+
+let commit ?prepared t request decision =
   match (request, decision) with
   | (Submit { shop; _ } | Add { shop; _ }), Some (Admitted _) -> (
-      match candidate_of_request t request with
-      | Ok candidate -> Smap.add shop candidate t
+      match
+        match prepared with Some p -> Ok p | None -> prepare t request
+      with
+      | Ok { candidate; canon } -> Smap.add shop { shop = candidate; canon } t
       | Error _ -> t)
   | Drop { shop }, _ -> Smap.remove shop t
   | _, _ -> t
 
-let apply ?budget ?cache t request =
+let apply ?budget ?cache ?keyer t request =
   Obs.incr "serve.requests";
-  match candidate_of_request t request with
+  match prepare ?keyer t request with
   | Error reply -> (commit t request None, reply)
-  | Ok candidate ->
-      let decision = decide ?budget ?cache candidate in
+  | Ok ({ candidate; canon } as prepared) ->
+      let decision = decide_canonical ?budget ?cache canon candidate in
       let shop =
         match request with
         | Submit { shop; _ } | Add { shop; _ } | Query { shop } | Drop { shop } -> shop
       in
-      ( commit t request (Some decision),
+      ( commit ~prepared t request (Some decision),
         Decided { shop; n_tasks = Recurrence_shop.n_tasks candidate; decision } )
 
 let decision_kind = function

@@ -112,22 +112,54 @@ val decide :
     schedule relabelled to the candidate's task ids and a miss stores
     the canonical decision.  Default budget: [Unbounded]. *)
 
+val decide_canonical :
+  ?budget:budget ->
+  ?cache:decision Cache.t ->
+  Cache.canonical ->
+  E2e_model.Recurrence_shop.t ->
+  decision
+(** {!decide} with the canonicalization already done — the entry point
+    for {!prepare}d requests, so the incremental canonical (committed
+    merge or keyer reuse) is not thrown away and recomputed. *)
+
+type prepared = { candidate : E2e_model.Recurrence_shop.t; canon : Cache.canonical }
+(** A validated [Submit]/[Add]: the merged committed-plus-candidate set
+    together with its canonical form. *)
+
+val prepare : ?keyer:Cache.Keyer.t -> t -> request -> (prepared, reply) result
+(** Validate one request and canonicalize its candidate, or return the
+    error/informational reply for requests that need no solve ([Query],
+    [Drop], malformed [Submit]/[Add]).  This is where the incremental
+    machinery lives: an [Add] merges the fresh tasks into the committed
+    set's {e stored} canonical ({!Cache.merge} — committed lines and
+    order are reused), and a [Submit] goes through the [keyer]'s
+    structural pre-key when one is given, skipping the render-and-digest
+    for repeated instances.  Exposed so the batcher can validate and
+    canonicalize sequentially while fanning only the solves out in
+    parallel. *)
+
 val candidate_of_request :
   t -> request -> (E2e_model.Recurrence_shop.t, reply) result
-(** The merged committed-plus-candidate set a [Submit]/[Add] asks the
-    engine to guarantee, or the error/informational reply for requests
-    that need no solve ([Query], [Drop], malformed [Submit]/[Add]).
-    Exposed so the batcher can validate and canonicalize sequentially
-    while fanning only the solves out in parallel. *)
+(** [prepare] without the canonical — the merged candidate set a
+    [Submit]/[Add] asks the engine to guarantee. *)
 
-val commit : t -> request -> decision option -> t
+val commit : ?prepared:prepared -> t -> request -> decision option -> t
 (** Fold a processed request into the state: a [Submit]/[Add] decided
-    [Admitted] commits its candidate, [Drop] removes its shop, and
-    everything else ([Rejected], [Undecided], [Query], no-solve
-    replies) leaves the state unchanged. *)
+    [Admitted] commits its candidate {e and its canonical} (handed back
+    on the next [Add]'s merge), [Drop] removes its shop, and everything
+    else ([Rejected], [Undecided], [Query], no-solve replies) leaves the
+    state unchanged.  Pass the [prepared] value from {!prepare} to avoid
+    re-validating and re-canonicalizing; without it the commit recomputes
+    both. *)
 
-val apply : ?budget:budget -> ?cache:decision Cache.t -> t -> request -> t * reply
-(** [candidate_of_request] + [decide] + [commit] in one step — the
+val apply :
+  ?budget:budget ->
+  ?cache:decision Cache.t ->
+  ?keyer:Cache.Keyer.t ->
+  t ->
+  request ->
+  t * reply
+(** [prepare] + [decide_canonical] + [commit] in one step — the
     sequential reference interpreter the differential fuzzer checks the
     batched engine against. *)
 

@@ -10,12 +10,17 @@ type config = {
   cache_capacity : int;
 }
 
+(* The default cache capacity is sized to the working set of a
+   loadgen-scale stream (a few thousand distinct canonical keys), not to
+   a token "some caching" value: an LRU smaller than the working set
+   thrashes and hits only on immediate repeats. *)
 let default_config =
-  { queue_capacity = 1024; batch = 16; budget = Admission.Unbounded; jobs = 1; cache_capacity = 512 }
+  { queue_capacity = 1024; batch = 16; budget = Admission.Unbounded; jobs = 1; cache_capacity = 4096 }
 
 type t = {
   cfg : config;
   cache : Admission.decision Cache.t option;
+  keyer : Cache.Keyer.t;
   mutable engine : Admission.t;
   queue : Admission.request Queue.t;
 }
@@ -30,6 +35,7 @@ let create ?(config = default_config) () =
     cache =
       (if config.cache_capacity = 0 then None
        else Some (Cache.create ~capacity:config.cache_capacity));
+    keyer = Cache.Keyer.create ();
     engine = Admission.empty;
     queue = Queue.create ();
   }
@@ -37,6 +43,7 @@ let create ?(config = default_config) () =
 let config t = t.cfg
 let engine t = t.engine
 let cache_stats t = Option.map Cache.stats t.cache
+let keyer_stats t = Cache.Keyer.stats t.keyer
 let pending t = Queue.length t.queue
 
 let shop_of = function
@@ -56,9 +63,9 @@ let submit t request =
 (* Phase-1 classification of one batch member. *)
 type slot =
   | Resolved of Admission.reply  (* no solve needed (error/query/drop) *)
-  | Hit of { decision : Admission.decision; n_tasks : int }
+  | Hit of { decision : Admission.decision; prepared : Admission.prepared }
       (* [decision] already relabelled to the candidate *)
-  | Miss of { candidate : Recurrence_shop.t; canon : Cache.canonical }
+  | Miss of Admission.prepared
       (* Solves always run on the canonical form — whether or not the
          result will be cached — so verdicts are independent of the
          candidate's task labelling and cache-on/cache-off runs agree
@@ -93,23 +100,19 @@ let step t =
           let slots =
             List.map
               (fun req ->
-                match Admission.candidate_of_request t.engine req with
+                match Admission.prepare ~keyer:t.keyer t.engine req with
                 | Error reply -> (req, Resolved reply)
-                | Ok candidate -> (
-                    let canon = Cache.canonicalize candidate in
+                | Ok ({ Admission.candidate; canon } as prepared) -> (
                     match t.cache with
-                    | None -> (req, Miss { candidate; canon })
+                    | None -> (req, Miss prepared)
                     | Some cache -> (
                         let key = Admission.cache_key ~budget:t.cfg.budget canon in
                         match Cache.find cache key with
                         | Some d ->
                             ( req,
                               Hit
-                                {
-                                  decision = Admission.relabel canon candidate d;
-                                  n_tasks = Recurrence_shop.n_tasks candidate;
-                                } )
-                        | None -> (req, Miss { candidate; canon }))))
+                                { decision = Admission.relabel canon candidate d; prepared } )
+                        | None -> (req, Miss prepared))))
               batch
           in
           (* Phase 2 (parallel): solve the misses.  Submission order is
@@ -118,7 +121,7 @@ let step t =
           let misses =
             List.filter_map
               (function
-                | _, Miss { canon; _ } -> Some canon.Cache.shop
+                | _, Miss { Admission.canon; _ } -> Some canon.Cache.shop
                 | _, (Resolved _ | Hit _) -> None)
               slots
             |> Array.of_list
@@ -135,11 +138,17 @@ let step t =
               | Resolved reply ->
                   t.engine <- Admission.commit t.engine req None;
                   (req, reply)
-              | Hit { decision; n_tasks } ->
+              | Hit { decision; prepared } ->
                   Admission.record_decision decision;
-                  t.engine <- Admission.commit t.engine req (Some decision);
-                  (req, Admission.Decided { shop = shop_of req; n_tasks; decision })
-              | Miss { candidate; canon } ->
+                  t.engine <- Admission.commit ~prepared t.engine req (Some decision);
+                  ( req,
+                    Admission.Decided
+                      {
+                        shop = shop_of req;
+                        n_tasks = Recurrence_shop.n_tasks prepared.Admission.candidate;
+                        decision;
+                      } )
+              | Miss ({ Admission.candidate; canon } as prepared) ->
                   let decision = solved.(!next_miss) in
                   incr next_miss;
                   (match t.cache with
@@ -150,7 +159,7 @@ let step t =
                   | None -> ());
                   let decision = Admission.relabel canon candidate decision in
                   Admission.record_decision decision;
-                  t.engine <- Admission.commit t.engine req (Some decision);
+                  t.engine <- Admission.commit ~prepared t.engine req (Some decision);
                   ( req,
                     Admission.Decided
                       {

@@ -42,7 +42,10 @@ type config = {
 
 val default_config : config
 (** [{ queue_capacity = 1024; batch = 16; budget = Unbounded; jobs = 1;
-      cache_capacity = 512 }] *)
+      cache_capacity = 4096 }] — the cache is sized to cover the
+    working set of a loadgen-scale request stream (a few thousand
+    distinct canonical keys); see the capacity sweep in
+    [BENCH_serve.json]. *)
 
 val create : ?config:config -> unit -> t
 (** A fresh batcher over an empty {!Admission.empty} engine.
@@ -55,6 +58,11 @@ val engine : t -> Admission.t
 
 val cache_stats : t -> Cache.stats option
 (** [None] when the cache is disabled. *)
+
+val keyer_stats : t -> Cache.Keyer.stats
+(** How often the structural pre-key skipped the render-and-digest step
+    of canonicalization (the keyer is always on — it costs one sort the
+    batcher performs anyway). *)
 
 val pending : t -> int
 

@@ -1,21 +1,6 @@
-(** Polymorphic binary min-heap, the event queue of the simulators. *)
+(** The simulators' event queue: an alias of {!E2e_ds.Heap} (kept under
+    this name so simulator code and tests are unchanged). *)
 
-type 'a t
-
-val create : cmp:('a -> 'a -> int) -> 'a t
-(** Empty heap ordered by [cmp] (minimum first). *)
-
-val length : 'a t -> int
-val is_empty : 'a t -> bool
-val push : 'a t -> 'a -> unit
-
-val peek : 'a t -> 'a option
-(** Minimum element, without removing it. *)
-
-val pop : 'a t -> 'a option
-(** Removes and returns the minimum element. *)
-
-val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
-
-val drain : 'a t -> 'a list
-(** Pops everything; the result is sorted by [cmp]. *)
+include module type of struct
+  include E2e_ds.Heap
+end

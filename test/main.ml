@@ -2,6 +2,7 @@ let () =
   Alcotest.run "e2e_sched"
     [
       ("rat", Test_rat.suite);
+      ("ds", Test_ds.suite);
       ("prng", Test_prng.suite);
       ("stats", Test_stats.suite);
       ("model", Test_model.suite);

@@ -51,7 +51,18 @@ let test_gen_guards () =
             Alcotest.(check bool) "traditional" true
               (Visit.is_traditional shop.Recurrence_shop.visit);
             Alcotest.(check bool) "tasks within branch-bound guard" true (n >= 1 && n <= 8);
-            Alcotest.(check bool) "processors within branch-bound guard" true (k <= 6));
+            Alcotest.(check bool) "processors within branch-bound guard" true (k <= 6)
+        | Gen.Eedf_fast ->
+            (* Engine differential: no oracle guard, but the instances
+               must be identical-length and traditional. *)
+            Alcotest.(check bool) "eedf-fast: traditional" true
+              (Visit.is_traditional shop.Recurrence_shop.visit);
+            Alcotest.(check bool) "eedf-fast: tasks within generator bound" true
+              (n >= 1 && n <= 41);
+            Alcotest.(check bool) "eedf-fast: identical length" true
+              (Flow_shop.is_identical_length
+                 (Flow_shop.make ~processors:k shop.Recurrence_shop.tasks)
+              <> None));
         ()
       done)
     Gen.all

@@ -179,6 +179,42 @@ let prop_compare_total =
   QCheck.Test.make ~name:"rat compare antisymmetric" ~count:500 (QCheck.pair arb_rat arb_rat)
     (fun (a, b) -> Rat.compare a b = -Rat.compare b a)
 
+(* The equal-denominator fast path in [compare] must agree with exact
+   Int64 cross-multiplication on every input — including pairs forced
+   onto a shared denominator, where the fast path actually fires. *)
+let compare_int64 a b =
+  Int64.compare
+    (Int64.mul (Int64.of_int (Rat.num a)) (Int64.of_int (Rat.den b)))
+    (Int64.mul (Int64.of_int (Rat.num b)) (Int64.of_int (Rat.den a)))
+
+let test_compare_equal_den () =
+  let chk msg a b =
+    Alcotest.(check int) msg (compare_int64 a b) (Rat.compare a b);
+    Alcotest.(check int) (msg ^ " (swapped)") (compare_int64 b a) (Rat.compare b a)
+  in
+  chk "3/7 vs 5/7" (Rat.make 3 7) (Rat.make 5 7);
+  chk "-3/7 vs 5/7" (Rat.make (-3) 7) (Rat.make 5 7);
+  chk "3/7 vs 3/7" (Rat.make 3 7) (Rat.make 3 7);
+  chk "integers" (Rat.of_int 4) (Rat.of_int (-9));
+  (* Equal denominators near max_int: cross products would overflow
+     (even in Int64), the numerator path must answer anyway. *)
+  let d = max_int - 1 in
+  Alcotest.(check int) "huge shared denominator" (-1)
+    (Stdlib.compare (Rat.compare (Rat.make 3 d) (Rat.make 5 d)) 0);
+  check_rat "min on shared grid" (Rat.make 3 7) (Rat.min (Rat.make 5 7) (Rat.make 3 7));
+  check_rat "max on shared grid" (Rat.make 5 7) (Rat.max (Rat.make 5 7) (Rat.make 3 7))
+
+let prop_compare_matches_int64 =
+  QCheck.Test.make ~name:"rat compare agrees with Int64 cross-multiplication" ~count:1000
+    (QCheck.triple arb_rat arb_rat QCheck.bool) (fun (a, b, share_den) ->
+      (* Half the pairs are projected onto b's denominator so the
+         equal-denominator branch is exercised, not just the general
+         one. *)
+      let a = if share_den then Rat.make (Rat.num a) (Rat.den b) else a in
+      Stdlib.compare (Rat.compare a b) 0 = Stdlib.compare (compare_int64 a b) 0
+      && Rat.equal (Rat.min a b) (if compare_int64 a b <= 0 then a else b)
+      && Rat.equal (Rat.max a b) (if compare_int64 a b >= 0 then a else b))
+
 let prop_floor_ceil =
   QCheck.Test.make ~name:"rat floor <= x <= ceil, within 1" ~count:500 arb_rat (fun a ->
       let f = Rat.floor a and c = Rat.ceil a in
@@ -195,6 +231,7 @@ let suite =
     Alcotest.test_case "arithmetic" `Quick test_arithmetic;
     Alcotest.test_case "division by zero" `Quick test_division_by_zero;
     Alcotest.test_case "comparison" `Quick test_compare;
+    Alcotest.test_case "equal-denominator fast path" `Quick test_compare_equal_den;
     Alcotest.test_case "floor/ceil" `Quick test_floor_ceil;
     Alcotest.test_case "multiples" `Quick test_multiples;
     Alcotest.test_case "parsing" `Quick test_parse;
@@ -209,6 +246,7 @@ let suite =
     to_alcotest prop_sub_add_inverse;
     to_alcotest prop_div_mul_inverse;
     to_alcotest prop_compare_total;
+    to_alcotest prop_compare_matches_int64;
     to_alcotest prop_floor_ceil;
     to_alcotest prop_to_float_order;
     to_alcotest prop_overflow_add;

@@ -146,6 +146,56 @@ let test_canonical_key_permutation_invariant () =
     | Error _ -> Alcotest.fail "restored schedule violates constraints"
   done
 
+(* The incremental Add path must be indistinguishable from a from-scratch
+   canonicalization of the merged candidate: same key, same permutation,
+   same rendered lines — byte for byte. *)
+let test_merge_matches_canonicalize () =
+  let g = Prng.of_path [| 5; 99; 0 |] in
+  for _ = 1 to 30 do
+    let shop = gen_instance g in
+    let n = Recurrence_shop.n_tasks shop in
+    let h = 1 + Prng.int g (n - 1) in
+    let committed =
+      Recurrence_shop.make ~visit:shop.Recurrence_shop.visit
+        (Array.sub shop.Recurrence_shop.tasks 0 h)
+    in
+    let fresh = Array.sub shop.Recurrence_shop.tasks h (n - h) in
+    let merged = Cache.merge ~base:(Cache.canonicalize committed) fresh in
+    let full = Cache.canonicalize shop in
+    Alcotest.(check string) "merge key = full key" full.Cache.key merged.Cache.key;
+    Alcotest.(check (array int)) "merge perm = full perm" full.Cache.perm merged.Cache.perm;
+    Alcotest.(check (array string)) "merge lines = full lines" full.Cache.lines
+      merged.Cache.lines
+  done
+
+let test_keyer_reuses () =
+  let g = Prng.of_path [| 5; 97; 0 |] in
+  let k = Cache.Keyer.create () in
+  for _ = 1 to 10 do
+    let shop = gen_instance g in
+    let c1 = Cache.Keyer.canonicalize k shop in
+    Alcotest.(check string) "keyer agrees with canonicalize" (Cache.key shop) c1.Cache.key;
+    (* A permutation sorts to the same canonical instance, so the second
+       canonicalization must skip the render-and-digest step yet hand
+       back the same key (and a perm valid for the permuted shop). *)
+    let shuffled = permute g shop in
+    let c2 = Cache.Keyer.canonicalize k shuffled in
+    Alcotest.(check string) "permutation reuses the key" c1.Cache.key c2.Cache.key;
+    (* The reused canonical carries the shuffled shop's own perm: the
+       task at canonical position [p] must be (a content-equal twin of)
+       [shuffled.tasks.(perm.(p))]. *)
+    Array.iteri
+      (fun p orig ->
+        Alcotest.(check string) "perm points at a content-equal task"
+          c2.Cache.lines.(p)
+          (E2e_model.Instance_io.task_line shuffled.Recurrence_shop.tasks.(orig)))
+      c2.Cache.perm
+  done;
+  let s = Cache.Keyer.stats k in
+  Alcotest.(check bool) "every permutation was a reuse" true (s.Cache.Keyer.reused >= 10);
+  Alcotest.(check bool) "distinct instances rendered once each" true
+    (s.Cache.Keyer.rendered >= 1 && s.Cache.Keyer.rendered <= 10)
+
 (* ------------------------------------------------------------------ *)
 (* Determinism and cache transparency                                 *)
 
@@ -376,6 +426,9 @@ let suite =
     ("cache: capacity 0 and invalid", `Quick, test_cache_disabled_and_invalid);
     ("cache: canonical key permutation-invariant", `Quick,
      test_canonical_key_permutation_invariant);
+    ("cache: incremental merge matches full canonicalization", `Quick,
+     test_merge_matches_canonicalize);
+    ("cache: keyer skips digests on repeats", `Quick, test_keyer_reuses);
     ("batcher: byte-identical replies across jobs", `Slow, test_deterministic_across_jobs);
     ("batcher: cache transparency", `Slow, test_cache_transparent);
     ("fuzz: serve differential class agrees", `Slow, test_fuzz_serve_class);
