@@ -7,13 +7,17 @@ FUZZ_B := /tmp/e2e_sched_fuzz_j4.txt
 SERVE_A := /tmp/e2e_sched_serve_j1.txt
 SERVE_B := /tmp/e2e_sched_serve_j4.txt
 CORE_SMOKE := /tmp/e2e_sched_bench_core_small.json
+TRACE_A := /tmp/e2e_sched_trace_j1.jsonl
+TRACE_B := /tmp/e2e_sched_trace_j4.jsonl
+TRACE_SUM := /tmp/e2e_sched_trace_summary.txt
+TRACE_LG := /tmp/e2e_sched_trace_loadgen.json
 JOBS ?= 4
 # full = sizes 10..5000 with 7 trimmed trials; small = the CI smoke
 # configuration (sizes 10 and 100 only).
 BENCH_TRIALS ?= full
 
 .PHONY: all build test bench bench-par bench-serve bench-core fuzz-smoke \
-  serve-smoke check clean
+  serve-smoke trace-smoke check clean
 
 all: build
 
@@ -58,6 +62,23 @@ serve-smoke:
 	cmp $(SERVE_A) $(SERVE_B)
 	grep -q '^admitted ' $(SERVE_A)
 	grep -q '^rejected ' $(SERVE_A)
+	grep -q '^metrics ' $(SERVE_A)
+
+# Fixed-seed traced load-generator run under the deterministic clock on
+# 1 and 4 domains: the request-trace JSONL must be byte-identical across
+# domain counts, pass schema validation (stage order, non-negative
+# durations, stage sums tiling end-to-end), and its e2e-trace analysis
+# must match the committed golden summary byte-for-byte.
+trace-smoke:
+	rm -f $(TRACE_A) $(TRACE_B) $(TRACE_SUM)
+	dune exec bin/loadgen.exe -- --requests 200 --seed 42 -j 1 \
+	  --det-clock --trace $(TRACE_A) --out $(TRACE_LG) > /dev/null
+	dune exec bin/loadgen.exe -- --requests 200 --seed 42 -j 4 \
+	  --det-clock --trace $(TRACE_B) --out $(TRACE_LG) > /dev/null
+	cmp $(TRACE_A) $(TRACE_B)
+	dune exec bin/jsonl_check.exe -- --trace $(TRACE_A)
+	dune exec bin/trace.exe -- analyze $(TRACE_A) > $(TRACE_SUM)
+	cmp $(TRACE_SUM) test/golden/trace_summary.txt
 
 # Short differential-fuzzing campaign over every model class (including
 # eedf-fast, which pits the indexed single-machine engine against the
@@ -91,11 +112,12 @@ check:
 	dune exec bin/jsonl_check.exe $(PAR_METRICS)
 	$(MAKE) fuzz-smoke
 	$(MAKE) serve-smoke
+	$(MAKE) trace-smoke
 	dune exec bench/core_bench.exe -- --trials small --out $(CORE_SMOKE)
 	dune exec bin/jsonl_check.exe $(CORE_SMOKE)
 
 clean:
 	dune clean
 	rm -f $(METRICS) $(PAR_METRICS) $(PAR_A) $(PAR_B) $(FUZZ_A) $(FUZZ_B) \
-	  $(SERVE_A) $(SERVE_B) $(CORE_SMOKE) BENCH_parallel.json \
-	  BENCH_serve.json BENCH_core.json
+	  $(SERVE_A) $(SERVE_B) $(CORE_SMOKE) $(TRACE_A) $(TRACE_B) $(TRACE_SUM) \
+	  $(TRACE_LG) BENCH_parallel.json BENCH_core.json

@@ -23,8 +23,11 @@ module Algo_a = E2e_core.Algo_a
 module Algo_h = E2e_core.Algo_h
 module Gen = E2e_workload.Feasible_gen
 module Admission = E2e_serve.Admission
+module Batcher = E2e_serve.Batcher
 module Cache = E2e_serve.Cache
 module Ref = E2e_fuzz.Single_machine_ref
+module Obs = E2e_obs.Obs
+module Quantile = E2e_obs.Quantile
 
 let pool ~seed ~count f =
   let g = Prng.create seed in
@@ -56,7 +59,16 @@ let trimmed_mean ~warmup ~trials ~reps f =
   done;
   !sum /. float_of_int (hi - lo + 1)
 
-type row = { family : string; n : int; mean_s : float; trials : int; reps : int }
+(* [stages] is empty for most rows; serve_admission rows carry a
+   per-stage latency decomposition (name, p50/p95/p99 in seconds). *)
+type row = {
+  family : string;
+  n : int;
+  mean_s : float;
+  trials : int;
+  reps : int;
+  stages : (string * float * float * float) list;
+}
 
 (* {1 Workloads} *)
 
@@ -98,16 +110,15 @@ let algo_h_case n =
    a drop, adds, queries) through the sequential engine with the
    canonical cache and the structural keyer — the configuration the
    batcher uses per batch member. *)
-let serve_case n =
+let serve_log n =
   let instance g =
     Recurrence_shop.of_traditional
       (Gen.generate g
          { Gen.n_tasks = 2 + Prng.int g 4; n_processors = 2 + Prng.int g 2; mean_tau = 1.0;
            stdev = 0.5; slack_factor = 1.5 })
   in
-  let log =
-    let g = Prng.create (4000 + n) in
-    List.init n (fun i ->
+  let g = Prng.create (4000 + n) in
+  List.init n (fun i ->
         let shop = "s" ^ string_of_int (Prng.int g 8) in
         match Prng.int g 10 with
         | 0 | 1 | 2 | 3 -> Admission.Submit { shop; instance = instance g }
@@ -121,16 +132,52 @@ let serve_case n =
                       ( r,
                         Rat.add r (Rat.of_int (8 + Prng.int g 8)),
                         Array.make 2 Rat.one )) })
-        | 6 -> Admission.Query { shop }
-        | 7 -> Admission.Drop { shop }
-        | _ -> Admission.Submit { shop = "s" ^ string_of_int (i mod 8); instance = instance g })
-  in
+      | 6 -> Admission.Query { shop }
+      | 7 -> Admission.Drop { shop }
+      | _ -> Admission.Submit { shop = "s" ^ string_of_int (i mod 8); instance = instance g })
+
+let serve_case n =
+  let log = serve_log n in
   fun () ->
     let cache = Cache.create ~capacity:4096 in
     let keyer = Cache.Keyer.create () in
     List.fold_left
       (fun t req -> fst (Admission.apply ~cache ~keyer t req))
       Admission.empty log
+
+(* Per-stage latency decomposition for the serve rows: replay the same
+   request log through the batched pipeline with telemetry on and read
+   the stage sketches.  Wall-clock and untimed-loop, so the numbers are
+   indicative; the tracked regression signal stays [mean_us]. *)
+let serve_stage_latencies n =
+  let log = serve_log n in
+  Obs.set_stats true;
+  Obs.reset_metrics ();
+  let config = { Batcher.default_config with Batcher.cache_capacity = 4096 } in
+  ignore (Batcher.process_log (Batcher.create ~config ()) log);
+  let stages =
+    List.filter_map
+      (fun (name, q) ->
+        let prefix = "serve.stage." in
+        let stage =
+          if String.starts_with ~prefix name then
+            Some (String.sub name (String.length prefix)
+                    (String.length name - String.length prefix))
+          else if name = "serve.e2e" then Some "e2e"
+          else None
+        in
+        Option.map
+          (fun s ->
+            ( s,
+              Quantile.quantile q 0.50,
+              Quantile.quantile q 0.95,
+              Quantile.quantile q 0.99 ))
+          stage)
+      (Obs.sketches ())
+  in
+  Obs.set_stats false;
+  Obs.reset_metrics ();
+  stages
 
 (* {1 Harness} *)
 
@@ -142,11 +189,11 @@ let run_all ~small =
   let def_warmup = if small then 1 else 2 in
   let def_trials = if small then 3 else 7 in
   let rep_base = if small then 200 else 1000 in
-  let case ?(warmup = def_warmup) ?(trials = def_trials) family n f =
+  let case ?(warmup = def_warmup) ?(trials = def_trials) ?(stages = []) family n f =
     let reps = reps_for ~n ~base:rep_base in
     let mean_s = trimmed_mean ~warmup ~trials ~reps f in
     Printf.eprintf "%-12s n=%-5d %12.1f us/call\n%!" family n (mean_s *. 1e6);
-    { family; n; mean_s; trials; reps }
+    { family; n; mean_s; trials; reps; stages }
   in
   let rows = ref [] in
   let push r = rows := r :: !rows in
@@ -165,7 +212,7 @@ let run_all ~small =
       end;
       push (case "algo_a" n (algo_a_case n));
       push (case "algo_h" n (algo_h_case n));
-      push (case "serve_admission" n (serve_case n)))
+      push (case ~stages:(serve_stage_latencies n) "serve_admission" n (serve_case n)))
     sizes;
   (List.rev !rows, sizes, ref_cap)
 
@@ -190,11 +237,23 @@ let json_of rows sizes ref_cap ~small =
        (String.concat "," (List.map string_of_int sizes))
        ref_cap);
   List.iteri
-    (fun i { family; n; mean_s; trials; reps } ->
+    (fun i { family; n; mean_s; trials; reps; stages } ->
       if i > 0 then Buffer.add_char buf ',';
       Buffer.add_string buf
-        (Printf.sprintf "{\"family\":\"%s\",\"n\":%d,\"mean_us\":%.3f,\"trials\":%d,\"reps\":%d}"
-           family n (mean_s *. 1e6) trials reps))
+        (Printf.sprintf "{\"family\":\"%s\",\"n\":%d,\"mean_us\":%.3f,\"trials\":%d,\"reps\":%d"
+           family n (mean_s *. 1e6) trials reps);
+      if stages <> [] then begin
+        Buffer.add_string buf ",\"stage_us\":{";
+        List.iteri
+          (fun j (stage, p50, p95, p99) ->
+            if j > 0 then Buffer.add_char buf ',';
+            Buffer.add_string buf
+              (Printf.sprintf "\"%s\":{\"p50\":%.3f,\"p95\":%.3f,\"p99\":%.3f}" stage
+                 (p50 *. 1e6) (p95 *. 1e6) (p99 *. 1e6)))
+          stages;
+        Buffer.add_char buf '}'
+      end;
+      Buffer.add_char buf '}')
     rows;
   Buffer.add_string buf "],\"speedup_eedf_vs_ref\":[";
   List.iteri

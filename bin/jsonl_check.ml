@@ -2,13 +2,26 @@
    file must contain at least one record.  Used by `make check` to verify
    the metrics files the experiment drivers emit.
 
-   Usage: jsonl_check FILE...   (exit 0 iff every file is well-formed) *)
+   With --trace the file is additionally validated as a request-trace
+   stream (e2e-loadgen/e2e-serve --trace): every trace record must carry
+   a request id, a known stage, a non-negative duration, and appear in
+   canonical stage order with per-request stage durations tiling the
+   end-to-end latency; every opened request must reach its "done"
+   record.
 
-let check_file path =
+   Usage: jsonl_check [--trace] FILE...
+   (exit 0 iff every file is well-formed) *)
+
+module Schema = E2e_serve.Rtrace.Schema
+
+let check_file ~trace path =
   let ic = open_in path in
   let records = ref 0 in
+  let trace_records = ref 0 in
   let bad = ref 0 in
   let line_no = ref 0 in
+  let v = Schema.validator () in
+  let complain msg = incr bad; Printf.eprintf "%s:%d: %s\n" path !line_no msg in
   (try
      while true do
        let line = input_line ic in
@@ -16,30 +29,55 @@ let check_file path =
        if String.trim line <> "" then begin
          incr records;
          match E2e_obs.Json.of_string line with
-         | Ok _ -> ()
-         | Error msg ->
-             incr bad;
-             Printf.eprintf "%s:%d: invalid JSON: %s\n" path !line_no msg
+         | Error msg -> complain ("invalid JSON: " ^ msg)
+         | Ok json ->
+             if trace then begin
+               match Schema.of_json json with
+               | Error msg -> complain msg
+               | Ok None -> ()
+               | Ok (Some r) -> (
+                   incr trace_records;
+                   match Schema.feed v r with
+                   | Ok () -> ()
+                   | Error msg -> complain msg)
+             end
        end
      done
    with End_of_file -> ());
   close_in ic;
+  if trace then begin
+    (match Schema.check_closed v with
+    | Ok () -> ()
+    | Error msg ->
+        incr bad;
+        Printf.eprintf "%s: %s\n" path msg);
+    if !trace_records = 0 then begin
+      incr bad;
+      Printf.eprintf "%s: no request-trace records\n" path
+    end
+  end;
   if !records = 0 then begin
     Printf.eprintf "%s: no JSON records\n" path;
     false
   end
   else if !bad > 0 then false
   else begin
-    Printf.printf "%s: %d well-formed JSONL record%s\n" path !records
-      (if !records = 1 then "" else "s");
+    if trace then
+      Printf.printf "%s: %d well-formed JSONL records, %d traced requests\n" path
+        !records (Schema.completed v)
+    else
+      Printf.printf "%s: %d well-formed JSONL record%s\n" path !records
+        (if !records = 1 then "" else "s");
     true
   end
 
 let () =
-  let files = List.tl (Array.to_list Sys.argv) in
+  let args = List.tl (Array.to_list Sys.argv) in
+  let trace = List.mem "--trace" args in
+  let files = List.filter (fun a -> a <> "--trace") args in
   if files = [] then begin
-    prerr_endline "usage: jsonl_check FILE...";
+    prerr_endline "usage: jsonl_check [--trace] FILE...";
     exit 2
   end;
-  let ok = List.fold_left (fun acc f -> check_file f && acc) true files in
+  let ok = List.fold_left (fun acc f -> check_file ~trace f && acc) true files in
   exit (if ok then 0 else 1)

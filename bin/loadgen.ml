@@ -21,8 +21,11 @@ module Admission = E2e_serve.Admission
 module Batcher = E2e_serve.Batcher
 module Cache = E2e_serve.Cache
 module Protocol = E2e_serve.Protocol
+module Rtrace = E2e_serve.Rtrace
 module Pool = E2e_exec.Pool
+module Obs = E2e_obs.Obs
 module Json = E2e_obs.Json
+module Quantile = E2e_obs.Quantile
 
 (* ------------------------------------------------------------------ *)
 (* Request-stream generation: a pure function of the seed.            *)
@@ -129,32 +132,32 @@ let tally_reply t = function
   | Admission.Dropped _ -> t.dropped <- t.dropped + 1
   | Admission.Request_error _ -> t.errors <- t.errors + 1
 
-let percentile sorted q =
-  let n = Array.length sorted in
-  if n = 0 then 0. else sorted.(min (n - 1) (int_of_float (q *. float_of_int (n - 1) +. 0.5)))
-
 (* In-process replay: open-loop pacing (when [rate] > 0) against the
-   batcher; per-request latency = reply wall time - arrival wall time. *)
+   batcher; per-request latency = reply time - arrival time, both read
+   from [Obs.Clock] so a deterministic source makes the whole
+   measurement (and any trace) reproducible. *)
 let run_inproc ~stream ~config ~rate =
   let batcher = Batcher.create ~config () in
   let n = List.length stream in
   let t_arrival = Array.make n 0. in
-  let latency = ref [] in
+  let latency = Quantile.create () in
   let tally =
     { admitted = 0; rejected = 0; undecided = 0; info = 0; dropped = 0; errors = 0;
       overloaded = 0 }
   in
   let pending_idx = Queue.create () in
   let record_replies replies =
-    let t = Unix.gettimeofday () in
     List.iter
-      (fun (_, reply) ->
+      (fun (_, tr, reply) ->
+        (* The loadgen "renders" nothing, so finish right away — this
+           closes the render stage and streams the trace records. *)
+        Rtrace.finish tr;
         let i = Queue.pop pending_idx in
-        latency := (t -. t_arrival.(i)) :: !latency;
+        Quantile.observe latency (Obs.Clock.now () -. t_arrival.(i));
         tally_reply tally reply)
       replies
   in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.now () in
   let next_arrival = ref t0 in
   let pace_g = Prng.create 0x9e3779b9 in
   List.iteri
@@ -166,7 +169,7 @@ let run_inproc ~stream ~config ~rate =
         let now = Unix.gettimeofday () in
         if !next_arrival > now then Unix.sleepf (!next_arrival -. now)
       end;
-      t_arrival.(i) <- Unix.gettimeofday ();
+      t_arrival.(i) <- Obs.Clock.now ();
       (match Batcher.submit batcher req with
       | `Queued -> Queue.push i pending_idx
       | `Overloaded -> tally.overloaded <- tally.overloaded + 1);
@@ -177,9 +180,9 @@ let run_inproc ~stream ~config ~rate =
     match Batcher.step batcher with [] -> () | replies -> record_replies replies; drain ()
   in
   drain ();
-  let duration = Unix.gettimeofday () -. t0 in
+  let duration = Obs.Clock.now () -. t0 in
   ( duration,
-    Array.of_list (List.rev !latency),
+    latency,
     tally,
     Batcher.cache_stats batcher,
     Some (Batcher.keyer_stats batcher) )
@@ -199,7 +202,7 @@ let run_tcp ~stream ~addr =
     { admitted = 0; rejected = 0; undecided = 0; info = 0; dropped = 0; errors = 0;
       overloaded = 0 }
   in
-  let latency = ref [] in
+  let latency = Quantile.create () in
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun req ->
@@ -207,7 +210,7 @@ let run_tcp ~stream ~addr =
       output_string oc (Protocol.render_request req ^ "\n");
       flush oc;
       let reply = input_line ic in
-      latency := (Unix.gettimeofday () -. t_send) :: !latency;
+      Quantile.observe latency (Unix.gettimeofday () -. t_send);
       match String.split_on_char ' ' reply with
       | "admitted" :: _ -> tally.admitted <- tally.admitted + 1
       | "rejected" :: _ -> tally.rejected <- tally.rejected + 1
@@ -221,18 +224,16 @@ let run_tcp ~stream ~addr =
   output_string oc "quit\n";
   flush oc;
   (try Unix.close fd with Unix.Unix_error _ -> ());
-  (duration, Array.of_list (List.rev !latency), tally, None, None)
+  (duration, latency, tally, None, None)
 
 (* ------------------------------------------------------------------ *)
 (* Reporting                                                          *)
 
 let report ~out ~requests ~jobs ~config ~duration ~latency ~tally ~cache_stats ~keyer_stats
-    ~sweep =
-  let sorted = Array.copy latency in
-  Array.sort compare sorted;
+    ~stages ~sweep =
   let ms x = x *. 1000. in
-  let p q = ms (percentile sorted q) in
-  let completed = Array.length latency in
+  let p q = ms (Quantile.quantile latency q) in
+  let completed = Quantile.count latency in
   let rps = if duration > 0. then float_of_int completed /. duration else 0. in
   let hit_rate hits misses =
     let total = hits + misses in
@@ -243,7 +244,16 @@ let report ~out ~requests ~jobs ~config ~duration ~latency ~tally ~cache_stats ~
   Format.printf "duration      %.3fs  (%.0f requests/s)@." duration rps;
   Format.printf "latency (ms)  p50=%.3f p95=%.3f p99=%.3f max=%.3f@." (p 0.50) (p 0.95)
     (p 0.99)
-    (ms (if completed = 0 then 0. else sorted.(completed - 1)));
+    (ms (Quantile.max_value latency));
+  List.iter
+    (fun (stage, q) ->
+      Format.printf "stage %-13s p50=%.3f p95=%.3f p99=%.3f max=%.3f@."
+        (stage ^ " (ms)")
+        (ms (Quantile.quantile q 0.50))
+        (ms (Quantile.quantile q 0.95))
+        (ms (Quantile.quantile q 0.99))
+        (ms (Quantile.max_value q)))
+    stages;
   Format.printf "verdicts      admitted=%d rejected=%d undecided=%d info=%d dropped=%d \
                  errors=%d@."
     tally.admitted tally.rejected tally.undecided tally.info tally.dropped tally.errors;
@@ -291,7 +301,22 @@ let report ~out ~requests ~jobs ~config ~duration ~latency ~tally ~cache_stats ~
                   ("p50", Json.Num (p 0.50));
                   ("p95", Json.Num (p 0.95));
                   ("p99", Json.Num (p 0.99));
+                  ("max", Json.Num (ms (Quantile.max_value latency)));
                 ] );
+            ( "stage_latency_ms",
+              Json.Obj
+                (List.map
+                   (fun (stage, q) ->
+                     ( stage,
+                       Json.Obj
+                         [
+                           ("p50", Json.Num (ms (Quantile.quantile q 0.50)));
+                           ("p95", Json.Num (ms (Quantile.quantile q 0.95)));
+                           ("p99", Json.Num (ms (Quantile.quantile q 0.99)));
+                           ("max", Json.Num (ms (Quantile.max_value q)));
+                           ("count", Json.int (Quantile.count q));
+                         ] ))
+                   stages) );
             ( "verdicts",
               Json.Obj
                 [
@@ -390,18 +415,81 @@ let out_arg =
   let doc = "Write the run summary as one JSON object to $(docv)." in
   Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
 
-let run requests seed rate jobs batch queue cache sweep connect out =
+let trace_arg =
+  let doc =
+    "Write one JSONL request-trace record per pipeline stage per request to $(docv) \
+     (analyse with e2e-trace; in-process replay only)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let det_clock_arg =
+  let doc =
+    "Replace the wall clock with a deterministic counter (one tick of 1/1024 s per \
+     reading): timings stop measuring real time but the trace, the latency report and the \
+     stage percentiles become exact functions of the request stream — byte-identical at \
+     every -j.  Implies --rate 0 semantics for timing."
+  in
+  Arg.(value & flag & info [ "det-clock" ] ~doc)
+
+(* Stage sketches accumulated by Rtrace.finish during the main run, in
+   pipeline order, with the end-to-end sketch last.  Captured before the
+   sweep replays so their observations don't pollute the report. *)
+let capture_stages () =
+  let sk = Obs.sketches () in
+  let find name = List.assoc_opt name sk in
+  List.filter_map
+    (fun stage -> Option.map (fun q -> (stage, q)) (find ("serve.stage." ^ stage)))
+    (Array.to_list Rtrace.stages)
+  @ (match find "serve.e2e" with Some q -> [ ("e2e", q) ] | None -> [])
+
+let run requests seed rate jobs batch queue cache sweep connect out trace det_clock =
   let jobs = Pool.resolve_jobs jobs in
   let stream = gen_stream ~seed ~requests in
   let config =
     { Batcher.queue_capacity = queue; batch; budget = Admission.Unbounded; jobs;
       cache_capacity = cache }
   in
+  if det_clock then begin
+    (* Dyadic step: every reading is an exact float, so durations and
+       their sums are exact and the trace is byte-reproducible. *)
+    let k = ref 0 in
+    Obs.Clock.set_source (fun () ->
+        incr k;
+        float_of_int !k *. (1. /. 1024.))
+  end;
+  (* Stats are always on in-process: the stage histograms are the point
+     of the exercise and cost a few clock reads per request. *)
+  if connect = None then begin
+    Obs.set_stats true;
+    Obs.reset_metrics ()
+  end;
+  let trace_oc =
+    match (trace, connect) with
+    | Some path, None ->
+        let oc = Out_channel.open_text path in
+        Rtrace.set_writer
+          (Some
+             (fun line ->
+               Out_channel.output_string oc line;
+               Out_channel.output_char oc '\n'));
+        Some (path, oc)
+    | Some _, Some _ ->
+        prerr_endline "e2e-loadgen: --trace requires the in-process engine (no --connect)";
+        exit 2
+    | None, _ -> None
+  in
   let duration, latency, tally, cache_stats, keyer_stats =
     match connect with
     | None -> run_inproc ~stream ~config ~rate
     | Some addr -> run_tcp ~stream ~addr
   in
+  (match trace_oc with
+  | None -> ()
+  | Some (path, oc) ->
+      Rtrace.set_writer None;
+      Out_channel.close oc;
+      Format.printf "wrote %s@." path);
+  let stages = capture_stages () in
   let sweep =
     match (sweep, connect) with
     | None, _ | _, Some _ -> []
@@ -414,7 +502,7 @@ let run requests seed rate jobs batch queue cache sweep connect out =
           capacities
   in
   report ~out ~requests ~jobs ~config ~duration ~latency ~tally ~cache_stats ~keyer_stats
-    ~sweep
+    ~stages ~sweep
 
 let () =
   let doc = "Open-loop load generator for the e2e-serve admission service" in
@@ -422,6 +510,6 @@ let () =
   let term =
     Term.(
       const run $ requests_arg $ seed_arg $ rate_arg $ jobs_arg $ batch_arg $ queue_arg
-      $ cache_arg $ sweep_arg $ connect_arg $ out_arg)
+      $ cache_arg $ sweep_arg $ connect_arg $ out_arg $ trace_arg $ det_clock_arg)
   in
   exit (Cmd.eval (Cmd.v info term))

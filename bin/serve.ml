@@ -73,7 +73,16 @@ let metrics_arg =
   let doc = "Write one JSON object with every telemetry counter/gauge/histogram to $(docv)." in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
 
-let run stdio tcp host max_conns queue batch cache budget jobs no_schedules stats metrics =
+let trace_arg =
+  let doc =
+    "Write one JSONL request-trace record per pipeline stage per request to $(docv) \
+     (analyse with e2e-trace).  Replies are unaffected: the reply stream is byte-identical \
+     with tracing on or off."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let run stdio tcp host max_conns queue batch cache budget jobs no_schedules stats metrics
+    trace =
   if stdio && tcp <> None then begin
     prerr_endline "e2e-serve: --stdio and --tcp are mutually exclusive";
     exit 2
@@ -91,9 +100,26 @@ let run stdio tcp host max_conns queue batch cache budget jobs no_schedules stat
   in
   let batcher = Batcher.create ~config () in
   let schedules = not no_schedules in
+  let trace_oc =
+    match trace with
+    | None -> None
+    | Some path ->
+        let oc = Out_channel.open_text path in
+        E2e_serve.Rtrace.set_writer
+          (Some
+             (fun line ->
+               Out_channel.output_string oc line;
+               Out_channel.output_char oc '\n'));
+        Some oc
+  in
   (match tcp with
   | None -> Server.serve_stdio ~schedules batcher
   | Some port -> Server.serve_tcp ~schedules ~host ?max_connections:max_conns ~port batcher);
+  (match trace_oc with
+  | None -> ()
+  | Some oc ->
+      E2e_serve.Rtrace.set_writer None;
+      Out_channel.close oc);
   (match metrics with
   | None -> ()
   | Some path ->
@@ -108,6 +134,6 @@ let () =
   let term =
     Term.(
       const run $ stdio_arg $ tcp_arg $ host_arg $ max_conns_arg $ queue_arg $ batch_arg $ cache_arg
-      $ budget_arg $ jobs_arg $ no_schedules_arg $ stats_arg $ metrics_arg)
+      $ budget_arg $ jobs_arg $ no_schedules_arg $ stats_arg $ metrics_arg $ trace_arg)
   in
   exit (Cmd.eval (Cmd.v info term))

@@ -1,0 +1,255 @@
+(* e2e-trace: offline analysis of the serve request-trace JSONL stream.
+
+   e2e-trace analyze trace.jsonl            # per-stage + e2e percentiles
+   e2e-trace analyze trace.jsonl --top 10   # widen the slowest-request table
+   e2e-trace chrome trace.jsonl --out t.json --from-id 10 --to-id 40
+
+   The input is what `e2e-loadgen --trace` / `e2e-serve --trace` write:
+   one record per pipeline stage per request plus a closing "done"
+   record (schema in Rtrace).  Every record is validated (stage order,
+   non-negative durations, stage sums tiling the end-to-end latency)
+   before anything is reported; the analyze output is a deterministic
+   function of the trace bytes, so `make check` diffs it against a
+   committed golden summary. *)
+
+open Cmdliner
+module Json = E2e_obs.Json
+module Quantile = E2e_obs.Quantile
+module Rtrace = E2e_serve.Rtrace
+module Schema = Rtrace.Schema
+
+let n_stages = Rtrace.n_stages
+
+type request = {
+  id : int;
+  op : string;
+  shop : string;
+  verdict : string;
+  e2e : float;
+  stage_durs : float array;
+}
+
+(* Read, parse and validate the whole trace; exits with a message on the
+   first malformed record. *)
+let load path =
+  let ic = open_in path in
+  let v = Schema.validator () in
+  let records = ref [] in
+  let line_no = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr line_no;
+       if String.trim line <> "" then begin
+         match Json.of_string line with
+         | Error msg ->
+             Printf.eprintf "%s:%d: invalid JSON: %s\n" path !line_no msg;
+             exit 1
+         | Ok j -> (
+             match Schema.of_json j with
+             | Error msg ->
+                 Printf.eprintf "%s:%d: %s\n" path !line_no msg;
+                 exit 1
+             | Ok None -> ()
+             | Ok (Some r) -> (
+                 match Schema.feed v r with
+                 | Error msg ->
+                     Printf.eprintf "%s:%d: %s\n" path !line_no msg;
+                     exit 1
+                 | Ok () -> records := r :: !records))
+       end
+     done
+   with End_of_file -> ());
+  close_in ic;
+  (match Schema.check_closed v with
+  | Ok () -> ()
+  | Error msg ->
+      Printf.eprintf "%s: %s\n" path msg;
+      exit 1);
+  if Schema.completed v = 0 then begin
+    Printf.eprintf "%s: no request-trace records\n" path;
+    exit 1
+  end;
+  List.rev !records
+
+(* Group the validated records into one entry per request, in first-
+   appearance (i.e. submission) order. *)
+let requests_of records =
+  let tbl = Hashtbl.create 256 in
+  let order = ref [] in
+  List.iter
+    (fun (r : Schema.record) ->
+      let entry =
+        match Hashtbl.find_opt tbl r.id with
+        | Some e -> e
+        | None ->
+            let e =
+              {
+                id = r.id;
+                op = r.op;
+                shop = r.shop;
+                verdict = "";
+                e2e = 0.;
+                stage_durs = Array.make n_stages 0.;
+              }
+            in
+            Hashtbl.add tbl r.id e;
+            order := r.id :: !order;
+            e
+      in
+      if r.seq < n_stages then entry.stage_durs.(r.seq) <- r.dur
+      else begin
+        let entry =
+          { entry with e2e = r.dur; verdict = Option.value ~default:"" r.verdict }
+        in
+        Hashtbl.replace tbl r.id entry
+      end)
+    records;
+  List.rev_map (fun id -> Hashtbl.find tbl id) !order |> List.rev
+
+let ms x = x *. 1000.
+
+let analyze path top =
+  let records = load path in
+  let requests = requests_of records in
+  let n = List.length requests in
+  (* Stage and end-to-end sketches plus exact totals. *)
+  let sketches = Array.init n_stages (fun _ -> Quantile.create ()) in
+  let e2e = Quantile.create () in
+  let count_by f =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun r ->
+        let k = f r in
+        Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+      requests;
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+  in
+  List.iter
+    (fun r ->
+      Array.iteri (fun i d -> Quantile.observe sketches.(i) d) r.stage_durs;
+      Quantile.observe e2e r.e2e)
+    requests;
+  let counts l = String.concat " " (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) l) in
+  Printf.printf "trace         %d requests (%s)\n" n (counts (count_by (fun r -> r.op)));
+  Printf.printf "verdicts      %s\n" (counts (count_by (fun r -> r.verdict)));
+  Printf.printf "%-14s %7s %10s %10s %10s %10s %12s\n" "stage" "count" "p50ms" "p95ms"
+    "p99ms" "maxms" "totalms";
+  Array.iteri
+    (fun i q ->
+      Printf.printf "%-14s %7d %10.3f %10.3f %10.3f %10.3f %12.3f\n" Rtrace.stages.(i)
+        (Quantile.count q)
+        (ms (Quantile.quantile q 0.50))
+        (ms (Quantile.quantile q 0.95))
+        (ms (Quantile.quantile q 0.99))
+        (ms (Quantile.max_value q))
+        (ms (Quantile.sum q)))
+    sketches;
+  Printf.printf "%-14s %7d %10.3f %10.3f %10.3f %10.3f %12.3f\n" "end-to-end"
+    (Quantile.count e2e)
+    (ms (Quantile.quantile e2e 0.50))
+    (ms (Quantile.quantile e2e 0.95))
+    (ms (Quantile.quantile e2e 0.99))
+    (ms (Quantile.max_value e2e))
+    (ms (Quantile.sum e2e));
+  Printf.printf "consistency   stage durations tile end-to-end latency for all %d requests\n"
+    n;
+  (* Slowest requests, stage-decomposed.  Ties break on request id so
+     the listing is deterministic. *)
+  let slowest =
+    List.sort
+      (fun a b -> match compare b.e2e a.e2e with 0 -> compare a.id b.id | c -> c)
+      requests
+  in
+  let top = min top n in
+  Printf.printf "slowest %d requests\n" top;
+  Printf.printf "%5s %-7s %-8s %-9s %9s  %s\n" "id" "op" "shop" "verdict" "e2ems"
+    "stages(ms)";
+  List.iteri
+    (fun i r ->
+      if i < top then
+        Printf.printf "%5d %-7s %-8s %-9s %9.3f  %s\n" r.id r.op r.shop r.verdict
+          (ms r.e2e)
+          (String.concat " "
+             (Array.to_list
+                (Array.mapi
+                   (fun j d -> Printf.sprintf "%s=%.3f" Rtrace.stages.(j) (ms d))
+                   r.stage_durs))))
+    slowest
+
+(* Chrome trace_event export: one complete ("X") event per stage per
+   request in the selected id window, one track (tid) per request. *)
+let chrome path out from_id to_id =
+  let records = load path in
+  let keep (r : Schema.record) = r.id >= from_id && r.id <= to_id in
+  let events =
+    List.filter_map
+      (fun (r : Schema.record) ->
+        if (not (keep r)) || r.seq >= n_stages then None
+        else
+          Some
+            (Json.Obj
+               [
+                 ("name", Json.Str r.stage);
+                 ("cat", Json.Str "serve");
+                 ("ph", Json.Str "X");
+                 ("pid", Json.int 1);
+                 ("tid", Json.int r.id);
+                 ("ts", Json.Num ((r.t -. r.dur) *. 1e6));
+                 ("dur", Json.Num (r.dur *. 1e6));
+                 ( "args",
+                   Json.Obj [ ("op", Json.Str r.op); ("shop", Json.Str r.shop) ] );
+               ])
+        )
+      records
+  in
+  if events = [] then begin
+    Printf.eprintf "%s: no stage records with id in [%d, %d]\n" path from_id to_id;
+    exit 1
+  end;
+  Out_channel.with_open_text out (fun oc ->
+      output_string oc "[";
+      List.iteri
+        (fun i e ->
+          if i > 0 then output_string oc ",\n";
+          output_string oc (Json.to_string e))
+        events;
+      output_string oc "]\n");
+  Printf.printf "wrote %s (%d events)\n" out (List.length events)
+
+let file_arg =
+  let doc = "JSONL request-trace file (from e2e-loadgen/e2e-serve --trace)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+
+let top_arg =
+  let doc = "How many of the slowest requests to decompose." in
+  Arg.(value & opt int 5 & info [ "top" ] ~docv:"K" ~doc)
+
+let out_arg =
+  let doc = "Output file for the Chrome trace_event JSON." in
+  Arg.(required & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+
+let from_arg =
+  let doc = "First request id of the export window." in
+  Arg.(value & opt int 1 & info [ "from-id" ] ~docv:"N" ~doc)
+
+let to_arg =
+  let doc = "Last request id of the export window." in
+  Arg.(value & opt int max_int & info [ "to-id" ] ~docv:"N" ~doc)
+
+let analyze_cmd =
+  let doc = "Per-stage and end-to-end latency percentiles, plus the slowest requests" in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const analyze $ file_arg $ top_arg)
+
+let chrome_cmd =
+  let doc =
+    "Export a request-id window as Chrome trace_event JSON (one track per request), \
+     loadable in Perfetto / chrome://tracing"
+  in
+  Cmd.v (Cmd.info "chrome" ~doc)
+    Term.(const chrome $ file_arg $ out_arg $ from_arg $ to_arg)
+
+let () =
+  let doc = "Analyse end-to-end request traces of the e2e-serve pipeline" in
+  let info = Cmd.info "e2e-trace" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ analyze_cmd; chrome_cmd ]))

@@ -219,8 +219,13 @@ let emit kind name fields =
 
 let event ?(fields = []) name = if !on then emit Instant name fields
 
+(* Guarded on the sink, not on [on]: spans only ever reach sinks, and a
+   stats-only configuration must not read the clock from worker domains
+   (under a hand-cranked deterministic clock every read advances shared
+   state, so clock reads off the main domain would make traced runs
+   depend on domain interleaving). *)
 let span ?(fields = []) name f =
-  if not !on then f ()
+  if !sink = None then f ()
   else begin
     let depth = Domain.DLS.get depth_key in
     let start = Clock.now () in
@@ -253,7 +258,7 @@ type histogram = { count : int; sum : float; min : float; max : float }
 type store = {
   counter_tbl : (string, int ref) Hashtbl.t;
   gauge_tbl : (string, (float * int) ref) Hashtbl.t;  (* value, update seq *)
-  hist_tbl : (string, histogram ref) Hashtbl.t;
+  hist_tbl : (string, Quantile.t) Hashtbl.t;
 }
 
 let stores_mu = Mutex.create ()
@@ -306,17 +311,15 @@ let gauge name v =
 let observe name v =
   if !on then begin
     let st = my_store () in
-    match Hashtbl.find_opt st.hist_tbl name with
-    | Some cell ->
-        let h = !cell in
-        cell :=
-          {
-            count = h.count + 1;
-            sum = h.sum +. v;
-            min = Float.min h.min v;
-            max = Float.max h.max v;
-          }
-    | None -> Hashtbl.add st.hist_tbl name (ref { count = 1; sum = v; min = v; max = v })
+    let q =
+      match Hashtbl.find_opt st.hist_tbl name with
+      | Some q -> q
+      | None ->
+          let q = Quantile.create () in
+          Hashtbl.add st.hist_tbl name q;
+          q
+    in
+    Quantile.observe q v
   end
 
 (* Merge one kind of table across every store into an alist sorted by
@@ -344,16 +347,34 @@ let gauges () =
     (fun (v1, s1) (v2, s2) -> if s2 > s1 then (v2, s2) else (v1, s1))
   |> List.map (fun (name, (v, _)) -> (name, v))
 
+(* Histograms merge whole sketches (not refs), so they bypass
+   [merge_tables]: each store's sketch is copied/merged into a fresh
+   per-name aggregate, leaving the per-domain recorders untouched. *)
+let sketches () =
+  let acc = Hashtbl.create 32 in
+  List.iter
+    (fun st ->
+      Hashtbl.iter
+        (fun name q ->
+          match Hashtbl.find_opt acc name with
+          | Some prev -> Hashtbl.replace acc name (Quantile.merge prev q)
+          | None -> Hashtbl.replace acc name (Quantile.copy q))
+        st.hist_tbl)
+    (all_stores ());
+  Hashtbl.fold (fun k v l -> (k, v) :: l) acc []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
 let histograms () =
-  merge_tables
-    (fun st -> st.hist_tbl)
-    (fun a b ->
-      {
-        count = a.count + b.count;
-        sum = a.sum +. b.sum;
-        min = Float.min a.min b.min;
-        max = Float.max a.max b.max;
-      })
+  List.map
+    (fun (name, q) ->
+      ( name,
+        {
+          count = Quantile.count q;
+          sum = Quantile.sum q;
+          min = Quantile.min_value q;
+          max = Quantile.max_value q;
+        } ))
+    (sketches ())
 
 let counter_value name =
   List.fold_left
@@ -377,17 +398,122 @@ let metrics_json () =
       ( "histograms",
         Json.Obj
           (List.map
-             (fun (k, h) ->
+             (fun (k, q) ->
                ( k,
                  Json.Obj
                    [
-                     ("count", Json.int h.count);
-                     ("sum", Json.Num h.sum);
-                     ("min", Json.Num h.min);
-                     ("max", Json.Num h.max);
+                     ("count", Json.int (Quantile.count q));
+                     ("sum", Json.Num (Quantile.sum q));
+                     ("min", Json.Num (Quantile.min_value q));
+                     ("max", Json.Num (Quantile.max_value q));
+                     ("p50", Json.Num (Quantile.quantile q 0.5));
+                     ("p95", Json.Num (Quantile.quantile q 0.95));
+                     ("p99", Json.Num (Quantile.quantile q 0.99));
                    ] ))
-             (histograms ())) );
+             (sketches ())) );
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus-style text exposition.  Registry names may carry inline
+   labels — ["serve.verdicts{shop=s1,verdict=admitted}"] — which render
+   as quoted label pairs; dots and dashes in the bare name become
+   underscores.  Lines are sorted, so the rendering is a deterministic
+   function of the registry contents. *)
+
+let mangle_base name = String.map (function '.' | '-' -> '_' | c -> c) name
+
+(* Split "base{k=v,k2=v2}" into the base and its label pairs. *)
+let split_labels name =
+  match String.index_opt name '{' with
+  | None -> (name, [])
+  | Some i ->
+      let base = String.sub name 0 i in
+      let rest = String.sub name (i + 1) (String.length name - i - 1) in
+      let rest =
+        match String.rindex_opt rest '}' with
+        | Some j -> String.sub rest 0 j
+        | None -> rest
+      in
+      let labels =
+        String.split_on_char ',' rest
+        |> List.filter_map (fun kv ->
+               if kv = "" then None
+               else
+                 match String.index_opt kv '=' with
+                 | None -> Some (kv, "")
+                 | Some e ->
+                     Some
+                       ( String.sub kv 0 e,
+                         String.sub kv (e + 1) (String.length kv - e - 1) ))
+      in
+      (base, labels)
+
+let escape_label_value v =
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let exposition_line ?(labels = []) name v =
+  let base, inline = split_labels name in
+  let labels = inline @ labels in
+  let b = Buffer.create 64 in
+  Buffer.add_string b (mangle_base base);
+  (match labels with
+  | [] -> ()
+  | ls ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b (mangle_base k);
+          Buffer.add_string b "=\"";
+          Buffer.add_string b (escape_label_value v);
+          Buffer.add_char b '"')
+        ls;
+      Buffer.add_char b '}');
+  Buffer.add_char b ' ';
+  Buffer.add_string b (Json.to_string (Json.Num v));
+  Buffer.contents b
+
+(* Append a suffix to the base name, before any label block. *)
+let with_suffix name suffix =
+  match String.index_opt name '{' with
+  | None -> name ^ suffix
+  | Some i ->
+      String.sub name 0 i ^ suffix ^ String.sub name i (String.length name - i)
+
+let exposition_quantiles = [ (0.5, "0.5"); (0.95, "0.95"); (0.99, "0.99") ]
+
+let exposition_lines () =
+  let lines = ref [] in
+  let push l = lines := l :: !lines in
+  List.iter
+    (fun (name, v) ->
+      push (exposition_line (with_suffix name "_total") (float_of_int v)))
+    (counters ());
+  List.iter (fun (name, v) -> push (exposition_line name v)) (gauges ());
+  List.iter
+    (fun (name, q) ->
+      List.iter
+        (fun (ql, tag) ->
+          push (exposition_line ~labels:[ ("quantile", tag) ] name (Quantile.quantile q ql)))
+        exposition_quantiles;
+      push (exposition_line (with_suffix name "_count") (float_of_int (Quantile.count q)));
+      push (exposition_line (with_suffix name "_sum") (Quantile.sum q));
+      push (exposition_line (with_suffix name "_min") (Quantile.min_value q));
+      push (exposition_line (with_suffix name "_max") (Quantile.max_value q)))
+    (sketches ());
+  List.sort compare !lines
+
+let exposition () =
+  String.concat "" (List.map (fun l -> l ^ "\n") (exposition_lines ()))
 
 let pp_metrics ppf () =
   let cs = counters () and gs = gauges () and hs = histograms () in

@@ -119,7 +119,11 @@ val span : ?fields:field list -> string -> (unit -> 'a) -> 'a
 (** [span name f] runs [f ()] inside a timed span: a [Span_begin] event
     before, a [Span_end] (with the elapsed wall-clock duration) after,
     even when [f] raises.  Nesting is tracked in {!event.depth}.  When
-    telemetry is {!enabled}[ = false] this is exactly [f ()]. *)
+    no sink is installed this is exactly [f ()] — in particular a
+    stats-only configuration ({!set_stats}[ true], no sink) never reads
+    the clock from spans, so worker-domain solves stay clock-free and
+    deterministic traces are a pure function of the main domain's
+    instrumentation order. *)
 
 val event : ?fields:field list -> string -> unit
 (** Emit an [Instant] structured event to the sink, if one is installed. *)
@@ -137,7 +141,10 @@ val gauge : string -> float -> unit
 (** Set a named gauge to its latest value. *)
 
 val observe : string -> float -> unit
-(** Add an observation to a named histogram (count/sum/min/max summary). *)
+(** Add an observation to a named histogram.  Histograms are backed by
+    the mergeable {!Quantile} sketch (default relative-error bound), so
+    besides the count/sum/min/max summary they answer p50/p95/p99
+    through {!sketches}, {!metrics_json} and {!exposition}. *)
 
 type histogram = { count : int; sum : float; min : float; max : float }
 
@@ -150,18 +157,49 @@ val counters : unit -> (string * int) list
 val gauges : unit -> (string * float) list
 
 val histograms : unit -> (string * histogram) list
+(** Count/sum/min/max summaries of every histogram, merged across
+    domains, sorted by name. *)
+
+val sketches : unit -> (string * Quantile.t) list
+(** The full quantile sketches behind {!histograms}, merged across the
+    per-domain recorders into fresh sketches (the recorders are not
+    disturbed), sorted by name. *)
 
 val reset_metrics : unit -> unit
 (** Zero every counter, gauge and histogram. *)
 
 val metrics_json : unit -> Json.t
 (** [{"counters":{...},"gauges":{...},"histograms":{name:
-    {"count":..,"sum":..,"min":..,"max":..}}}] — the payload of the
-    experiment drivers' [--metrics] files. *)
+    {"count":..,"sum":..,"min":..,"max":..,"p50":..,"p95":..,
+    "p99":..}}}] — the payload of the experiment drivers' [--metrics]
+    files. *)
 
 val pp_metrics : Format.formatter -> unit -> unit
 (** Human-readable metric dump (the CLIs' [--stats] output).  Prints a
     placeholder line when nothing was recorded. *)
+
+(** {1 Text exposition}
+
+    A Prometheus-style rendering of the registry: one
+    [name[{label="v",...}] value] line per sample, sorted, so the output
+    is a deterministic function of the registry contents.  Metric names
+    may carry inline labels — [observe "lat{shop=s1}" v] renders as
+    [lat{shop="s1"} ...] — and [.]/[-] in bare names become [_].
+    Counters gain a [_total] suffix; each histogram renders three
+    [{quantile="0.5"|"0.95"|"0.99"}] sample lines plus [_count], [_sum],
+    [_min] and [_max].  Values print through {!Json} number formatting
+    (integers without a decimal point). *)
+
+val exposition_line : ?labels:(string * string) list -> string -> float -> string
+(** One exposition line (no trailing newline).  [labels] are appended
+    after any labels inlined in [name]. *)
+
+val exposition_lines : unit -> string list
+(** Every registry sample as exposition lines, sorted. *)
+
+val exposition : unit -> string
+(** {!exposition_lines} joined with (and terminated by) newlines; [""]
+    when the registry is empty. *)
 
 (** {1 Clock} *)
 

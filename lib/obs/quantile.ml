@@ -1,0 +1,140 @@
+(* Mergeable log-bucketed quantile sketch.
+
+   Positive observations land in exponentially spaced buckets with [k]
+   sub-buckets per octave (power of two), indexed by the pair taken from
+   [Float.frexp].  Using frexp/ldexp keeps every bucket boundary an
+   exact float expression — no libm [log]/[exp] — so bucket assignment,
+   and therefore every reported quantile, is bit-identical across
+   platforms and compilers.  That property is what lets `make check`
+   byte-compare trace summaries against a committed golden file. *)
+
+type t = {
+  k : int;  (* sub-buckets per octave *)
+  alpha : float;  (* documented relative-error bound, 1/(2k) <= alpha *)
+  mutable zeros : int;  (* observations <= 0 *)
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  buckets : (int, int ref) Hashtbl.t;  (* bucket index -> count *)
+}
+
+let create ?(alpha = 0.01) () =
+  if not (alpha > 0. && alpha < 1.) then
+    invalid_arg "Quantile.create: alpha must be in (0, 1)";
+  let k = max 1 (int_of_float (Float.ceil (1. /. (2. *. alpha)))) in
+  {
+    k;
+    alpha;
+    zeros = 0;
+    count = 0;
+    sum = 0.;
+    min_v = infinity;
+    max_v = neg_infinity;
+    buckets = Hashtbl.create 64;
+  }
+
+let alpha t = t.alpha
+let count t = t.count
+let zeros t = t.zeros
+let sum t = t.sum
+let min_value t = if t.count = 0 then 0. else t.min_v
+let max_value t = if t.count = 0 then 0. else t.max_v
+
+(* v > 0 required.  v = m * 2^e with m in [0.5, 1): the octave is e-1
+   (values in [2^(e-1), 2^e)) and the sub-bucket is floor((2m - 1) * k),
+   clamped against the open upper bound. *)
+let index t v =
+  let m, e = Float.frexp v in
+  let s = int_of_float ((m *. 2. -. 1.) *. float_of_int t.k) in
+  let s = if s >= t.k then t.k - 1 else if s < 0 then 0 else s in
+  ((e - 1) * t.k) + s
+
+(* Inverse of [index]: the bucket's [lo, hi) bounds, exact floats. *)
+let bounds t i =
+  let e = if i >= 0 then i / t.k else ((i + 1) / t.k) - 1 in
+  let s = i - (e * t.k) in
+  let lo = Float.ldexp (1. +. (float_of_int s /. float_of_int t.k)) e in
+  let hi = Float.ldexp (1. +. (float_of_int (s + 1) /. float_of_int t.k)) e in
+  (lo, hi)
+
+let estimate t i =
+  let lo, hi = bounds t i in
+  (lo +. hi) /. 2.
+
+let observe t v =
+  let v = if Float.is_nan v then 0. else v in
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. v;
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v;
+  if v <= 0. || not (Float.is_finite v) then t.zeros <- t.zeros + 1
+  else
+    let i = index t v in
+    match Hashtbl.find_opt t.buckets i with
+    | Some cell -> incr cell
+    | None -> Hashtbl.add t.buckets i (ref 1)
+
+let sorted_buckets t =
+  Hashtbl.fold (fun i cell acc -> (i, !cell) :: acc) t.buckets []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let buckets t =
+  List.map
+    (fun (i, n) ->
+      let lo, hi = bounds t i in
+      (lo, hi, n))
+    (sorted_buckets t)
+
+(* Nearest-rank with rank = ceil(q * (n - 1)): on a sorted array this is
+   element [rank], never off the end, and q = 0 / q = 1 return the exact
+   min / max rank.  The sketch answers with the midpoint of the bucket
+   holding that rank, within relative error alpha of the exact value. *)
+let quantile t q =
+  if not (q >= 0. && q <= 1.) then invalid_arg "Quantile.quantile: q must be in [0, 1]";
+  if t.count = 0 then 0.
+  else begin
+    let rank = int_of_float (Float.ceil (q *. float_of_int (t.count - 1))) in
+    let rank = if rank < 0 then 0 else if rank > t.count - 1 then t.count - 1 else rank in
+    if rank < t.zeros then 0.
+    else begin
+      let cum = ref t.zeros in
+      let result = ref t.max_v in
+      (try
+         List.iter
+           (fun (i, n) ->
+             cum := !cum + n;
+             if rank < !cum then begin
+               result := estimate t i;
+               raise Exit
+             end)
+           (sorted_buckets t)
+       with Exit -> ());
+      !result
+    end
+  end
+
+let copy t =
+  {
+    t with
+    buckets =
+      (let h = Hashtbl.create (Hashtbl.length t.buckets) in
+       Hashtbl.iter (fun i cell -> Hashtbl.add h i (ref !cell)) t.buckets;
+       h);
+  }
+
+let merge a b =
+  if a.k <> b.k then invalid_arg "Quantile.merge: incompatible sketches (different alpha)";
+  let m = copy a in
+  m.zeros <- m.zeros + b.zeros;
+  m.count <- m.count + b.count;
+  m.sum <- m.sum +. b.sum;
+  if b.min_v < m.min_v then m.min_v <- b.min_v;
+  if b.max_v > m.max_v then m.max_v <- b.max_v;
+  Hashtbl.iter
+    (fun i cell ->
+      match Hashtbl.find_opt m.buckets i with
+      | Some c -> c := !c + !cell
+      | None -> Hashtbl.add m.buckets i (ref !cell))
+    b.buckets;
+  m

@@ -1,0 +1,72 @@
+(** Mergeable log-bucketed quantile sketch (HdrHistogram-style).
+
+    Observations are counted in exponentially spaced buckets with [k]
+    sub-buckets per power-of-two octave, where [k = ceil (1 / (2 alpha))].
+    A reported quantile is the midpoint of the bucket holding the exact
+    rank, so for any positive sample it is within {b relative error
+    [alpha]} of the exact nearest-rank quantile (observations [<= 0]
+    share one exact "zero" bucket).  Memory is proportional to the
+    number of {e occupied} buckets, independent of the observation
+    count, and two sketches with the same [alpha] merge losslessly —
+    merged quantiles equal the quantiles of the concatenated sample's
+    sketch.  This is the one audited percentile implementation shared by
+    [Obs] histograms, the serve request tracer, [e2e-loadgen] and
+    [e2e-trace].
+
+    {b Determinism.}  Bucket assignment uses [Float.frexp] and bucket
+    bounds use [Float.ldexp] — exact float arithmetic only, no libm
+    [log] — so bucket contents and reported quantiles are bit-identical
+    across platforms.  [make check] relies on this when comparing trace
+    summaries against a committed golden file.
+
+    A sketch is a mutable single-domain accumulator ([observe] takes no
+    lock); cross-domain aggregation goes through {!merge} after a
+    [Domain.join], exactly like the [Obs] per-domain metric stores. *)
+
+type t
+
+val create : ?alpha:float -> unit -> t
+(** A fresh empty sketch with relative-error bound [alpha] (default
+    [0.01], i.e. 50 sub-buckets per octave).
+    @raise Invalid_argument unless [0 < alpha < 1]. *)
+
+val alpha : t -> float
+
+val observe : t -> float -> unit
+(** Record one observation.  Values [<= 0], [nan] and non-finite values
+    are counted in the exact zero bucket (durations are non-negative;
+    [nan] also contributes [0] to {!sum}). *)
+
+val count : t -> int
+(** Total observations recorded. *)
+
+val zeros : t -> int
+(** Observations that landed in the zero bucket. *)
+
+val sum : t -> float
+
+val min_value : t -> float
+(** Smallest observation, [0.] when empty. *)
+
+val max_value : t -> float
+(** Largest observation, [0.] when empty. *)
+
+val quantile : t -> float -> float
+(** [quantile t q] estimates the [q]-quantile using the nearest-rank
+    rule [rank = ceil (q *. float (count - 1))] (so [q = 0.] is the
+    minimum rank and [q = 1.] the maximum).  [0.] on an empty sketch.
+    @raise Invalid_argument unless [0 <= q <= 1]. *)
+
+val merge : t -> t -> t
+(** [merge a b] is a {e fresh} sketch holding both sample sets; [a] and
+    [b] are unchanged.  Exact on bucket counts (merge is associative and
+    commutative up to float addition in {!sum}).
+    @raise Invalid_argument if the sketches were created with different
+    [alpha]. *)
+
+val copy : t -> t
+
+val buckets : t -> (float * float * int) list
+(** Occupied positive buckets as [(lo, hi, count)] with [lo <= v < hi],
+    sorted ascending.  The zero bucket is reported by {!zeros}.  For
+    tests and exposition. *)

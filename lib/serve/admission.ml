@@ -53,6 +53,12 @@ let algo_name = function
   | `Algorithm_a -> "algo_a"
   | `Algorithm_h -> "algo_h"
 
+(* The solver budget ran out before any strategy produced an answer —
+   the deadline-oriented overload signal ([serve.budget_exhausted]). *)
+let budget_exhausted () =
+  Obs.incr "serve.budget_exhausted";
+  Undecided { reason = "budget-exhausted" }
+
 (* One candidate set, no cache: the strongest applicable algorithm, then
    certificates and the portfolio on the NP-hard path.  Pure, so batched
    solves can run on worker domains. *)
@@ -68,11 +74,11 @@ let decide_uncached budget (shop : Recurrence_shop.t) =
         | Some cert -> Rejected { certificate = Some cert }
         | None -> (
             match budget with
-            | Strategies 0 -> Undecided { reason = "budget-exhausted" }
+            | Strategies 0 -> budget_exhausted ()
             | Strategies k -> (
                 match H_portfolio.schedule ~budget:k fs with
                 | Ok (s, _) -> Admitted { schedule = s; algo = "portfolio" }
-                | Error `All_failed -> Undecided { reason = "budget-exhausted" })
+                | Error `All_failed -> budget_exhausted ())
             | Unbounded -> (
                 match H_portfolio.schedule fs with
                 | Ok (s, _) -> Admitted { schedule = s; algo = "portfolio" }
@@ -103,6 +109,23 @@ let relabel canon (shop : Recurrence_shop.t) = function
 
 let solve ~budget shop = decide_uncached budget shop
 
+(* Independent re-verification of an admitted schedule against the
+   checker, after relabelling and before commit — the "verify" stage of
+   the serve pipeline.  The solvers construct feasible schedules and
+   relabelling preserves feasibility, so a failure here means a solver
+   or relabelling bug: it is counted ([serve.verify_failures]) and the
+   request is downgraded to [Undecided] rather than committing an
+   unverified schedule.  Both the batched and the sequential reference
+   path run this, so the differential harnesses stay in agreement. *)
+let verify_decision = function
+  | Admitted { schedule; _ } as d -> (
+      match Schedule.check schedule with
+      | Ok () -> d
+      | Error _ ->
+          Obs.incr "serve.verify_failures";
+          Undecided { reason = "verify-failed" })
+  | (Rejected _ | Undecided _) as d -> d
+
 (* The budget is part of the cache key: a set undecided under a small
    budget may be admitted under a larger one, so decisions taken under
    different budgets must never alias. *)
@@ -128,6 +151,10 @@ let decide_canonical ?(budget = Unbounded) ?cache canon (shop : Recurrence_shop.
             Cache.add c key d;
             relabel canon shop d)
   in
+  (* The cache stores pre-verify canonical decisions; every consumer
+     (hit or miss, batched or sequential) re-verifies after relabelling,
+     so verification is uniform across cache settings. *)
+  let decision = verify_decision decision in
   record_decision decision;
   decision
 

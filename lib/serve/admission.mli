@@ -30,7 +30,8 @@
     batcher and the differential fuzzer build on.
 
     Telemetry: counters [serve.requests], [serve.admitted],
-    [serve.rejected], [serve.undecided], [serve.request_errors]. *)
+    [serve.rejected], [serve.undecided], [serve.request_errors],
+    [serve.solves], [serve.budget_exhausted], [serve.verify_failures]. *)
 
 type rat = E2e_rat.Rat.t
 
@@ -88,6 +89,16 @@ val relabel :
 (** Map a decision computed on [canonical.shop] back to the candidate's
     original task labelling (schedules get their rows permuted;
     rejections and undecideds pass through). *)
+
+val verify_decision : decision -> decision
+(** The pipeline's "verify" stage: re-check an [Admitted] schedule
+    against the independent {!E2e_schedule.Schedule.check} checker after
+    relabelling, before commit.  On the (never-expected) failure of a
+    solver-constructed schedule, bumps [serve.verify_failures] and
+    downgrades to [Undecided { reason = "verify-failed" }] rather than
+    committing an unverified schedule.  [Rejected]/[Undecided] pass
+    through.  Runs in both the batched and the sequential reference
+    paths, so the differential harnesses agree by construction. *)
 
 val cache_key : budget:budget -> Cache.canonical -> string
 (** The cache key for a canonical candidate under a budget — the budget

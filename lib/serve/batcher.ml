@@ -17,12 +17,40 @@ type config = {
 let default_config =
   { queue_capacity = 1024; batch = 16; budget = Admission.Unbounded; jobs = 1; cache_capacity = 4096 }
 
+(* Always-on service accounting (plain ints on the main domain, no
+   [Obs] dependency): the live half of the [metrics] protocol command,
+   available even when the registry is off. *)
+type service_stats = {
+  submitted : int;
+  rejected_backpressure : int;
+  batches : int;
+  batched_requests : int;
+  max_batch : int;
+  budget_exhausted : int;
+  verify_failures : int;
+  verdicts : (string * (int * int * int)) list;
+      (* per shop: admitted, rejected, undecided — sorted by shop *)
+}
+
+type svc = {
+  mutable submitted : int;
+  mutable rejected_backpressure : int;
+  mutable batches : int;
+  mutable batched_requests : int;
+  mutable max_batch : int;
+  mutable budget_exhausted : int;
+  mutable verify_failures : int;
+  verdict_tbl : (string, int array) Hashtbl.t;  (* [| admitted; rejected; undecided |] *)
+}
+
 type t = {
   cfg : config;
   cache : Admission.decision Cache.t option;
   keyer : Cache.Keyer.t;
   mutable engine : Admission.t;
-  queue : Admission.request Queue.t;
+  queue : (Admission.request * Rtrace.t) Queue.t;
+  mutable seq : int;  (* last request id handed out at ingress *)
+  svc : svc;
 }
 
 let create ?(config = default_config) () =
@@ -38,6 +66,18 @@ let create ?(config = default_config) () =
     keyer = Cache.Keyer.create ();
     engine = Admission.empty;
     queue = Queue.create ();
+    seq = 0;
+    svc =
+      {
+        submitted = 0;
+        rejected_backpressure = 0;
+        batches = 0;
+        batched_requests = 0;
+        max_batch = 0;
+        budget_exhausted = 0;
+        verify_failures = 0;
+        verdict_tbl = Hashtbl.create 32;
+      };
   }
 
 let config t = t.cfg
@@ -45,18 +85,51 @@ let engine t = t.engine
 let cache_stats t = Option.map Cache.stats t.cache
 let keyer_stats t = Cache.Keyer.stats t.keyer
 let pending t = Queue.length t.queue
+let last_id t = t.seq
+
+let service_stats t =
+  {
+    submitted = t.svc.submitted;
+    rejected_backpressure = t.svc.rejected_backpressure;
+    batches = t.svc.batches;
+    batched_requests = t.svc.batched_requests;
+    max_batch = t.svc.max_batch;
+    budget_exhausted = t.svc.budget_exhausted;
+    verify_failures = t.svc.verify_failures;
+    verdicts =
+      Hashtbl.fold
+        (fun shop c acc -> (shop, (c.(0), c.(1), c.(2))) :: acc)
+        t.svc.verdict_tbl []
+      |> List.sort (fun (a, _) (b, _) -> compare a b);
+  }
 
 let shop_of = function
   | Admission.Submit { shop; _ } | Add { shop; _ } | Query { shop } | Drop { shop } -> shop
 
+let op_of = function
+  | Admission.Submit _ -> "submit"
+  | Add _ -> "add"
+  | Query _ -> "query"
+  | Drop _ -> "drop"
+
 let submit t request =
   Obs.incr "serve.requests";
+  t.svc.submitted <- t.svc.submitted + 1;
   if Queue.length t.queue >= t.cfg.queue_capacity then begin
     Obs.incr "serve.overloaded";
+    t.svc.rejected_backpressure <- t.svc.rejected_backpressure + 1;
     `Overloaded
   end
   else begin
-    Queue.push request t.queue;
+    (* Ids are assigned at ingress whether or not tracing is on, so a
+       request keeps the same id when tracing is toggled. *)
+    t.seq <- t.seq + 1;
+    let tr =
+      if Rtrace.active () then
+        Rtrace.start ~id:t.seq ~op:(op_of request) ~shop:(shop_of request)
+      else Rtrace.none
+    in
+    Queue.push (request, tr) t.queue;
     `Queued
   end
 
@@ -64,7 +137,9 @@ let submit t request =
 type slot =
   | Resolved of Admission.reply  (* no solve needed (error/query/drop) *)
   | Hit of { decision : Admission.decision; prepared : Admission.prepared }
-      (* [decision] already relabelled to the candidate *)
+      (* [decision] is the cached {e canonical} decision; relabelling
+         and verification happen in phase 3, where they are attributed
+         to the verify stage like the miss path's. *)
   | Miss of Admission.prepared
       (* Solves always run on the canonical form — whether or not the
          result will be cached — so verdicts are independent of the
@@ -77,15 +152,44 @@ let take_batch t =
     else
       match Queue.peek_opt t.queue with
       | None -> List.rev acc
-      | Some req ->
+      | Some (req, _) ->
           let shop = shop_of req in
           if List.mem shop shops then List.rev acc
           else begin
-            ignore (Queue.pop t.queue);
-            go (req :: acc) (shop :: shops)
+            let (_, tr) as item = Queue.pop t.queue in
+            (* The queue stage ends when the request joins a batch. *)
+            Rtrace.mark tr 0;
+            go (item :: acc) (shop :: shops)
           end
   in
   go [] []
+
+let verdict_of_reply = function
+  | Admission.Decided { decision; _ } -> Admission.decision_kind decision
+  | Admission.Queried _ -> "info"
+  | Admission.Dropped _ -> "dropped"
+  | Admission.Request_error _ -> "error"
+
+let bump_verdict t shop = function
+  | Admission.Admitted _ | Rejected _ | Undecided _ as d ->
+      let cell =
+        match Hashtbl.find_opt t.svc.verdict_tbl shop with
+        | Some c -> c
+        | None ->
+            let c = [| 0; 0; 0 |] in
+            Hashtbl.add t.svc.verdict_tbl shop c;
+            c
+      in
+      let i =
+        match d with Admission.Admitted _ -> 0 | Rejected _ -> 1 | Undecided _ -> 2
+      in
+      cell.(i) <- cell.(i) + 1;
+      (match d with
+      | Admission.Undecided { reason } when reason = "budget-exhausted" ->
+          t.svc.budget_exhausted <- t.svc.budget_exhausted + 1
+      | Admission.Undecided { reason } when reason = "verify-failed" ->
+          t.svc.verify_failures <- t.svc.verify_failures + 1
+      | _ -> ())
 
 let step t =
   match take_batch t with
@@ -93,80 +197,101 @@ let step t =
   | batch ->
       Obs.span "serve.batch" (fun () ->
           Obs.incr "serve.batches";
-          if Obs.stats_enabled () then
-            Obs.observe "serve.batch_size" (float_of_int (List.length batch));
+          t.svc.batches <- t.svc.batches + 1;
+          let bs = List.length batch in
+          t.svc.batched_requests <- t.svc.batched_requests + bs;
+          if bs > t.svc.max_batch then t.svc.max_batch <- bs;
+          if Obs.stats_enabled () then Obs.observe "serve.batch_size" (float_of_int bs);
           (* Phase 1 (sequential, submission order): preconditions and
-             cache lookups.  All cache mutation stays on this domain. *)
+             cache lookups.  All cache mutation — and every clock read —
+             stays on this domain. *)
           let slots =
             List.map
-              (fun req ->
+              (fun (req, tr) ->
                 match Admission.prepare ~keyer:t.keyer t.engine req with
-                | Error reply -> (req, Resolved reply)
-                | Ok ({ Admission.candidate; canon } as prepared) -> (
+                | Error reply ->
+                    Rtrace.mark tr 1;
+                    Rtrace.mark tr 2;
+                    (req, tr, Resolved reply)
+                | Ok ({ Admission.canon; _ } as prepared) -> (
+                    Rtrace.mark tr 1;
                     match t.cache with
-                    | None -> (req, Miss prepared)
-                    | Some cache -> (
+                    | None ->
+                        Rtrace.mark tr 2;
+                        (req, tr, Miss prepared)
+                    | Some cache ->
                         let key = Admission.cache_key ~budget:t.cfg.budget canon in
-                        match Cache.find cache key with
-                        | Some d ->
-                            ( req,
-                              Hit
-                                { decision = Admission.relabel canon candidate d; prepared } )
-                        | None -> (req, Miss prepared))))
+                        let slot =
+                          match Cache.find cache key with
+                          | Some d -> Hit { decision = d; prepared }
+                          | None -> Miss prepared
+                        in
+                        Rtrace.mark tr 2;
+                        (req, tr, slot)))
               batch
           in
           (* Phase 2 (parallel): solve the misses.  Submission order is
-             preserved by Pool.map and each solve is pure, so the result
-             array is independent of the domain count. *)
+             preserved by Pool.map and each solve is pure — worker
+             domains never touch the clock, so traces are unaffected by
+             the domain count. *)
           let misses =
             List.filter_map
               (function
-                | _, Miss { Admission.canon; _ } -> Some canon.Cache.shop
-                | _, (Resolved _ | Hit _) -> None)
+                | _, _, Miss { Admission.canon; _ } -> Some canon.Cache.shop
+                | _, _, (Resolved _ | Hit _) -> None)
               slots
             |> Array.of_list
           in
           let solved =
             Pool.map ~jobs:t.cfg.jobs (Admission.solve ~budget:t.cfg.budget) misses
           in
-          (* Phase 3 (sequential, submission order): cache insertion,
-             commits, reply emission. *)
+          (* Phase 3 (sequential, submission order): relabel + verify,
+             cache insertion, commits, reply emission. *)
           let next_miss = ref 0 in
           List.map
-            (fun (req, slot) ->
+            (fun (req, tr, slot) ->
               match slot with
               | Resolved reply ->
+                  Rtrace.mark tr 3;
+                  Rtrace.mark tr 4;
                   t.engine <- Admission.commit t.engine req None;
-                  (req, reply)
-              | Hit { decision; prepared } ->
+                  Rtrace.mark tr 5;
+                  Rtrace.set_verdict tr (verdict_of_reply reply);
+                  (req, tr, reply)
+              | Hit _ | Miss _ ->
+                  let ({ Admission.candidate; canon } as prepared), canonical =
+                    match slot with
+                    | Hit { decision; prepared } -> (prepared, decision)
+                    | Miss prepared ->
+                        let d = solved.(!next_miss) in
+                        incr next_miss;
+                        (prepared, d)
+                    | Resolved _ -> assert false
+                  in
+                  Rtrace.mark tr 3;
+                  let decision =
+                    Admission.verify_decision (Admission.relabel canon candidate canonical)
+                  in
                   Admission.record_decision decision;
-                  t.engine <- Admission.commit ~prepared t.engine req (Some decision);
-                  ( req,
-                    Admission.Decided
-                      {
-                        shop = shop_of req;
-                        n_tasks = Recurrence_shop.n_tasks prepared.Admission.candidate;
-                        decision;
-                      } )
-              | Miss ({ Admission.candidate; canon } as prepared) ->
-                  let decision = solved.(!next_miss) in
-                  incr next_miss;
-                  (match t.cache with
-                  | Some cache ->
+                  Rtrace.mark tr 4;
+                  (match (t.cache, slot) with
+                  | Some cache, Miss _ ->
+                      (* The cache stores the pre-verify canonical
+                         decision; hits re-verify after relabelling, so
+                         cache-on and cache-off verify identically. *)
                       Cache.add cache
                         (Admission.cache_key ~budget:t.cfg.budget canon)
-                        decision
-                  | None -> ());
-                  let decision = Admission.relabel canon candidate decision in
-                  Admission.record_decision decision;
+                        canonical
+                  | _ -> ());
                   t.engine <- Admission.commit ~prepared t.engine req (Some decision);
+                  Rtrace.mark tr 5;
+                  let shop = shop_of req in
+                  bump_verdict t shop decision;
+                  Rtrace.set_verdict tr (Admission.decision_kind decision);
                   ( req,
+                    tr,
                     Admission.Decided
-                      {
-                        shop = shop_of req;
-                        n_tasks = Recurrence_shop.n_tasks candidate;
-                        decision;
-                      } ))
+                      { shop; n_tasks = Recurrence_shop.n_tasks candidate; decision } ))
             slots)
 
 let drain t =
@@ -188,6 +313,8 @@ let process_log t log =
       match submit t req with `Queued -> Queue.push i queued | `Overloaded -> ())
     log;
   List.iter
-    (fun (_, reply) -> outcomes.(Queue.pop queued) <- Reply reply)
+    (fun (_, tr, reply) ->
+      Rtrace.finish tr;
+      outcomes.(Queue.pop queued) <- Reply reply)
     (drain t);
   outcomes

@@ -14,10 +14,22 @@
     checks and cache lookups sequentially in submission order, cache
     misses solved in parallel ({!E2e_exec.Pool.map} preserves
     submission order and every solve is a pure function of its
-    candidate), then cache insertion, state commits and reply emission
-    sequentially in submission order again.  Replies therefore depend
-    only on the request log and the configuration — the same log yields
-    a byte-identical reply log at any [jobs] value.
+    candidate), then relabelling + checker verification
+    ({!Admission.verify_decision}), cache insertion, state commits and
+    reply emission sequentially in submission order again.  Replies
+    therefore depend only on the request log and the configuration —
+    the same log yields a byte-identical reply log at any [jobs] value.
+
+    {b Telemetry.}  Every queued request gets a monotonically
+    increasing id at ingress.  When {!Rtrace.active} the batcher
+    allocates a per-request trace context and timestamps every pipeline
+    stage (queue wait, canonicalize, cache, solve, verify, commit) on
+    the main domain in submission order; the transport closes the
+    render stage via {!Rtrace.finish}.  With tracing off the shared
+    {!Rtrace.none} sentinel is threaded instead — no allocation, no
+    clock reads, identical replies.  Independent of the registry, the
+    batcher keeps always-on {!service_stats} (the live half of the
+    [metrics] protocol command).
 
     {b Backpressure.}  [submit] on a full queue answers [`Overloaded]
     immediately: the request is refused loudly, never silently dropped
@@ -27,8 +39,10 @@
     seconds, so an overloaded service degrades to fast [Undecided]
     answers instead of nondeterministic ones.
 
-    Telemetry: counters [serve.requests], [serve.overloaded],
-    [serve.batches]; histogram [serve.batch_size]; span [serve.batch]. *)
+    Registry telemetry: counters [serve.requests], [serve.overloaded],
+    [serve.batches] (plus the {!Admission} verdict counters); histograms
+    [serve.batch_size], [serve.stage.<name>], [serve.e2e]; span
+    [serve.batch]. *)
 
 type t
 
@@ -66,13 +80,35 @@ val keyer_stats : t -> Cache.Keyer.stats
 
 val pending : t -> int
 
+val last_id : t -> int
+(** The most recent request id handed out at ingress ([0] initially).
+    Ids are assigned whether or not tracing is active, so a request
+    keeps its id when tracing is toggled. *)
+
+type service_stats = {
+  submitted : int;  (** Every [submit] call, queued or refused. *)
+  rejected_backpressure : int;  (** [submit] calls answered [`Overloaded]. *)
+  batches : int;
+  batched_requests : int;
+  max_batch : int;
+  budget_exhausted : int;  (** Replies [Undecided (budget-exhausted)]. *)
+  verify_failures : int;  (** Replies downgraded by the verify stage. *)
+  verdicts : (string * (int * int * int)) list;
+      (** Per shop [(admitted, rejected, undecided)], sorted by shop. *)
+}
+
+val service_stats : t -> service_stats
+(** Always-on service accounting, independent of the [Obs] registry —
+    the live half of the [metrics] protocol reply. *)
+
 val submit : t -> Admission.request -> [ `Queued | `Overloaded ]
 
-val step : t -> (Admission.request * Admission.reply) list
+val step : t -> (Admission.request * Rtrace.t * Admission.reply) list
 (** Process one batch; [[]] when the queue is empty.  Replies are in
-    submission order. *)
+    submission order.  The caller must {!Rtrace.finish} each returned
+    context after rendering its reply (a no-op when tracing is off). *)
 
-val drain : t -> (Admission.request * Admission.reply) list
+val drain : t -> (Admission.request * Rtrace.t * Admission.reply) list
 (** [step] until the queue is empty, concatenating the replies. *)
 
 type outcome = Reply of Admission.reply | Overloaded
@@ -83,6 +119,7 @@ val pp_outcome : Format.formatter -> outcome -> unit
 
 val process_log : t -> Admission.request list -> outcome array
 (** Replay a whole request log: submit every request in order (requests
-    past queue capacity get [Overloaded]), then drain.  [outcomes.(i)]
-    answers request [i] — the array the determinism and fuzzing
-    harnesses compare byte-for-byte across [jobs] and cache settings. *)
+    past queue capacity get [Overloaded]), then drain, finishing every
+    trace context.  [outcomes.(i)] answers request [i] — the array the
+    determinism and fuzzing harnesses compare byte-for-byte across
+    [jobs] and cache settings. *)

@@ -11,6 +11,7 @@ type item =
   | Hello of string
   | Request of Admission.request
   | Stats
+  | Metrics
   | Quit
   | Blank
 
@@ -59,6 +60,7 @@ let parse_request line =
     match keyword with
     | "hello" -> Ok (Hello rest)
     | "stats" -> if rest = "" then Ok Stats else Error "stats takes no arguments"
+    | "metrics" -> if rest = "" then Ok Metrics else Error "metrics takes no arguments"
     | "quit" -> if rest = "" then Ok Quit else Error "quit takes no arguments"
     | "query" | "drop" ->
         let shop, extra = cut_word rest in
@@ -136,3 +138,48 @@ let render_stats batcher =
   | Some { Cache.hits; misses; evictions; size } ->
       Printf.sprintf "%s cache_hits=%d cache_misses=%d cache_evictions=%d cache_size=%d" base
         hits misses evictions size
+
+(* The [metrics] reply: live batcher-derived exposition lines (always
+   available, registry on or off) followed by the registry's own
+   exposition.  The live names are chosen disjoint from any registry
+   name's mangling, so the concatenation never repeats a sample. *)
+let render_metrics batcher =
+  let module Obs = E2e_obs.Obs in
+  let line ?labels name v = Obs.exposition_line ?labels name v in
+  let iline ?labels name v = line ?labels name (float_of_int v) in
+  let engine = Batcher.engine batcher in
+  let svc = Batcher.service_stats batcher in
+  let live =
+    [
+      iline "serve_queue_depth" (Batcher.pending batcher);
+      iline "serve_committed_shops" (List.length (Admission.shops engine));
+      iline "serve_committed_tasks" (Admission.n_committed engine);
+      iline "serve_submitted_total" svc.Batcher.submitted;
+      iline "serve_backpressure_rejections_total" svc.Batcher.rejected_backpressure;
+      iline "serve_batches_completed_total" svc.Batcher.batches;
+      iline "serve_batched_requests_total" svc.Batcher.batched_requests;
+      iline "serve_max_batch_size" svc.Batcher.max_batch;
+      iline "serve_budget_exhaustions_total" svc.Batcher.budget_exhausted;
+      iline "serve_verify_downgrades_total" svc.Batcher.verify_failures;
+    ]
+    @ (match Batcher.cache_stats batcher with
+      | None -> []
+      | Some { Cache.hits; misses; evictions; size } ->
+          [
+            iline "serve_cache_hits_total" hits;
+            iline "serve_cache_misses_total" misses;
+            iline "serve_cache_evictions_total" evictions;
+            iline "serve_cache_size" size;
+          ])
+    @ List.concat_map
+        (fun (shop, (admitted, rejected, undecided)) ->
+          List.map
+            (fun (verdict, n) ->
+              iline
+                ~labels:[ ("shop", shop); ("verdict", verdict) ]
+                "serve_shop_verdicts_total" n)
+            [ ("admitted", admitted); ("rejected", rejected); ("undecided", undecided) ])
+        svc.Batcher.verdicts
+  in
+  let lines = live @ Obs.exposition_lines () in
+  "metrics " ^ String.concat ";" lines

@@ -14,6 +14,7 @@
     query <shop>                 # committed size of a shop
     drop <shop>                  # release a shop's commitments
     stats                        # cache/queue/verdict counters
+    metrics                      # full text exposition (see below)
     quit                         # close the session
     v}
 
@@ -35,12 +36,19 @@
     overloaded
     error shop=S MESSAGE | error MESSAGE
     stats KEY=VALUE ...
+    metrics LINE;LINE;...
     bye
     v}
 
     [schedule=CSV] is {!E2e_schedule.Schedule.to_csv} with [;] for
     newline ([task,stage,processor,start,finish;0,0,1,0,1;...]) —
-    parseable back into exact rationals. *)
+    parseable back into exact rationals.  The [metrics] reply is the
+    Prometheus-style text exposition ({!E2e_obs.Obs.exposition}) with
+    [;] standing for newline: live batcher samples (queue depth,
+    committed shops/tasks, per-shop verdict counts, cache hit/miss,
+    backpressure rejections, budget exhaustions) followed by the [Obs]
+    registry's counters, gauges and per-stage latency histograms when
+    stats are on. *)
 
 val version : string
 (** ["e2e-serve/1"]. *)
@@ -53,6 +61,7 @@ type item =
   | Hello of string  (** Requested protocol version, to match {!version}. *)
   | Request of Admission.request
   | Stats
+  | Metrics
   | Quit
   | Blank  (** Empty or comment-only line: no reply is sent. *)
 
@@ -77,6 +86,13 @@ val render_hello : requested:string -> string
 val render_stats : Batcher.t -> string
 (** The [stats] reply: queue depth, committed shops/tasks, verdict
     counts and cache counters of this batcher. *)
+
+val render_metrics : Batcher.t -> string
+(** The [metrics] reply: [;]-framed exposition lines — this batcher's
+    live {!Batcher.service_stats} samples followed by
+    {!E2e_obs.Obs.exposition_lines} (the latter empty unless stats are
+    on).  Live and registry sample names never collide.  Deterministic:
+    a function of the batcher state and registry contents only. *)
 
 val render_schedule : E2e_schedule.Schedule.t -> string
 (** The [;]-framed CSV used in [admitted] replies (exposed for tests

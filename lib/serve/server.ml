@@ -8,6 +8,7 @@ module Obs = E2e_obs.Obs
 type action =
   | Emit of string
   | Emit_stats
+  | Emit_metrics
   | Pending  (* resolved by the next drained reply, in order *)
 
 let read_chunk ic n =
@@ -30,6 +31,7 @@ let process_chunk ~schedules batcher lines =
         | Ok (Protocol.Hello requested) ->
             classify (Emit (Protocol.render_hello ~requested) :: acc) rest
         | Ok Protocol.Stats -> classify (Emit_stats :: acc) rest
+        | Ok Protocol.Metrics -> classify (Emit_metrics :: acc) rest
         | Ok Protocol.Quit -> (List.rev (Emit "bye" :: acc), true)
         | Ok (Protocol.Request req) -> (
             match Batcher.submit batcher req with
@@ -53,11 +55,15 @@ let process_chunk ~schedules batcher lines =
         match action with
         | Emit line -> line
         | Emit_stats -> Protocol.render_stats batcher
+        | Emit_metrics -> Protocol.render_metrics batcher
         | Pending -> (
             match !replies with
-            | (_, reply) :: rest ->
+            | (_, tr, reply) :: rest ->
                 replies := rest;
-                Protocol.render_reply ~schedules (Batcher.Reply reply)
+                let line = Protocol.render_reply ~schedules (Batcher.Reply reply) in
+                (* The render stage closes once the reply line exists. *)
+                Rtrace.finish tr;
+                line
             | [] -> assert false (* one drained reply per queued request *)))
       actions
   in

@@ -13,7 +13,11 @@
     one line per non-blank request.  With a fixed chunk size the reply
     stream is a deterministic function of the request stream — the
     stdio smoke test in [make check] compares it byte-for-byte across
-    worker-domain counts. *)
+    worker-domain counts.
+
+    When request tracing is active ({!Rtrace.active}) the transport
+    closes each request's render stage as its reply line is emitted, in
+    reply order, completing the per-request JSONL trace. *)
 
 val session : ?schedules:bool -> ?chunk:int -> Batcher.t -> in_channel -> out_channel -> unit
 (** Serve one session: write {!Protocol.greeting}, then read request

@@ -27,7 +27,9 @@ let () =
       ("local_search", Test_local_search.suite);
       ("misc", Test_misc_coverage.suite);
       ("obs", Test_obs.suite);
+      ("quantile", Test_quantile.suite);
       ("exec", Test_exec.suite);
       ("fuzz", Test_fuzz.suite);
       ("serve", Test_serve.suite);
+      ("trace", Test_trace.suite);
     ]

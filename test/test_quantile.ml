@@ -1,0 +1,178 @@
+(* The shared quantile sketch: bucket geometry, the nearest-rank rule,
+   lossless merging, the documented error bound against exact sorted
+   quantiles, and cross-domain aggregation through the Obs registry. *)
+
+module Quantile = E2e_obs.Quantile
+module Obs = E2e_obs.Obs
+module Pool = E2e_exec.Pool
+
+let check_float = Alcotest.(check (float 0.))
+
+(* Exact nearest-rank quantile on a sorted array, the same
+   [rank = ceil (q * (n - 1))] rule the sketch documents. *)
+let exact_quantile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    let rank = int_of_float (Float.ceil (q *. float_of_int (n - 1))) in
+    sorted.(rank)
+
+let test_bucket_boundaries () =
+  (* Default alpha 0.01 -> 50 sub-buckets per octave; the octave [1, 2)
+     starts with the bucket [1.0, 1.02). *)
+  let q = Quantile.create () in
+  Quantile.observe q 1.0;
+  Quantile.observe q 1.019;
+  Quantile.observe q 1.02;
+  (match Quantile.buckets q with
+  | [ (lo1, hi1, c1); (lo2, _, c2) ] ->
+      check_float "first bucket lower bound" 1.0 lo1;
+      check_float "first bucket upper bound" 1.02 hi1;
+      Alcotest.(check int) "1.0 and 1.019 share a bucket" 2 c1;
+      check_float "1.02 opens the next bucket" 1.02 lo2;
+      Alcotest.(check int) "next bucket holds one" 1 c2
+  | bs -> Alcotest.failf "expected 2 buckets, got %d" (List.length bs));
+  (* Every occupied bucket has relative width <= 2 alpha and contains
+     what its bounds claim. *)
+  let wide = Quantile.create () in
+  let g = E2e_prng.Prng.create 7 in
+  for _ = 1 to 1000 do
+    Quantile.observe wide (Float.ldexp (E2e_prng.Prng.float g 1.0 +. 0.5)
+                             (E2e_prng.Prng.int g 40 - 20))
+  done;
+  List.iter
+    (fun (lo, hi, count) ->
+      Alcotest.(check bool) "bucket non-empty" true (count > 0);
+      Alcotest.(check bool) "bucket ordered" true (lo < hi);
+      Alcotest.(check bool)
+        (Printf.sprintf "relative width at [%g, %g)" lo hi)
+        true
+        ((hi -. lo) /. lo <= 2. *. Quantile.alpha wide +. 1e-12))
+    (Quantile.buckets wide)
+
+let test_zero_and_special_values () =
+  let q = Quantile.create () in
+  Quantile.observe q 0.;
+  Quantile.observe q (-3.);
+  Quantile.observe q Float.nan;
+  Quantile.observe q Float.infinity;
+  Alcotest.(check int) "all land in the zero bucket" 4 (Quantile.zeros q);
+  Alcotest.(check int) "all counted" 4 (Quantile.count q);
+  check_float "zero bucket reports exactly zero" 0. (Quantile.quantile q 1.0);
+  Alcotest.(check (list (triple (float 0.) (float 0.) int)))
+    "no positive buckets" [] (Quantile.buckets q);
+  let empty = Quantile.create () in
+  check_float "empty sketch quantile" 0. (Quantile.quantile empty 0.5);
+  check_float "empty sketch min" 0. (Quantile.min_value empty);
+  check_float "empty sketch max" 0. (Quantile.max_value empty)
+
+(* Pinned outputs on fixed samples: the sketch is exact float
+   arithmetic, so these literals must reproduce everywhere (this is what
+   lets make check diff e2e-trace summaries against a golden file). *)
+let test_pinned_regression () =
+  let q = Quantile.create () in
+  for i = 1 to 100 do
+    Quantile.observe q (float_of_int i)
+  done;
+  check_float "p0" 1.01 (Quantile.quantile q 0.);
+  check_float "p50" 50.880000000000003 (Quantile.quantile q 0.5);
+  check_float "p90" 91.519999999999996 (Quantile.quantile q 0.9);
+  check_float "p95" 96.640000000000001 (Quantile.quantile q 0.95);
+  check_float "p99" 100.48 (Quantile.quantile q 0.99);
+  check_float "p100" 100.48 (Quantile.quantile q 1.0);
+  check_float "exact min retained" 1.0 (Quantile.min_value q);
+  check_float "exact max retained" 100.0 (Quantile.max_value q);
+  check_float "exact sum retained" 5050.0 (Quantile.sum q);
+  (* The loadgen-style latency sample that used to go through the ad-hoc
+     sorted-array percentile function. *)
+  let lat = Quantile.create () in
+  List.iter (Quantile.observe lat)
+    [ 0.004; 0.0041; 0.0075; 0.012; 0.0009; 0.0303; 0.0016 ];
+  check_float "latency p50" 0.0041015625000000002 (Quantile.quantile lat 0.5);
+  check_float "latency p95" 0.030156249999999999 (Quantile.quantile lat 0.95)
+
+let sketch_of values =
+  let q = Quantile.create () in
+  List.iter (Quantile.observe q) values;
+  q
+
+let assert_same_quantiles label a b =
+  Alcotest.(check int) (label ^ ": count") (Quantile.count a) (Quantile.count b);
+  Alcotest.(check int) (label ^ ": zeros") (Quantile.zeros a) (Quantile.zeros b);
+  List.iter
+    (fun p ->
+      check_float
+        (Printf.sprintf "%s: q%.2f" label p)
+        (Quantile.quantile a p) (Quantile.quantile b p))
+    [ 0.; 0.25; 0.5; 0.75; 0.9; 0.95; 0.99; 1.0 ]
+
+let test_merge () =
+  let xs = List.init 40 (fun i -> float_of_int (i + 1) *. 0.37)
+  and ys = List.init 25 (fun i -> float_of_int (i + 1) *. 2.11)
+  and zs = [ 0.; 5.; 500.; 0.25 ] in
+  let a = sketch_of xs and b = sketch_of ys and c = sketch_of zs in
+  (* Associative and commutative. *)
+  assert_same_quantiles "associativity"
+    (Quantile.merge (Quantile.merge a b) c)
+    (Quantile.merge a (Quantile.merge b c));
+  assert_same_quantiles "commutativity" (Quantile.merge a b) (Quantile.merge b a);
+  (* Lossless: merged = sketch of the concatenated sample. *)
+  assert_same_quantiles "merge equals concatenation"
+    (Quantile.merge (Quantile.merge a b) c)
+    (sketch_of (xs @ ys @ zs));
+  (* Inputs unchanged, result fresh. *)
+  Alcotest.(check int) "left operand untouched" (List.length xs) (Quantile.count a);
+  (* Mixed alpha is a programming error. *)
+  Alcotest.check_raises "alpha mismatch rejected"
+    (Invalid_argument "Quantile.merge: incompatible sketches (different alpha)")
+    (fun () ->
+      ignore (Quantile.merge a (Quantile.create ~alpha:0.05 ())))
+
+(* Property: for positive samples the sketch quantile is within the
+   documented relative error of the exact nearest-rank quantile. *)
+let prop_error_bound =
+  QCheck.Test.make ~count:200 ~name:"quantile within alpha of exact"
+    QCheck.(pair (list_of_size Gen.(1 -- 200) (float_bound_exclusive 1000.))
+              (float_bound_inclusive 1.0))
+    (fun (raw, p) ->
+      let values = List.map (fun v -> Float.abs v +. 1e-6) raw in
+      let q = sketch_of values in
+      let sorted = Array.of_list values in
+      Array.sort Float.compare sorted;
+      let exact = exact_quantile sorted p in
+      let est = Quantile.quantile q p in
+      Float.abs (est -. exact) <= (Quantile.alpha q +. 1e-12) *. exact)
+
+(* Worker domains observe into per-domain Obs stores; the registry merge
+   at read time must see every observation exactly once. *)
+let test_domain_safety () =
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_stats false;
+      Obs.reset_metrics ())
+    (fun () ->
+      Obs.set_stats true;
+      Obs.reset_metrics ();
+      let items = Array.init 400 (fun i -> float_of_int (i + 1)) in
+      ignore
+        (Pool.map ~jobs:4
+           (fun v ->
+             Obs.observe "pool.latency" v;
+             v)
+           items);
+      match List.assoc_opt "pool.latency" (Obs.sketches ()) with
+      | None -> Alcotest.fail "merged sketch missing"
+      | Some q ->
+          Alcotest.(check int) "every observation merged once" 400 (Quantile.count q);
+          check_float "sum survives the merge" 80200. (Quantile.sum q);
+          check_float "max survives the merge" 400. (Quantile.max_value q))
+
+let suite =
+  [
+    Alcotest.test_case "bucket boundaries" `Quick test_bucket_boundaries;
+    Alcotest.test_case "zero and special values" `Quick test_zero_and_special_values;
+    Alcotest.test_case "pinned regression outputs" `Quick test_pinned_regression;
+    Alcotest.test_case "merge" `Quick test_merge;
+    QCheck_alcotest.to_alcotest prop_error_bound;
+    Alcotest.test_case "domain safety via Obs registry" `Quick test_domain_safety;
+  ]
