@@ -17,7 +17,7 @@ JOBS ?= 4
 BENCH_TRIALS ?= full
 
 .PHONY: all build test bench bench-par bench-serve bench-core fuzz-smoke \
-  serve-smoke trace-smoke check clean
+  fuzz-inc serve-smoke trace-smoke check clean
 
 all: build
 
@@ -82,7 +82,9 @@ trace-smoke:
 
 # Short differential-fuzzing campaign over every model class (including
 # eedf-fast, which pits the indexed single-machine engine against the
-# retained scan-based reference on larger instances): each solver
+# retained scan-based reference on larger instances, and eedf-inc,
+# which replays add/drop churn logs through the warm incremental state
+# and re-solves from scratch after every edit): each solver
 # against its oracle and the independent checker, on a fixed seed, run
 # on 1 and 4 domains — any disagreement or any scheduling
 # nondeterminism (output not byte-identical) fails the target.  Full
@@ -92,6 +94,13 @@ fuzz-smoke:
 	dune exec bin/fuzz.exe -- --class all --trials 300 --seed 42 -j 1 > $(FUZZ_A)
 	dune exec bin/fuzz.exe -- --class all --trials 300 --seed 42 -j 4 > $(FUZZ_B)
 	cmp $(FUZZ_A) $(FUZZ_B)
+
+# Deep campaign on the incremental-vs-scratch differential alone: every
+# trial replays a deterministic add/drop churn log over one instance,
+# comparing regions, schedules and feasibility verdicts after every
+# edit (the warm state must agree with from-scratch exactly).
+fuzz-inc:
+	dune exec bin/fuzz.exe -- --class eedf-inc --trials 2000 --seed 7 -j 4
 
 # Build, run the test suite, then smoke-test the telemetry pipeline
 # (regenerate one paper artifact with --metrics and validate the file as
@@ -111,6 +120,7 @@ check:
 	dune exec bin/experiments.exe -- fig9a --trials 120 -j 4 --metrics $(PAR_METRICS) > /dev/null
 	dune exec bin/jsonl_check.exe $(PAR_METRICS)
 	$(MAKE) fuzz-smoke
+	$(MAKE) fuzz-inc
 	$(MAKE) serve-smoke
 	$(MAKE) trace-smoke
 	dune exec bench/core_bench.exe -- --trials small --out $(CORE_SMOKE)

@@ -51,12 +51,27 @@ let try_strategy shop = function
       let s = Schedule.forward_pass (Recurrence_shop.of_traditional shop) ~order in
       if Schedule.is_feasible s then Some s else None
 
+let strategy_code = function
+  | H_with_bottleneck b -> "b" ^ string_of_int b
+  | Order_earliest_deadline -> "ed"
+  | Order_least_slack -> "ls"
+  | Order_earliest_release -> "er"
+
 let truncate_strategies budget strats =
   match budget with
   | None -> strats
   | Some k -> List.filteri (fun i _ -> i < k) strats
 
-let schedule ?budget shop =
+(* Move the hinted strategy to the front.  This runs BEFORE budget
+   truncation, so a hint both warm-starts the search and counts against
+   the budget first — a budgeted caller with a hint gets the hinted
+   attempt even when the budget would otherwise have excluded it. *)
+let promote hint strats =
+  match hint with
+  | None -> strats
+  | Some h -> h :: List.filter (fun s -> s <> h) strats
+
+let schedule ?budget ?hint shop =
   Obs.span "portfolio.schedule" (fun () ->
       let rec go = function
         | [] ->
@@ -85,6 +100,6 @@ let schedule ?budget shop =
                       ];
                 go rest)
       in
-      go (truncate_strategies budget (strategies shop)))
+      go (truncate_strategies budget (promote hint (strategies shop))))
 
 let schedule_opt shop = match schedule shop with Ok (s, _) -> Some s | Error `All_failed -> None

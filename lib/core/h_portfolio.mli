@@ -19,18 +19,26 @@ type strategy =
 
 val pp_strategy : Format.formatter -> strategy -> unit
 
+val strategy_code : strategy -> string
+(** Short stable code ("b0", "ed", "ls", "er") — used in cache keys so a
+    warm-start hint is part of a cached decision's identity. *)
+
 val strategies : E2e_model.Flow_shop.t -> strategy list
 (** The portfolio tried, in order: the paper's bottleneck first, then the
     other processors, then the direct orders. *)
 
 val schedule :
   ?budget:int ->
+  ?hint:strategy ->
   E2e_model.Flow_shop.t ->
   (E2e_schedule.Schedule.t * strategy, [ `All_failed ]) result
 (** First feasible schedule found, with the strategy that produced it.
     [budget] caps the number of strategies attempted (a deterministic
     work budget — the admission service bounds per-request solve cost
     with it; wall-clock timeouts would make replies nondeterministic);
-    omitted, the whole portfolio is tried. *)
+    omitted, the whole portfolio is tried.  [hint] moves that strategy
+    to the front of the portfolio {e before} truncation (warm start from
+    a previous solve of a near-identical shop); the hint changes which
+    strategy wins ties, so callers caching results must key on it. *)
 
 val schedule_opt : E2e_model.Flow_shop.t -> E2e_schedule.Schedule.t option

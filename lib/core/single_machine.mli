@@ -59,3 +59,55 @@ val brute_force_feasible : tau:rat -> job array -> bool
 (** Exhaustive search over all job orders (earliest-start timing per
     order, which is optimal for a fixed order).  Exponential; for tests
     on small instances only. *)
+
+(** Incremental solver state: persistent forbidden-region checkpoints
+    plus a replayable EDF dispatch log, warm-startable under single-task
+    edits.
+
+    {!Inc.make} solves from scratch and parks the per-release region
+    snapshots ({!E2e_ds.Interval_set} is persistent, so each snapshot is
+    an O(1) share).  {!Inc.add_task}/{!Inc.remove_task} re-run only the
+    packing passes for releases at or below the edited job's release —
+    using a lazy min segment tree over deadline positions so each
+    resumed pass costs O(log n + candidates) instead of O(n) — and
+    replay the committed dispatch order up to the first instant where
+    the old and new region sets (or the edit itself) can matter.
+
+    The contract is {e exact} agreement with {!schedule} on the same job
+    array: same regions, same start times, same feasibility verdicts,
+    byte for byte.  The [eedf-inc] differential fuzz class enforces this
+    on random add/drop logs. *)
+module Inc : sig
+  type state
+
+  val make : tau:rat -> job array -> state
+  (** Solve from scratch and retain the warm-start state.  Job ids are
+      re-assigned to positions ([0..n-1] in input order); all position
+      arguments below refer to this dense indexing.
+      @raise Invalid_argument when [tau <= 0]. *)
+
+  val solve : state -> (rat array, [ `Infeasible ]) result
+  (** The current schedule (start times by position), identical to
+      [schedule ~tau (jobs state)].  O(1): solving happened at
+      construction / edit time. *)
+
+  val add_task : state -> at:int -> release:rat -> deadline:rat -> state
+  (** New state with a job inserted at position [at] (positions at or
+      after [at] shift up).  The input state remains valid.
+      @raise Invalid_argument when [at] is outside [0..n_jobs]. *)
+
+  val remove_task : state -> at:int -> state
+  (** New state with the job at position [at] removed (positions after
+      [at] shift down).  The input state remains valid.
+      @raise Invalid_argument when [at] is outside [0..n_jobs-1]. *)
+
+  val regions : state -> (region list, [ `Infeasible ]) result
+  (** Current forbidden regions, identical to [forbidden_regions]. *)
+
+  val n_jobs : state -> int
+
+  val jobs : state -> job array
+  (** Current jobs in position order (a copy). *)
+
+  val tau : state -> rat
+end

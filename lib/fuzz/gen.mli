@@ -16,15 +16,21 @@
     differential ({!Single_machine_ref} against the indexed
     {!E2e_core.Single_machine}), needs no exhaustive oracle, and so
     generates much larger identical-length instances (up to 40 tasks)
-    than the optimality classes can afford. *)
+    than the optimality classes can afford.  [Eedf_inc] is its sibling
+    for the incremental engine: each instance seeds a deterministic
+    add/drop churn log whose every step is checked against the
+    from-scratch solver (regions, schedules and verdicts must agree
+    exactly). *)
 
-type model_class = Eedf | R | A | H | Eedf_fast
+type model_class = Eedf | R | A | H | Eedf_fast | Eedf_inc
 
 val all : model_class list
-(** Every class, in the fixed campaign order [Eedf; R; A; H; Eedf_fast]. *)
+(** Every class, in the fixed campaign order
+    [Eedf; R; A; H; Eedf_fast; Eedf_inc]. *)
 
 val name : model_class -> string
-(** CLI / corpus spelling: ["eedf"], ["r"], ["a"], ["h"], ["eedf-fast"]. *)
+(** CLI / corpus spelling: ["eedf"], ["r"], ["a"], ["h"], ["eedf-fast"],
+    ["eedf-inc"]. *)
 
 val of_name : string -> model_class option
 

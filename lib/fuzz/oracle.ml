@@ -282,6 +282,124 @@ let run_eedf_fast fs =
       | _ -> (
           match schedule_verdict () with Bug _ as b -> b | _ -> ablation_verdict ()))
 
+(* Incremental-vs-scratch differential: replay a deterministic add/drop
+   churn log over the instance's EEDF reduction and require the warm
+   {!E2e_core.Single_machine.Inc} state to agree with a from-scratch
+   solve after {e every} edit — regions, start times and feasibility
+   verdicts, all under exact rational equality.  The edit positions are
+   a fixed function of the log length, so a failing trial replays from
+   its seed alone. *)
+let rec insert_at i x l =
+  match l with
+  | l when i = 0 -> x :: l
+  | [] -> [ x ]
+  | y :: tl -> y :: insert_at (i - 1) x tl
+
+let rec remove_at i = function
+  | [] -> []
+  | _ :: tl when i = 0 -> tl
+  | y :: tl -> y :: remove_at (i - 1) tl
+
+let run_eedf_inc fs =
+  let module SM = E2e_core.Single_machine in
+  match Flow_shop.is_identical_length fs with
+  | None -> bug Precondition "eedf-inc generator produced a non-identical-length shop"
+  | Some tau ->
+      let all = Eedf.single_machine_jobs fs ~tau in
+      let n = Array.length all in
+      let pp_rats ppf rs =
+        Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+          (fun ppf r -> Format.pp_print_string ppf (Rat.to_string r))
+          ppf (Array.to_list rs)
+      in
+      let pp_regions ppf rs =
+        Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+          SM.pp_region ppf rs
+      in
+      (* The incremental state re-ids jobs to positions, so the scratch
+         mirror must too: EDF tie-breaks read the id. *)
+      let reid mirror =
+        Array.of_list (List.mapi (fun i (j : SM.job) -> { j with SM.id = i }) mirror)
+      in
+      let check ~step st mirror =
+        let jobs = reid mirror in
+        let regions_verdict =
+          match (SM.Inc.regions st, SM.forbidden_regions ~tau jobs) with
+          | Error `Infeasible, Error `Infeasible -> Agree
+          | Ok inc, Ok scr ->
+              let same =
+                List.length inc = List.length scr
+                && List.for_all2
+                     (fun (a : SM.region) (b : SM.region) ->
+                       Rat.equal a.left b.left && Rat.equal a.right b.right)
+                     inc scr
+              in
+              if same then Agree
+              else
+                bug Divergence "%s: forbidden regions differ: inc [%a] vs scratch [%a]" step
+                  pp_regions inc pp_regions scr
+          | Ok _, Error `Infeasible ->
+              bug Divergence "%s: incremental built regions where scratch proves infeasible" step
+          | Error `Infeasible, Ok _ ->
+              bug Divergence "%s: incremental claims infeasible; scratch builds regions" step
+        in
+        match regions_verdict with
+        | Bug _ as b -> b
+        | _ -> (
+            match (SM.Inc.solve st, SM.schedule ~tau jobs) with
+            | Error `Infeasible, Error `Infeasible -> Agree
+            | Ok inc, Ok scr ->
+                if Array.length inc = Array.length scr && Array.for_all2 Rat.equal inc scr then
+                  Agree
+                else
+                  bug Divergence "%s: schedules differ: inc [%a] vs scratch [%a]" step pp_rats
+                    inc pp_rats scr
+            | Ok _, Error `Infeasible ->
+                bug Divergence "%s: incremental schedules an instance scratch rejects" step
+            | Error `Infeasible, Ok _ ->
+                bug Divergence "%s: incremental rejects an instance scratch schedules" step)
+      in
+      let exception Found of outcome in
+      let guard step st mirror =
+        match check ~step st mirror with Agree -> () | o -> raise (Found o)
+      in
+      let base_n = Stdlib.max 1 ((n + 1) / 2) in
+      let base = Array.sub all 0 base_n in
+      (try
+         let st = ref (SM.Inc.make ~tau base) in
+         let mirror = ref (Array.to_list base) in
+         guard "base" !st !mirror;
+         (* Grow back to the full job set one insertion at a time. *)
+         for k = base_n to n - 1 do
+           let (j : SM.job) = all.(k) in
+           let at = ((k * 13) + 5) mod (List.length !mirror + 1) in
+           st := SM.Inc.add_task !st ~at ~release:j.release ~deadline:j.deadline;
+           mirror := insert_at at j !mirror;
+           guard (Printf.sprintf "add#%d@%d" k at) !st !mirror
+         done;
+         (* Shrink to a single job, hitting early, middle and late
+            positions as the length changes parity. *)
+         let step = ref 0 in
+         while List.length !mirror > 1 do
+           let len = List.length !mirror in
+           let at = ((len * 31) + 7) mod len in
+           st := SM.Inc.remove_task !st ~at;
+           mirror := remove_at at !mirror;
+           incr step;
+           guard (Printf.sprintf "drop#%d@%d" !step at) !st !mirror
+         done;
+         (* Add after drop exercises checkpoint reuse on a state whose
+            history mixes both edit kinds. *)
+         List.iteri
+           (fun i (j : SM.job) ->
+             let at = ((i * 17) + 3) mod (List.length !mirror + 1) in
+             st := SM.Inc.add_task !st ~at ~release:j.release ~deadline:j.deadline;
+             mirror := insert_at at j !mirror;
+             guard (Printf.sprintf "readd#%d@%d" i at) !st !mirror)
+           [ all.(0); all.(n - 1) ];
+         Agree
+       with Found o -> o)
+
 let run cls (shop : Recurrence_shop.t) =
   let traditional run_fs =
     match to_flow_shop shop with
@@ -295,6 +413,7 @@ let run cls (shop : Recurrence_shop.t) =
     | Gen.H -> traditional run_h
     | Gen.R -> run_r shop
     | Gen.Eedf_fast -> traditional run_eedf_fast
+    | Gen.Eedf_inc -> traditional run_eedf_inc
   with
   | outcome -> outcome
   | exception exn -> Bug { kind = Crash (Printexc.to_string exn); detail = "solver raised" }

@@ -19,11 +19,21 @@ type decision =
   | Rejected of { certificate : Infeasibility.certificate option }
   | Undecided of { reason : string }
 
+(* Warm-start state parked with a committed shop.  [Machine] is a full
+   incremental solver handle (identical-length shops on the EEDF path):
+   the next Add re-solves by O(delta) [add_task] deltas.  [Hint] is the
+   portfolio strategy that last admitted the shop: the next full solve
+   tries it first.  Both are decision-transparent — the delta path is
+   byte-identical to a cold solve and the hint is part of the cache key
+   — so entries with and without state always produce the same replies. *)
+type inc_state = Machine of Solver.Incremental.t | Hint of H_portfolio.strategy
+
 (* Each committed shop carries the canonical form of its committed task
    set, so the next Add re-solve starts from already-sorted, already-
    rendered committed lines (Cache.merge) instead of canonicalizing the
-   whole merged candidate from scratch. *)
-type entry = { shop : Recurrence_shop.t; canon : Cache.canonical }
+   whole merged candidate from scratch — plus the warm-start state of
+   the solve that admitted it. *)
+type entry = { shop : Recurrence_shop.t; canon : Cache.canonical; inc : inc_state option }
 type t = entry Smap.t
 
 type request =
@@ -61,28 +71,41 @@ let budget_exhausted () =
 
 (* One candidate set, no cache: the strongest applicable algorithm, then
    certificates and the portfolio on the NP-hard path.  Pure, so batched
-   solves can run on worker domains. *)
-let decide_uncached budget (shop : Recurrence_shop.t) =
+   solves can run on worker domains.  Returns the warm-start state of
+   the solve alongside the decision: the incremental handle on the EEDF
+   path, the winning strategy on the portfolio path.  [hint] warm-starts
+   the portfolio (it is part of the cache key, so hinted and unhinted
+   solves never alias). *)
+let solve_full budget ?hint (shop : Recurrence_shop.t) : decision * inc_state option =
   Obs.incr "serve.solves";
   if Visit.is_traditional shop.Recurrence_shop.visit then begin
     let fs = Flow_shop.make ~processors:shop.visit.Visit.processors shop.tasks in
-    match Solver.solve fs with
-    | Solver.Feasible (s, alg) -> Admitted { schedule = s; algo = algo_name alg }
-    | Solver.Proved_infeasible _ -> Rejected { certificate = Infeasibility.check fs }
-    | Solver.Heuristic_failed -> (
+    match Solver.Incremental.solve_with_state fs with
+    | Solver.Feasible (s, alg), state ->
+        ( Admitted { schedule = s; algo = algo_name alg },
+          Option.map (fun m -> Machine m) state )
+    | Solver.Proved_infeasible _, _ ->
+        (Rejected { certificate = Infeasibility.check fs }, None)
+    | Solver.Heuristic_failed, _ -> (
         match Infeasibility.check fs with
-        | Some cert -> Rejected { certificate = Some cert }
+        | Some cert -> (Rejected { certificate = Some cert }, None)
         | None -> (
+            let portfolio ?budget () =
+              match H_portfolio.schedule ?budget ?hint fs with
+              | Ok (s, strat) ->
+                  Some (Admitted { schedule = s; algo = "portfolio" }, Some (Hint strat))
+              | Error `All_failed -> None
+            in
             match budget with
-            | Strategies 0 -> budget_exhausted ()
+            | Strategies 0 -> (budget_exhausted (), None)
             | Strategies k -> (
-                match H_portfolio.schedule ~budget:k fs with
-                | Ok (s, _) -> Admitted { schedule = s; algo = "portfolio" }
-                | Error `All_failed -> budget_exhausted ())
+                match portfolio ~budget:k () with
+                | Some r -> r
+                | None -> (budget_exhausted (), None))
             | Unbounded -> (
-                match H_portfolio.schedule fs with
-                | Ok (s, _) -> Admitted { schedule = s; algo = "portfolio" }
-                | Error `All_failed -> Undecided { reason = "heuristic-failed" })))
+                match portfolio () with
+                | Some r -> r
+                | None -> (Undecided { reason = "heuristic-failed" }, None))))
   end
   else
     match Solver.solve_recurrent_or_fallback shop with
@@ -93,9 +116,11 @@ let decide_uncached budget (shop : Recurrence_shop.t) =
           | `Greedy_edf -> "greedy_edf"
           | `Traditional -> "solver"
         in
-        Admitted { schedule = s; algo }
-    | Solver.Recurrent_proved_infeasible -> Rejected { certificate = None }
-    | Solver.Recurrent_undecided -> Undecided { reason = "heuristic-failed" }
+        (Admitted { schedule = s; algo }, None)
+    | Solver.Recurrent_proved_infeasible -> (Rejected { certificate = None }, None)
+    | Solver.Recurrent_undecided -> (Undecided { reason = "heuristic-failed" }, None)
+
+let decide_uncached budget shop = fst (solve_full budget shop)
 
 (* Relabel a decision computed on the canonical shop back to the
    candidate's task ids.  Feasibility is invariant under the relabelling
@@ -126,11 +151,27 @@ let verify_decision = function
           Undecided { reason = "verify-failed" })
   | (Rejected _ | Undecided _) as d -> d
 
+(* What the cache stores: the pre-verify canonical decision plus the
+   portfolio strategy that produced it (when one did).  The hint must
+   ride along so a cache hit commits the same warm-start state as the
+   solve it stands in for — otherwise cached and uncached runs would
+   hint future solves differently and could diverge. *)
+type solved = { decision : decision; hint : H_portfolio.strategy option }
+
 (* The budget is part of the cache key: a set undecided under a small
    budget may be admitted under a larger one, so decisions taken under
-   different budgets must never alias. *)
+   different budgets must never alias.  So is the warm-start hint: the
+   hint reorders the portfolio and changes which strategy wins, so
+   hinted and unhinted solves of the same canonical set are distinct
+   decisions. *)
 let budget_tag = function Unbounded -> "u" | Strategies k -> "s" ^ string_of_int k
-let cache_key ~budget canon = canon.Cache.key ^ ":" ^ budget_tag budget
+
+let hint_tag = function
+  | None -> ""
+  | Some h -> ":h" ^ H_portfolio.strategy_code h
+
+let cache_key ~budget ?hint canon =
+  canon.Cache.key ^ ":" ^ budget_tag budget ^ hint_tag hint
 
 (* Every solve runs on the canonical form, cached or not: heuristics may
    be sensitive to task order, so solving the original labelling only
@@ -145,10 +186,11 @@ let decide_canonical ?(budget = Unbounded) ?cache canon (shop : Recurrence_shop.
     | Some c -> (
         let key = cache_key ~budget canon in
         match Cache.find c key with
-        | Some d -> relabel canon shop d
+        | Some s -> relabel canon shop s.decision
         | None ->
-            let d = decide_uncached budget canon.Cache.shop in
-            Cache.add c key d;
+            let d, state = solve_full budget canon.Cache.shop in
+            Cache.add c key
+              { decision = d; hint = (match state with Some (Hint h) -> Some h | _ -> None) };
             relabel canon shop d)
   in
   (* The cache stores pre-verify canonical decisions; every consumer
@@ -177,7 +219,12 @@ let merge_candidate (committed : Recurrence_shop.t) tasks =
   Recurrence_shop.make ~visit:committed.visit
     (Array.append committed.tasks (fresh_tasks committed tasks))
 
-type prepared = { candidate : Recurrence_shop.t; canon : Cache.canonical }
+type prepared = {
+  candidate : Recurrence_shop.t;
+  canon : Cache.canonical;
+  base_inc : inc_state option;
+  is_add : bool;
+}
 
 let prepare ?keyer t = function
   | Submit { shop; instance } ->
@@ -189,17 +236,23 @@ let prepare ?keyer t = function
           | Some k -> Cache.Keyer.canonicalize k instance
           | None -> Cache.canonicalize instance
         in
-        Ok { candidate = instance; canon }
+        Ok { candidate = instance; canon; base_inc = None; is_add = false }
   | Add { shop; tasks } -> (
       match Smap.find_opt shop t with
       | None -> Error (request_error shop "unknown shop")
       | Some _ when tasks = [] -> Error (request_error shop "add expects at least one task")
-      | Some { shop = committed; canon = base } -> (
+      | Some { shop = committed; canon = base; inc } -> (
           match merge_candidate committed tasks with
           | candidate ->
               (* The committed side arrives pre-sorted and pre-rendered:
                  only the handful of fresh tasks pays canonicalization. *)
-              Ok { candidate; canon = Cache.merge ~base (fresh_tasks committed tasks) }
+              Ok
+                {
+                  candidate;
+                  canon = Cache.merge ~base (fresh_tasks committed tasks);
+                  base_inc = inc;
+                  is_add = true;
+                }
           | exception Invalid_argument m -> Error (request_error shop m)))
   | Query { shop } ->
       Error
@@ -209,28 +262,106 @@ let prepare ?keyer t = function
 
 let candidate_of_request t request = Result.map (fun p -> p.candidate) (prepare t request)
 
-let commit ?prepared t request decision =
+let hint_of p = match p.base_inc with Some (Hint h) -> Some h | _ -> None
+let state_of_cached (s : solved) = Option.map (fun h -> Hint h) s.hint
+
+(* The warm solve for one prepared candidate: the hint (when the
+   committed shop has one) rides into the portfolio.  Pure, so batched
+   misses can run on worker domains. *)
+let solve_prepared ~budget p =
+  let d, state = solve_full budget ?hint:(hint_of p) p.canon.Cache.shop in
+  ( { decision = d; hint = (match state with Some (Hint h) -> Some h | _ -> None) },
+    state )
+
+(* The O(delta) path: an Add to a shop whose committed solve left a
+   Machine handle extends that handle with the fresh canonical jobs and
+   reads the verdict — no cache, no full solve.  [None] falls back to
+   the cache/solve path (not an Add, no handle, or the merged set left
+   the identical-length class).  Decision-transparent: the incremental
+   engine agrees byte-for-byte with the scratch solver ([eedf-inc]
+   fuzz), and the Rejected arm rebuilds the same certificate the cold
+   path would.  Counters [serve.inc_hits]/[serve.inc_misses] measure
+   the delta-path hit rate over Add requests. *)
+let try_incremental p =
+  let result =
+    match p.base_inc with
+    | Some (Machine m)
+      when Visit.is_traditional p.canon.Cache.shop.Recurrence_shop.visit -> (
+        let shop = p.canon.Cache.shop in
+        let fs = Flow_shop.make ~processors:shop.visit.Visit.processors shop.tasks in
+        match Solver.Incremental.extend m fs with
+        | None -> None
+        | Some m' -> (
+            match Solver.Incremental.verdict m' fs with
+            | Solver.Feasible (s, alg) ->
+                Some (Admitted { schedule = s; algo = algo_name alg }, Some (Machine m'))
+            | Solver.Proved_infeasible _ ->
+                Some (Rejected { certificate = Infeasibility.check fs }, None)
+            | Solver.Heuristic_failed -> None))
+    | _ -> None
+  in
+  if p.is_add then
+    Obs.incr (match result with Some _ -> "serve.inc_hits" | None -> "serve.inc_misses");
+  result
+
+(* Decide one prepared candidate with every warm-start facility, in
+   fixed precedence: delta path first (never touches the cache), then
+   the cache under the hint-tagged key, then a hinted full solve.  Both
+   the sequential reference interpreter ({!apply}) and the batcher run
+   exactly this ordering, so they agree reply-for-reply. *)
+let decide_prepared ?(budget = Unbounded) ?cache ({ candidate; canon; _ } as p) =
+  let canonical, state =
+    match try_incremental p with
+    | Some r -> r
+    | None -> (
+        match cache with
+        | None ->
+            let s, state = solve_prepared ~budget p in
+            (s.decision, state)
+        | Some c -> (
+            let key = cache_key ~budget ?hint:(hint_of p) canon in
+            match Cache.find c key with
+            | Some s -> (s.decision, state_of_cached s)
+            | None ->
+                let s, state = solve_prepared ~budget p in
+                Cache.add c key s;
+                (s.decision, state)))
+  in
+  let decision = verify_decision (relabel canon candidate canonical) in
+  record_decision decision;
+  (decision, state)
+
+let commit ?prepared ?(state : inc_state option = None) t request decision =
   match (request, decision) with
   | (Submit { shop; _ } | Add { shop; _ }), Some (Admitted _) -> (
       match
         match prepared with Some p -> Ok p | None -> prepare t request
       with
-      | Ok { candidate; canon } -> Smap.add shop { shop = candidate; canon } t
+      | Ok { candidate; canon; _ } -> Smap.add shop { shop = candidate; canon; inc = state } t
       | Error _ -> t)
   | Drop { shop }, _ -> Smap.remove shop t
   | _, _ -> t
+
+let resident_sizes t =
+  List.map (fun (name, e) -> (name, Recurrence_shop.n_tasks e.shop)) (Smap.bindings t)
+
+let warm_resident t =
+  Smap.fold
+    (fun _ e acc ->
+      match e.inc with Some (Machine m) -> acc + Solver.Incremental.resident m | _ -> acc)
+    t 0
 
 let apply ?budget ?cache ?keyer t request =
   Obs.incr "serve.requests";
   match prepare ?keyer t request with
   | Error reply -> (commit t request None, reply)
-  | Ok ({ candidate; canon } as prepared) ->
-      let decision = decide_canonical ?budget ?cache canon candidate in
+  | Ok ({ candidate; _ } as prepared) ->
+      let decision, state = decide_prepared ?budget ?cache prepared in
       let shop =
         match request with
         | Submit { shop; _ } | Add { shop; _ } | Query { shop } | Drop { shop } -> shop
       in
-      ( commit ~prepared t request (Some decision),
+      ( commit ~prepared ~state t request (Some decision),
         Decided { shop; n_tasks = Recurrence_shop.n_tasks candidate; decision } )
 
 let decision_kind = function

@@ -50,9 +50,22 @@ type decision =
           polynomial certificate generator found no witness window. *)
   | Undecided of { reason : string }
 
+type inc_state =
+  | Machine of E2e_core.Solver.Incremental.t
+      (** A warm incremental solver handle (identical-length / EEDF
+          shops): the next [Add] re-solves by O(delta) task deltas. *)
+  | Hint of E2e_core.H_portfolio.strategy
+      (** The portfolio strategy that last admitted the shop: the next
+          full solve tries it first. *)
+(** Warm-start state parked with a committed shop.  Decision-transparent
+    by construction: the delta path is byte-identical to a cold solve
+    and the hint is part of the cache key, so entries with and without
+    state always produce the same replies — only the work differs. *)
+
 type t
 (** Immutable committed state: a map from shop name to its committed
-    task set.  All transitions go through {!apply}. *)
+    task set (plus canonical form and warm-start state).  All
+    transitions go through {!apply}. *)
 
 type request =
   | Submit of { shop : string; instance : E2e_model.Recurrence_shop.t }
@@ -100,10 +113,20 @@ val verify_decision : decision -> decision
     through.  Runs in both the batched and the sequential reference
     paths, so the differential harnesses agree by construction. *)
 
-val cache_key : budget:budget -> Cache.canonical -> string
+type solved = { decision : decision; hint : E2e_core.H_portfolio.strategy option }
+(** What the cache stores: the pre-verify canonical decision plus the
+    portfolio strategy that produced it (when one did).  The hint rides
+    along so a cache hit commits the same warm-start state as the solve
+    it replaces — cached and uncached runs then hint future solves
+    identically. *)
+
+val cache_key :
+  budget:budget -> ?hint:E2e_core.H_portfolio.strategy -> Cache.canonical -> string
 (** The cache key for a canonical candidate under a budget — the budget
     is part of the key, so decisions taken under different budgets never
-    alias. *)
+    alias.  So is the warm-start [hint]: it reorders the portfolio and
+    changes which strategy wins, so hinted and unhinted solves of the
+    same canonical set are distinct cache entries. *)
 
 val record_decision : decision -> unit
 (** Bump the [serve.admitted]/[serve.rejected]/[serve.undecided]
@@ -112,7 +135,7 @@ val record_decision : decision -> unit
 
 val decide :
   ?budget:budget ->
-  ?cache:decision Cache.t ->
+  ?cache:solved Cache.t ->
   E2e_model.Recurrence_shop.t ->
   decision
 (** Decide one candidate set in isolation (the committed set merged with
@@ -125,17 +148,25 @@ val decide :
 
 val decide_canonical :
   ?budget:budget ->
-  ?cache:decision Cache.t ->
+  ?cache:solved Cache.t ->
   Cache.canonical ->
   E2e_model.Recurrence_shop.t ->
   decision
-(** {!decide} with the canonicalization already done — the entry point
-    for {!prepare}d requests, so the incremental canonical (committed
-    merge or keyer reuse) is not thrown away and recomputed. *)
+(** {!decide} with the canonicalization already done.  This entry point
+    has no committed-state context, so it never takes the delta path and
+    never hints — use {!decide_prepared} for requests that went through
+    {!prepare}. *)
 
-type prepared = { candidate : E2e_model.Recurrence_shop.t; canon : Cache.canonical }
+type prepared = {
+  candidate : E2e_model.Recurrence_shop.t;
+  canon : Cache.canonical;
+  base_inc : inc_state option;
+      (** The committed shop's warm-start state ([Add] only). *)
+  is_add : bool;
+}
 (** A validated [Submit]/[Add]: the merged committed-plus-candidate set
-    together with its canonical form. *)
+    together with its canonical form and the warm-start context the
+    delta path and the portfolio hint run on. *)
 
 val prepare : ?keyer:Cache.Keyer.t -> t -> request -> (prepared, reply) result
 (** Validate one request and canonicalize its candidate, or return the
@@ -154,23 +185,66 @@ val candidate_of_request :
 (** [prepare] without the canonical — the merged candidate set a
     [Submit]/[Add] asks the engine to guarantee. *)
 
-val commit : ?prepared:prepared -> t -> request -> decision option -> t
+val try_incremental : prepared -> (decision * inc_state option) option
+(** The O(delta) path: an [Add] to a shop whose committed solve left a
+    [Machine] handle extends that handle with the fresh canonical jobs
+    and reads the verdict — no cache, no full solve.  [None] falls back
+    to the cache/solve path (not an [Add], no handle, or the merged set
+    left the identical-length class).  The returned canonical decision
+    is byte-identical to what a cold solve would produce (the [eedf-inc]
+    fuzz contract); the state is the extended handle to {!commit}.
+    Bumps [serve.inc_hits]/[serve.inc_misses] for [Add] requests. *)
+
+val hint_of : prepared -> E2e_core.H_portfolio.strategy option
+(** The portfolio hint the committed shop carries, if any — what
+    {!solve_prepared} warm-starts with and {!cache_key} tags. *)
+
+val solve_prepared : budget:budget -> prepared -> solved * inc_state option
+(** The hinted full solve for one prepared candidate, on its canonical
+    form.  Pure (no cache, no commit), safe on worker domains — the
+    batcher fans cache misses out with it.  The [solved] is what the
+    cache stores; the state is what {!commit} parks. *)
+
+val state_of_cached : solved -> inc_state option
+(** The warm-start state a cache hit commits: the cached hint (a
+    [Machine] handle is never reconstructed from the cache — the next
+    [Add] simply takes the full-solve path, with identical replies). *)
+
+val decide_prepared :
+  ?budget:budget -> ?cache:solved Cache.t -> prepared -> decision * inc_state option
+(** Decide one prepared candidate with every warm-start facility, in
+    fixed precedence: {!try_incremental} first (never touches the
+    cache), then the cache under the hint-tagged key, then
+    {!solve_prepared}.  Relabels, verifies and records the decision;
+    returns the state for {!commit}.  The batcher replays exactly this
+    ordering across its phases, so both interpreters agree
+    reply-for-reply. *)
+
+val commit : ?prepared:prepared -> ?state:inc_state option -> t -> request -> decision option -> t
 (** Fold a processed request into the state: a [Submit]/[Add] decided
     [Admitted] commits its candidate {e and its canonical} (handed back
-    on the next [Add]'s merge), [Drop] removes its shop, and everything
-    else ([Rejected], [Undecided], [Query], no-solve replies) leaves the
-    state unchanged.  Pass the [prepared] value from {!prepare} to avoid
-    re-validating and re-canonicalizing; without it the commit recomputes
-    both. *)
+    on the next [Add]'s merge) {e and the warm-start [state]} (default
+    none), [Drop] removes its shop, and everything else ([Rejected],
+    [Undecided], [Query], no-solve replies) leaves the state unchanged.
+    Pass the [prepared] value from {!prepare} to avoid re-validating and
+    re-canonicalizing; without it the commit recomputes both. *)
+
+val resident_sizes : t -> (string * int) list
+(** Committed task count per shop, sorted by shop name — the per-shop
+    resident size the [metrics] reply exposes. *)
+
+val warm_resident : t -> int
+(** Total tasks held in warm [Machine] handles across all shops — how
+    much of the committed state the delta path can currently serve. *)
 
 val apply :
   ?budget:budget ->
-  ?cache:decision Cache.t ->
+  ?cache:solved Cache.t ->
   ?keyer:Cache.Keyer.t ->
   t ->
   request ->
   t * reply
-(** [prepare] + [decide_canonical] + [commit] in one step — the
+(** [prepare] + [decide_prepared] + [commit] in one step — the
     sequential reference interpreter the differential fuzzer checks the
     batched engine against. *)
 

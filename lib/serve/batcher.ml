@@ -28,6 +28,9 @@ type service_stats = {
   max_batch : int;
   budget_exhausted : int;
   verify_failures : int;
+  inc_hits : int;  (* Add requests decided by the O(delta) warm path *)
+  inc_misses : int;  (* Add requests that fell back to cache/full solve *)
+  resident : (string * int) list;  (* committed tasks per shop, sorted *)
   verdicts : (string * (int * int * int)) list;
       (* per shop: admitted, rejected, undecided — sorted by shop *)
 }
@@ -40,12 +43,14 @@ type svc = {
   mutable max_batch : int;
   mutable budget_exhausted : int;
   mutable verify_failures : int;
+  mutable inc_hits : int;
+  mutable inc_misses : int;
   verdict_tbl : (string, int array) Hashtbl.t;  (* [| admitted; rejected; undecided |] *)
 }
 
 type t = {
   cfg : config;
-  cache : Admission.decision Cache.t option;
+  cache : Admission.solved Cache.t option;
   keyer : Cache.Keyer.t;
   mutable engine : Admission.t;
   queue : (Admission.request * Rtrace.t) Queue.t;
@@ -76,6 +81,8 @@ let create ?(config = default_config) () =
         max_batch = 0;
         budget_exhausted = 0;
         verify_failures = 0;
+        inc_hits = 0;
+        inc_misses = 0;
         verdict_tbl = Hashtbl.create 32;
       };
   }
@@ -96,6 +103,9 @@ let service_stats t =
     max_batch = t.svc.max_batch;
     budget_exhausted = t.svc.budget_exhausted;
     verify_failures = t.svc.verify_failures;
+    inc_hits = t.svc.inc_hits;
+    inc_misses = t.svc.inc_misses;
+    resident = Admission.resident_sizes t.engine;
     verdicts =
       Hashtbl.fold
         (fun shop c acc -> (shop, (c.(0), c.(1), c.(2))) :: acc)
@@ -136,10 +146,19 @@ let submit t request =
 (* Phase-1 classification of one batch member. *)
 type slot =
   | Resolved of Admission.reply  (* no solve needed (error/query/drop) *)
-  | Hit of { decision : Admission.decision; prepared : Admission.prepared }
-      (* [decision] is the cached {e canonical} decision; relabelling
-         and verification happen in phase 3, where they are attributed
-         to the verify stage like the miss path's. *)
+  | Inc of {
+      decision : Admission.decision;
+      state : Admission.inc_state option;
+      prepared : Admission.prepared;
+    }
+      (* Decided in phase 1 by the O(delta) warm path — the same
+         precedence the sequential interpreter uses (delta before
+         cache).  The delta solve is cheap enough for the ingress
+         domain; relabelling and verification still happen in phase 3. *)
+  | Hit of { solved : Admission.solved; prepared : Admission.prepared }
+      (* [solved] is the cached {e canonical} decision (plus its warm
+         hint); relabelling and verification happen in phase 3, where
+         they are attributed to the verify stage like the miss path's. *)
   | Miss of Admission.prepared
       (* Solves always run on the canonical form — whether or not the
          result will be cached — so verdicts are independent of the
@@ -215,19 +234,36 @@ let step t =
                     (req, tr, Resolved reply)
                 | Ok ({ Admission.canon; _ } as prepared) -> (
                     Rtrace.mark tr 1;
-                    match t.cache with
-                    | None ->
+                    (* Delta path before cache — the same precedence
+                       {!Admission.decide_prepared} uses, so cache-on
+                       batched and cache-off sequential runs agree.  The
+                       shops in one batch are distinct (take_batch), so
+                       the engine state every delta extends is the
+                       batch-start state for its shop. *)
+                    match Admission.try_incremental prepared with
+                    | Some (decision, state) ->
+                        t.svc.inc_hits <- t.svc.inc_hits + 1;
                         Rtrace.mark tr 2;
-                        (req, tr, Miss prepared)
-                    | Some cache ->
-                        let key = Admission.cache_key ~budget:t.cfg.budget canon in
-                        let slot =
-                          match Cache.find cache key with
-                          | Some d -> Hit { decision = d; prepared }
-                          | None -> Miss prepared
-                        in
-                        Rtrace.mark tr 2;
-                        (req, tr, slot)))
+                        (req, tr, Inc { decision; state; prepared })
+                    | None -> (
+                        if prepared.Admission.is_add then
+                          t.svc.inc_misses <- t.svc.inc_misses + 1;
+                        match t.cache with
+                        | None ->
+                            Rtrace.mark tr 2;
+                            (req, tr, Miss prepared)
+                        | Some cache ->
+                            let key =
+                              Admission.cache_key ~budget:t.cfg.budget
+                                ?hint:(Admission.hint_of prepared) canon
+                            in
+                            let slot =
+                              match Cache.find cache key with
+                              | Some solved -> Hit { solved; prepared }
+                              | None -> Miss prepared
+                            in
+                            Rtrace.mark tr 2;
+                            (req, tr, slot))))
               batch
           in
           (* Phase 2 (parallel): solve the misses.  Submission order is
@@ -237,13 +273,15 @@ let step t =
           let misses =
             List.filter_map
               (function
-                | _, _, Miss { Admission.canon; _ } -> Some canon.Cache.shop
-                | _, _, (Resolved _ | Hit _) -> None)
+                | _, _, Miss prepared -> Some prepared
+                | _, _, (Resolved _ | Hit _ | Inc _) -> None)
               slots
             |> Array.of_list
           in
           let solved =
-            Pool.map ~jobs:t.cfg.jobs (Admission.solve ~budget:t.cfg.budget) misses
+            Pool.map ~jobs:t.cfg.jobs
+              (Admission.solve_prepared ~budget:t.cfg.budget)
+              misses
           in
           (* Phase 3 (sequential, submission order): relabel + verify,
              cache insertion, commits, reply emission. *)
@@ -258,32 +296,38 @@ let step t =
                   Rtrace.mark tr 5;
                   Rtrace.set_verdict tr (verdict_of_reply reply);
                   (req, tr, reply)
-              | Hit _ | Miss _ ->
-                  let ({ Admission.candidate; canon } as prepared), canonical =
+              | Inc _ | Hit _ | Miss _ ->
+                  (* canonical decision, warm state to commit, and the
+                     cache entry to insert (miss path only). *)
+                  let prepared, canonical, state, insert =
                     match slot with
-                    | Hit { decision; prepared } -> (prepared, decision)
+                    | Inc { decision; state; prepared } -> (prepared, decision, state, None)
+                    | Hit { solved; prepared } ->
+                        (prepared, solved.Admission.decision, Admission.state_of_cached solved, None)
                     | Miss prepared ->
-                        let d = solved.(!next_miss) in
+                        let s, state = solved.(!next_miss) in
                         incr next_miss;
-                        (prepared, d)
+                        (prepared, s.Admission.decision, state, Some s)
                     | Resolved _ -> assert false
                   in
+                  let { Admission.candidate; canon; _ } = prepared in
                   Rtrace.mark tr 3;
                   let decision =
                     Admission.verify_decision (Admission.relabel canon candidate canonical)
                   in
                   Admission.record_decision decision;
                   Rtrace.mark tr 4;
-                  (match (t.cache, slot) with
-                  | Some cache, Miss _ ->
+                  (match (t.cache, insert) with
+                  | Some cache, Some s ->
                       (* The cache stores the pre-verify canonical
                          decision; hits re-verify after relabelling, so
                          cache-on and cache-off verify identically. *)
                       Cache.add cache
-                        (Admission.cache_key ~budget:t.cfg.budget canon)
-                        canonical
+                        (Admission.cache_key ~budget:t.cfg.budget
+                           ?hint:(Admission.hint_of prepared) canon)
+                        s
                   | _ -> ());
-                  t.engine <- Admission.commit ~prepared t.engine req (Some decision);
+                  t.engine <- Admission.commit ~prepared ~state t.engine req (Some decision);
                   Rtrace.mark tr 5;
                   let shop = shop_of req in
                   bump_verdict t shop decision;

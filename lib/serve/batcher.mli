@@ -93,6 +93,15 @@ type service_stats = {
   max_batch : int;
   budget_exhausted : int;  (** Replies [Undecided (budget-exhausted)]. *)
   verify_failures : int;  (** Replies downgraded by the verify stage. *)
+  inc_hits : int;
+      (** [Add] requests decided by the O(delta) warm path
+          ({!Admission.try_incremental}). *)
+  inc_misses : int;
+      (** [Add] requests that fell back to the cache/full-solve path —
+          [inc_hits / (inc_hits + inc_misses)] is the delta-path hit
+          rate. *)
+  resident : (string * int) list;
+      (** Committed tasks per shop, sorted by shop name. *)
   verdicts : (string * (int * int * int)) list;
       (** Per shop [(admitted, rejected, undecided)], sorted by shop. *)
 }

@@ -161,7 +161,14 @@ let render_metrics batcher =
       iline "serve_max_batch_size" svc.Batcher.max_batch;
       iline "serve_budget_exhaustions_total" svc.Batcher.budget_exhausted;
       iline "serve_verify_downgrades_total" svc.Batcher.verify_failures;
+      iline "serve_incremental_hits_total" svc.Batcher.inc_hits;
+      iline "serve_incremental_misses_total" svc.Batcher.inc_misses;
+      iline "serve_warm_resident_tasks" (Admission.warm_resident engine);
     ]
+    @ List.map
+        (fun (shop, n) ->
+          iline ~labels:[ ("shop", shop) ] "serve_shop_resident_tasks" n)
+        svc.Batcher.resident
     @ (match Batcher.cache_stats batcher with
       | None -> []
       | Some { Cache.hits; misses; evictions; size } ->

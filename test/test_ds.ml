@@ -61,6 +61,18 @@ let prop_heap_interleaved =
             | Some _, [] | None, _ :: _ -> false)
         ops)
 
+(* A copy is an independent heap: edits to the source must not leak. *)
+let test_heap_copy () =
+  let h = Heap.of_list ~cmp:Rat.compare [ r 3; r 1; r 2 ] in
+  let c = Heap.copy h in
+  check_rat "pop source" (r 1) (Option.get (Heap.pop h));
+  Heap.push h (r 0);
+  Alcotest.(check int) "copy length unchanged" 3 (Heap.length c);
+  Alcotest.(check bool) "copy drains original contents" true
+    (List.for_all2 Rat.equal [ r 1; r 2; r 3 ] (drain_all c));
+  Alcotest.(check bool) "source saw its own edits" true
+    (List.for_all2 Rat.equal [ r 0; r 2; r 3 ] (drain_all h))
+
 (* {1 Interval set} *)
 
 let iset_of pairs =
@@ -119,6 +131,50 @@ let test_iset_degenerate_add () =
   let s = Interval_set.add Interval_set.empty ~left:(q "3") ~right:(q "2") in
   Alcotest.(check bool) "inverted interval ignored" true (Interval_set.is_empty s)
 
+let pairs_of s =
+  List.map (fun (l, rt) -> (Rat.to_string l, Rat.to_string rt)) (Interval_set.to_list s)
+
+let test_iset_remove () =
+  let s = iset_of [ ("0", "4"); ("6", "8") ] in
+  (* Closed subtraction: the removed endpoints do not survive, so (0,4)
+     splits into (0,1) and (2,4). *)
+  let split = Interval_set.remove s ~left:(q "1") ~right:(q "2") in
+  check_invariants split;
+  Alcotest.(check (list (pair string string))) "interior removal splits"
+    [ ("0", "1"); ("2", "4"); ("6", "8") ]
+    (pairs_of split);
+  (* A point removal splits the interval containing it. *)
+  let point = Interval_set.remove s ~left:(q "7") ~right:(q "7") in
+  check_invariants point;
+  Alcotest.(check (list (pair string string))) "point removal splits"
+    [ ("0", "4"); ("6", "7"); ("7", "8") ]
+    (pairs_of point);
+  (* Disjoint removal is the identity; a covering removal empties. *)
+  Alcotest.(check (list (pair string string))) "disjoint removal is identity"
+    (pairs_of s)
+    (pairs_of (Interval_set.remove s ~left:(q "4") ~right:(q "6")));
+  Alcotest.(check bool) "covering removal empties" true
+    (Interval_set.is_empty (Interval_set.remove s ~left:(q "-1") ~right:(q "9")));
+  check_rat "measure after split" (q "5")
+    (Interval_set.measure split)
+
+let test_iset_snapshot () =
+  let s = iset_of [ ("0", "2"); ("5", "6") ] in
+  let snap = Interval_set.snapshot s in
+  Alcotest.(check bool) "snapshot equals source" true
+    (Interval_set.first_difference s (Interval_set.of_snapshot snap) = None);
+  (* Persistence: edits to the source leave the snapshot untouched. *)
+  let s' = Interval_set.add s ~left:(q "3") ~right:(q "4") in
+  Alcotest.(check (list (pair string string))) "snapshot untouched by add"
+    [ ("0", "2"); ("5", "6") ]
+    (pairs_of (Interval_set.of_snapshot snap));
+  (match Interval_set.first_difference s s' with
+  | Some x -> check_rat "first difference at the new interval" (q "3") x
+  | None -> Alcotest.fail "add must register as a difference");
+  Alcotest.(check bool) "removal registers as a difference" true
+    (Interval_set.first_difference s (Interval_set.remove s ~left:(q "0") ~right:(q "1"))
+    <> None)
+
 (* Naive model: a list of open intervals with fold-based queries —
    exactly the representation the pre-rewrite engine used. *)
 let model_mem intervals x =
@@ -175,14 +231,47 @@ let prop_iset_matches_model =
       (* And the cardinality matches: merged runs collapse identically. *)
       && Interval_set.cardinal s = List.length model)
 
+(* Closed-interval subtraction in the list model: each interval keeps
+   its pieces strictly below [l] and strictly above [r]. *)
+let model_remove intervals (l, rt) =
+  List.concat_map
+    (fun (l', r') ->
+      List.filter
+        (fun (a, b) -> Rat.(a < b))
+        [ (l', Rat.min r' l); (Rat.max l' rt, r') ])
+    intervals
+
+let prop_iset_remove_matches_model =
+  QCheck.Test.make ~name:"interval set add/remove agrees with naive model" ~count:300
+    QCheck.(list_of_size Gen.(int_range 0 30) (pair bool arb_interval))
+    (fun ops ->
+      let s, model =
+        List.fold_left
+          (fun (s, model) (is_add, (l, rt)) ->
+            if is_add then (Interval_set.add s ~left:l ~right:rt, model_add model (l, rt))
+            else (Interval_set.remove s ~left:l ~right:rt, model_remove model (l, rt)))
+          (Interval_set.empty, []) ops
+      in
+      let pairs = Interval_set.to_list s in
+      List.length pairs = List.length model
+      && List.for_all2
+           (fun (a, b) (c, d) -> Rat.equal a c && Rat.equal b d)
+           pairs model
+      && Rat.equal (Interval_set.measure s)
+           (List.fold_left (fun acc (l, rt) -> Rat.add acc (Rat.sub rt l)) Rat.zero model))
+
 let suite =
   [
     Alcotest.test_case "heap basics" `Quick test_heap_basics;
+    Alcotest.test_case "heap copy is independent" `Quick test_heap_copy;
     to_alcotest prop_heap_sorts;
     to_alcotest prop_heap_interleaved;
     Alcotest.test_case "interval merge on overlap" `Quick test_iset_merge_overlap;
     Alcotest.test_case "touching intervals stay separate" `Quick test_iset_touching_not_merged;
     Alcotest.test_case "open-interval boundaries" `Quick test_iset_boundaries;
     Alcotest.test_case "degenerate adds ignored" `Quick test_iset_degenerate_add;
+    Alcotest.test_case "closed-interval removal" `Quick test_iset_remove;
+    Alcotest.test_case "snapshots are persistent" `Quick test_iset_snapshot;
     to_alcotest prop_iset_matches_model;
+    to_alcotest prop_iset_remove_matches_model;
   ]

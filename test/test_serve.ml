@@ -420,6 +420,89 @@ let test_protocol_render_reply () =
     "hello ok" "ok e2e-serve/1"
     (Protocol.render_hello ~requested:Protocol.version)
 
+(* ------------------------------------------------------------------ *)
+(* Incremental admission                                              *)
+
+let identical_instance ?(n = 6) seed =
+  let g = Prng.of_path [| seed; 55; 0 |] in
+  Recurrence_shop.of_traditional
+    (Feasible_gen.identical_length g ~n ~m:2 ~tau:Rat.one ~window:(2 * n))
+
+let add_one shop release =
+  Admission.Add
+    { shop; tasks = [ (release, Rat.add release (Rat.of_int 6), Array.make 2 Rat.one) ] }
+
+(* An identical-length submit leaves a warm [Machine] handle; the
+   following adds must ride the delta path, be admitted, and keep the
+   resident accounting in step. *)
+let test_incremental_warm_path () =
+  let log =
+    [
+      Admission.Submit { shop = "w"; instance = identical_instance 3 };
+      add_one "w" Rat.zero;
+      add_one "w" (Rat.of_int 2);
+    ]
+  in
+  let outcomes, b = run_log ~jobs:1 ~cache_capacity:0 log in
+  Array.iter
+    (fun o ->
+      match o with
+      | Batcher.Reply (Admission.Decided { decision = Admission.Admitted _; _ }) -> ()
+      | o -> Alcotest.failf "expected admitted, got %a" Batcher.pp_outcome o)
+    outcomes;
+  let svc = Batcher.service_stats b in
+  Alcotest.(check int) "both adds on the delta path" 2 svc.Batcher.inc_hits;
+  Alcotest.(check int) "no fallbacks" 0 svc.Batcher.inc_misses;
+  Alcotest.(check (list (pair string int))) "resident sizes track commits"
+    [ ("w", 8) ] svc.Batcher.resident;
+  Alcotest.(check int) "warm handle covers the whole shop" 8
+    (Admission.warm_resident (Batcher.engine b))
+
+(* A shop admitted through the portfolio (no [Machine] handle) sends its
+   adds down the full-solve path and counts misses, with replies still
+   matching the sequential reference engine. *)
+let test_incremental_fallback_counted () =
+  let g = Prng.of_path [| 9; 55; 1 |] in
+  let log =
+    [ Admission.Submit { shop = "c"; instance = gen_instance g }; add_one "c" Rat.zero ]
+  in
+  let _, b = run_log ~jobs:1 ~cache_capacity:0 log in
+  let svc = Batcher.service_stats b in
+  Alcotest.(check int) "no delta hits without a handle" 0 svc.Batcher.inc_hits;
+  Alcotest.(check int) "fallback counted" 1 svc.Batcher.inc_misses
+
+(* Replies must not depend on whether the delta path or a worker-domain
+   full solve produced them. *)
+let test_incremental_transparent_across_jobs () =
+  let log =
+    Admission.Submit { shop = "w"; instance = identical_instance 11 }
+    :: List.init 6 (fun i -> add_one "w" (Rat.of_int i))
+  in
+  let o1, _ = run_log ~jobs:1 ~cache_capacity:64 log in
+  let o4, _ = run_log ~jobs:4 ~cache_capacity:64 log in
+  Alcotest.(check string) "byte-identical replies" (render_outcomes o1) (render_outcomes o4)
+
+let test_metrics_exposes_incremental () =
+  let log =
+    [ Admission.Submit { shop = "w"; instance = identical_instance 3 }; add_one "w" Rat.zero ]
+  in
+  let _, b = run_log ~jobs:1 ~cache_capacity:0 log in
+  let metrics = Protocol.render_metrics b in
+  let contains needle =
+    let nl = String.length needle and ml = String.length metrics in
+    let rec go i = i + nl <= ml && (String.sub metrics i nl = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("metrics expose " ^ needle) true (contains needle))
+    [
+      "serve_incremental_hits_total 1";
+      "serve_incremental_misses_total 0";
+      "serve_warm_resident_tasks 7";
+      "serve_shop_resident_tasks{shop=\"w\"} 7";
+    ]
+
 let suite =
   [
     ("cache: LRU bookkeeping", `Quick, test_cache_lru);
@@ -443,4 +526,10 @@ let suite =
     ("protocol: request round-trips", `Quick, test_protocol_roundtrip);
     ("protocol: controls and parse errors", `Quick, test_protocol_errors_and_controls);
     ("protocol: reply rendering", `Quick, test_protocol_render_reply);
+    ("admission: warm delta path serves adds", `Quick, test_incremental_warm_path);
+    ("admission: cold shops count delta misses", `Quick, test_incremental_fallback_counted);
+    ("batcher: delta path transparent across jobs", `Quick,
+     test_incremental_transparent_across_jobs);
+    ("protocol: metrics expose incremental counters", `Quick,
+     test_metrics_exposes_incremental);
   ]
