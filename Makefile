@@ -6,6 +6,9 @@ FUZZ_A := /tmp/e2e_sched_fuzz_j1.txt
 FUZZ_B := /tmp/e2e_sched_fuzz_j4.txt
 SERVE_A := /tmp/e2e_sched_serve_j1.txt
 SERVE_B := /tmp/e2e_sched_serve_j4.txt
+CONC_A := /tmp/e2e_sched_conc_j1
+CONC_B := /tmp/e2e_sched_conc_j4
+CONC_CONNS := 4
 CORE_SMOKE := /tmp/e2e_sched_bench_core_small.json
 TRACE_A := /tmp/e2e_sched_trace_j1.jsonl
 TRACE_B := /tmp/e2e_sched_trace_j4.jsonl
@@ -17,7 +20,7 @@ JOBS ?= 4
 BENCH_TRIALS ?= full
 
 .PHONY: all build test bench bench-par bench-serve bench-core fuzz-smoke \
-  fuzz-inc serve-smoke trace-smoke check clean
+  fuzz-inc serve-smoke serve-conc-smoke trace-smoke check clean
 
 all: build
 
@@ -35,12 +38,15 @@ bench:
 bench-par:
 	dune exec bench/main.exe -- --parallel BENCH_parallel.json --jobs $(JOBS)
 
-# Fixed-seed open-loop load-generator run against the in-process
-# admission service: requests/sec, latency percentiles and the solver
-# cache hit rate, written to BENCH_serve.json.
+# Fixed-seed load-generator run against the in-process admission
+# service: requests/sec, latency percentiles, the solver cache hit
+# rate, and a full-transport saturation sweep (connections x batch over
+# the concurrent TCP server), written to BENCH_serve.json.
 bench-serve:
 	dune exec bin/loadgen.exe -- --requests 2000 --seed 42 -j $(JOBS) \
-	  --cache-sweep 128,512,4096 --out BENCH_serve.json
+	  --cache-sweep 128,512,4096 \
+	  --sat-connections 1,2,4,8 --sat-batch 16,64 \
+	  --out BENCH_serve.json
 
 # Tracked hot-path micro-benchmarks: the indexed single-machine engine
 # against the retained scan-based reference (the speedup ratio is part
@@ -63,6 +69,24 @@ serve-smoke:
 	grep -q '^admitted ' $(SERVE_A)
 	grep -q '^rejected ' $(SERVE_A)
 	grep -q '^metrics ' $(SERVE_A)
+
+# The concurrent transport determinism smoke: $(CONC_CONNS) pipelined
+# client domains against an embedded multi-domain TCP server on 1 and 4
+# worker domains.  Every connection's reply log must be byte-identical
+# across domain counts (disjoint per-connection shop namespaces) and
+# contain admitted verdicts.
+serve-conc-smoke:
+	rm -f $(CONC_A).conn* $(CONC_B).conn*
+	dune exec bin/loadgen.exe -- --self-serve --connections $(CONC_CONNS) \
+	  --pipeline 16 --requests 800 --seed 42 -j 1 \
+	  --reply-log $(CONC_A) > /dev/null
+	dune exec bin/loadgen.exe -- --self-serve --connections $(CONC_CONNS) \
+	  --pipeline 16 --requests 800 --seed 42 -j 4 \
+	  --reply-log $(CONC_B) > /dev/null
+	for i in $$(seq 0 $$(( $(CONC_CONNS) - 1 ))); do \
+	  cmp $(CONC_A).conn$$i $(CONC_B).conn$$i || exit 1; \
+	  grep -q '^admitted ' $(CONC_A).conn$$i || exit 1; \
+	done
 
 # Fixed-seed traced load-generator run under the deterministic clock on
 # 1 and 4 domains: the request-trace JSONL must be byte-identical across
@@ -122,6 +146,7 @@ check:
 	$(MAKE) fuzz-smoke
 	$(MAKE) fuzz-inc
 	$(MAKE) serve-smoke
+	$(MAKE) serve-conc-smoke
 	$(MAKE) trace-smoke
 	dune exec bench/core_bench.exe -- --trials small --out $(CORE_SMOKE)
 	dune exec bin/jsonl_check.exe $(CORE_SMOKE)
@@ -129,5 +154,6 @@ check:
 clean:
 	dune clean
 	rm -f $(METRICS) $(PAR_METRICS) $(PAR_A) $(PAR_B) $(FUZZ_A) $(FUZZ_B) \
-	  $(SERVE_A) $(SERVE_B) $(CORE_SMOKE) $(TRACE_A) $(TRACE_B) $(TRACE_SUM) \
+	  $(SERVE_A) $(SERVE_B) $(CONC_A).conn* $(CONC_B).conn* $(CORE_SMOKE) \
+	  $(TRACE_A) $(TRACE_B) $(TRACE_SUM) \
 	  $(TRACE_LG) BENCH_parallel.json BENCH_core.json

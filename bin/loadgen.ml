@@ -1,15 +1,23 @@
 (* Load generator for the admission service.
 
    e2e-loadgen --requests 2000 --seed 42 -j 4 --out BENCH_serve.json
-   e2e-loadgen --connect 127.0.0.1:7070 --requests 500
+   e2e-loadgen --connect 127.0.0.1:7070 --requests 500 --connections 4
+   e2e-loadgen --self-serve --connections 8 --pipeline 16 --requests 2000
 
-   Replays a Prng-seeded open-loop request stream — submits of fresh
-   task sets, permuted resubmissions (canonical-cache exercisers),
-   incremental adds, queries and drops — either against an in-process
-   Batcher (default; measures the engine itself) or over TCP against a
-   running e2e-serve.  Reports throughput, latency percentiles and the
-   cache hit rate, optionally as a JSON file (`make bench-serve` writes
-   BENCH_serve.json). *)
+   Replays a Prng-seeded request stream — submits of fresh task sets,
+   permuted resubmissions (canonical-cache exercisers), incremental
+   adds, queries and drops — against an in-process Batcher (default;
+   measures the engine itself), over TCP against a running e2e-serve
+   (--connect), or against an in-process concurrent TCP server on an
+   ephemeral port (--self-serve; measures the whole transport).  TCP
+   modes replay over --connections parallel client domains, each
+   closed-loop with up to --pipeline requests in flight (open-loop
+   with exponential arrivals when --rate is set), on disjoint
+   per-connection shop namespaces so every connection's reply log is
+   deterministic.  Reports throughput, latency percentiles and the
+   cache hit rate, optionally as a JSON file (`make bench-serve`
+   writes BENCH_serve.json, including a connections x batch
+   saturation sweep). *)
 
 open Cmdliner
 module Rat = E2e_rat.Rat
@@ -22,6 +30,7 @@ module Batcher = E2e_serve.Batcher
 module Cache = E2e_serve.Cache
 module Protocol = E2e_serve.Protocol
 module Rtrace = E2e_serve.Rtrace
+module Server = E2e_serve.Server
 module Pool = E2e_exec.Pool
 module Obs = E2e_obs.Obs
 module Json = E2e_obs.Json
@@ -50,13 +59,24 @@ let permute g (shop : Recurrence_shop.t) =
   in
   Recurrence_shop.make ~visit:shop.visit tasks
 
-let gen_stream ~seed ~requests =
-  let g = Prng.create seed in
+(* [cid] derives an independent per-connection stream on a disjoint
+   shop namespace ([c<cid>-s<k>] instead of [s<k>]): an admission
+   decision reads only its own shop's committed set, so each
+   connection's replies are a pure function of its own stream — the
+   invariant behind the concurrent transport's per-connection
+   determinism checks.  Without [cid] the stream is byte-identical to
+   what this generator always produced. *)
+let gen_stream ?cid ~seed ~requests () =
+  let g, prefix =
+    match cid with
+    | None -> (Prng.create seed, "s")
+    | Some c -> (Prng.of_path [| seed; 0x10ad; c |], Printf.sprintf "c%d-s" c)
+  in
   let submitted = ref [] (* (shop, instance), most recent first *) in
   let fresh = ref 0 in
   let fresh_shop () =
     incr fresh;
-    Printf.sprintf "s%d" !fresh
+    Printf.sprintf "%s%d" prefix !fresh
   in
   let pick_shop g =
     match !submitted with
@@ -187,50 +207,218 @@ let run_inproc ~stream ~config ~rate =
     Batcher.cache_stats batcher,
     Some (Batcher.keyer_stats batcher) )
 
-(* TCP replay: synchronous request/reply per line. *)
-let run_tcp ~stream ~addr =
+let new_tally () =
+  { admitted = 0; rejected = 0; undecided = 0; info = 0; dropped = 0; errors = 0;
+    overloaded = 0 }
+
+let tally_line t line =
+  match String.split_on_char ' ' line with
+  | "admitted" :: _ -> t.admitted <- t.admitted + 1
+  | "rejected" :: _ -> t.rejected <- t.rejected + 1
+  | "undecided" :: _ -> t.undecided <- t.undecided + 1
+  | "info" :: _ -> t.info <- t.info + 1
+  | "dropped" :: _ -> t.dropped <- t.dropped + 1
+  | "overloaded" :: _ -> t.overloaded <- t.overloaded + 1
+  | _ -> t.errors <- t.errors + 1
+
+(* One TCP client: windowed pipelined replay of [stream].  Closed loop
+   when [rate] = 0 — at most [pipeline] requests in flight; open loop
+   otherwise — exponential inter-arrivals at [rate], still capped at
+   [pipeline] in flight so an overloaded server backpressures the
+   client instead of growing an unbounded flight set.  Returns the
+   latency sketch, the verdict tally and every line received, in
+   order: the per-connection reply log the determinism smokes
+   byte-compare. *)
+let run_client ~host ~port ~stream ~pipeline ~rate ~pace_seed =
+  let pipeline = max 1 pipeline in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Server.resolve_host host, port));
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+  let ic = Unix.in_channel_of_descr fd and oc = Unix.out_channel_of_descr fd in
+  let log = ref [] in
+  let recv () =
+    let line = input_line ic in
+    log := line :: !log;
+    line
+  in
+  ignore (recv ()) (* greeting *);
+  let reqs = Array.of_list (List.map Protocol.render_request stream) in
+  let n = Array.length reqs in
+  let latency = Quantile.create () in
+  let tally = new_tally () in
+  let t_send = Array.make (max n 1) 0. in
+  let pace_g = Prng.create pace_seed in
+  let next_arrival = ref (Unix.gettimeofday ()) in
+  let sent = ref 0 and recvd = ref 0 in
+  while !recvd < n do
+    while !sent < n && !sent - !recvd < pipeline do
+      if rate > 0. then begin
+        next_arrival := !next_arrival +. Prng.exponential pace_g ~rate;
+        let now = Unix.gettimeofday () in
+        if !next_arrival > now then begin
+          flush oc;
+          Unix.sleepf (!next_arrival -. now)
+        end
+      end;
+      t_send.(!sent) <- Unix.gettimeofday ();
+      output_string oc reqs.(!sent);
+      output_char oc '\n';
+      incr sent
+    done;
+    flush oc;
+    let line = recv () in
+    Quantile.observe latency (Unix.gettimeofday () -. t_send.(!recvd));
+    tally_line tally line;
+    incr recvd
+  done;
+  output_string oc "quit\n";
+  flush oc;
+  (try ignore (recv ()) (* bye *) with End_of_file | Sys_error _ -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  (latency, tally, List.rev !log)
+
+(* Per-connection streams: [requests] split as evenly as possible over
+   [connections].  A single connection replays the classic unprefixed
+   stream; multiple connections get disjoint per-cid namespaces. *)
+let client_streams ~connections ~seed ~requests =
+  if connections <= 1 then [ gen_stream ~seed ~requests () ]
+  else
+    List.init connections (fun c ->
+        let per = (requests / connections) + (if c < requests mod connections then 1 else 0) in
+        gen_stream ~cid:c ~seed ~requests:per ())
+
+let write_reply_logs reply_log results =
+  match reply_log with
+  | None -> ()
+  | Some prefix ->
+      List.iteri
+        (fun i (_, _, log) ->
+          Out_channel.with_open_text
+            (Printf.sprintf "%s.conn%d" prefix i)
+            (fun oc -> List.iter (fun line -> output_string oc (line ^ "\n")) log))
+        results
+
+let merge_client_results results =
+  let latency =
+    match results with
+    | [] -> Quantile.create ()
+    | (q, _, _) :: rest -> List.fold_left (fun acc (q, _, _) -> Quantile.merge acc q) q rest
+  in
+  let tally = new_tally () in
+  List.iter
+    (fun (_, (t : tally), _) ->
+      tally.admitted <- tally.admitted + t.admitted;
+      tally.rejected <- tally.rejected + t.rejected;
+      tally.undecided <- tally.undecided + t.undecided;
+      tally.info <- tally.info + t.info;
+      tally.dropped <- tally.dropped + t.dropped;
+      tally.errors <- tally.errors + t.errors;
+      tally.overloaded <- tally.overloaded + t.overloaded)
+    results;
+  (latency, tally)
+
+let run_clients ~host ~port ~streams ~pipeline ~rate =
+  let nconn = List.length streams in
+  let rate = if rate > 0. then rate /. float_of_int nconn else 0. in
+  let t0 = Unix.gettimeofday () in
+  let domains =
+    List.mapi
+      (fun i stream ->
+        Domain.spawn (fun () ->
+            run_client ~host ~port ~stream ~pipeline ~rate ~pace_seed:(0x9e3779b9 + i)))
+      streams
+  in
+  let results = List.map Domain.join domains in
+  let duration = Unix.gettimeofday () -. t0 in
+  (duration, results)
+
+(* TCP replay against a running server. *)
+let run_tcp ~streams ~addr ~pipeline ~rate ~reply_log =
   let host, port =
     match String.split_on_char ':' addr with
     | [ h; p ] -> (h, int_of_string p)
     | _ -> failwith "--connect expects HOST:PORT"
   in
-  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
-  let ic = Unix.in_channel_of_descr fd and oc = Unix.out_channel_of_descr fd in
-  ignore (input_line ic) (* greeting *);
-  let tally =
-    { admitted = 0; rejected = 0; undecided = 0; info = 0; dropped = 0; errors = 0;
-      overloaded = 0 }
-  in
-  let latency = Quantile.create () in
-  let t0 = Unix.gettimeofday () in
-  List.iter
-    (fun req ->
-      let t_send = Unix.gettimeofday () in
-      output_string oc (Protocol.render_request req ^ "\n");
-      flush oc;
-      let reply = input_line ic in
-      Quantile.observe latency (Unix.gettimeofday () -. t_send);
-      match String.split_on_char ' ' reply with
-      | "admitted" :: _ -> tally.admitted <- tally.admitted + 1
-      | "rejected" :: _ -> tally.rejected <- tally.rejected + 1
-      | "undecided" :: _ -> tally.undecided <- tally.undecided + 1
-      | "info" :: _ -> tally.info <- tally.info + 1
-      | "dropped" :: _ -> tally.dropped <- tally.dropped + 1
-      | "overloaded" :: _ -> tally.overloaded <- tally.overloaded + 1
-      | _ -> tally.errors <- tally.errors + 1)
-    stream;
-  let duration = Unix.gettimeofday () -. t0 in
-  output_string oc "quit\n";
-  flush oc;
-  (try Unix.close fd with Unix.Unix_error _ -> ());
+  let duration, results = run_clients ~host ~port ~streams ~pipeline ~rate in
+  write_reply_logs reply_log results;
+  let latency, tally = merge_client_results results in
   (duration, latency, tally, None, None)
+
+(* Full-transport replay: an in-process concurrent TCP server on an
+   ephemeral port, the clients over real sockets against it.  This is
+   the configuration the saturation sweep measures. *)
+let run_self ~streams ~config ~accept_pool ~window ~pipeline ~rate ~reply_log =
+  let batcher = Batcher.create ~config () in
+  let nconn = List.length streams in
+  let mu = Mutex.create () in
+  let cv = Condition.create () in
+  let port = ref None in
+  let server =
+    Domain.spawn (fun () ->
+        Server.serve_tcp ~max_connections:nconn ~accept_pool ~window
+          ~ready:(fun p ->
+            Mutex.lock mu;
+            port := Some p;
+            Condition.signal cv;
+            Mutex.unlock mu)
+          ~port:0 batcher)
+  in
+  Mutex.lock mu;
+  while !port = None do
+    Condition.wait cv mu
+  done;
+  let port = Option.get !port in
+  Mutex.unlock mu;
+  let duration, results = run_clients ~host:"127.0.0.1" ~port ~streams ~pipeline ~rate in
+  Domain.join server;
+  write_reply_logs reply_log results;
+  let latency, tally = merge_client_results results in
+  ( duration,
+    latency,
+    tally,
+    Batcher.cache_stats batcher,
+    Some (Batcher.keyer_stats batcher) )
+
+(* Saturation sweep: one self-serve measurement per (connections,
+   batch) point, recorded in BENCH_serve.json as the transport's
+   throughput surface. *)
+type sat_point = {
+  sat_connections : int;
+  sat_batch : int;
+  sat_completed : int;
+  sat_duration : float;
+  sat_rps : float;
+  sat_p50_ms : float;
+  sat_p99_ms : float;
+}
+
+let run_sat_sweep ~seed ~requests ~config ~pipeline ~window points =
+  List.map
+    (fun (connections, batch) ->
+      let streams = client_streams ~connections ~seed ~requests in
+      let config = { config with Batcher.batch } in
+      let accept_pool = min connections 8 in
+      let duration, latency, tally, _, _ =
+        run_self ~streams ~config ~accept_pool ~window ~pipeline ~rate:0. ~reply_log:None
+      in
+      let completed = Quantile.count latency in
+      ignore tally;
+      {
+        sat_connections = connections;
+        sat_batch = batch;
+        sat_completed = completed;
+        sat_duration = duration;
+        sat_rps = (if duration > 0. then float_of_int completed /. duration else 0.);
+        sat_p50_ms = Quantile.quantile latency 0.50 *. 1000.;
+        sat_p99_ms = Quantile.quantile latency 0.99 *. 1000.;
+      })
+    points
 
 (* ------------------------------------------------------------------ *)
 (* Reporting                                                          *)
 
-let report ~out ~requests ~jobs ~config ~duration ~latency ~tally ~cache_stats ~keyer_stats
-    ~stages ~sweep =
+let report ~out ~requests ~jobs ~config ~transport ~connections ~duration ~latency ~tally
+    ~cache_stats ~keyer_stats ~stages ~sweep ~sat =
   let ms x = x *. 1000. in
   let p q = ms (Quantile.quantile latency q) in
   let completed = Quantile.count latency in
@@ -271,6 +459,13 @@ let report ~out ~requests ~jobs ~config ~duration ~latency ~tally ~cache_stats ~
       Format.printf "sweep cap=%-6d hits=%d misses=%d evictions=%d hit_rate=%.3f@." capacity
         hits misses evictions (hit_rate hits misses))
     sweep;
+  List.iter
+    (fun s ->
+      Format.printf
+        "sat   conns=%-3d batch=%-4d %6.0f req/s  p50=%.3fms p99=%.3fms (%d in %.3fs)@."
+        s.sat_connections s.sat_batch s.sat_rps s.sat_p50_ms s.sat_p99_ms s.sat_completed
+        s.sat_duration)
+    sat;
   match out with
   | None -> ()
   | Some path ->
@@ -350,9 +545,26 @@ let report ~out ~requests ~jobs ~config ~duration ~latency ~tally ~cache_stats ~
                          ("hit_rate", Json.Num (hit_rate hits misses));
                        ])
                    sweep) );
+            ( "saturation_sweep",
+              Json.List
+                (List.map
+                   (fun s ->
+                     Json.Obj
+                       [
+                         ("connections", Json.Num (float_of_int s.sat_connections));
+                         ("batch", Json.Num (float_of_int s.sat_batch));
+                         ("completed", Json.Num (float_of_int s.sat_completed));
+                         ("duration_s", Json.Num s.sat_duration);
+                         ("requests_per_sec", Json.Num s.sat_rps);
+                         ("latency_p50_ms", Json.Num s.sat_p50_ms);
+                         ("latency_p99_ms", Json.Num s.sat_p99_ms);
+                       ])
+                   sat) );
             ( "config",
               Json.Obj
                 [
+                  ("transport", Json.Str transport);
+                  ("connections", Json.Num (float_of_int connections));
                   ("jobs", Json.Num (float_of_int jobs));
                   ("batch", Json.Num (float_of_int config.Batcher.batch));
                   ("queue", Json.Num (float_of_int config.Batcher.queue_capacity));
@@ -411,6 +623,52 @@ let connect_arg =
   let doc = "Replay over TCP against a running e2e-serve at $(docv) instead of in-process." in
   Arg.(value & opt (some string) None & info [ "connect" ] ~docv:"HOST:PORT" ~doc)
 
+let self_serve_arg =
+  let doc =
+    "Start the concurrent TCP server in-process on an ephemeral port and replay against it \
+     over real sockets: the whole-transport measurement (engine config flags apply to the \
+     embedded server)."
+  in
+  Arg.(value & flag & info [ "self-serve" ] ~doc)
+
+let connections_arg =
+  let doc =
+    "Parallel client connections for the TCP modes; each replays an independent stream on a \
+     disjoint shop namespace (a single connection replays the classic stream)."
+  in
+  Arg.(value & opt int 1 & info [ "connections" ] ~docv:"C" ~doc)
+
+let pipeline_arg =
+  let doc = "Requests each client keeps in flight (the closed-loop pipelining window)." in
+  Arg.(value & opt int 8 & info [ "pipeline" ] ~docv:"W" ~doc)
+
+let accept_pool_arg =
+  let doc = "Reader domains of the embedded --self-serve server." in
+  Arg.(value & opt int 4 & info [ "accept-pool" ] ~docv:"N" ~doc)
+
+let window_arg =
+  let doc = "Per-connection reply window of the embedded --self-serve server." in
+  Arg.(value & opt int 64 & info [ "window" ] ~docv:"N" ~doc)
+
+let reply_log_arg =
+  let doc =
+    "Write each connection's received lines to $(docv).conn<k> (TCP modes) — the \
+     per-connection determinism artifacts `make check` byte-compares across -j values."
+  in
+  Arg.(value & opt (some string) None & info [ "reply-log" ] ~docv:"PREFIX" ~doc)
+
+let sat_conns_arg =
+  let doc =
+    "Saturation sweep: measure --self-serve throughput at each connection count in the \
+     comma-separated list (crossed with --sat-batch), recorded as saturation_sweep in the \
+     JSON report."
+  in
+  Arg.(value & opt (some (list int)) None & info [ "sat-connections" ] ~docv:"C,C,..." ~doc)
+
+let sat_batch_arg =
+  let doc = "Batch sizes the saturation sweep crosses with --sat-connections." in
+  Arg.(value & opt (some (list int)) None & info [ "sat-batch" ] ~docv:"B,B,..." ~doc)
+
 let out_arg =
   let doc = "Write the run summary as one JSON object to $(docv)." in
   Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
@@ -442,13 +700,22 @@ let capture_stages () =
     (Array.to_list Rtrace.stages)
   @ (match find "serve.e2e" with Some q -> [ ("e2e", q) ] | None -> [])
 
-let run requests seed rate jobs batch queue cache sweep connect out trace det_clock =
+let run requests seed rate jobs batch queue cache sweep connect self_serve connections
+    pipeline accept_pool window reply_log sat_conns sat_batch out trace det_clock =
   let jobs = Pool.resolve_jobs jobs in
-  let stream = gen_stream ~seed ~requests in
   let config =
     { Batcher.queue_capacity = queue; batch; budget = Admission.Unbounded; jobs;
       cache_capacity = cache }
   in
+  let tcp_mode = connect <> None || self_serve in
+  if connect <> None && self_serve then begin
+    prerr_endline "e2e-loadgen: --connect and --self-serve are mutually exclusive";
+    exit 2
+  end;
+  if reply_log <> None && not tcp_mode then begin
+    prerr_endline "e2e-loadgen: --reply-log requires a TCP mode (--connect or --self-serve)";
+    exit 2
+  end;
   if det_clock then begin
     (* Dyadic step: every reading is an exact float, so durations and
        their sums are exact and the trace is byte-reproducible. *)
@@ -457,15 +724,20 @@ let run requests seed rate jobs batch queue cache sweep connect out trace det_cl
         incr k;
         float_of_int !k *. (1. /. 1024.))
   end;
-  (* Stats are always on in-process: the stage histograms are the point
-     of the exercise and cost a few clock reads per request. *)
-  if connect = None then begin
+  (* Telemetry passes: a traced or deterministic-clock run is
+     instrumented throughout (the stage histograms are its point); a
+     plain benchmark run measures with the registry off — the
+     transport's real configuration — and, when a JSON report is
+     requested, replays once more instrumented to attribute stage
+     costs. *)
+  let instrumented = (trace <> None || det_clock) && not tcp_mode in
+  if instrumented then begin
     Obs.set_stats true;
     Obs.reset_metrics ()
   end;
   let trace_oc =
-    match (trace, connect) with
-    | Some path, None ->
+    match (trace, tcp_mode) with
+    | Some path, false ->
         let oc = Out_channel.open_text path in
         Rtrace.set_writer
           (Some
@@ -473,15 +745,24 @@ let run requests seed rate jobs batch queue cache sweep connect out trace det_cl
                Out_channel.output_string oc line;
                Out_channel.output_char oc '\n'));
         Some (path, oc)
-    | Some _, Some _ ->
-        prerr_endline "e2e-loadgen: --trace requires the in-process engine (no --connect)";
+    | Some _, true ->
+        prerr_endline
+          "e2e-loadgen: --trace requires the in-process engine (no --connect/--self-serve)";
         exit 2
     | None, _ -> None
   in
   let duration, latency, tally, cache_stats, keyer_stats =
-    match connect with
-    | None -> run_inproc ~stream ~config ~rate
-    | Some addr -> run_tcp ~stream ~addr
+    if self_serve then
+      run_self
+        ~streams:(client_streams ~connections ~seed ~requests)
+        ~config ~accept_pool ~window ~pipeline ~rate ~reply_log
+    else
+      match connect with
+      | Some addr ->
+          run_tcp
+            ~streams:(client_streams ~connections ~seed ~requests)
+            ~addr ~pipeline ~rate ~reply_log
+      | None -> run_inproc ~stream:(gen_stream ~seed ~requests ()) ~config ~rate
   in
   (match trace_oc with
   | None -> ()
@@ -489,11 +770,24 @@ let run requests seed rate jobs batch queue cache sweep connect out trace det_cl
       Rtrace.set_writer None;
       Out_channel.close oc;
       Format.printf "wrote %s@." path);
-  let stages = capture_stages () in
+  let stages =
+    if instrumented then capture_stages ()
+    else if out <> None && not tcp_mode then begin
+      (* Second, instrumented pass purely for the stage attribution in
+         the JSON report; the headline duration stays the
+         uninstrumented run's. *)
+      Obs.set_stats true;
+      Obs.reset_metrics ();
+      ignore (run_inproc ~stream:(gen_stream ~seed ~requests ()) ~config ~rate:0.);
+      capture_stages ()
+    end
+    else []
+  in
   let sweep =
-    match (sweep, connect) with
-    | None, _ | _, Some _ -> []
-    | Some capacities, None ->
+    match (sweep, tcp_mode) with
+    | None, _ | _, true -> []
+    | Some capacities, false ->
+        let stream = gen_stream ~seed ~requests () in
         List.filter_map
           (fun capacity ->
             let config = { config with Batcher.cache_capacity = capacity } in
@@ -501,15 +795,34 @@ let run requests seed rate jobs batch queue cache sweep connect out trace det_cl
             Option.map (fun s -> (capacity, s)) stats)
           capacities
   in
-  report ~out ~requests ~jobs ~config ~duration ~latency ~tally ~cache_stats ~keyer_stats
-    ~stages ~sweep
+  let sat =
+    match sat_conns with
+    | None -> []
+    | Some conns ->
+        if tcp_mode then begin
+          prerr_endline "e2e-loadgen: the saturation sweep runs its own embedded servers";
+          exit 2
+        end;
+        (* The sweep measures the transport at its native configuration:
+           registry off, like the headline pass. *)
+        Obs.set_stats false;
+        let batches = match sat_batch with None -> [ config.Batcher.batch ] | Some l -> l in
+        let points = List.concat_map (fun c -> List.map (fun b -> (c, b)) batches) conns in
+        run_sat_sweep ~seed ~requests ~config ~pipeline ~window points
+  in
+  let transport = if self_serve then "self-tcp" else if connect <> None then "tcp" else "inproc" in
+  let connections = if tcp_mode then connections else 1 in
+  report ~out ~requests ~jobs ~config ~transport ~connections ~duration ~latency ~tally
+    ~cache_stats ~keyer_stats ~stages ~sweep ~sat
 
 let () =
-  let doc = "Open-loop load generator for the e2e-serve admission service" in
+  let doc = "Load generator for the e2e-serve admission service" in
   let info = Cmd.info "e2e-loadgen" ~version:"1.0.0" ~doc in
   let term =
     Term.(
       const run $ requests_arg $ seed_arg $ rate_arg $ jobs_arg $ batch_arg $ queue_arg
-      $ cache_arg $ sweep_arg $ connect_arg $ out_arg $ trace_arg $ det_clock_arg)
+      $ cache_arg $ sweep_arg $ connect_arg $ self_serve_arg $ connections_arg
+      $ pipeline_arg $ accept_pool_arg $ window_arg $ reply_log_arg $ sat_conns_arg
+      $ sat_batch_arg $ out_arg $ trace_arg $ det_clock_arg)
   in
   exit (Cmd.eval (Cmd.v info term))

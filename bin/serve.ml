@@ -1,12 +1,13 @@
 (* Admission-control scheduling service front end.
 
    e2e-serve --stdio < requests.txt          # pipelined replay transport
-   e2e-serve --tcp 7070 -j 4 --cache 1024    # iterative TCP server
+   e2e-serve --tcp 7070 -j 4 --cache 1024    # concurrent TCP server
 
    One request per line in, one reply per request out (see the Protocol
    module / README "Serving" for the grammar).  The engine layers are
    deterministic: the same request stream produces a byte-identical
-   reply stream at any -j value. *)
+   reply stream at any -j value; over TCP the guarantee is
+   per-connection (connections on disjoint shop namespaces). *)
 
 open Cmdliner
 module Batcher = E2e_serve.Batcher
@@ -25,12 +26,20 @@ let tcp_arg =
   Arg.(value & opt (some int) None & info [ "tcp" ] ~docv:"PORT" ~doc)
 
 let host_arg =
-  let doc = "Address to bind the TCP listener to." in
+  let doc = "Address or hostname to bind the TCP listener to." in
   Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc)
 
 let max_conns_arg =
-  let doc = "Stop the TCP accept loop after $(docv) connections (for scripted runs)." in
+  let doc = "Stop the TCP accept pool after $(docv) total connections (for scripted runs)." in
   Arg.(value & opt (some int) None & info [ "max-connections" ] ~docv:"N" ~doc)
+
+let accept_pool_arg =
+  let doc = "Reader domains in the TCP accept pool — the number of simultaneous connections." in
+  Arg.(value & opt int 4 & info [ "accept-pool" ] ~docv:"N" ~doc)
+
+let window_arg =
+  let doc = "Pipelined replies buffered per TCP connection before the reader blocks." in
+  Arg.(value & opt int 64 & info [ "window" ] ~docv:"N" ~doc)
 
 let queue_arg =
   let doc = "Pending-request queue bound; submissions past it are answered $(b,overloaded)." in
@@ -81,8 +90,8 @@ let trace_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
-let run stdio tcp host max_conns queue batch cache budget jobs no_schedules stats metrics
-    trace =
+let run stdio tcp host max_conns accept_pool window queue batch cache budget jobs
+    no_schedules stats metrics trace =
   if stdio && tcp <> None then begin
     prerr_endline "e2e-serve: --stdio and --tcp are mutually exclusive";
     exit 2
@@ -114,7 +123,10 @@ let run stdio tcp host max_conns queue batch cache budget jobs no_schedules stat
   in
   (match tcp with
   | None -> Server.serve_stdio ~schedules batcher
-  | Some port -> Server.serve_tcp ~schedules ~host ?max_connections:max_conns ~port batcher);
+  | Some port ->
+      Server.serve_tcp ~schedules ~host ?max_connections:max_conns ~accept_pool ~window
+        ~ready:(fun p -> Printf.eprintf "e2e-serve: listening on %s:%d\n%!" host p)
+        ~port batcher);
   (match trace_oc with
   | None -> ()
   | Some oc ->
@@ -133,7 +145,8 @@ let () =
   let info = Cmd.info "e2e-serve" ~version:"1.0.0" ~doc in
   let term =
     Term.(
-      const run $ stdio_arg $ tcp_arg $ host_arg $ max_conns_arg $ queue_arg $ batch_arg $ cache_arg
+      const run $ stdio_arg $ tcp_arg $ host_arg $ max_conns_arg $ accept_pool_arg
+      $ window_arg $ queue_arg $ batch_arg $ cache_arg
       $ budget_arg $ jobs_arg $ no_schedules_arg $ stats_arg $ metrics_arg $ trace_arg)
   in
   exit (Cmd.eval (Cmd.v info term))

@@ -53,3 +53,20 @@ val init : jobs:int -> int -> (int -> 'b) -> 'b array
 (** [init ~jobs n f] is [Array.init n f] over the pool — the shape of a
     Monte Carlo point: job [k] is trial [k].
     @raise Invalid_argument if [jobs < 1] or [n < 0]. *)
+
+val run : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map], but over a process-wide {e persistent} pool of parked worker
+    domains instead of a fresh spawn+join per call — the right choice
+    for callers that fan out small batches at high frequency (the serve
+    batcher: one [map]-shaped call per batch, where a per-call domain
+    spawn would cost more than the batch itself).
+
+    Same contract as {!map}: results in submission order, lowest-index
+    exception re-raised, [jobs = 1] (or a single item) runs sequentially
+    in the calling domain and is the bit-for-bit reference.  The pool
+    grows lazily to the largest [jobs] seen (capped internally); calls
+    are serialised over the one shared pool.  A job that itself calls
+    [run] inlines sequentially rather than deadlocking on the workers it
+    occupies.  Worker domains are daemons: they park between calls and
+    do not block process exit.
+    @raise Invalid_argument if [jobs < 1]. *)

@@ -267,9 +267,11 @@ let step t =
               batch
           in
           (* Phase 2 (parallel): solve the misses.  Submission order is
-             preserved by Pool.map and each solve is pure — worker
+             preserved by Pool.run and each solve is pure — worker
              domains never touch the clock, so traces are unaffected by
-             the domain count. *)
+             the domain count.  The persistent pool matters here: a
+             server steps thousands of small batches, and a per-batch
+             domain spawn would cost more than the solves. *)
           let misses =
             List.filter_map
               (function
@@ -279,7 +281,7 @@ let step t =
             |> Array.of_list
           in
           let solved =
-            Pool.map ~jobs:t.cfg.jobs
+            Pool.run ~jobs:t.cfg.jobs
               (Admission.solve_prepared ~budget:t.cfg.budget)
               misses
           in

@@ -21,12 +21,18 @@ let is_shop_char = function
 
 let valid_shop s = s <> "" && String.for_all is_shop_char s
 
-(* First whitespace-delimited word and the (trimmed) remainder. *)
+let is_space = function ' ' | '\t' | '\r' | '\n' | '\012' -> true | _ -> false
+
+(* First whitespace-delimited word and the (trimmed) remainder.  Any
+   whitespace separates — a tab-separated [query<TAB>shop] must parse
+   the same as the space-separated form, not as an unknown keyword. *)
 let cut_word s =
   let s = String.trim s in
-  match String.index_opt s ' ' with
+  let n = String.length s in
+  let rec find i = if i >= n then None else if is_space s.[i] then Some i else find (i + 1) in
+  match find 0 with
   | None -> (s, "")
-  | Some i -> (String.sub s 0 i, String.trim (String.sub s (i + 1) (String.length s - i - 1)))
+  | Some i -> (String.sub s 0 i, String.trim (String.sub s (i + 1) (n - i - 1)))
 
 (* The payload of submit/add is the Instance_io text format with ';'
    standing for newline, so multi-directive instances fit one framed
@@ -35,15 +41,24 @@ let unframe payload = String.map (function ';' -> '\n' | c -> c) payload
 
 let parse_instance payload = Instance_io.parse (unframe payload)
 
+(* An [add] payload extends a committed shop, so directives that
+   (re)define shop structure — [visit], or anything else Instance_io
+   might grow — must be refused, not forwarded: a whitelist, not a
+   blacklist.  Comments and blank lines pass through (Instance_io skips
+   them); every other line must lead with the [task] directive. *)
 let parse_tasks payload =
   let text = unframe payload in
-  let has_visit =
+  let non_task =
     String.split_on_char '\n' text
     |> List.exists (fun line ->
-           match String.trim line with
-           | l -> String.length l >= 5 && String.sub l 0 5 = "visit")
+           let line =
+             match String.index_opt line '#' with
+             | None -> line
+             | Some i -> String.sub line 0 i
+           in
+           match cut_word line with ("" | "task"), _ -> false | _ -> true)
   in
-  if has_visit then Error "add payload must contain only task directives"
+  if non_task then Error "add payload must contain only task directives"
   else
     match Instance_io.parse text with
     | Error e -> Error e

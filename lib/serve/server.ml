@@ -87,28 +87,398 @@ let session ?(schedules = true) ?chunk batcher ic oc =
 
 let serve_stdio ?schedules batcher = session ?schedules batcher stdin stdout
 
-let serve_tcp ?schedules ?(host = "127.0.0.1") ?max_connections ~port batcher =
-  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
-  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  Unix.setsockopt sock Unix.SO_REUSEADDR true;
-  Unix.bind sock addr;
-  Unix.listen sock 16;
-  let handle fd =
-    let ic = Unix.in_channel_of_descr fd in
-    let oc = Unix.out_channel_of_descr fd in
-    (* chunk = 1: a TCP client expects each request line answered before
-       it sends the next; pipelined replay belongs to stdio/loadgen. *)
-    (try session ?schedules ~chunk:1 batcher ic oc with End_of_file | Sys_error _ -> ());
-    (try Unix.close fd with Unix.Unix_error _ -> ())
+(* ------------------------------------------------------------------ *)
+(* Concurrent TCP transport.
+
+   An accept pool of dedicated reader domains owns up to [accept_pool]
+   simultaneous connections; each connection pipelines up to [window]
+   outstanding replies over a bounded fixed-size read buffer and a
+   per-reply write queue.  Everything funnels into the one shared
+   batcher through a single mutex-serialised submit path, and a single
+   drainer domain steps the batcher and routes replies back — so
+   admission semantics, trace stage attribution and the per-connection
+   reply order are exactly the sequential transport's.  Per-connection
+   reply streams stay byte-identical at every [jobs] value (and under
+   any cross-connection interleaving) as long as connections use
+   disjoint shop namespaces: an admission decision reads only its own
+   shop's committed set, and the canonical cache is
+   transparency-verified.
+
+   Domain/thread layout and locking:
+   - [center.mu] orders every batcher touch (submit, step, stats
+     rendering) and every [Rtrace] stage mark; [center.route] is the
+     FIFO of reply slots parallel to the batcher's request queue.
+   - each connection runs its reader in its accept domain and one
+     writer thread; [conn.mu] protects the cell queue, and the
+     counting semaphore [conn.window] bounds reader lead over the
+     writer (the bounded write buffer).
+   - only the reader and drainer domains touch [Obs]/[Rtrace]
+     (writer threads get pre-rendered lines), so each domain-local
+     telemetry store keeps a single writing thread. *)
+
+let resolve_host host =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception _ -> (
+      match
+        Unix.getaddrinfo host ""
+          [ Unix.AI_FAMILY Unix.PF_INET; Unix.AI_SOCKTYPE Unix.SOCK_STREAM ]
+      with
+      | { Unix.ai_addr = Unix.ADDR_INET (addr, _); _ } :: _ -> addr
+      | _ -> failwith (Printf.sprintf "cannot resolve host %S" host))
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      match Unix.write fd b off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
   in
-  let rec accept_loop served =
-    match max_connections with
-    | Some n when served >= n -> ()
+  go 0
+
+(* Bounded line reader over a raw fd: a fixed chunk buffer plus an
+   accumulator capped at [max_line] — an oversized request line is a
+   protocol error, not an unbounded allocation. *)
+let max_line = 1 lsl 20
+
+type reader = {
+  rfd : Unix.file_descr;
+  rbuf : Bytes.t;
+  mutable rlen : int;
+  mutable rpos : int;
+  acc : Buffer.t;
+}
+
+let make_reader rfd = { rfd; rbuf = Bytes.create 4096; rlen = 0; rpos = 0; acc = Buffer.create 256 }
+
+let rec read_line r =
+  if Buffer.length r.acc > max_line then `Too_long
+  else if r.rpos >= r.rlen then
+    match Unix.read r.rfd r.rbuf 0 (Bytes.length r.rbuf) with
+    | 0 ->
+        if Buffer.length r.acc > 0 then begin
+          (* Partial final line at EOF behaves like [input_line]. *)
+          let s = Buffer.contents r.acc in
+          Buffer.clear r.acc;
+          `Line s
+        end
+        else `Eof
+    | n ->
+        r.rlen <- n;
+        r.rpos <- 0;
+        read_line r
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_line r
+    | exception Unix.Unix_error _ -> `Eof
+  else
+    match Bytes.index_from_opt r.rbuf r.rpos '\n' with
+    | Some i when i < r.rlen ->
+        Buffer.add_subbytes r.acc r.rbuf r.rpos (i - r.rpos);
+        r.rpos <- i + 1;
+        let s = Buffer.contents r.acc in
+        Buffer.clear r.acc;
+        let s =
+          if String.length s > 0 && s.[String.length s - 1] = '\r' then
+            String.sub s 0 (String.length s - 1)
+          else s
+        in
+        `Line s
     | _ ->
-        let fd, _ = Unix.accept sock in
-        handle fd;
-        accept_loop (served + 1)
+        Buffer.add_subbytes r.acc r.rbuf r.rpos (r.rlen - r.rpos);
+        r.rpos <- r.rlen;
+        read_line r
+
+(* A reply slot: filled with the rendered line by the drainer (or at
+   parse time for control replies), written by the connection's writer
+   thread in queue order. *)
+type pending = { mutable line : string option }
+
+type cell =
+  | Out of pending
+  | End of string option  (* final line (if any), then teardown *)
+
+type conn = {
+  fd : Unix.file_descr;
+  cmu : Mutex.t;
+  filled : Condition.t;  (* a cell was pushed or a pending was filled *)
+  cells : cell Queue.t;
+  window : Semaphore.Counting.t;  (* bounds reader lead over writer *)
+}
+
+type center = {
+  batcher : Batcher.t;
+  mu : Mutex.t;  (* the single serialised submit/drain/stats path *)
+  kick : Condition.t;  (* work queued or stop requested *)
+  route : (conn * pending) Queue.t;  (* reply slots, batcher queue order *)
+  mutable stop : bool;
+  schedules : bool;
+}
+
+let push_cell conn cell =
+  Mutex.lock conn.cmu;
+  Queue.push cell conn.cells;
+  Condition.signal conn.filled;
+  Mutex.unlock conn.cmu
+
+(* Writer thread: pops cells in order, blocking while the head is an
+   unfilled reply slot.  Write errors switch to discard mode rather
+   than abandoning the queue — every slot must still be consumed so the
+   window releases and the drainer's fills go somewhere. *)
+let writer_loop conn =
+  let dead = ref false in
+  let emit line =
+    if not !dead then
+      try write_all conn.fd (line ^ "\n") with Unix.Unix_error _ -> dead := true
+  in
+  let rec next () =
+    match Queue.peek_opt conn.cells with
+    | None ->
+        Condition.wait conn.filled conn.cmu;
+        next ()
+    | Some (Out { line = None }) ->
+        Condition.wait conn.filled conn.cmu;
+        next ()
+    | Some cell ->
+        ignore (Queue.pop conn.cells);
+        cell
+  in
+  let rec loop () =
+    Mutex.lock conn.cmu;
+    let cell = next () in
+    Mutex.unlock conn.cmu;
+    match cell with
+    | Out { line = Some l } ->
+        emit l;
+        Semaphore.Counting.release conn.window;
+        loop ()
+    | Out { line = None } -> assert false
+    | End last -> Option.iter emit last
+  in
+  loop ()
+
+let error_line ?(schedules = true) message =
+  Protocol.render_reply ~schedules
+    (Batcher.Reply (Admission.Request_error { shop = "-"; message }))
+
+(* Reader: parse lines, render control replies immediately, route
+   admission requests through the serialised submit path.  The window
+   is acquired before any cell is queued, so at most [window] replies
+   are ever buffered ahead of the writer. *)
+let reader_loop center conn r =
+  let schedules = center.schedules in
+  let push_line line =
+    Semaphore.Counting.acquire conn.window;
+    push_cell conn (Out { line = Some line })
+  in
+  let rec loop () =
+    match read_line r with
+    | `Eof -> push_cell conn (End None)
+    | `Too_long -> push_cell conn (End (Some (error_line ~schedules "request line too long")))
+    | `Line l -> (
+        match Protocol.parse_request l with
+        | Ok Protocol.Blank -> loop ()
+        | Ok (Protocol.Hello requested) ->
+            push_line (Protocol.render_hello ~requested);
+            loop ()
+        | Ok Protocol.Stats ->
+            Semaphore.Counting.acquire conn.window;
+            Mutex.lock center.mu;
+            let line = Protocol.render_stats center.batcher in
+            Mutex.unlock center.mu;
+            push_cell conn (Out { line = Some line });
+            loop ()
+        | Ok Protocol.Metrics ->
+            Semaphore.Counting.acquire conn.window;
+            Mutex.lock center.mu;
+            let line = Protocol.render_metrics center.batcher in
+            Mutex.unlock center.mu;
+            push_cell conn (Out { line = Some line });
+            loop ()
+        | Ok Protocol.Quit -> push_cell conn (End (Some "bye"))
+        | Ok (Protocol.Request req) ->
+            Semaphore.Counting.acquire conn.window;
+            Mutex.lock center.mu;
+            (match Batcher.submit center.batcher req with
+            | `Queued ->
+                let p = { line = None } in
+                Queue.push (conn, p) center.route;
+                Condition.signal center.kick;
+                Mutex.unlock center.mu;
+                push_cell conn (Out p)
+            | `Overloaded ->
+                Mutex.unlock center.mu;
+                push_cell conn
+                  (Out { line = Some (Protocol.render_reply ~schedules Batcher.Overloaded) }));
+            loop ()
+        | Error message ->
+            push_line (error_line ~schedules message);
+            loop ())
+  in
+  loop ()
+
+(* Drainer domain: step the batcher whenever requests are pending —
+   after a short grace while a partial batch is still filling — and
+   route each reply to its slot.  Replies come back in submission
+   order and [route] is pushed in submission order under the same
+   mutex, so the head of [route] is always the slot of the head
+   reply. *)
+let drainer_loop center =
+  let grace = 0.0002 in
+  let route_replies replies =
+    List.iter
+      (fun (_req, tr, reply) ->
+        let conn, p = Queue.pop center.route in
+        let line = Protocol.render_reply ~schedules:center.schedules (Batcher.Reply reply) in
+        (* The reply line exists: close the render stage here, on the
+           one domain that owns all trace activity for this server. *)
+        Rtrace.finish tr;
+        Mutex.lock conn.cmu;
+        p.line <- Some line;
+        Condition.signal conn.filled;
+        Mutex.unlock conn.cmu)
+      replies
+  in
+  Mutex.lock center.mu;
+  let rec loop () =
+    let pending = Batcher.pending center.batcher in
+    if pending = 0 then begin
+      if not center.stop then begin
+        Condition.wait center.kick center.mu;
+        loop ()
+      end
+    end
+    else begin
+      let batch = (Batcher.config center.batcher).Batcher.batch in
+      if pending < batch && not center.stop then begin
+        (* Give the readers one grace period to fill the batch; step as
+           soon as the queue stops growing so a trickle of requests is
+           never parked behind a timer. *)
+        Mutex.unlock center.mu;
+        Unix.sleepf grace;
+        Mutex.lock center.mu;
+        let now = Batcher.pending center.batcher in
+        if now > pending && now < batch && not center.stop then loop ()
+        else begin
+          route_replies (Batcher.step center.batcher);
+          loop ()
+        end
+      end
+      else begin
+        route_replies (Batcher.step center.batcher);
+        loop ()
+      end
+    end
+  in
+  loop ();
+  Mutex.unlock center.mu
+
+(* One connection, in the accept domain that owns it: greeting, writer
+   thread, reader loop, then teardown — join the writer (which flushes
+   every outstanding reply and the farewell) before closing the fd, so
+   a [quit] races nothing and no buffered reply is ever lost. *)
+let handle_conn center ?(window = 64) fd =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+      Obs.incr "serve.sessions";
+      match write_all fd (Protocol.greeting ^ "\n") with
+      | exception Unix.Unix_error _ -> ()
+      | () ->
+          let conn =
+            {
+              fd;
+              cmu = Mutex.create ();
+              filled = Condition.create ();
+              cells = Queue.create ();
+              window = Semaphore.Counting.make (max 1 window);
+            }
+          in
+          let writer = Thread.create writer_loop conn in
+          Fun.protect
+            ~finally:(fun () -> Thread.join writer)
+            (fun () ->
+              try reader_loop center conn (make_reader fd)
+              with _ -> push_cell conn (End None)))
+
+let retriable = function
+  | Unix.EINTR | Unix.ECONNABORTED | Unix.EAGAIN | Unix.EWOULDBLOCK -> true
+  | _ -> false
+
+let serve_tcp ?schedules:(sch = true) ?(host = "127.0.0.1") ?max_connections
+    ?(accept_pool = 4) ?(window = 64) ?ready ~port batcher =
+  let addr = Unix.ADDR_INET (resolve_host host, port) in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let old_sigpipe =
+    (* A peer that disappears mid-reply must surface as EPIPE on the
+       write, not kill the whole server. *)
+    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore) with Invalid_argument _ -> None
   in
   Fun.protect
-    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
-    (fun () -> accept_loop 0)
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      Option.iter (fun b -> try Sys.set_signal Sys.sigpipe b with Invalid_argument _ -> ()) old_sigpipe)
+    (fun () ->
+      Unix.setsockopt sock Unix.SO_REUSEADDR true;
+      Unix.bind sock addr;
+      Unix.listen sock 64;
+      (match ready with
+      | None -> ()
+      | Some f ->
+          let bound_port =
+            match Unix.getsockname sock with
+            | Unix.ADDR_INET (_, p) -> p
+            | _ -> port
+          in
+          f bound_port);
+      let center =
+        {
+          batcher;
+          mu = Mutex.create ();
+          kick = Condition.create ();
+          route = Queue.create ();
+          stop = false;
+          schedules = sch;
+        }
+      in
+      let drainer = Domain.spawn (fun () -> drainer_loop center) in
+      (* Connection slots are claimed before accepting, so with a quota
+         exactly [max_connections] accepts happen across the pool and
+         every accept domain terminates. *)
+      let slots = Atomic.make 0 in
+      let accept_domain () =
+        let rec loop () =
+          let slot = Atomic.fetch_and_add slots 1 in
+          let quota_ok = match max_connections with None -> true | Some n -> slot < n in
+          if quota_ok then
+            match Unix.accept sock with
+            | fd, _ ->
+                (try handle_conn center ~window fd with _ -> ());
+                loop ()
+            | exception Unix.Unix_error (e, _, _) when retriable e ->
+                (* Transient accept failures (EINTR, a connection that
+                   aborted in the backlog) must not kill the server:
+                   retry on the same slot. *)
+                Atomic.decr slots;
+                loop ()
+            | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
+                () (* listener closed: shut down *)
+            | exception Unix.Unix_error (_, _, _) ->
+                (* Resource pressure (EMFILE and friends): back off and
+                   keep serving rather than dying. *)
+                Atomic.decr slots;
+                Unix.sleepf 0.01;
+                loop ()
+        in
+        loop ()
+      in
+      let accepters =
+        Array.init (max 1 accept_pool) (fun _ -> Domain.spawn accept_domain)
+      in
+      Array.iter Domain.join accepters;
+      Mutex.lock center.mu;
+      center.stop <- true;
+      Condition.broadcast center.kick;
+      Mutex.unlock center.mu;
+      Domain.join drainer)

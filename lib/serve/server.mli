@@ -2,43 +2,78 @@
 
     {!session} runs the framed line protocol ({!Protocol}) over any
     in/out channel pair; {!serve_stdio} binds it to stdin/stdout and
-    {!serve_tcp} to an iterative TCP accept loop (connections are served
-    one at a time, in arrival order — the engine itself is the shared
-    resource, so connection-level parallelism would only re-serialise on
-    it; batching inside a session is where the parallelism lives).
+    {!serve_tcp} to a concurrent multi-domain TCP front end.
 
-    Sessions are {e pipelined}: up to [chunk] request lines are read
-    before replies are written, so a replayed request log flows through
-    the batcher in real batches.  Replies always come in request order,
-    one line per non-blank request.  With a fixed chunk size the reply
-    stream is a deterministic function of the request stream — the
-    stdio smoke test in [make check] compares it byte-for-byte across
-    worker-domain counts.
+    Channel sessions are {e pipelined}: up to [chunk] request lines are
+    read before replies are written, so a replayed request log flows
+    through the batcher in real batches.  Replies always come in
+    request order, one line per non-blank request.  With a fixed chunk
+    size the reply stream is a deterministic function of the request
+    stream — the stdio smoke test in [make check] compares it
+    byte-for-byte across worker-domain counts.
+
+    The TCP transport serves up to [accept_pool] connections
+    simultaneously, each pipelining up to [window] outstanding replies
+    over bounded per-connection read/write buffers.  All connections
+    feed the one shared batcher through a single mutex-serialised
+    submit path, and a single drainer domain steps the batcher and
+    routes replies back, so admission semantics, {!Rtrace} stage
+    attribution and the per-connection reply order are exactly the
+    sequential transport's.  Per-connection reply streams are
+    byte-identical at every [jobs] value and under any
+    cross-connection interleaving as long as connections use disjoint
+    shop namespaces (an admission decision reads only its own shop's
+    committed set); [stats]/[metrics] replies describe the shared live
+    service and are the one timing-dependent exception.
 
     When request tracing is active ({!Rtrace.active}) the transport
-    closes each request's render stage as its reply line is emitted, in
-    reply order, completing the per-request JSONL trace. *)
+    closes each request's render stage as its reply line is rendered,
+    in reply order, completing the per-request JSONL trace. *)
 
 val session : ?schedules:bool -> ?chunk:int -> Batcher.t -> in_channel -> out_channel -> unit
 (** Serve one session: write {!Protocol.greeting}, then read request
     lines until end-of-stream or [quit].  [chunk] (default: the
     batcher's batch size) is the pipelining depth — how many lines are
     read before the pending requests are drained and their replies
-    written.  Interactive transports use [chunk = 1] so every request
-    line is answered before the next is read. *)
+    written.  Interactive channel transports use [chunk = 1] so every
+    request line is answered before the next is read. *)
 
 val serve_stdio : ?schedules:bool -> Batcher.t -> unit
 (** {!session} over stdin/stdout. *)
+
+val resolve_host : string -> Unix.inet_addr
+(** Resolve a dotted quad ([127.0.0.1]) or a hostname ([localhost])
+    to an IPv4 address.
+    @raise Failure when the name does not resolve. *)
 
 val serve_tcp :
   ?schedules:bool ->
   ?host:string ->
   ?max_connections:int ->
+  ?accept_pool:int ->
+  ?window:int ->
+  ?ready:(int -> unit) ->
   port:int ->
   Batcher.t ->
   unit
-(** Listen on [host:port] (default host 127.0.0.1) and serve
-    connections iteratively with [chunk = 1]; committed state persists
-    across connections.  [max_connections] stops the accept loop after
-    that many sessions (tests and scripted runs); omitted, the loop
-    runs until the process is killed. *)
+(** Listen on [host:port] (default host 127.0.0.1; [port = 0] binds an
+    ephemeral port, reported through [ready]) and serve connections
+    concurrently: [accept_pool] (default 4) reader domains each own one
+    live connection at a time, [window] (default 64) bounds the
+    pipelined replies buffered per connection.  Committed state
+    persists across connections.  [ready] is called with the bound
+    port once the listener accepts connections — the hook tests and
+    the in-process load generator use to connect to an ephemeral
+    port.  [max_connections] bounds the {e total} number of
+    connections accepted across the pool, after which the server
+    drains and returns (tests and scripted runs); omitted, it serves
+    until the process is killed.
+
+    Robustness: transient accept failures ([EINTR], [ECONNABORTED],
+    [EAGAIN]) are retried, resource-pressure failures back off and
+    retry, [SIGPIPE] is ignored for the server's lifetime (a vanished
+    peer surfaces as a write error on its own connection), a
+    connection whose handler setup fails is closed without taking the
+    server down, and teardown joins the connection's writer before
+    closing the socket so every buffered reply — including the [quit]
+    farewell — is flushed. *)

@@ -67,6 +67,56 @@ let test_exception_propagation () =
     [ 1; 4 ];
   Alcotest.(check int) "parallel path ran every job" 100 (Atomic.get ran)
 
+(* [Pool.run] keeps its worker domains parked between calls; the
+   observable contract is still exactly [map]'s. *)
+let test_run_matches_sequential () =
+  let items = Array.init 71 (fun i -> i - 9) in
+  let f x = (x * 13) + 1 in
+  let seq = Array.map f items in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "run jobs=%d preserves submission order" jobs)
+        seq
+        (Pool.run ~jobs f items))
+    [ 1; 2; 4; 7 ];
+  (* Repeated calls reuse the parked pool rather than respawning. *)
+  for pass = 1 to 5 do
+    Alcotest.(check (array int))
+      (Printf.sprintf "pool reuse pass %d" pass)
+      seq
+      (Pool.run ~jobs:3 f items)
+  done;
+  Alcotest.(check (array int)) "empty array" [||] (Pool.run ~jobs:4 (fun x -> x) [||]);
+  Alcotest.(check (array int)) "jobs > length" [| 4 |] (Pool.run ~jobs:8 (fun x -> x * 2) [| 2 |]);
+  Alcotest.check_raises "jobs=0 rejected"
+    (Invalid_argument "Pool.run: jobs must be >= 1") (fun () ->
+      ignore (Pool.run ~jobs:0 (fun x -> x) [| 1 |]))
+
+let test_run_exception_lowest_index () =
+  List.iter
+    (fun jobs ->
+      try
+        ignore
+          (Pool.run ~jobs
+             (fun i -> if i = 17 || i = 53 then raise (Boom i) else i)
+             (Array.init 80 (fun i -> i)));
+        Alcotest.fail "exception was swallowed"
+      with Boom i ->
+        Alcotest.(check int)
+          (Printf.sprintf "run jobs=%d re-raises the lowest index" jobs)
+          17 i)
+    [ 1; 2; 4 ]
+
+let test_run_nested_inlines () =
+  (* A worker calling back into the pool must inline (no deadlock on
+     the single shared pool) and still produce sequential results. *)
+  let inner x = Array.fold_left ( + ) 0 (Pool.run ~jobs:4 (fun y -> y * y) (Array.init 4 (fun i -> x + i))) in
+  let outer = Pool.run ~jobs:3 inner (Array.init 12 (fun i -> i)) in
+  Alcotest.(check (array int)) "nested run matches sequential"
+    (Array.init 12 (fun i -> inner i))
+    outer
+
 let test_resolve_jobs () =
   Alcotest.(check int) "explicit jobs honored" 4 (Pool.resolve_jobs (Some 4));
   Alcotest.check_raises "explicit jobs < 1 rejected"
@@ -141,6 +191,10 @@ let suite =
     Alcotest.test_case "more jobs than items" `Quick test_more_jobs_than_items;
     Alcotest.test_case "edge cases" `Quick test_edges;
     Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
+    Alcotest.test_case "run matches sequential on a persistent pool" `Quick
+      test_run_matches_sequential;
+    Alcotest.test_case "run exception propagation" `Quick test_run_exception_lowest_index;
+    Alcotest.test_case "nested run inlines" `Quick test_run_nested_inlines;
     Alcotest.test_case "resolve_jobs" `Quick test_resolve_jobs;
     Alcotest.test_case "telemetry merges across domains" `Quick test_obs_merge_across_domains;
     Alcotest.test_case "fig9a parallel determinism" `Slow test_parallel_determinism_fig9a;

@@ -16,6 +16,7 @@ module Admission = E2e_serve.Admission
 module Batcher = E2e_serve.Batcher
 module Cache = E2e_serve.Cache
 module Protocol = E2e_serve.Protocol
+module Server = E2e_serve.Server
 module Serve_fuzz = E2e_fuzz.Serve_fuzz
 
 (* ------------------------------------------------------------------ *)
@@ -503,6 +504,199 @@ let test_metrics_exposes_incremental () =
       "serve_shop_resident_tasks{shop=\"w\"} 7";
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Protocol hardening: whitespace splitting and the add whitelist      *)
+
+(* Regression: [cut_word] split only on the space character, so a
+   tab-separated request misparsed its first word and fell through to a
+   parse error.  Any ASCII whitespace must now delimit words. *)
+let test_protocol_whitespace () =
+  (match Protocol.parse_request "query\ts1" with
+  | Ok (Protocol.Request (Admission.Query { shop })) ->
+      Alcotest.(check string) "tab-separated query" "s1" shop
+  | Ok _ -> Alcotest.fail "tab-separated query parsed as something else"
+  | Error m -> Alcotest.failf "tab-separated query rejected: %s" m);
+  (match Protocol.parse_request "drop\t s1" with
+  | Ok (Protocol.Request (Admission.Drop { shop })) ->
+      Alcotest.(check string) "tab+space drop" "s1" shop
+  | _ -> Alcotest.fail "tab+space drop misparsed");
+  let render line =
+    match Protocol.parse_request line with
+    | Ok (Protocol.Request r) -> Protocol.render_request r
+    | Ok _ -> Alcotest.failf "%S: not a request" line
+    | Error m -> Alcotest.failf "%S: %s" line m
+  in
+  Alcotest.(check string) "tabs parse like spaces"
+    (render "add s1 task 0 6 1 1")
+    (render "add\ts1\ttask 0 6 1 1")
+
+(* Regression: [parse_tasks] only *extracted* task directives, so a
+   payload smuggling any other directive (visit, or garbage like
+   [procs 3]) was silently accepted with the stray line dropped.  Every
+   non-task directive must be rejected outright. *)
+let test_parse_tasks_whitelist () =
+  List.iter
+    (fun line ->
+      match Protocol.parse_request line with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%S should be rejected" line)
+    [
+      "add s1 visit 1 2 ; task 0 6 1 1";
+      "add s1 procs 3 ; task 0 6 1 1";
+      "add s1 task 0 6 1 1 ; deadline 5";
+      "add s1 frobnicate";
+      "submit s1 task 0 6 1 1 ; procs 3";
+    ];
+  (* Comments and blank segments stay legal inside a payload. *)
+  match Protocol.parse_request "add s1 task 0 6 1 1 ; # a note ; ; task 1 7 1 1" with
+  | Ok (Protocol.Request (Admission.Add { shop; tasks })) ->
+      Alcotest.(check string) "shop" "s1" shop;
+      Alcotest.(check int) "both tasks kept" 2 (List.length tasks)
+  | _ -> Alcotest.fail "commented add payload rejected"
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent TCP transport                                            *)
+
+let test_resolve_host () =
+  Alcotest.(check string) "dotted quad" "127.0.0.1"
+    (Unix.string_of_inet_addr (Server.resolve_host "127.0.0.1"));
+  Alcotest.(check string) "hostname resolves" "127.0.0.1"
+    (Unix.string_of_inet_addr (Server.resolve_host "localhost"));
+  match Server.resolve_host "no-such-host.invalid" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "bogus hostname resolved"
+
+(* Run [serve_tcp] on an ephemeral port in its own domain, hand the
+   bound port to [f], and join the server once [f] has consumed
+   [max_connections] connections. *)
+let with_server ?(jobs = 1) ?(accept_pool = 3) ?(window = 64) ~max_connections f =
+  let config =
+    { Batcher.default_config with Batcher.jobs; Batcher.queue_capacity = 4096 }
+  in
+  let batcher = Batcher.create ~config () in
+  let mu = Mutex.create () and cv = Condition.create () in
+  let port = ref 0 in
+  let srv =
+    Domain.spawn (fun () ->
+        Server.serve_tcp ~schedules:false ~max_connections ~accept_pool ~window
+          ~ready:(fun p ->
+            Mutex.lock mu;
+            port := p;
+            Condition.signal cv;
+            Mutex.unlock mu)
+          ~port:0 batcher)
+  in
+  Mutex.lock mu;
+  while !port = 0 do
+    Condition.wait cv mu
+  done;
+  let p = !port in
+  Mutex.unlock mu;
+  let r = f p in
+  (* Only join on success: a failed assertion must surface, not hang
+     behind a server still waiting for its connection quota. *)
+  Domain.join srv;
+  r
+
+(* One client session: connect, read the greeting, send every line plus
+   [quit], then read replies to end-of-stream. *)
+let tcp_session port lines =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let greeting = input_line ic in
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    lines;
+  output_string oc "quit\n";
+  flush oc;
+  let replies = ref [] in
+  (try
+     while true do
+       replies := input_line ic :: !replies
+     done
+   with End_of_file -> ());
+  close_in_noerr ic;
+  (greeting, List.rev !replies)
+
+let prefix_shop pfx : Admission.request -> Admission.request = function
+  | Admission.Submit { shop; instance } -> Admission.Submit { shop = pfx ^ shop; instance }
+  | Admission.Add { shop; tasks } -> Admission.Add { shop = pfx ^ shop; tasks }
+  | Admission.Query { shop } -> Admission.Query { shop = pfx ^ shop }
+  | Admission.Drop { shop } -> Admission.Drop { shop = pfx ^ shop }
+
+(* The sequential oracle for one connection: replay just that
+   connection's log through a fresh single-domain batcher. *)
+let oracle_replies log =
+  let config = { Batcher.default_config with Batcher.queue_capacity = 4096 } in
+  let outcomes = Batcher.process_log (Batcher.create ~config ()) log in
+  Array.to_list (Array.map (Protocol.render_reply ~schedules:false) outcomes)
+
+(* The transport's headline guarantee: M concurrent pipelined clients
+   on disjoint shop namespaces each read exactly the reply stream a
+   dedicated sequential server would have produced for their own
+   request log — at every jobs value, under any interleaving the
+   scheduler happens to pick. *)
+let test_concurrent_transport () =
+  let n_clients = 3 and requests = 24 in
+  let logs =
+    List.init n_clients (fun c ->
+        List.map (prefix_shop (Printf.sprintf "c%d." c)) (gen_log (300 + c) requests))
+  in
+  let expected = List.map (fun log -> oracle_replies log @ [ "bye" ]) logs in
+  let run_once ~jobs =
+    with_server ~jobs ~accept_pool:n_clients ~max_connections:n_clients (fun port ->
+        logs
+        |> List.map (fun log ->
+               let lines = List.map Protocol.render_request log in
+               Domain.spawn (fun () -> tcp_session port lines))
+        |> List.map Domain.join)
+  in
+  List.iter
+    (fun jobs ->
+      let results = run_once ~jobs in
+      List.iteri
+        (fun i ((greeting, replies), want) ->
+          Alcotest.(check string)
+            (Printf.sprintf "jobs=%d client %d greeting" jobs i)
+            Protocol.greeting greeting;
+          Alcotest.(check (list string))
+            (Printf.sprintf "jobs=%d client %d replies match its sequential oracle" jobs i)
+            want replies)
+        (List.combine results expected))
+    [ 1; 4 ]
+
+(* Regression: teardown closed the socket without draining the write
+   side, so a reply buffered behind [quit] could be lost.  A pipelined
+   request+quit written in one burst must still yield the reply line,
+   the farewell, then a clean EOF. *)
+let test_quit_flushes_replies () =
+  with_server ~accept_pool:1 ~max_connections:1 (fun port ->
+      let greeting, replies = tcp_session port [ "query ghost" ] in
+      Alcotest.(check string) "greeting" Protocol.greeting greeting;
+      Alcotest.(check (list string))
+        "reply drained before farewell"
+        [ "info shop=ghost unknown"; "bye" ]
+        replies)
+
+(* Regression: a connection that vanishes before (or during) setup must
+   not take the accept pool down — the next connection is served
+   normally. *)
+let test_abrupt_disconnect () =
+  with_server ~accept_pool:1 ~max_connections:2 (fun port ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      Unix.close fd;
+      let greeting, replies = tcp_session port [ "query ghost" ] in
+      Alcotest.(check string) "second connection greeted" Protocol.greeting greeting;
+      Alcotest.(check (list string))
+        "second connection served"
+        [ "info shop=ghost unknown"; "bye" ]
+        replies)
+
 let suite =
   [
     ("cache: LRU bookkeeping", `Quick, test_cache_lru);
@@ -532,4 +726,12 @@ let suite =
      test_incremental_transparent_across_jobs);
     ("protocol: metrics expose incremental counters", `Quick,
      test_metrics_exposes_incremental);
+    ("protocol: any whitespace splits words", `Quick, test_protocol_whitespace);
+    ("protocol: add payloads whitelist task directives", `Quick,
+     test_parse_tasks_whitelist);
+    ("server: resolve_host accepts addresses and hostnames", `Quick, test_resolve_host);
+    ("server: concurrent clients match their sequential oracles", `Slow,
+     test_concurrent_transport);
+    ("server: quit flushes buffered replies", `Quick, test_quit_flushes_replies);
+    ("server: abrupt disconnect leaves the pool serving", `Quick, test_abrupt_disconnect);
   ]

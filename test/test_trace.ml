@@ -122,6 +122,55 @@ let test_validator_rejects () =
   | Error _ -> ()
   | Ok () -> Alcotest.fail "unclosed request accepted"
 
+(* The concurrent TCP transport emits the same per-request trace
+   schema as the in-process path: every request from every connection
+   yields a full, well-ordered stage tiling and a closed trace, even
+   with two clients interleaving submissions. *)
+let test_trace_schema_concurrent () =
+  with_clean_telemetry @@ fun () ->
+  let buf = Buffer.create 4096 in
+  install_det_clock ();
+  Rtrace.set_writer
+    (Some (fun line -> Buffer.add_string buf line; Buffer.add_char buf '\n'));
+  let requests = 12 and n_clients = 2 in
+  let logs =
+    List.init n_clients (fun c ->
+        List.map
+          (Test_serve.prefix_shop (Printf.sprintf "t%d." c))
+          (Test_serve.gen_log (700 + c) requests))
+  in
+  let results =
+    Test_serve.with_server ~jobs:2 ~accept_pool:n_clients ~max_connections:n_clients
+      (fun port ->
+        logs
+        |> List.map (fun l ->
+               let lines = List.map Protocol.render_request l in
+               Domain.spawn (fun () -> Test_serve.tcp_session port lines))
+        |> List.map Domain.join)
+  in
+  Rtrace.set_writer None;
+  List.iter
+    (fun (_, replies) ->
+      Alcotest.(check int) "every request answered" (requests + 1) (List.length replies))
+    results;
+  let records = parse_trace (Buffer.contents buf) in
+  let total = n_clients * requests in
+  Alcotest.(check int)
+    "one record per stage plus one done record per request"
+    (total * (Rtrace.n_stages + 1))
+    (List.length records);
+  let v = Schema.validator () in
+  List.iter
+    (fun r ->
+      match Schema.feed v r with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "validator rejected record: %s" msg)
+    records;
+  (match Schema.check_closed v with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "unclosed trace: %s" msg);
+  Alcotest.(check int) "every request completed" total (Schema.completed v)
+
 (* Tracing must be invisible in the replies: same log, writer on vs
    off, byte-identical rendered outcomes. *)
 let test_replies_unchanged_by_tracing () =
@@ -206,6 +255,8 @@ let suite =
     Alcotest.test_case "trace deterministic across -j" `Quick test_trace_deterministic;
     Alcotest.test_case "trace schema valid and tiling" `Quick test_trace_schema;
     Alcotest.test_case "validator rejects malformed traces" `Quick test_validator_rejects;
+    Alcotest.test_case "trace schema valid over the concurrent transport" `Slow
+      test_trace_schema_concurrent;
     Alcotest.test_case "replies unchanged by tracing" `Quick
       test_replies_unchanged_by_tracing;
     Alcotest.test_case "metrics protocol command" `Quick test_metrics_command;
