@@ -9,6 +9,9 @@ SERVE_B := /tmp/e2e_sched_serve_j4.txt
 CONC_A := /tmp/e2e_sched_conc_j1
 CONC_B := /tmp/e2e_sched_conc_j4
 CONC_CONNS := 4
+CLUS_A := /tmp/e2e_sched_clus_j1
+CLUS_B := /tmp/e2e_sched_clus_j4
+CLUS_CONNS := 4
 CORE_SMOKE := /tmp/e2e_sched_bench_core_small.json
 TRACE_A := /tmp/e2e_sched_trace_j1.jsonl
 TRACE_B := /tmp/e2e_sched_trace_j4.jsonl
@@ -19,8 +22,9 @@ JOBS ?= 4
 # configuration (sizes 10 and 100 only).
 BENCH_TRIALS ?= full
 
-.PHONY: all build test bench bench-par bench-serve bench-core fuzz-smoke \
-  fuzz-inc serve-smoke serve-conc-smoke trace-smoke check clean
+.PHONY: all build test bench bench-par bench-serve bench-core bench-cluster \
+  fuzz-smoke fuzz-inc serve-smoke serve-conc-smoke cluster-smoke trace-smoke \
+  check clean
 
 all: build
 
@@ -56,6 +60,18 @@ bench-core:
 	dune exec bench/core_bench.exe -- --trials $(BENCH_TRIALS) \
 	  --out BENCH_core.json
 
+# Shard-count scaling sweep over the cluster transport: 1, 2 and 4
+# in-process shards behind the dispatcher on the seed-then-resubmit
+# workload (permuted resubmissions over a working set ~3x one shard's
+# solver cache), written to tracked BENCH_cluster.json.  The headline
+# number is the 1 -> 4 shard aggregate-throughput ratio: sticky routing
+# gives each shard only its own shops, so four shards hold the whole
+# working set in cache while one shard thrashes and re-solves.
+bench-cluster:
+	dune exec bin/loadgen.exe -- --cluster-sweep 1,2,4 --connections 4 \
+	  --pipeline 8 --requests 8000 --cluster-shops 96 --cache 128 --seed 42 \
+	  --out BENCH_cluster.json
+
 # Replay the full-grammar request fixture through the stdio transport on
 # 1 and 4 domains: the reply logs must be byte-identical and contain
 # admitted verdicts.
@@ -66,6 +82,7 @@ serve-smoke:
 	dune exec bin/serve.exe -- --stdio -j 4 \
 	  < test/serve_smoke_requests.txt > $(SERVE_B)
 	cmp $(SERVE_A) $(SERVE_B)
+	grep -q '^pong ' $(SERVE_A)
 	grep -q '^admitted ' $(SERVE_A)
 	grep -q '^rejected ' $(SERVE_A)
 	grep -q '^metrics ' $(SERVE_A)
@@ -87,6 +104,28 @@ serve-conc-smoke:
 	  cmp $(CONC_A).conn$$i $(CONC_B).conn$$i || exit 1; \
 	  grep -q '^admitted ' $(CONC_A).conn$$i || exit 1; \
 	done
+
+# The cluster transport smoke: 2 in-process shards behind the
+# dispatcher, $(CLUS_CONNS) pipelined clients.  Every connection's
+# reply log must be byte-identical across shard worker-domain counts
+# (sticky routing keeps each shop's history on one shard, and the
+# dispatcher preserves per-connection reply order across shards), then
+# the failover check kills a shard mid-burst and asserts every request
+# is answered, traffic re-routes to the survivor, and the restarted
+# shard is re-admitted by the status checker.
+cluster-smoke:
+	rm -f $(CLUS_A).conn* $(CLUS_B).conn*
+	dune exec bin/loadgen.exe -- --spawn-shards 2 --connections $(CLUS_CONNS) \
+	  --pipeline 16 --requests 800 --seed 42 -j 1 \
+	  --reply-log $(CLUS_A) > /dev/null
+	dune exec bin/loadgen.exe -- --spawn-shards 2 --connections $(CLUS_CONNS) \
+	  --pipeline 16 --requests 800 --seed 42 -j 4 \
+	  --reply-log $(CLUS_B) > /dev/null
+	for i in $$(seq 0 $$(( $(CLUS_CONNS) - 1 ))); do \
+	  cmp $(CLUS_A).conn$$i $(CLUS_B).conn$$i || exit 1; \
+	  grep -q '^admitted ' $(CLUS_A).conn$$i || exit 1; \
+	done
+	dune exec bin/loadgen.exe -- --failover-check --seed 42
 
 # Fixed-seed traced load-generator run under the deterministic clock on
 # 1 and 4 domains: the request-trace JSONL must be byte-identical across
@@ -147,6 +186,7 @@ check:
 	$(MAKE) fuzz-inc
 	$(MAKE) serve-smoke
 	$(MAKE) serve-conc-smoke
+	$(MAKE) cluster-smoke
 	$(MAKE) trace-smoke
 	dune exec bench/core_bench.exe -- --trials small --out $(CORE_SMOKE)
 	dune exec bin/jsonl_check.exe $(CORE_SMOKE)
@@ -155,5 +195,6 @@ clean:
 	dune clean
 	rm -f $(METRICS) $(PAR_METRICS) $(PAR_A) $(PAR_B) $(FUZZ_A) $(FUZZ_B) \
 	  $(SERVE_A) $(SERVE_B) $(CONC_A).conn* $(CONC_B).conn* $(CORE_SMOKE) \
+	  $(CLUS_A).conn* $(CLUS_B).conn* \
 	  $(TRACE_A) $(TRACE_B) $(TRACE_SUM) \
 	  $(TRACE_LG) BENCH_parallel.json BENCH_core.json

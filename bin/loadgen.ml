@@ -415,10 +415,614 @@ let run_sat_sweep ~seed ~requests ~config ~pipeline ~window points =
     points
 
 (* ------------------------------------------------------------------ *)
+(* Cluster modes: an in-process shard fleet behind an in-process
+   dispatcher (--spawn-shards), replay against an external dispatcher
+   (--cluster), shard-count scaling sweeps (--cluster-sweep, the
+   source of BENCH_cluster.json), and the kill-one-shard failover
+   check `make cluster-smoke` runs (--failover-check). *)
+
+module Dispatcher = E2e_cluster.Dispatcher
+module Registry = E2e_cluster.Registry
+module Health = E2e_cluster.Health
+module Wire = E2e_serve.Wire
+
+(* A one-shot mailbox for the ready-port handshake with a spawned
+   server domain. *)
+let wait_slot () =
+  let mu = Mutex.create () and cv = Condition.create () in
+  let slot = ref None in
+  let set p =
+    Mutex.lock mu;
+    slot := Some p;
+    Condition.signal cv;
+    Mutex.unlock mu
+  in
+  let get () =
+    Mutex.lock mu;
+    while !slot = None do
+      Condition.wait cv mu
+    done;
+    let p = Option.get !slot in
+    Mutex.unlock mu;
+    p
+  in
+  (set, get)
+
+type shard = {
+  sh_port : int;
+  sh_control : Server.control;
+  sh_domain : unit Domain.t;
+}
+
+(* One in-process shard: its own batcher (own admission state, own
+   solver cache) behind a real TCP listener on an ephemeral port, with
+   a control handle so a test can kill it like a process.  Schedules
+   are off — cluster runs measure the service, not reply rendering. *)
+let spawn_shard ~config ~accept_pool ~window ?(port = 0) () =
+  let control = Server.control () in
+  let set, get = wait_slot () in
+  let batcher = Batcher.create ~config () in
+  let domain =
+    Domain.spawn (fun () ->
+        Server.serve_tcp ~schedules:false ~accept_pool ~window ~ready:set ~control ~port
+          batcher)
+  in
+  { sh_port = get (); sh_control = control; sh_domain = domain }
+
+type cluster = {
+  cl_shards : shard list;
+  cl_t : Dispatcher.t;
+  cl_domain : unit Domain.t;
+  cl_port : int;
+}
+
+let spawn_cluster ~nshards ~config ~window ~probe_interval ~client_slots =
+  let shards =
+    List.init nshards (fun _ -> spawn_shard ~config ~accept_pool:3 ~window ())
+  in
+  let dconfig = { Dispatcher.default_config with probe_interval } in
+  let t =
+    Dispatcher.create ~config:dconfig
+      (List.map (fun s -> ("127.0.0.1", s.sh_port)) shards)
+  in
+  let set, get = wait_slot () in
+  let ddomain =
+    Domain.spawn (fun () ->
+        Dispatcher.serve ~accept_pool:client_slots ~window ~ready:set ~port:0 t)
+  in
+  { cl_shards = shards; cl_t = t; cl_domain = ddomain; cl_port = get () }
+
+let stop_cluster c =
+  Dispatcher.shutdown c.cl_t;
+  Domain.join c.cl_domain;
+  List.iter (fun s -> Server.shutdown s.sh_control) c.cl_shards;
+  List.iter (fun s -> Domain.join s.sh_domain) c.cl_shards
+
+(* What the cluster run reports beyond throughput: routing balance and
+   failover counters, from the in-process dispatcher handle or a
+   remote dispatcher's stats/metrics replies. *)
+type cluster_info = {
+  ci_shards : int;
+  ci_live : int;
+  ci_routed : int;
+  ci_failovers : int;
+  ci_unavailable : int;
+  ci_balance : (string * int) list;  (* shard id -> requests routed *)
+}
+
+let cluster_info_of_stats (st : Dispatcher.stats) =
+  {
+    ci_shards = st.registry_stats.Registry.shards;
+    ci_live = st.registry_stats.Registry.live_shards;
+    ci_routed = st.routed;
+    ci_failovers = st.registry_stats.Registry.failovers;
+    ci_unavailable = st.unavailable;
+    ci_balance =
+      List.map (fun s -> (s.Dispatcher.shard_id, s.Dispatcher.shard_routed)) st.per_shard;
+  }
+
+(* Remote dispatcher: one stats line (k=v tokens) and the aggregated
+   metrics exposition (cluster_shard_routed_total{shard="id"} N). *)
+let fetch_cluster_remote ~host ~port =
+  match Health.rpc ~host ~port [ "stats"; "metrics" ] with
+  | Error _ | Ok ([] | [ _ ] | _ :: _ :: _ :: _) -> None
+  | Ok [ stats_line; metrics_line ] ->
+      let kv = Hashtbl.create 8 in
+      List.iter
+        (fun tok ->
+          match String.index_opt tok '=' with
+          | None -> ()
+          | Some i -> (
+              let k = String.sub tok 0 i
+              and v = String.sub tok (i + 1) (String.length tok - i - 1) in
+              match int_of_string_opt v with
+              | Some n -> Hashtbl.replace kv k n
+              | None -> ()))
+        (String.split_on_char ' ' stats_line);
+      let get k = Option.value ~default:0 (Hashtbl.find_opt kv k) in
+      let balance =
+        String.split_on_char ';' metrics_line
+        |> List.filter_map (fun line ->
+               let prefix = "cluster_shard_routed_total{shard=\"" in
+               let pl = String.length prefix in
+               if String.length line > pl && String.sub line 0 pl = prefix then
+                 match String.index_from_opt line pl '"' with
+                 | None -> None
+                 | Some q -> (
+                     let id = String.sub line pl (q - pl) in
+                     match String.rindex_opt line ' ' with
+                     | None -> None
+                     | Some sp ->
+                         Option.map
+                           (fun n -> (id, n))
+                           (int_of_string_opt
+                              (String.sub line (sp + 1) (String.length line - sp - 1))))
+               else None)
+      in
+      Some
+        {
+          ci_shards = get "shards";
+          ci_live = get "live";
+          ci_routed = get "routed";
+          ci_failovers = get "failovers";
+          ci_unavailable = get "unavailable";
+          ci_balance = balance;
+        }
+
+let print_cluster_info ci =
+  Format.printf "cluster       shards=%d live=%d routed=%d failovers=%d unavailable=%d@."
+    ci.ci_shards ci.ci_live ci.ci_routed ci.ci_failovers ci.ci_unavailable;
+  List.iter
+    (fun (id, n) -> Format.printf "shard         %-22s routed=%d@." id n)
+    ci.ci_balance
+
+let cluster_json ci =
+  Json.Obj
+    [
+      ("shards", Json.int ci.ci_shards);
+      ("live", Json.int ci.ci_live);
+      ("routed", Json.int ci.ci_routed);
+      ("failovers", Json.int ci.ci_failovers);
+      ("unavailable", Json.int ci.ci_unavailable);
+      ("balance", Json.Obj (List.map (fun (id, n) -> (id, Json.int n)) ci.ci_balance));
+    ]
+
+(* The scaling-sweep workload: [shops] seeding submits establish this
+   connection's shops, then the stream resubmits random shops with
+   freshly permuted instances (same canonical form, disjoint
+   per-connection namespaces).  A permuted resubmission is answered
+   from the shard's canonical solver cache when the shop's entry is
+   resident and pays a full solve when it was evicted — so the scaling
+   lever is aggregate cache capacity: routing is sticky, each shard's
+   LRU holds exactly its own shops, and a working set a few times one
+   shard's [--cache] thrashes a single shard while enough shards hold
+   it entirely.  That is the honest sharding win available on any core
+   count; CPU fan-out is not (the bench host may be a single core).
+   Instances are a little bigger than gen_stream's so the solve :
+   cache-hit cost ratio is what the bench exercises. *)
+let gen_cluster_instance g =
+  let n = 12 + Prng.int g 5 and m = 3 + Prng.int g 2 in
+  Recurrence_shop.of_traditional
+    (Feasible_gen.generate g
+       { Feasible_gen.n_tasks = n; n_processors = m; mean_tau = 1.0; stdev = 0.5;
+         slack_factor = 1.05 +. Prng.float g 0.3 })
+
+let gen_cluster_stream ~cid ~seed ~shops ~requests () =
+  let g = Prng.of_path [| seed; 0xc1; cid |] in
+  let shop k = Printf.sprintf "c%d-s%d" cid k in
+  let shops = max 1 (min shops requests) in
+  let instances = Array.init shops (fun _ -> gen_cluster_instance g) in
+  (* Resubmission is a drop + submit pair (a committed shop rejects a
+     second bare submit); the fresh submit is the cache probe. *)
+  let rec steady n =
+    if n <= 0 then []
+    else
+      let k = Prng.int g shops in
+      Admission.Drop { shop = shop k }
+      :: Admission.Submit { shop = shop k; instance = permute g instances.(k) }
+      :: steady (n - 2)
+  in
+  List.init shops (fun k -> Admission.Submit { shop = shop k; instance = instances.(k) })
+  @ steady (requests - shops)
+
+type cluster_point = {
+  cp_shards : int;
+  cp_completed : int;
+  cp_duration : float;
+  cp_rps : float;
+  cp_p50_ms : float;
+  cp_p99_ms : float;
+  cp_info : cluster_info;
+}
+
+let run_cluster_point ~nshards ~config ~connections ~pipeline ~shops ~requests ~seed
+    ~window =
+  let cluster =
+    spawn_cluster ~nshards ~config ~window ~probe_interval:0.5
+      ~client_slots:(connections + 2)
+  in
+  let streams =
+    List.init connections (fun c ->
+        let per =
+          (requests / connections) + (if c < requests mod connections then 1 else 0)
+        in
+        gen_cluster_stream ~cid:c ~seed ~shops ~requests:per ())
+  in
+  let duration, results =
+    run_clients ~host:"127.0.0.1" ~port:cluster.cl_port ~streams ~pipeline ~rate:0.
+  in
+  let latency, _tally = merge_client_results results in
+  let info = cluster_info_of_stats (Dispatcher.stats cluster.cl_t) in
+  stop_cluster cluster;
+  let completed = Quantile.count latency in
+  {
+    cp_shards = nshards;
+    cp_completed = completed;
+    cp_duration = duration;
+    cp_rps = (if duration > 0. then float_of_int completed /. duration else 0.);
+    cp_p50_ms = Quantile.quantile latency 0.50 *. 1000.;
+    cp_p99_ms = Quantile.quantile latency 0.99 *. 1000.;
+    cp_info = info;
+  }
+
+let run_cluster_sweep ~counts ~config ~connections ~pipeline ~shops ~requests ~seed
+    ~window ~jobs ~out =
+  let points =
+    List.map
+      (fun nshards ->
+        let p =
+          run_cluster_point ~nshards ~config ~connections ~pipeline ~shops ~requests ~seed
+            ~window
+        in
+        Format.printf
+          "cluster shards=%-2d %7.0f req/s  p50=%.3fms p99=%.3fms (%d in %.3fs, \
+           failovers=%d unavailable=%d)@."
+          p.cp_shards p.cp_rps p.cp_p50_ms p.cp_p99_ms p.cp_completed p.cp_duration
+          p.cp_info.ci_failovers p.cp_info.ci_unavailable;
+        p)
+      counts
+  in
+  let rps_of n =
+    List.find_map (fun p -> if p.cp_shards = n then Some p.cp_rps else None) points
+  in
+  let base = rps_of (List.fold_left min max_int counts) in
+  let top = rps_of (List.fold_left max 0 counts) in
+  let ratio =
+    match (base, top) with
+    | Some b, Some t when b > 0. -> Some (t /. b)
+    | _ -> None
+  in
+  (match ratio with
+  | Some r ->
+      Format.printf "cluster scaling %d -> %d shards: %.2fx@."
+        (List.fold_left min max_int counts)
+        (List.fold_left max 0 counts)
+        r
+  | None -> ());
+  match out with
+  | None -> ()
+  | Some path ->
+      let record =
+        Json.Obj
+          [
+            ( "workload",
+              Json.Obj
+                [
+                  ("type", Json.Str "seed-then-resubmit");
+                  ("requests", Json.int requests);
+                  ("connections", Json.int connections);
+                  ("pipeline", Json.int pipeline);
+                  ("shops_per_connection", Json.int shops);
+                  ("seed", Json.int seed);
+                  ("cache_capacity", Json.int config.Batcher.cache_capacity);
+                  ("batch", Json.int config.Batcher.batch);
+                  ("jobs", Json.int jobs);
+                ] );
+            ( "points",
+              Json.List
+                (List.map
+                   (fun p ->
+                     Json.Obj
+                       [
+                         ("shards", Json.int p.cp_shards);
+                         ("completed", Json.int p.cp_completed);
+                         ("duration_s", Json.Num p.cp_duration);
+                         ("requests_per_sec", Json.Num p.cp_rps);
+                         ("latency_p50_ms", Json.Num p.cp_p50_ms);
+                         ("latency_p99_ms", Json.Num p.cp_p99_ms);
+                         ("failovers", Json.int p.cp_info.ci_failovers);
+                         ("unavailable", Json.int p.cp_info.ci_unavailable);
+                         ( "balance",
+                           Json.Obj
+                             (List.map
+                                (fun (id, n) -> (id, Json.int n))
+                                p.cp_info.ci_balance) );
+                       ])
+                   points) );
+            ( "scaling",
+              match ratio with
+              | None -> Json.Null
+              | Some r ->
+                  Json.Obj
+                    [
+                      ("shards_min", Json.int (List.fold_left min max_int counts));
+                      ("shards_max", Json.int (List.fold_left max 0 counts));
+                      ("rps_ratio", Json.Num r);
+                    ] );
+          ]
+      in
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc (Json.to_string record);
+          output_char oc '\n');
+      Format.printf "wrote %s@." path
+
+(* ------------------------------------------------------------------ *)
+(* Failover check: 2 shards + dispatcher, kill one mid-burst, assert
+   every in-flight request still gets a reply (the deterministic
+   [error shard-unavailable], never a hang), traffic recovers on the
+   surviving shard, and a shard returning on the same address is
+   re-admitted and routed to again.                                   *)
+
+let failover_check ~config ~window ~seed =
+  let cluster =
+    spawn_cluster ~nshards:2 ~config ~window ~probe_interval:0.2 ~client_slots:3
+  in
+  let fail_reasons = ref [] in
+  let extra_shard = ref None in
+  let fail fmt = Printf.ksprintf (fun s -> fail_reasons := s :: !fail_reasons) fmt in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Server.resolve_host "127.0.0.1", cluster.cl_port));
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+  (* A reply that takes >10s is a hang — the exact bug this check
+     exists to catch — so bound every read. *)
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0 with Unix.Unix_error _ -> ());
+  let r = Wire.make_reader fd in
+  let g = Prng.create seed in
+  let fresh = ref 0 in
+  let submit_line () =
+    incr fresh;
+    Protocol.render_request
+      (Admission.Submit { shop = Printf.sprintf "f%d" !fresh; instance = gen_instance g })
+  in
+  let send lines = Wire.write_all fd (String.concat "" (List.map (fun l -> l ^ "\n") lines)) in
+  let read_replies k =
+    List.init k (fun _ ->
+        match Wire.read_line r with
+        | `Line l -> l
+        | `Eof | `Too_long -> "error: connection lost or timed out")
+  in
+  let unavailable replies =
+    List.length (List.filter (fun l -> l = Dispatcher.unavailable_reply) replies)
+  in
+  let lost replies =
+    List.length (List.filter (fun l -> l = "error: connection lost or timed out") replies)
+  in
+  (match Wire.read_line r with
+  | `Line _ -> () (* greeting *)
+  | `Eof | `Too_long -> fail "no greeting from dispatcher");
+  (* Phase 1: both shards up — a burst of submits, none unavailable. *)
+  let burst1 = List.init 16 (fun _ -> submit_line ()) in
+  send burst1;
+  let replies1 = read_replies 16 in
+  if lost replies1 > 0 then fail "phase1: lost %d replies" (lost replies1);
+  if unavailable replies1 > 0 then
+    fail "phase1: %d shard-unavailable with all shards live" (unavailable replies1);
+  (* Phase 2: kill shard 0 with a burst in flight, then keep sending.
+     Every request must be answered; the ones caught on the dead shard
+     get the deterministic unavailable error. *)
+  let pre_kill = List.init 16 (fun _ -> submit_line ()) in
+  send pre_kill;
+  Server.shutdown (List.hd cluster.cl_shards).sh_control;
+  let post_kill = List.init 24 (fun _ -> submit_line ()) in
+  send post_kill;
+  let replies2 = read_replies 40 in
+  let unavailable2 = unavailable replies2 in
+  if lost replies2 > 0 then
+    fail "phase2: %d requests never answered after shard kill (hang)" (lost replies2);
+  if unavailable2 = 0 then
+    fail "phase2: expected at least one shard-unavailable reply after killing a shard";
+  (* Phase 3: recovery — fresh shops must admit cleanly on the
+     survivor within a bounded number of rounds. *)
+  let recovery_rounds = ref (-1) in
+  (let round = ref 0 in
+   while !recovery_rounds < 0 && !round < 50 do
+     incr round;
+     let burst = List.init 4 (fun _ -> submit_line ()) in
+     send burst;
+     let replies = read_replies 4 in
+     if lost replies > 0 then begin
+       fail "phase3: lost replies during recovery";
+       recovery_rounds := !round
+     end
+     else if unavailable replies = 0 then recovery_rounds := !round
+     else Unix.sleepf 0.05
+   done;
+   if !recovery_rounds < 0 then fail "phase3: no clean round within 50 rounds");
+  (* Phase 4: re-admission — restart a shard on the same address, wait
+     for the status checker to revive it, and check new shops route to
+     it again. *)
+  let dead_port = (List.hd cluster.cl_shards).sh_port in
+  let dead_id = Registry.id_of ~host:"127.0.0.1" ~port:dead_port in
+  Domain.join (List.hd cluster.cl_shards).sh_domain;
+  let reborn = spawn_shard ~config ~accept_pool:3 ~window ~port:dead_port () in
+  extra_shard := Some reborn;
+  let deadline = Unix.gettimeofday () +. 15.0 in
+  let live () =
+    List.exists
+      (fun (id, state, _) -> id = dead_id && state = Registry.Live)
+      (Registry.snapshot (Dispatcher.registry cluster.cl_t))
+  in
+  while (not (live ())) && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.05
+  done;
+  if not (live ()) then fail "phase4: killed shard not revived within 15s of restarting"
+  else begin
+    let routed_to id =
+      let st = Dispatcher.stats cluster.cl_t in
+      List.fold_left
+        (fun acc s -> if s.Dispatcher.shard_id = id then s.Dispatcher.shard_routed else acc)
+        0 st.per_shard
+    in
+    let before = routed_to dead_id in
+    let burst = List.init 24 (fun _ -> submit_line ()) in
+    send burst;
+    let replies = read_replies 24 in
+    if lost replies > 0 then fail "phase4: lost replies after revival";
+    if unavailable replies > 0 then
+      fail "phase4: %d shard-unavailable after revival" (unavailable replies);
+    if routed_to dead_id <= before then
+      fail "phase4: no traffic routed to the revived shard"
+  end;
+  (try Wire.write_all fd "quit\n" with Unix.Unix_error _ -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  (match !extra_shard with
+  | Some s ->
+      Server.shutdown s.sh_control;
+      Domain.join s.sh_domain
+  | None -> ());
+  (* The killed shard's domain is already joined; stop_cluster joins
+     the rest and shuts the dispatcher down. *)
+  Dispatcher.shutdown cluster.cl_t;
+  Domain.join cluster.cl_domain;
+  List.iter
+    (fun s -> Server.shutdown s.sh_control)
+    (List.tl cluster.cl_shards);
+  List.iter (fun s -> Domain.join s.sh_domain) (List.tl cluster.cl_shards);
+  match List.rev !fail_reasons with
+  | [] ->
+      Format.printf
+        "failover-check: ok (unavailable=%d recovery_rounds=%d re-admitted=%s)@."
+        unavailable2 !recovery_rounds dead_id;
+      true
+  | reasons ->
+      List.iter (fun r -> Format.printf "failover-check: FAIL %s@." r) reasons;
+      false
+
+(* ------------------------------------------------------------------ *)
+(* Soak mode: run closed-loop TCP clients for a wall-clock duration,
+   printing windowed latency snapshots as the run progresses.  Each
+   client replays freshly generated chunks on new shop namespaces
+   every cycle, so committed state and cache contents keep churning
+   like a long-lived deployment. *)
+
+type soak_snapshot = {
+  sn_t : float;  (* seconds since soak start *)
+  sn_count : int;
+  sn_rps : float;
+  sn_p50_ms : float;
+  sn_p99_ms : float;
+}
+
+type soak_state = {
+  so_mu : Mutex.t;
+  mutable so_window : Quantile.t;
+  so_total : Quantile.t;
+  so_tally : tally;
+}
+
+let run_soak ~host ~port ~connections ~pipeline ~seed ~duration ~snapshot_every =
+  let st =
+    { so_mu = Mutex.create (); so_window = Quantile.create ();
+      so_total = Quantile.create (); so_tally = new_tally () }
+  in
+  let observe lat line =
+    Mutex.lock st.so_mu;
+    Quantile.observe st.so_window lat;
+    Quantile.observe st.so_total lat;
+    tally_line st.so_tally line;
+    Mutex.unlock st.so_mu
+  in
+  let t0 = Unix.gettimeofday () in
+  let deadline = t0 +. duration in
+  let client cid =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_INET (Server.resolve_host host, port));
+    (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+    let r = Wire.make_reader fd in
+    let recv () = match Wire.read_line r with `Line l -> Some l | `Eof | `Too_long -> None in
+    (match recv () with Some _ -> () | None -> failwith "no greeting");
+    let cycle = ref 0 in
+    let stop = ref false in
+    while not !stop do
+      (* A fresh chunk per cycle: cid*offset keeps every cycle's shop
+         namespace disjoint from every other client's and cycle's. *)
+      let stream =
+        gen_stream ~cid:((cid * 1_000_003) + !cycle) ~seed ~requests:256 ()
+      in
+      incr cycle;
+      let reqs = Array.of_list (List.map Protocol.render_request stream) in
+      let n = Array.length reqs in
+      let t_send = Array.make n 0. in
+      let sent = ref 0 and recvd = ref 0 in
+      let target () = if !stop then !sent else n in
+      while !recvd < target () do
+        while (not !stop) && !sent < n && !sent - !recvd < pipeline do
+          if Unix.gettimeofday () >= deadline then stop := true
+          else begin
+            t_send.(!sent) <- Unix.gettimeofday ();
+            Wire.write_all fd (reqs.(!sent) ^ "\n");
+            incr sent
+          end
+        done;
+        if !recvd < target () then
+          match recv () with
+          | None -> stop := true
+          | Some line ->
+              observe (Unix.gettimeofday () -. t_send.(!recvd)) line;
+              incr recvd
+      done;
+      if Unix.gettimeofday () >= deadline then stop := true
+    done;
+    (try Wire.write_all fd "quit\n" with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+  in
+  let domains = List.init connections (fun c -> Domain.spawn (fun () -> client c)) in
+  let snapshots = ref [] in
+  let take_snapshot () =
+    Mutex.lock st.so_mu;
+    let q = st.so_window in
+    st.so_window <- Quantile.create ();
+    Mutex.unlock st.so_mu;
+    let now = Unix.gettimeofday () in
+    let count = Quantile.count q in
+    let sn =
+      {
+        sn_t = now -. t0;
+        sn_count = count;
+        sn_rps = (if snapshot_every > 0. then float_of_int count /. snapshot_every else 0.);
+        sn_p50_ms = Quantile.quantile q 0.50 *. 1000.;
+        sn_p99_ms = Quantile.quantile q 0.99 *. 1000.;
+      }
+    in
+    snapshots := sn :: !snapshots;
+    Format.printf "soak +%6.1fs  %6d replies (%6.0f/s)  p50=%.3fms p99=%.3fms@." sn.sn_t
+      sn.sn_count sn.sn_rps sn.sn_p50_ms sn.sn_p99_ms;
+    Format.print_flush ()
+  in
+  while Unix.gettimeofday () < deadline do
+    let remaining = deadline -. Unix.gettimeofday () in
+    Unix.sleepf (Float.min snapshot_every remaining);
+    take_snapshot ()
+  done;
+  List.iter Domain.join domains;
+  let t_end = Unix.gettimeofday () in
+  (t_end -. t0, st.so_total, st.so_tally, List.rev !snapshots)
+
+let soak_snapshot_json sn =
+  Json.Obj
+    [
+      ("t_s", Json.Num sn.sn_t);
+      ("count", Json.int sn.sn_count);
+      ("requests_per_sec", Json.Num sn.sn_rps);
+      ("latency_p50_ms", Json.Num sn.sn_p50_ms);
+      ("latency_p99_ms", Json.Num sn.sn_p99_ms);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Reporting                                                          *)
 
-let report ~out ~requests ~jobs ~config ~transport ~connections ~duration ~latency ~tally
-    ~cache_stats ~keyer_stats ~stages ~sweep ~sat =
+let report ?(extra = []) ~out ~requests ~jobs ~config ~transport ~connections ~duration
+    ~latency ~tally ~cache_stats ~keyer_stats ~stages ~sweep ~sat () =
   let ms x = x *. 1000. in
   let p q = ms (Quantile.quantile latency q) in
   let completed = Quantile.count latency in
@@ -484,7 +1088,7 @@ let report ~out ~requests ~jobs ~config ~transport ~connections ~duration ~laten
       in
       let record =
         Json.Obj
-          [
+          ([
             ("requests", Json.Num (float_of_int requests));
             ("completed", Json.Num (float_of_int completed));
             ("overloaded", Json.Num (float_of_int tally.overloaded));
@@ -571,6 +1175,7 @@ let report ~out ~requests ~jobs ~config ~transport ~connections ~duration ~laten
                   ("cache_capacity", Json.Num (float_of_int config.Batcher.cache_capacity));
                 ] );
           ]
+          @ extra)
       in
       Out_channel.with_open_text path (fun oc ->
           output_string oc (Json.to_string record);
@@ -689,6 +1294,62 @@ let det_clock_arg =
   in
   Arg.(value & flag & info [ "det-clock" ] ~doc)
 
+let cluster_arg =
+  let doc =
+    "Replay over TCP against a running e2e-dispatch front end at $(docv); after the run, \
+     query it for routing balance and failover counters (the cluster report)."
+  in
+  Arg.(value & opt (some string) None & info [ "cluster" ] ~docv:"HOST:PORT" ~doc)
+
+let spawn_shards_arg =
+  let doc =
+    "Start $(docv) in-process shards (each a full TCP e2e-serve) behind an in-process \
+     dispatcher on ephemeral ports and replay against the dispatcher: the whole-cluster \
+     measurement (engine config flags apply to every shard)."
+  in
+  Arg.(value & opt (some int) None & info [ "spawn-shards" ] ~docv:"N" ~doc)
+
+let cluster_sweep_arg =
+  let doc =
+    "Shard-count scaling sweep: spin up a fresh cluster per count in the comma-separated \
+     list, replay the seed-then-query workload, and record throughput, balance and \
+     failover counters per point (`make bench-cluster` writes BENCH_cluster.json this \
+     way)."
+  in
+  Arg.(value & opt (some (list int)) None & info [ "cluster-sweep" ] ~docv:"N,N,..." ~doc)
+
+let cluster_shops_arg =
+  let doc = "Shops each connection submits before the query phase of the cluster sweep." in
+  Arg.(value & opt int 8 & info [ "cluster-shops" ] ~docv:"K" ~doc)
+
+let duration_arg =
+  let doc =
+    "Soak mode: run the TCP replay closed-loop for $(docv) seconds of wall-clock time \
+     (freshly generated request chunks per connection) instead of a fixed request count, \
+     printing windowed latency snapshots as it runs."
+  in
+  Arg.(value & opt float 0. & info [ "duration" ] ~docv:"SECS" ~doc)
+
+let snapshot_arg =
+  let doc = "Seconds between soak-mode latency snapshots." in
+  Arg.(value & opt float 1.0 & info [ "snapshot" ] ~docv:"SECS" ~doc)
+
+let failover_arg =
+  let doc =
+    "Run the cluster failover check: 2 in-process shards behind a dispatcher, kill one \
+     mid-burst, assert every request is answered (deterministic shard-unavailable errors, \
+     no hangs), traffic recovers on the survivor, and a restarted shard is re-admitted.  \
+     Exits non-zero on failure."
+  in
+  Arg.(value & flag & info [ "failover-check" ] ~doc)
+
+let parse_addr flag addr =
+  match Registry.parse_id addr with
+  | Some (h, p) -> (h, p)
+  | None ->
+      Printf.eprintf "e2e-loadgen: %s expects HOST:PORT (got %S)\n%!" flag addr;
+      exit 2
+
 (* Stage sketches accumulated by Rtrace.finish during the main run, in
    pipeline order, with the end-to-end sketch last.  Captured before the
    sweep replays so their observations don't pollute the report. *)
@@ -701,20 +1362,99 @@ let capture_stages () =
   @ (match find "serve.e2e" with Some q -> [ ("e2e", q) ] | None -> [])
 
 let run requests seed rate jobs batch queue cache sweep connect self_serve connections
-    pipeline accept_pool window reply_log sat_conns sat_batch out trace det_clock =
+    pipeline accept_pool window reply_log sat_conns sat_batch out trace det_clock cluster
+    spawn_shards cluster_sweep cluster_shops duration snapshot failover =
   let jobs = Pool.resolve_jobs jobs in
   let config =
     { Batcher.queue_capacity = queue; batch; budget = Admission.Unbounded; jobs;
       cache_capacity = cache }
   in
-  let tcp_mode = connect <> None || self_serve in
-  if connect <> None && self_serve then begin
-    prerr_endline "e2e-loadgen: --connect and --self-serve are mutually exclusive";
+  let n_targets =
+    List.length
+      (List.filter Fun.id
+         [ connect <> None; self_serve; cluster <> None; spawn_shards <> None ])
+  in
+  if n_targets > 1 then begin
+    prerr_endline
+      "e2e-loadgen: --connect, --self-serve, --cluster and --spawn-shards are mutually \
+       exclusive";
     exit 2
   end;
-  if reply_log <> None && not tcp_mode then begin
-    prerr_endline "e2e-loadgen: --reply-log requires a TCP mode (--connect or --self-serve)";
+  if (failover || cluster_sweep <> None) && n_targets > 0 then begin
+    prerr_endline
+      "e2e-loadgen: --failover-check and --cluster-sweep spawn their own clusters";
     exit 2
+  end;
+  if failover then exit (if failover_check ~config ~window ~seed then 0 else 1);
+  (match cluster_sweep with
+  | Some counts ->
+      run_cluster_sweep ~counts ~config ~connections ~pipeline ~shops:cluster_shops
+        ~requests ~seed ~window ~jobs ~out;
+      exit 0
+  | None -> ());
+  let tcp_mode = n_targets > 0 in
+  if reply_log <> None && not tcp_mode then begin
+    prerr_endline "e2e-loadgen: --reply-log requires a TCP mode";
+    exit 2
+  end;
+  let transport =
+    if self_serve then "self-tcp"
+    else if spawn_shards <> None then "cluster-self"
+    else if cluster <> None then "cluster"
+    else if connect <> None then "tcp"
+    else "inproc"
+  in
+  if duration > 0. then begin
+    if not tcp_mode then begin
+      prerr_endline "e2e-loadgen: --duration (soak mode) requires a TCP mode";
+      exit 2
+    end;
+    let host, port, finish =
+      match (spawn_shards, cluster, connect) with
+      | Some n, _, _ ->
+          let cl =
+            spawn_cluster ~nshards:(max 1 n) ~config ~window ~probe_interval:0.5
+              ~client_slots:(connections + 2)
+          in
+          ( "127.0.0.1",
+            cl.cl_port,
+            fun () ->
+              let info = cluster_info_of_stats (Dispatcher.stats cl.cl_t) in
+              stop_cluster cl;
+              Some info )
+      | None, Some addr, _ ->
+          let host, port = parse_addr "--cluster" addr in
+          (host, port, fun () -> fetch_cluster_remote ~host ~port)
+      | None, None, Some addr ->
+          let host, port = parse_addr "--connect" addr in
+          (host, port, fun () -> None)
+      | None, None, None ->
+          let batcher = Batcher.create ~config () in
+          let set, get = wait_slot () in
+          let d =
+            Domain.spawn (fun () ->
+                Server.serve_tcp ~max_connections:connections ~accept_pool ~window
+                  ~ready:set ~port:0 batcher)
+          in
+          ( "127.0.0.1",
+            get (),
+            fun () ->
+              Domain.join d;
+              None )
+    in
+    let soak_duration, latency, tally, snapshots =
+      run_soak ~host ~port ~connections ~pipeline ~seed ~duration ~snapshot_every:snapshot
+    in
+    let info = finish () in
+    Option.iter print_cluster_info info;
+    let extra =
+      [ ("soak_snapshots", Json.List (List.map soak_snapshot_json snapshots)) ]
+      @ (match info with None -> [] | Some ci -> [ ("cluster", cluster_json ci) ])
+    in
+    report ~extra ~out ~requests:(Quantile.count latency) ~jobs ~config ~transport
+      ~connections ~duration:soak_duration ~latency ~tally ~cache_stats:None
+      ~keyer_stats:None ~stages:[] ~sweep:[] ~sat:[] ();
+    exit 0
   end;
   if det_clock then begin
     (* Dyadic step: every reading is an exact float, so durations and
@@ -751,18 +1491,43 @@ let run requests seed rate jobs batch queue cache sweep connect self_serve conne
         exit 2
     | None, _ -> None
   in
+  let cluster_finish = ref (fun () -> None) in
   let duration, latency, tally, cache_stats, keyer_stats =
     if self_serve then
       run_self
         ~streams:(client_streams ~connections ~seed ~requests)
         ~config ~accept_pool ~window ~pipeline ~rate ~reply_log
     else
-      match connect with
-      | Some addr ->
+      match (spawn_shards, cluster, connect) with
+      | Some n, _, _ ->
+          let cl =
+            spawn_cluster ~nshards:(max 1 n) ~config ~window ~probe_interval:0.5
+              ~client_slots:(connections + 2)
+          in
+          (cluster_finish :=
+             fun () ->
+               let info = cluster_info_of_stats (Dispatcher.stats cl.cl_t) in
+               stop_cluster cl;
+               Some info);
+          let streams = client_streams ~connections ~seed ~requests in
+          let duration, results =
+            run_clients ~host:"127.0.0.1" ~port:cl.cl_port ~streams ~pipeline ~rate
+          in
+          write_reply_logs reply_log results;
+          let latency, tally = merge_client_results results in
+          (duration, latency, tally, None, None)
+      | None, Some addr, _ ->
+          let host, port = parse_addr "--cluster" addr in
+          (cluster_finish := fun () -> fetch_cluster_remote ~host ~port);
           run_tcp
             ~streams:(client_streams ~connections ~seed ~requests)
             ~addr ~pipeline ~rate ~reply_log
-      | None -> run_inproc ~stream:(gen_stream ~seed ~requests ()) ~config ~rate
+      | None, None, Some addr ->
+          run_tcp
+            ~streams:(client_streams ~connections ~seed ~requests)
+            ~addr ~pipeline ~rate ~reply_log
+      | None, None, None ->
+          run_inproc ~stream:(gen_stream ~seed ~requests ()) ~config ~rate
   in
   (match trace_oc with
   | None -> ()
@@ -810,10 +1575,12 @@ let run requests seed rate jobs batch queue cache sweep connect self_serve conne
         let points = List.concat_map (fun c -> List.map (fun b -> (c, b)) batches) conns in
         run_sat_sweep ~seed ~requests ~config ~pipeline ~window points
   in
-  let transport = if self_serve then "self-tcp" else if connect <> None then "tcp" else "inproc" in
   let connections = if tcp_mode then connections else 1 in
-  report ~out ~requests ~jobs ~config ~transport ~connections ~duration ~latency ~tally
-    ~cache_stats ~keyer_stats ~stages ~sweep ~sat
+  let info = !cluster_finish () in
+  Option.iter print_cluster_info info;
+  let extra = match info with None -> [] | Some ci -> [ ("cluster", cluster_json ci) ] in
+  report ~extra ~out ~requests ~jobs ~config ~transport ~connections ~duration ~latency
+    ~tally ~cache_stats ~keyer_stats ~stages ~sweep ~sat ()
 
 let () =
   let doc = "Load generator for the e2e-serve admission service" in
@@ -823,6 +1590,8 @@ let () =
       const run $ requests_arg $ seed_arg $ rate_arg $ jobs_arg $ batch_arg $ queue_arg
       $ cache_arg $ sweep_arg $ connect_arg $ self_serve_arg $ connections_arg
       $ pipeline_arg $ accept_pool_arg $ window_arg $ reply_log_arg $ sat_conns_arg
-      $ sat_batch_arg $ out_arg $ trace_arg $ det_clock_arg)
+      $ sat_batch_arg $ out_arg $ trace_arg $ det_clock_arg $ cluster_arg
+      $ spawn_shards_arg $ cluster_sweep_arg $ cluster_shops_arg $ duration_arg
+      $ snapshot_arg $ failover_arg)
   in
   exit (Cmd.eval (Cmd.v info term))

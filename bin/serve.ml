@@ -82,6 +82,22 @@ let metrics_arg =
   let doc = "Write one JSON object with every telemetry counter/gauge/histogram to $(docv)." in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
 
+let register_arg =
+  let doc =
+    "Register this shard with an e2e-dispatch front end at $(docv) (host:port) once the \
+     TCP listener is ready, via the $(b,ctl/1) control protocol, and deregister on clean \
+     exit.  Requires --tcp."
+  in
+  Arg.(value & opt (some string) None & info [ "register" ] ~docv:"ADDR" ~doc)
+
+let advertise_arg =
+  let doc =
+    "Address to register as (what the dispatcher should connect back to).  Defaults to \
+     the bound host:port — override when the shard is reached through a different \
+     address than it binds."
+  in
+  Arg.(value & opt (some string) None & info [ "advertise" ] ~docv:"ADDR" ~doc)
+
 let trace_arg =
   let doc =
     "Write one JSONL request-trace record per pipeline stage per request to $(docv) \
@@ -90,10 +106,29 @@ let trace_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
+(* Shard-side registration: one ctl/1 round-trip against the dispatcher
+   when the listener comes up, another on clean exit.  Best-effort — a
+   shard that cannot reach its dispatcher still serves direct clients,
+   and the dispatcher's status checker would discover a vanished shard
+   anyway. *)
+let ctl_rpc ~register line =
+  match E2e_cluster.Registry.parse_id register with
+  | None ->
+      Printf.eprintf "e2e-serve: bad --register address %S (want host:port)\n%!" register
+  | Some (host, port) -> (
+      match E2e_cluster.Health.rpc ~host ~port [ line ] with
+      | Ok [ reply ] -> Printf.eprintf "e2e-serve: %s -> %s\n%!" line reply
+      | Ok _ -> ()
+      | Error e -> Printf.eprintf "e2e-serve: %s failed: %s\n%!" line e)
+
 let run stdio tcp host max_conns accept_pool window queue batch cache budget jobs
-    no_schedules stats metrics trace =
+    no_schedules stats metrics trace register advertise =
   if stdio && tcp <> None then begin
     prerr_endline "e2e-serve: --stdio and --tcp are mutually exclusive";
+    exit 2
+  end;
+  if register <> None && tcp = None then begin
+    prerr_endline "e2e-serve: --register requires --tcp";
     exit 2
   end;
   let jobs = Pool.resolve_jobs jobs in
@@ -124,9 +159,25 @@ let run stdio tcp host max_conns accept_pool window queue batch cache budget job
   (match tcp with
   | None -> Server.serve_stdio ~schedules batcher
   | Some port ->
+      let advertised = ref None in
+      let ready p =
+        Printf.eprintf "e2e-serve: listening on %s:%d\n%!" host p;
+        match register with
+        | None -> ()
+        | Some r ->
+            let addr =
+              match advertise with
+              | Some a -> a
+              | None -> E2e_cluster.Registry.id_of ~host ~port:p
+            in
+            advertised := Some addr;
+            ctl_rpc ~register:r (Printf.sprintf "ctl/1 register %s" addr)
+      in
       Server.serve_tcp ~schedules ~host ?max_connections:max_conns ~accept_pool ~window
-        ~ready:(fun p -> Printf.eprintf "e2e-serve: listening on %s:%d\n%!" host p)
-        ~port batcher);
+        ~ready ~port batcher;
+      match (register, !advertised) with
+      | Some r, Some addr -> ctl_rpc ~register:r (Printf.sprintf "ctl/1 deregister %s" addr)
+      | _ -> ());
   (match trace_oc with
   | None -> ()
   | Some oc ->
@@ -147,6 +198,7 @@ let () =
     Term.(
       const run $ stdio_arg $ tcp_arg $ host_arg $ max_conns_arg $ accept_pool_arg
       $ window_arg $ queue_arg $ batch_arg $ cache_arg
-      $ budget_arg $ jobs_arg $ no_schedules_arg $ stats_arg $ metrics_arg $ trace_arg)
+      $ budget_arg $ jobs_arg $ no_schedules_arg $ stats_arg $ metrics_arg $ trace_arg
+      $ register_arg $ advertise_arg)
   in
   exit (Cmd.eval (Cmd.v info term))

@@ -1,0 +1,630 @@
+(* The cluster front end: one listening port, N shard upstreams.
+
+   Clients speak the ordinary [e2e-serve/1] line protocol to the
+   dispatcher; every admission request is routed by the deterministic
+   hash of its shop name ({!Registry}) and forwarded RAW to the owning
+   shard, so validation, admission semantics and error texts are
+   byte-identical to a direct shard connection.  Only session-level
+   requests (hello/ping/quit), the dispatcher's own [stats]/[metrics]
+   and the [ctl/1] control protocol are answered locally.
+
+   Per-connection reply order is preserved under pipelining across
+   shards by the same {!Wire} slot machinery the single-shard server
+   uses: the client reader pushes one reply slot per request in read
+   order, and each slot is filled when its shard's reply arrives (or
+   immediately with [error shard-unavailable] when no live shard can
+   take the request).
+
+   Each shard gets one persistent pipelined upstream connection,
+   shared by every client: a sender thread coalesces queued request
+   lines into single writes and moves their reply callbacks onto the
+   in-flight queue before the bytes leave, and a receiver thread pops
+   one callback per reply line — the shard answers in request order,
+   so the head of the in-flight queue always owns the head reply.  A
+   hard upstream error fails every queued and in-flight request with
+   [error shard-unavailable] (never a hang), reports the shard dead to
+   the registry (instant failover, no probe round-trips), and later
+   requests lazily reconnect once the status checker revives it. *)
+
+module Wire = E2e_serve.Wire
+module Protocol = E2e_serve.Protocol
+
+let version = "e2e-dispatch/1"
+let greeting = version ^ " ready"
+let ctl_version = "ctl/1"
+let unavailable_reply = "error shard-unavailable"
+
+(* ------------------------------------------------------------------ *)
+(* Metrics relabeling: inject a [shard="id"] label into one exposition
+   line so per-shard series stay distinguishable after aggregation. *)
+
+let escape_label v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let relabel ~shard line =
+  let lbl = Printf.sprintf "shard=\"%s\"" (escape_label shard) in
+  match String.index_opt line ' ' with
+  | None -> line (* not an exposition line; pass through untouched *)
+  | Some sp -> (
+      let name = String.sub line 0 sp in
+      let rest = String.sub line sp (String.length line - sp) in
+      match String.index_opt name '{' with
+      | Some b when b < String.length name - 1 && name.[b + 1] <> '}' ->
+          String.sub name 0 (b + 1) ^ lbl ^ ","
+          ^ String.sub name (b + 1) (String.length name - b - 1)
+          ^ rest
+      | Some b ->
+          (* empty label set "{}" *)
+          String.sub name 0 (b + 1) ^ lbl ^ String.sub name (b + 1) (String.length name - b - 1)
+          ^ rest
+      | None -> name ^ "{" ^ lbl ^ "}" ^ rest)
+
+(* ------------------------------------------------------------------ *)
+
+type config = {
+  fail_threshold : int;  (** Consecutive probe failures before a shard is dead. *)
+  probe_interval : float;
+  probe_timeout : float;
+  vnodes : int;
+}
+
+let default_config =
+  { fail_threshold = 3; probe_interval = 1.0; probe_timeout = 1.0;
+    vnodes = Registry.default_vnodes }
+
+(* One generation of a shard's upstream connection.  [sendq] holds
+   (raw line, reply callback) pairs not yet written; [inflight] holds
+   the callbacks of written requests awaiting replies, in wire order.
+   Both live under the owning upstream's mutex. *)
+type gen = {
+  gfd : Unix.file_descr;
+  sendq : (string * (string -> unit)) Queue.t;
+  inflight : (string -> unit) Queue.t;
+  gkick : Condition.t;  (* sender wakeup: work queued or teardown *)
+  mutable gdead : bool;
+}
+
+type upstream = {
+  uid : string;
+  uhost : string;
+  uport : int;
+  umu : Mutex.t;
+  mutable ugen : gen option;
+}
+
+type t = {
+  registry : Registry.t;
+  config : config;
+  (* counters *)
+  smu : Mutex.t;
+  mutable routed : int;
+  mutable unavailable : int;
+  per_shard : (string, int) Hashtbl.t;  (* shard id -> routed requests *)
+  (* upstream table *)
+  tmu : Mutex.t;
+  upstreams : (string, upstream) Hashtbl.t;
+  (* listener/connection lifecycle (shutdown support) *)
+  dmu : Mutex.t;
+  mutable stop : bool;
+  mutable listener : Unix.file_descr option;
+  mutable conns : Unix.file_descr list;
+}
+
+let create ?(config = default_config) shards =
+  {
+    registry =
+      Registry.create ~fail_threshold:config.fail_threshold ~vnodes:config.vnodes shards;
+    config;
+    smu = Mutex.create ();
+    routed = 0;
+    unavailable = 0;
+    per_shard = Hashtbl.create 8;
+    tmu = Mutex.create ();
+    upstreams = Hashtbl.create 8;
+    dmu = Mutex.create ();
+    stop = false;
+    listener = None;
+    conns = [];
+  }
+
+let registry t = t.registry
+
+(* ------------------------------------------------------------------ *)
+(* Upstream connections. *)
+
+let upstream_for t (e : Registry.entry) =
+  Mutex.lock t.tmu;
+  let u =
+    match Hashtbl.find_opt t.upstreams e.Registry.id with
+    | Some u -> u
+    | None ->
+        let u =
+          { uid = e.Registry.id; uhost = e.Registry.host; uport = e.Registry.port;
+            umu = Mutex.create (); ugen = None }
+        in
+        Hashtbl.replace t.upstreams e.Registry.id u;
+        u
+  in
+  Mutex.unlock t.tmu;
+  u
+
+(* Tear one connection generation down exactly once: mark it dead, shut
+   the socket (waking a blocked receiver read), and fail every queued
+   and in-flight request with a deterministic [error shard-unavailable]
+   — a client never hangs on a dead shard.  [report] marks the shard
+   dead in the registry (skipped at dispatcher shutdown, where the
+   shards are fine and we are the ones leaving). *)
+let teardown t u g ~report =
+  Mutex.lock u.umu;
+  let first = not g.gdead in
+  let fills =
+    if not first then []
+    else begin
+      g.gdead <- true;
+      (match u.ugen with Some g' when g' == g -> u.ugen <- None | _ -> ());
+      Condition.broadcast g.gkick;
+      let acc = ref [] in
+      Queue.iter (fun fill -> acc := fill :: !acc) g.inflight;
+      Queue.iter (fun (_line, fill) -> acc := fill :: !acc) g.sendq;
+      Queue.clear g.inflight;
+      Queue.clear g.sendq;
+      List.rev !acc
+    end
+  in
+  Mutex.unlock u.umu;
+  if first then begin
+    if report then ignore (Registry.report_down t.registry u.uid);
+    (try Unix.shutdown g.gfd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    (match fills with
+    | [] -> ()
+    | fills ->
+        Mutex.lock t.smu;
+        t.unavailable <- t.unavailable + List.length fills;
+        Mutex.unlock t.smu;
+        List.iter (fun fill -> fill unavailable_reply) fills)
+  end
+
+(* Sender: drain the send queue into one coalesced write per wakeup.
+   Callbacks move to [inflight] under the mutex BEFORE the write, so
+   the receiver can never see a reply whose callback is not queued. *)
+let sender_loop t u g =
+  let buf = Buffer.create 512 in
+  let rec loop () =
+    Mutex.lock u.umu;
+    while Queue.is_empty g.sendq && not g.gdead do
+      Condition.wait g.gkick u.umu
+    done;
+    if g.gdead then Mutex.unlock u.umu
+    else begin
+      Buffer.clear buf;
+      while not (Queue.is_empty g.sendq) do
+        let line, fill = Queue.pop g.sendq in
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n';
+        Queue.push fill g.inflight
+      done;
+      Mutex.unlock u.umu;
+      match Wire.write_all g.gfd (Buffer.contents buf) with
+      | () -> loop ()
+      | exception Unix.Unix_error _ -> teardown t u g ~report:true
+    end
+  in
+  loop ()
+
+(* Receiver: consume the shard's greeting, then pop one in-flight
+   callback per reply line.  Owns the fd close (exactly one close per
+   generation).  Any read error, unexpected greeting or unsolicited
+   reply tears the generation down. *)
+let receiver_loop t u g =
+  let r = Wire.make_reader g.gfd in
+  (match Wire.read_line r with
+  | `Line greeting when String.length greeting >= 4 && String.sub greeting 0 4 = "e2e-" ->
+      let rec loop () =
+        match Wire.read_line r with
+        | `Line reply -> (
+            Mutex.lock u.umu;
+            let fill =
+              if g.gdead || Queue.is_empty g.inflight then None
+              else Some (Queue.pop g.inflight)
+            in
+            Mutex.unlock u.umu;
+            match fill with
+            | Some fill ->
+                fill reply;
+                loop ()
+            | None -> ())
+        | `Eof | `Too_long -> ()
+      in
+      loop ()
+  | `Line _ | `Eof | `Too_long -> ());
+  teardown t u g ~report:true;
+  try Unix.close g.gfd with Unix.Unix_error _ -> ()
+
+(* Connect (bounded) and start the generation's sender/receiver.
+   Called with [u.umu] held; a connect failure reports the shard dead
+   so the retry loop in [dispatch] immediately routes around it. *)
+let ensure_gen_locked t u =
+  match u.ugen with
+  | Some g when not g.gdead -> Ok g
+  | _ -> (
+      match
+        Health.connect ~timeout:t.config.probe_timeout ~host:u.uhost ~port:u.uport ()
+      with
+      | Error e -> Error e
+      | Ok fd ->
+          (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+          let g =
+            { gfd = fd; sendq = Queue.create (); inflight = Queue.create ();
+              gkick = Condition.create (); gdead = false }
+          in
+          u.ugen <- Some g;
+          ignore (Thread.create (fun () -> sender_loop t u g) ());
+          ignore (Thread.create (fun () -> receiver_loop t u g) ());
+          Ok g)
+
+let try_enqueue t (e : Registry.entry) line fill =
+  let u = upstream_for t e in
+  Mutex.lock u.umu;
+  match ensure_gen_locked t u with
+  | Error _ ->
+      Mutex.unlock u.umu;
+      ignore (Registry.report_down t.registry u.uid);
+      false
+  | Ok g ->
+      Queue.push (line, fill) g.sendq;
+      Condition.signal g.gkick;
+      Mutex.unlock u.umu;
+      true
+
+let fill_unavailable t fill =
+  Mutex.lock t.smu;
+  t.unavailable <- t.unavailable + 1;
+  Mutex.unlock t.smu;
+  fill unavailable_reply
+
+(* Route by shop, forward, retry on connect failure.  Each failed
+   attempt marks its shard dead, so the next [Registry.route] walks
+   past it; [shards + 1] attempts bound the loop even when everything
+   is dying under us. *)
+let dispatch t ~shop line fill =
+  let attempts = (Registry.stats t.registry).Registry.shards + 1 in
+  let rec go n =
+    if n <= 0 then fill_unavailable t fill
+    else
+      match Registry.route t.registry shop with
+      | None -> fill_unavailable t fill
+      | Some e ->
+          if try_enqueue t e line fill then begin
+            Mutex.lock t.smu;
+            t.routed <- t.routed + 1;
+            Hashtbl.replace t.per_shard e.Registry.id
+              (1 + Option.value ~default:0 (Hashtbl.find_opt t.per_shard e.Registry.id));
+            Mutex.unlock t.smu
+          end
+          else go (n - 1)
+  in
+  go attempts
+
+(* ------------------------------------------------------------------ *)
+(* Locally-answered requests. *)
+
+let stats_line t =
+  let r = Registry.stats t.registry in
+  Mutex.lock t.smu;
+  let routed = t.routed and unavailable = t.unavailable in
+  Mutex.unlock t.smu;
+  Printf.sprintf
+    "stats shards=%d live=%d routed=%d failovers=%d deaths=%d revivals=%d unavailable=%d"
+    r.Registry.shards r.Registry.live_shards routed r.Registry.failovers r.Registry.deaths
+    r.Registry.revivals unavailable
+
+type shard_stats = { shard_id : string; shard_routed : int }
+
+type stats = {
+  routed : int;
+  unavailable : int;
+  per_shard : shard_stats list;  (** Sorted by shard id. *)
+  registry_stats : Registry.stats;
+}
+
+let stats t =
+  let registry_stats = Registry.stats t.registry in
+  Mutex.lock t.smu;
+  let routed = t.routed and unavailable = t.unavailable in
+  let per_shard =
+    Hashtbl.fold (fun shard_id shard_routed acc -> { shard_id; shard_routed } :: acc)
+      t.per_shard []
+    |> List.sort (fun a b -> compare a.shard_id b.shard_id)
+  in
+  Mutex.unlock t.smu;
+  { routed; unavailable; per_shard; registry_stats }
+
+(* The aggregated exposition: the dispatcher's own cluster_* series,
+   then every live shard's [metrics] reply relabeled with a
+   [shard="id"] label (one bounded RPC per shard; an unreachable shard
+   contributes only [cluster_shard_up 0]).  Runs synchronously on the
+   asking client's reader thread, so its position in that connection's
+   reply stream is trivially preserved. *)
+let gather_metrics t =
+  let out = ref [] in
+  let add l = out := l :: !out in
+  let r = Registry.stats t.registry in
+  add (Printf.sprintf "cluster_shards %d" r.Registry.shards);
+  add (Printf.sprintf "cluster_live_shards %d" r.Registry.live_shards);
+  add (Printf.sprintf "cluster_failover_routes_total %d" r.Registry.failovers);
+  add (Printf.sprintf "cluster_shard_deaths_total %d" r.Registry.deaths);
+  add (Printf.sprintf "cluster_shard_revivals_total %d" r.Registry.revivals);
+  let s = stats t in
+  add (Printf.sprintf "cluster_routed_total %d" s.routed);
+  add (Printf.sprintf "cluster_unavailable_replies_total %d" s.unavailable);
+  List.iter
+    (fun { shard_id; shard_routed } ->
+      add
+        (Printf.sprintf "cluster_shard_routed_total{shard=\"%s\"} %d"
+           (escape_label shard_id) shard_routed))
+    s.per_shard;
+  List.iter
+    (fun (id, state, _fails) ->
+      let up n =
+        Printf.sprintf "cluster_shard_up{shard=\"%s\"} %d" (escape_label id) n
+      in
+      match (state, Registry.parse_id id) with
+      | Registry.Dead, _ | _, None -> add (up 0)
+      | Registry.Live, Some (host, port) -> (
+          match Health.rpc ~timeout:t.config.probe_timeout ~host ~port [ "metrics" ] with
+          | Ok [ reply ]
+            when String.length reply >= 8 && String.sub reply 0 8 = "metrics " ->
+              add (up 1);
+              String.split_on_char ';'
+                (String.sub reply 8 (String.length reply - 8))
+              |> List.iter (fun line -> if line <> "" then add (relabel ~shard:id line))
+          | Ok _ | Error _ -> add (up 0)))
+    (Registry.snapshot t.registry);
+  "metrics " ^ String.concat ";" (List.rev !out)
+
+(* Tear down and forget a deregistered shard's upstream; pending
+   requests get the deterministic unavailable error. *)
+let drop_upstream t id =
+  Mutex.lock t.tmu;
+  let u = Hashtbl.find_opt t.upstreams id in
+  Hashtbl.remove t.upstreams id;
+  Mutex.unlock t.tmu;
+  match u with
+  | None -> ()
+  | Some u -> (
+      Mutex.lock u.umu;
+      let g = u.ugen in
+      Mutex.unlock u.umu;
+      match g with Some g -> teardown t u g ~report:false | None -> ())
+
+let handle_ctl t rest =
+  let cmd, arg = Protocol.cut_word rest in
+  match cmd with
+  | "register" -> (
+      match Registry.parse_id arg with
+      | None -> Printf.sprintf "error ctl bad shard address %S (want host:port)" arg
+      | Some (host, port) ->
+          let id = Registry.id_of ~host ~port in
+          (match Registry.add t.registry ~host ~port with
+          | `Added -> ()
+          | `Already ->
+              (* A re-registering shard is announcing liveness. *)
+              ignore (Registry.note_probe t.registry id ~ok:true));
+          Printf.sprintf "ok registered %s shards=%d" id
+            (Registry.stats t.registry).Registry.shards)
+  | "deregister" -> (
+      match Registry.parse_id arg with
+      | None -> Printf.sprintf "error ctl bad shard address %S (want host:port)" arg
+      | Some (host, port) ->
+          let id = Registry.id_of ~host ~port in
+          if Registry.remove t.registry id then begin
+            drop_upstream t id;
+            Printf.sprintf "ok deregistered %s shards=%d" id
+              (Registry.stats t.registry).Registry.shards
+          end
+          else Printf.sprintf "error unknown shard %s" id)
+  | "shards" ->
+      if arg <> "" then "error ctl shards takes no arguments"
+      else
+        let parts =
+          List.map
+            (fun (id, state, _) ->
+              Printf.sprintf "%s=%s" id
+                (match state with Registry.Live -> "live" | Registry.Dead -> "dead"))
+            (Registry.snapshot t.registry)
+        in
+        "ok shards " ^ (match parts with [] -> "-" | parts -> String.concat "," parts)
+  | "" -> "error ctl missing command (want register|deregister|shards)"
+  | cmd -> Printf.sprintf "error ctl unknown command %S" cmd
+
+(* ------------------------------------------------------------------ *)
+(* The client-facing session. *)
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let pong = "pong " ^ version
+
+(* One client connection's reader: answer session-level requests
+   locally, forward everything else raw to the shop's shard.  Reply
+   slots are pushed in read order, so the client's reply stream order
+   matches its request order no matter which shards answer. *)
+let client_loop t (conn : Wire.conn) r =
+  let rec loop () =
+    match Wire.read_line r with
+    | `Eof -> Wire.push_cell conn (End None)
+    | `Too_long -> Wire.push_cell conn (End (Some "error shop=- request line too long"))
+    | `Line l ->
+        let trimmed = String.trim l in
+        if trimmed = "" || trimmed.[0] = '#' then loop ()
+        else begin
+          let keyword, rest = Protocol.cut_word l in
+          match keyword with
+          | "hello" -> Wire.push_line conn (Protocol.render_hello ~requested:rest); loop ()
+          | "ping" when rest = "" -> Wire.push_line conn pong; loop ()
+          | "quit" when rest = "" -> Wire.push_cell conn (End (Some "bye"))
+          | "stats" when rest = "" -> Wire.push_line conn (stats_line t); loop ()
+          | "metrics" when rest = "" -> Wire.push_line conn (gather_metrics t); loop ()
+          | k when k = ctl_version -> Wire.push_line conn (handle_ctl t rest); loop ()
+          | k when starts_with ~prefix:"ctl/" k ->
+              Wire.push_line conn
+                (Printf.sprintf "error unsupported control version %s (want %s)" k ctl_version);
+              loop ()
+          | _ ->
+              (* Anything else — including malformed requests — is the
+                 shard's to answer, so error texts match a direct
+                 connection byte for byte. *)
+              let shop, _ = Protocol.cut_word rest in
+              let key = if shop = "" then trimmed else shop in
+              Semaphore.Counting.acquire conn.Wire.window;
+              let p = { Wire.line = None } in
+              Wire.push_cell conn (Out p);
+              dispatch t ~shop:key l (fun reply -> Wire.fill conn p reply);
+              loop ()
+        end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Listener plumbing (mirrors Server.serve_tcp). *)
+
+let conn_register t fd =
+  Mutex.lock t.dmu;
+  let accept = not t.stop in
+  if accept then t.conns <- fd :: t.conns;
+  Mutex.unlock t.dmu;
+  accept
+
+let conn_unregister t fd =
+  Mutex.lock t.dmu;
+  t.conns <- List.filter (fun fd' -> fd' != fd) t.conns;
+  Mutex.unlock t.dmu
+
+let stopped t =
+  Mutex.lock t.dmu;
+  let s = t.stop in
+  Mutex.unlock t.dmu;
+  s
+
+let shutdown t =
+  Mutex.lock t.dmu;
+  t.stop <- true;
+  let listener = t.listener in
+  let conns = t.conns in
+  t.listener <- None;
+  Mutex.unlock t.dmu;
+  let shut fd = try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> () in
+  Option.iter shut listener;
+  List.iter shut conns;
+  let us = Mutex.lock t.tmu; let us = Hashtbl.fold (fun _ u acc -> u :: acc) t.upstreams [] in
+    Mutex.unlock t.tmu; us
+  in
+  List.iter
+    (fun u ->
+      Mutex.lock u.umu;
+      let g = u.ugen in
+      Mutex.unlock u.umu;
+      match g with Some g -> teardown t u g ~report:false | None -> ())
+    us
+
+let handle_client t ~window fd =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+      match Wire.write_all fd (greeting ^ "\n") with
+      | exception Unix.Unix_error _ -> ()
+      | () ->
+          let conn = Wire.make_conn ~window fd in
+          let writer = Wire.spawn_writer conn in
+          Fun.protect
+            ~finally:(fun () -> Thread.join writer)
+            (fun () ->
+              try client_loop t conn (Wire.make_reader fd)
+              with _ -> Wire.push_cell conn (End None)))
+
+let retriable = function
+  | Unix.EINTR | Unix.ECONNABORTED | Unix.EAGAIN | Unix.EWOULDBLOCK -> true
+  | _ -> false
+
+let serve ?(host = "127.0.0.1") ?max_connections ?(accept_pool = 4) ?(window = 64)
+    ?ready ~port t =
+  let addr = Unix.ADDR_INET (E2e_serve.Server.resolve_host host, port) in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let old_sigpipe =
+    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore) with Invalid_argument _ -> None
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      Option.iter
+        (fun b -> try Sys.set_signal Sys.sigpipe b with Invalid_argument _ -> ())
+        old_sigpipe)
+    (fun () ->
+      Unix.setsockopt sock Unix.SO_REUSEADDR true;
+      Unix.bind sock addr;
+      Unix.listen sock 64;
+      Mutex.lock t.dmu;
+      let already_stopped = t.stop in
+      if not already_stopped then t.listener <- Some sock;
+      Mutex.unlock t.dmu;
+      if not already_stopped then begin
+        (match ready with
+        | None -> ()
+        | Some f ->
+            let bound_port =
+              match Unix.getsockname sock with Unix.ADDR_INET (_, p) -> p | _ -> port
+            in
+            f bound_port);
+        let checker =
+          Health.start ~interval:t.config.probe_interval ~timeout:t.config.probe_timeout
+            t.registry
+        in
+        let slots = Atomic.make 0 in
+        let accept_domain () =
+          let rec loop () =
+            if stopped t then ()
+            else
+              let slot = Atomic.fetch_and_add slots 1 in
+              let quota_ok =
+                match max_connections with None -> true | Some n -> slot < n
+              in
+              if quota_ok then
+                match Unix.accept sock with
+                | fd, _ ->
+                    if conn_register t fd then begin
+                      (try handle_client t ~window fd with _ -> ());
+                      conn_unregister t fd
+                    end
+                    else (try Unix.close fd with Unix.Unix_error _ -> ());
+                    loop ()
+                | exception Unix.Unix_error (e, _, _) when retriable e ->
+                    Atomic.decr slots;
+                    loop ()
+                | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> ()
+                | exception Unix.Unix_error (_, _, _) ->
+                    Atomic.decr slots;
+                    Unix.sleepf 0.01;
+                    loop ()
+          in
+          loop ()
+        in
+        let accepters =
+          Array.init (max 1 accept_pool) (fun _ -> Domain.spawn accept_domain)
+        in
+        Array.iter Domain.join accepters;
+        Health.stop checker;
+        (* Make sure upstream threads die with the listener (no-op when
+           [shutdown] already ran). *)
+        shutdown t
+      end)

@@ -1,0 +1,109 @@
+(** The cluster front end: one listening port, N shard upstreams.
+
+    Clients speak the ordinary [e2e-serve/1] line protocol to the
+    dispatcher.  Every admission request is routed by the
+    deterministic hash of its shop name ({!Registry}) and forwarded
+    {e raw} to the owning shard — validation, admission semantics and
+    error texts are byte-identical to a direct shard connection.
+    Answered locally: [hello], [ping] ([pong e2e-dispatch/1]), [quit],
+    the dispatcher's own [stats], the aggregated [metrics], and the
+    [ctl/1] control protocol:
+
+    {v
+    ctl/1 register <host:port>     # add (or revive) a shard
+    ctl/1 deregister <host:port>   # remove a shard
+    ctl/1 shards                   # ok shards id=live|dead,...
+    v}
+
+    Reply-order contract: per client connection, replies come back in
+    request order regardless of which shards answer (the same
+    {!E2e_serve.Wire} slot machinery as the single-shard server).  A
+    request whose shard cannot be reached — no live shard, connect
+    failure, or an upstream connection dying mid-flight — is answered
+    [error shard-unavailable], never left hanging.  A hard upstream
+    error also marks the shard dead immediately, so subsequent shop
+    traffic fails over to the next live shard in hash order; the
+    status checker ({!Health}) revives the shard when it answers
+    probes again. *)
+
+val version : string
+(** ["e2e-dispatch/1"]. *)
+
+val greeting : string
+(** ["e2e-dispatch/1 ready"]. *)
+
+val ctl_version : string
+(** ["ctl/1"]. *)
+
+val unavailable_reply : string
+(** ["error shard-unavailable"]. *)
+
+val relabel : shard:string -> string -> string
+(** Inject a [shard="id"] label into one exposition line
+    ([name value] or [name{l="v"} value]) — how per-shard series stay
+    distinguishable in the aggregated [metrics] reply (exposed for
+    tests). *)
+
+type config = {
+  fail_threshold : int;  (** Consecutive probe failures before a shard is dead. *)
+  probe_interval : float;  (** Seconds between status-checker rounds. *)
+  probe_timeout : float;  (** Bound on probes, upstream connects, metrics RPCs. *)
+  vnodes : int;  (** Ring positions per shard. *)
+}
+
+val default_config : config
+(** [{ fail_threshold = 3; probe_interval = 1.0; probe_timeout = 1.0;
+      vnodes = Registry.default_vnodes }]. *)
+
+type t
+
+val create : ?config:config -> (string * int) list -> t
+(** A dispatcher over the given static [(host, port)] shards (dynamic
+    shards join via [ctl/1 register]). *)
+
+val registry : t -> Registry.t
+
+type shard_stats = { shard_id : string; shard_routed : int }
+
+type stats = {
+  routed : int;  (** Requests forwarded to shards. *)
+  unavailable : int;  (** [error shard-unavailable] replies. *)
+  per_shard : shard_stats list;  (** Sorted by shard id. *)
+  registry_stats : Registry.stats;
+}
+
+val stats : t -> stats
+
+val dispatch : t -> shop:string -> string -> (string -> unit) -> unit
+(** [dispatch t ~shop line fill] routes [line] to the live shard
+    owning [shop] and calls [fill] exactly once with the reply line
+    (or [error shard-unavailable]).  Exposed for in-process tests; the
+    TCP session uses it per request line. *)
+
+val gather_metrics : t -> string
+(** The aggregated [metrics] reply: the dispatcher's own [cluster_*]
+    series, then every live shard's exposition relabeled with
+    [shard="id"] ([cluster_shard_up] marks reachability). *)
+
+val serve :
+  ?host:string ->
+  ?max_connections:int ->
+  ?accept_pool:int ->
+  ?window:int ->
+  ?ready:(int -> unit) ->
+  port:int ->
+  t ->
+  unit
+(** Listen on [host:port] (default host 127.0.0.1; [port = 0] binds an
+    ephemeral port, reported through [ready]) and serve clients with
+    an [accept_pool] (default 4) of reader domains, each connection
+    pipelining up to [window] (default 64) outstanding replies.  Also
+    starts the status-checker thread for the lifetime of the listener.
+    [max_connections] bounds total accepted connections, after which
+    the dispatcher drains and returns.  Returns after {!shutdown}. *)
+
+val shutdown : t -> unit
+(** Stop serving: wake blocked accepts, reset client connections, tear
+    down every upstream (pending requests get
+    [error shard-unavailable]).  Registered shards are {e not} marked
+    dead.  Idempotent; safe from any thread. *)

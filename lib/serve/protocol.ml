@@ -12,6 +12,7 @@ type item =
   | Request of Admission.request
   | Stats
   | Metrics
+  | Ping
   | Quit
   | Blank
 
@@ -76,6 +77,7 @@ let parse_request line =
     | "hello" -> Ok (Hello rest)
     | "stats" -> if rest = "" then Ok Stats else Error "stats takes no arguments"
     | "metrics" -> if rest = "" then Ok Metrics else Error "metrics takes no arguments"
+    | "ping" -> if rest = "" then Ok Ping else Error "ping takes no arguments"
     | "quit" -> if rest = "" then Ok Quit else Error "quit takes no arguments"
     | "query" | "drop" ->
         let shop, extra = cut_word rest in

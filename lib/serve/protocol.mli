@@ -15,6 +15,7 @@
     drop <shop>                  # release a shop's commitments
     stats                        # cache/queue/verdict counters
     metrics                      # full text exposition (see below)
+    ping                         # liveness probe (cluster health checks)
     quit                         # close the session
     v}
 
@@ -37,6 +38,7 @@
     error shop=S MESSAGE | error MESSAGE
     stats KEY=VALUE ...
     metrics LINE;LINE;...
+    pong e2e-serve/1
     bye
     v}
 
@@ -62,8 +64,17 @@ type item =
   | Request of Admission.request
   | Stats
   | Metrics
+  | Ping
+      (** Liveness probe; answered [pong e2e-serve/1] without touching
+          the batcher — the cluster status checker's heartbeat. *)
   | Quit
   | Blank  (** Empty or comment-only line: no reply is sent. *)
+
+val cut_word : string -> string * string
+(** First whitespace-delimited word of a trimmed line and the trimmed
+    remainder — the protocol's tokenizer, exposed so the cluster
+    dispatcher can extract the routing keyword and shop name without
+    parsing (or validating) the rest of the request. *)
 
 val parse_request : string -> (item, string) result
 (** Parse one request line.  [Error] carries a human-readable message

@@ -11,6 +11,8 @@ type action =
   | Emit_metrics
   | Pending  (* resolved by the next drained reply, in order *)
 
+let pong = "pong " ^ Protocol.version
+
 let read_chunk ic n =
   let rec go acc k =
     if k = 0 then List.rev acc
@@ -32,6 +34,7 @@ let process_chunk ~schedules batcher lines =
             classify (Emit (Protocol.render_hello ~requested) :: acc) rest
         | Ok Protocol.Stats -> classify (Emit_stats :: acc) rest
         | Ok Protocol.Metrics -> classify (Emit_metrics :: acc) rest
+        | Ok Protocol.Ping -> classify (Emit pong :: acc) rest
         | Ok Protocol.Quit -> (List.rev (Emit "bye" :: acc), true)
         | Ok (Protocol.Request req) -> (
             match Batcher.submit batcher req with
@@ -127,135 +130,20 @@ let resolve_host host =
       | { Unix.ai_addr = Unix.ADDR_INET (addr, _); _ } :: _ -> addr
       | _ -> failwith (Printf.sprintf "cannot resolve host %S" host))
 
-let write_all fd s =
-  let b = Bytes.unsafe_of_string s in
-  let n = Bytes.length b in
-  let rec go off =
-    if off < n then
-      match Unix.write fd b off (n - off) with
-      | w -> go (off + w)
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
-  in
-  go 0
-
-(* Bounded line reader over a raw fd: a fixed chunk buffer plus an
-   accumulator capped at [max_line] — an oversized request line is a
-   protocol error, not an unbounded allocation. *)
-let max_line = 1 lsl 20
-
-type reader = {
-  rfd : Unix.file_descr;
-  rbuf : Bytes.t;
-  mutable rlen : int;
-  mutable rpos : int;
-  acc : Buffer.t;
-}
-
-let make_reader rfd = { rfd; rbuf = Bytes.create 4096; rlen = 0; rpos = 0; acc = Buffer.create 256 }
-
-let rec read_line r =
-  if Buffer.length r.acc > max_line then `Too_long
-  else if r.rpos >= r.rlen then
-    match Unix.read r.rfd r.rbuf 0 (Bytes.length r.rbuf) with
-    | 0 ->
-        if Buffer.length r.acc > 0 then begin
-          (* Partial final line at EOF behaves like [input_line]. *)
-          let s = Buffer.contents r.acc in
-          Buffer.clear r.acc;
-          `Line s
-        end
-        else `Eof
-    | n ->
-        r.rlen <- n;
-        r.rpos <- 0;
-        read_line r
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_line r
-    | exception Unix.Unix_error _ -> `Eof
-  else
-    match Bytes.index_from_opt r.rbuf r.rpos '\n' with
-    | Some i when i < r.rlen ->
-        Buffer.add_subbytes r.acc r.rbuf r.rpos (i - r.rpos);
-        r.rpos <- i + 1;
-        let s = Buffer.contents r.acc in
-        Buffer.clear r.acc;
-        let s =
-          if String.length s > 0 && s.[String.length s - 1] = '\r' then
-            String.sub s 0 (String.length s - 1)
-          else s
-        in
-        `Line s
-    | _ ->
-        Buffer.add_subbytes r.acc r.rbuf r.rpos (r.rlen - r.rpos);
-        r.rpos <- r.rlen;
-        read_line r
-
-(* A reply slot: filled with the rendered line by the drainer (or at
-   parse time for control replies), written by the connection's writer
-   thread in queue order. *)
-type pending = { mutable line : string option }
-
-type cell =
-  | Out of pending
-  | End of string option  (* final line (if any), then teardown *)
-
-type conn = {
-  fd : Unix.file_descr;
-  cmu : Mutex.t;
-  filled : Condition.t;  (* a cell was pushed or a pending was filled *)
-  cells : cell Queue.t;
-  window : Semaphore.Counting.t;  (* bounds reader lead over writer *)
-}
+(* The per-connection reader/writer machinery — bounded line reader,
+   ordered reply-slot queue, window semaphore, coalescing writer
+   thread — lives in {!Wire}, shared with the cluster dispatcher. *)
 
 type center = {
   batcher : Batcher.t;
   mu : Mutex.t;  (* the single serialised submit/drain/stats path *)
   kick : Condition.t;  (* work queued or stop requested *)
-  route : (conn * pending) Queue.t;  (* reply slots, batcher queue order *)
+  route : (Wire.conn * Wire.pending) Queue.t;  (* reply slots, batcher queue order *)
   mutable stop : bool;
   schedules : bool;
 }
 
-let push_cell conn cell =
-  Mutex.lock conn.cmu;
-  Queue.push cell conn.cells;
-  Condition.signal conn.filled;
-  Mutex.unlock conn.cmu
-
-(* Writer thread: pops cells in order, blocking while the head is an
-   unfilled reply slot.  Write errors switch to discard mode rather
-   than abandoning the queue — every slot must still be consumed so the
-   window releases and the drainer's fills go somewhere. *)
-let writer_loop conn =
-  let dead = ref false in
-  let emit line =
-    if not !dead then
-      try write_all conn.fd (line ^ "\n") with Unix.Unix_error _ -> dead := true
-  in
-  let rec next () =
-    match Queue.peek_opt conn.cells with
-    | None ->
-        Condition.wait conn.filled conn.cmu;
-        next ()
-    | Some (Out { line = None }) ->
-        Condition.wait conn.filled conn.cmu;
-        next ()
-    | Some cell ->
-        ignore (Queue.pop conn.cells);
-        cell
-  in
-  let rec loop () =
-    Mutex.lock conn.cmu;
-    let cell = next () in
-    Mutex.unlock conn.cmu;
-    match cell with
-    | Out { line = Some l } ->
-        emit l;
-        Semaphore.Counting.release conn.window;
-        loop ()
-    | Out { line = None } -> assert false
-    | End last -> Option.iter emit last
-  in
-  loop ()
+let push_cell = Wire.push_cell
 
 let error_line ?(schedules = true) message =
   Protocol.render_reply ~schedules
@@ -265,21 +153,20 @@ let error_line ?(schedules = true) message =
    admission requests through the serialised submit path.  The window
    is acquired before any cell is queued, so at most [window] replies
    are ever buffered ahead of the writer. *)
-let reader_loop center conn r =
+let reader_loop center (conn : Wire.conn) r =
   let schedules = center.schedules in
-  let push_line line =
-    Semaphore.Counting.acquire conn.window;
-    push_cell conn (Out { line = Some line })
-  in
   let rec loop () =
-    match read_line r with
+    match Wire.read_line r with
     | `Eof -> push_cell conn (End None)
     | `Too_long -> push_cell conn (End (Some (error_line ~schedules "request line too long")))
     | `Line l -> (
         match Protocol.parse_request l with
         | Ok Protocol.Blank -> loop ()
         | Ok (Protocol.Hello requested) ->
-            push_line (Protocol.render_hello ~requested);
+            Wire.push_line conn (Protocol.render_hello ~requested);
+            loop ()
+        | Ok Protocol.Ping ->
+            Wire.push_line conn pong;
             loop ()
         | Ok Protocol.Stats ->
             Semaphore.Counting.acquire conn.window;
@@ -301,7 +188,7 @@ let reader_loop center conn r =
             Mutex.lock center.mu;
             (match Batcher.submit center.batcher req with
             | `Queued ->
-                let p = { line = None } in
+                let p = { Wire.line = None } in
                 Queue.push (conn, p) center.route;
                 Condition.signal center.kick;
                 Mutex.unlock center.mu;
@@ -312,7 +199,7 @@ let reader_loop center conn r =
                   (Out { line = Some (Protocol.render_reply ~schedules Batcher.Overloaded) }));
             loop ()
         | Error message ->
-            push_line (error_line ~schedules message);
+            Wire.push_line conn (error_line ~schedules message);
             loop ())
   in
   loop ()
@@ -333,10 +220,7 @@ let drainer_loop center =
         (* The reply line exists: close the render stage here, on the
            one domain that owns all trace activity for this server. *)
         Rtrace.finish tr;
-        Mutex.lock conn.cmu;
-        p.line <- Some line;
-        Condition.signal conn.filled;
-        Mutex.unlock conn.cmu)
+        Wire.fill conn p line)
       replies
   in
   Mutex.lock center.mu;
@@ -373,6 +257,62 @@ let drainer_loop center =
   loop ();
   Mutex.unlock center.mu
 
+(* ------------------------------------------------------------------ *)
+(* External shutdown: a control handle the embedding process can use to
+   stop a running [serve_tcp] — the in-process analogue of killing a
+   shard process, which the cluster harnesses use to exercise failover.
+   [shutdown] wakes blocked accepts by shutting the listener down
+   (accept fails with EINVAL) and resets every live connection (readers
+   see EOF, writers see EPIPE), so all accept domains drain and
+   [serve_tcp] returns. *)
+
+type control = {
+  ctl_mu : Mutex.t;
+  mutable ctl_stop : bool;
+  mutable ctl_listener : Unix.file_descr option;
+  mutable ctl_conns : Unix.file_descr list;
+}
+
+let control () =
+  { ctl_mu = Mutex.create (); ctl_stop = false; ctl_listener = None; ctl_conns = [] }
+
+let stopped = function
+  | None -> false
+  | Some c ->
+      Mutex.lock c.ctl_mu;
+      let s = c.ctl_stop in
+      Mutex.unlock c.ctl_mu;
+      s
+
+let ctl_register_conn control fd =
+  match control with
+  | None -> true
+  | Some c ->
+      Mutex.lock c.ctl_mu;
+      let accept = not c.ctl_stop in
+      if accept then c.ctl_conns <- fd :: c.ctl_conns;
+      Mutex.unlock c.ctl_mu;
+      accept
+
+let ctl_unregister_conn control fd =
+  match control with
+  | None -> ()
+  | Some c ->
+      Mutex.lock c.ctl_mu;
+      c.ctl_conns <- List.filter (fun fd' -> fd' != fd) c.ctl_conns;
+      Mutex.unlock c.ctl_mu
+
+let shutdown c =
+  Mutex.lock c.ctl_mu;
+  c.ctl_stop <- true;
+  let listener = c.ctl_listener in
+  let conns = c.ctl_conns in
+  c.ctl_listener <- None;
+  Mutex.unlock c.ctl_mu;
+  let shut fd = try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> () in
+  Option.iter shut listener;
+  List.iter shut conns
+
 (* One connection, in the accept domain that owns it: greeting, writer
    thread, reader loop, then teardown — join the writer (which flushes
    every outstanding reply and the farewell) before closing the fd, so
@@ -383,23 +323,15 @@ let handle_conn center ?(window = 64) fd =
     (fun () ->
       (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
       Obs.incr "serve.sessions";
-      match write_all fd (Protocol.greeting ^ "\n") with
+      match Wire.write_all fd (Protocol.greeting ^ "\n") with
       | exception Unix.Unix_error _ -> ()
       | () ->
-          let conn =
-            {
-              fd;
-              cmu = Mutex.create ();
-              filled = Condition.create ();
-              cells = Queue.create ();
-              window = Semaphore.Counting.make (max 1 window);
-            }
-          in
-          let writer = Thread.create writer_loop conn in
+          let conn = Wire.make_conn ~window fd in
+          let writer = Wire.spawn_writer conn in
           Fun.protect
             ~finally:(fun () -> Thread.join writer)
             (fun () ->
-              try reader_loop center conn (make_reader fd)
+              try reader_loop center conn (Wire.make_reader fd)
               with _ -> push_cell conn (End None)))
 
 let retriable = function
@@ -407,7 +339,7 @@ let retriable = function
   | _ -> false
 
 let serve_tcp ?schedules:(sch = true) ?(host = "127.0.0.1") ?max_connections
-    ?(accept_pool = 4) ?(window = 64) ?ready ~port batcher =
+    ?(accept_pool = 4) ?(window = 64) ?ready ?control:ctl ~port batcher =
   let addr = Unix.ADDR_INET (resolve_host host, port) in
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   let old_sigpipe =
@@ -423,6 +355,12 @@ let serve_tcp ?schedules:(sch = true) ?(host = "127.0.0.1") ?max_connections
       Unix.setsockopt sock Unix.SO_REUSEADDR true;
       Unix.bind sock addr;
       Unix.listen sock 64;
+      (match ctl with
+      | None -> ()
+      | Some c ->
+          Mutex.lock c.ctl_mu;
+          c.ctl_listener <- Some sock;
+          Mutex.unlock c.ctl_mu);
       (match ready with
       | None -> ()
       | Some f ->
@@ -449,27 +387,33 @@ let serve_tcp ?schedules:(sch = true) ?(host = "127.0.0.1") ?max_connections
       let slots = Atomic.make 0 in
       let accept_domain () =
         let rec loop () =
-          let slot = Atomic.fetch_and_add slots 1 in
-          let quota_ok = match max_connections with None -> true | Some n -> slot < n in
-          if quota_ok then
-            match Unix.accept sock with
-            | fd, _ ->
-                (try handle_conn center ~window fd with _ -> ());
-                loop ()
-            | exception Unix.Unix_error (e, _, _) when retriable e ->
-                (* Transient accept failures (EINTR, a connection that
-                   aborted in the backlog) must not kill the server:
-                   retry on the same slot. *)
-                Atomic.decr slots;
-                loop ()
-            | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
-                () (* listener closed: shut down *)
-            | exception Unix.Unix_error (_, _, _) ->
-                (* Resource pressure (EMFILE and friends): back off and
-                   keep serving rather than dying. *)
-                Atomic.decr slots;
-                Unix.sleepf 0.01;
-                loop ()
+          if stopped ctl then ()
+          else
+            let slot = Atomic.fetch_and_add slots 1 in
+            let quota_ok = match max_connections with None -> true | Some n -> slot < n in
+            if quota_ok then
+              match Unix.accept sock with
+              | fd, _ ->
+                  if ctl_register_conn ctl fd then begin
+                    (try handle_conn center ~window fd with _ -> ());
+                    ctl_unregister_conn ctl fd
+                  end
+                  else (try Unix.close fd with Unix.Unix_error _ -> ());
+                  loop ()
+              | exception Unix.Unix_error (e, _, _) when retriable e ->
+                  (* Transient accept failures (EINTR, a connection that
+                     aborted in the backlog) must not kill the server:
+                     retry on the same slot. *)
+                  Atomic.decr slots;
+                  loop ()
+              | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
+                  () (* listener closed or shut down: stop accepting *)
+              | exception Unix.Unix_error (_, _, _) ->
+                  (* Resource pressure (EMFILE and friends): back off and
+                     keep serving rather than dying. *)
+                  Atomic.decr slots;
+                  Unix.sleepf 0.01;
+                  loop ()
         in
         loop ()
       in

@@ -46,6 +46,23 @@ val resolve_host : string -> Unix.inet_addr
     to an IPv4 address.
     @raise Failure when the name does not resolve. *)
 
+type control
+(** External-shutdown handle for an embedded {!serve_tcp}: the
+    in-process analogue of killing a shard process.  Create one with
+    {!control}, pass it to {!serve_tcp}, and {!shutdown} from any
+    thread — the listener stops accepting and every live connection is
+    reset, so the server drains and {!serve_tcp} returns.  The cluster
+    harnesses use it to exercise shard failover deterministically. *)
+
+val control : unit -> control
+
+val shutdown : control -> unit
+(** Stop the server attached to this handle: wakes blocked accepts by
+    shutting the listener down and resets every live connection
+    (peers see a closed socket, exactly like a process kill).
+    Requests already queued in the batcher are still answered before
+    their connections tear down.  Idempotent; safe from any thread. *)
+
 val serve_tcp :
   ?schedules:bool ->
   ?host:string ->
@@ -53,6 +70,7 @@ val serve_tcp :
   ?accept_pool:int ->
   ?window:int ->
   ?ready:(int -> unit) ->
+  ?control:control ->
   port:int ->
   Batcher.t ->
   unit

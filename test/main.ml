@@ -32,4 +32,5 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("serve", Test_serve.suite);
       ("trace", Test_trace.suite);
+      ("cluster", Test_cluster.suite);
     ]
