@@ -8,9 +8,11 @@ SERVE_A := /tmp/e2e_sched_serve_j1.txt
 SERVE_B := /tmp/e2e_sched_serve_j4.txt
 CONC_A := /tmp/e2e_sched_conc_j1
 CONC_B := /tmp/e2e_sched_conc_j4
+CONC_D := /tmp/e2e_sched_conc_d4
 CONC_CONNS := 4
 CLUS_A := /tmp/e2e_sched_clus_j1
 CLUS_B := /tmp/e2e_sched_clus_j4
+CLUS_C := /tmp/e2e_sched_clus_k2
 CLUS_CONNS := 4
 CORE_SMOKE := /tmp/e2e_sched_bench_core_small.json
 TRACE_A := /tmp/e2e_sched_trace_j1.jsonl
@@ -44,12 +46,18 @@ bench-par:
 
 # Fixed-seed load-generator run against the in-process admission
 # service: requests/sec, latency percentiles, the solver cache hit
-# rate, and a full-transport saturation sweep (connections x batch over
-# the concurrent TCP server), written to BENCH_serve.json.
+# rate, a full-transport saturation sweep (connections x batch over
+# the concurrent TCP server), and a drainer-stripe scaling sweep (the
+# seed-then-resubmit workload over a working set ~3x one stripe's
+# solver cache: striping the queue by shop multiplies aggregate cache
+# capacity, so 4 drainers hold the working set while 1 thrashes),
+# written to BENCH_serve.json.
 bench-serve:
-	dune exec bin/loadgen.exe -- --requests 2000 --seed 42 -j $(JOBS) \
+	dune exec bin/loadgen.exe -- --requests 8000 --seed 42 -j $(JOBS) \
 	  --cache-sweep 128,512,4096 \
 	  --sat-connections 1,2,4,8 --sat-batch 16,64 \
+	  --drainer-sweep 1,2,4 --connections 4 --pipeline 8 \
+	  --cluster-shops 96 --cache 128 \
 	  --out BENCH_serve.json
 
 # Tracked hot-path micro-benchmarks: the indexed single-machine engine
@@ -67,10 +75,16 @@ bench-core:
 # number is the 1 -> 4 shard aggregate-throughput ratio: sticky routing
 # gives each shard only its own shops, so four shards hold the whole
 # working set in cache while one shard thrashes and re-solves.
+# The upstream sweep rides along: a 1-shard cluster on a cache-resident
+# workload at 1, 2 and 4 pipelined upstream connections per shard,
+# recorded in the same file (lanes relieve head-of-line blocking on the
+# dispatcher<->shard hop, not shard compute, so no ratio is asserted).
 bench-cluster:
 	dune exec bin/loadgen.exe -- --cluster-sweep 1,2,4 --connections 4 \
 	  --pipeline 8 --requests 8000 --cluster-shops 96 --cache 128 --seed 42 \
+	  --upstream-sweep 1,2,4 \
 	  --out BENCH_cluster.json
+	dune exec bin/jsonl_check.exe -- --bench-cluster BENCH_cluster.json
 
 # Replay the full-grammar request fixture through the stdio transport on
 # 1 and 4 domains: the reply logs must be byte-identical and contain
@@ -89,43 +103,55 @@ serve-smoke:
 
 # The concurrent transport determinism smoke: $(CONC_CONNS) pipelined
 # client domains against an embedded multi-domain TCP server on 1 and 4
-# worker domains.  Every connection's reply log must be byte-identical
-# across domain counts (disjoint per-connection shop namespaces) and
-# contain admitted verdicts.
+# worker domains, then again with the queue striped over 4 drainer
+# domains.  Every connection's reply log must be byte-identical across
+# domain counts AND stripe counts (disjoint per-connection shop
+# namespaces) and contain admitted verdicts.
 serve-conc-smoke:
-	rm -f $(CONC_A).conn* $(CONC_B).conn*
+	rm -f $(CONC_A).conn* $(CONC_B).conn* $(CONC_D).conn*
 	dune exec bin/loadgen.exe -- --self-serve --connections $(CONC_CONNS) \
 	  --pipeline 16 --requests 800 --seed 42 -j 1 \
 	  --reply-log $(CONC_A) > /dev/null
 	dune exec bin/loadgen.exe -- --self-serve --connections $(CONC_CONNS) \
 	  --pipeline 16 --requests 800 --seed 42 -j 4 \
 	  --reply-log $(CONC_B) > /dev/null
+	dune exec bin/loadgen.exe -- --self-serve --connections $(CONC_CONNS) \
+	  --pipeline 16 --requests 800 --seed 42 -j 1 --drainers 4 \
+	  --reply-log $(CONC_D) > /dev/null
 	for i in $$(seq 0 $$(( $(CONC_CONNS) - 1 ))); do \
 	  cmp $(CONC_A).conn$$i $(CONC_B).conn$$i || exit 1; \
+	  cmp $(CONC_A).conn$$i $(CONC_D).conn$$i || exit 1; \
 	  grep -q '^admitted ' $(CONC_A).conn$$i || exit 1; \
 	done
 
 # The cluster transport smoke: 2 in-process shards behind the
 # dispatcher, $(CLUS_CONNS) pipelined clients.  Every connection's
 # reply log must be byte-identical across shard worker-domain counts
-# (sticky routing keeps each shop's history on one shard, and the
-# dispatcher preserves per-connection reply order across shards), then
-# the failover check kills a shard mid-burst and asserts every request
-# is answered, traffic re-routes to the survivor, and the restarted
-# shard is re-admitted by the status checker.
+# AND across upstream lane counts (sticky routing keeps each shop's
+# history on one shard, sticky lanes keep each client's shard traffic
+# on one upstream connection, and the dispatcher preserves
+# per-connection reply order across shards), then the failover check —
+# single-lane and widened — kills a shard mid-burst and asserts every
+# request is answered, traffic re-routes to the survivor, and the
+# restarted shard is re-admitted by the status checker.
 cluster-smoke:
-	rm -f $(CLUS_A).conn* $(CLUS_B).conn*
+	rm -f $(CLUS_A).conn* $(CLUS_B).conn* $(CLUS_C).conn*
 	dune exec bin/loadgen.exe -- --spawn-shards 2 --connections $(CLUS_CONNS) \
 	  --pipeline 16 --requests 800 --seed 42 -j 1 \
 	  --reply-log $(CLUS_A) > /dev/null
 	dune exec bin/loadgen.exe -- --spawn-shards 2 --connections $(CLUS_CONNS) \
 	  --pipeline 16 --requests 800 --seed 42 -j 4 \
 	  --reply-log $(CLUS_B) > /dev/null
+	dune exec bin/loadgen.exe -- --spawn-shards 2 --connections $(CLUS_CONNS) \
+	  --pipeline 16 --requests 800 --seed 42 -j 1 --upstream-conns 2 \
+	  --reply-log $(CLUS_C) > /dev/null
 	for i in $$(seq 0 $$(( $(CLUS_CONNS) - 1 ))); do \
 	  cmp $(CLUS_A).conn$$i $(CLUS_B).conn$$i || exit 1; \
+	  cmp $(CLUS_A).conn$$i $(CLUS_C).conn$$i || exit 1; \
 	  grep -q '^admitted ' $(CLUS_A).conn$$i || exit 1; \
 	done
 	dune exec bin/loadgen.exe -- --failover-check --seed 42
+	dune exec bin/loadgen.exe -- --failover-check --seed 42 --upstream-conns 2
 
 # Fixed-seed traced load-generator run under the deterministic clock on
 # 1 and 4 domains: the request-trace JSONL must be byte-identical across
@@ -190,11 +216,12 @@ check:
 	$(MAKE) trace-smoke
 	dune exec bench/core_bench.exe -- --trials small --out $(CORE_SMOKE)
 	dune exec bin/jsonl_check.exe $(CORE_SMOKE)
+	dune exec bin/jsonl_check.exe -- --bench-cluster BENCH_cluster.json
 
 clean:
 	dune clean
 	rm -f $(METRICS) $(PAR_METRICS) $(PAR_A) $(PAR_B) $(FUZZ_A) $(FUZZ_B) \
-	  $(SERVE_A) $(SERVE_B) $(CONC_A).conn* $(CONC_B).conn* $(CORE_SMOKE) \
-	  $(CLUS_A).conn* $(CLUS_B).conn* \
+	  $(SERVE_A) $(SERVE_B) $(CONC_A).conn* $(CONC_B).conn* $(CONC_D).conn* \
+	  $(CORE_SMOKE) $(CLUS_A).conn* $(CLUS_B).conn* $(CLUS_C).conn* \
 	  $(TRACE_A) $(TRACE_B) $(TRACE_SUM) \
 	  $(TRACE_LG) BENCH_parallel.json BENCH_core.json

@@ -53,6 +53,13 @@ let max_conns_arg =
   let doc = "Stop after $(docv) total client connections (for scripted runs)." in
   Arg.(value & opt (some int) None & info [ "max-connections" ] ~docv:"N" ~doc)
 
+let upstream_conns_arg =
+  let doc =
+    "Pipelined upstream connections (lanes) per shard.  Each client connection keeps a \
+     sticky lane per shard, so per-client reply order is preserved at any value."
+  in
+  Arg.(value & opt int 1 & info [ "upstream-conns" ] ~docv:"K" ~doc)
+
 let parse_shards s =
   if String.trim s = "" then Ok []
   else
@@ -69,7 +76,11 @@ let parse_shards s =
     |> Result.map List.rev
 
 let run port host shards probe_interval probe_timeout fail_threshold accept_pool window
-    max_conns =
+    max_conns upstream_conns =
+  if upstream_conns < 1 then begin
+    prerr_endline "e2e-dispatch: --upstream-conns must be >= 1";
+    exit 2
+  end;
   match parse_shards shards with
   | Error bad ->
       Printf.eprintf "e2e-dispatch: bad shard address %S (want host:port)\n%!" bad;
@@ -77,7 +88,7 @@ let run port host shards probe_interval probe_timeout fail_threshold accept_pool
   | Ok shards ->
       let config =
         { Dispatcher.fail_threshold; probe_interval; probe_timeout;
-          vnodes = Registry.default_vnodes }
+          vnodes = Registry.default_vnodes; upstream_conns }
       in
       let t = Dispatcher.create ~config shards in
       Dispatcher.serve ~host ?max_connections:max_conns ~accept_pool ~window
@@ -93,6 +104,7 @@ let () =
   let term =
     Term.(
       const run $ port_arg $ host_arg $ shards_arg $ probe_interval_arg $ probe_timeout_arg
-      $ fail_threshold_arg $ accept_pool_arg $ window_arg $ max_conns_arg)
+      $ fail_threshold_arg $ accept_pool_arg $ window_arg $ max_conns_arg
+      $ upstream_conns_arg)
   in
   exit (Cmd.eval (Cmd.v info term))

@@ -347,8 +347,8 @@ let run_tcp ~streams ~addr ~pipeline ~rate ~reply_log =
 (* Full-transport replay: an in-process concurrent TCP server on an
    ephemeral port, the clients over real sockets against it.  This is
    the configuration the saturation sweep measures. *)
-let run_self ~streams ~config ~accept_pool ~window ~pipeline ~rate ~reply_log =
-  let batcher = Batcher.create ~config () in
+let run_self ~streams ~config ~accept_pool ~window ~drainers ~pipeline ~rate ~reply_log =
+  let stripes = E2e_serve.Stripes.create ~config ~stripes:drainers () in
   let nconn = List.length streams in
   let mu = Mutex.create () in
   let cv = Condition.create () in
@@ -361,7 +361,7 @@ let run_self ~streams ~config ~accept_pool ~window ~pipeline ~rate ~reply_log =
             port := Some p;
             Condition.signal cv;
             Mutex.unlock mu)
-          ~port:0 batcher)
+          ~port:0 stripes)
   in
   Mutex.lock mu;
   while !port = None do
@@ -376,15 +376,20 @@ let run_self ~streams ~config ~accept_pool ~window ~pipeline ~rate ~reply_log =
   ( duration,
     latency,
     tally,
-    Batcher.cache_stats batcher,
-    Some (Batcher.keyer_stats batcher) )
+    E2e_serve.Stripes.cache_stats stripes,
+    Some (E2e_serve.Stripes.keyer_stats stripes) )
 
 (* Saturation sweep: one self-serve measurement per (connections,
    batch) point, recorded in BENCH_serve.json as the transport's
-   throughput surface. *)
+   throughput surface.  The drainer sweep reuses the same point shape
+   with [sat_drainers] varying and a seed-then-resubmit workload. *)
 type sat_point = {
   sat_connections : int;
   sat_batch : int;
+  sat_drainers : int;
+  sat_workload : string;  (* "mixed" | "seed-then-resubmit" *)
+  sat_cache : int;  (* per-stripe solver-cache capacity *)
+  sat_shops : int;  (* shops per connection (0: the mixed workload) *)
   sat_completed : int;
   sat_duration : float;
   sat_rps : float;
@@ -392,26 +397,35 @@ type sat_point = {
   sat_p99_ms : float;
 }
 
+let sat_measure ~streams ~config ~window ~drainers ~pipeline ~workload ~shops =
+  let connections = List.length streams in
+  let accept_pool = min connections 8 in
+  let duration, latency, _, _, _ =
+    run_self ~streams ~config ~accept_pool ~window ~drainers ~pipeline ~rate:0.
+      ~reply_log:None
+  in
+  let completed = Quantile.count latency in
+  {
+    sat_connections = connections;
+    sat_batch = config.Batcher.batch;
+    sat_drainers = drainers;
+    sat_workload = workload;
+    sat_cache = config.Batcher.cache_capacity;
+    sat_shops = shops;
+    sat_completed = completed;
+    sat_duration = duration;
+    sat_rps = (if duration > 0. then float_of_int completed /. duration else 0.);
+    sat_p50_ms = Quantile.quantile latency 0.50 *. 1000.;
+    sat_p99_ms = Quantile.quantile latency 0.99 *. 1000.;
+  }
+
 let run_sat_sweep ~seed ~requests ~config ~pipeline ~window points =
   List.map
     (fun (connections, batch) ->
       let streams = client_streams ~connections ~seed ~requests in
       let config = { config with Batcher.batch } in
-      let accept_pool = min connections 8 in
-      let duration, latency, tally, _, _ =
-        run_self ~streams ~config ~accept_pool ~window ~pipeline ~rate:0. ~reply_log:None
-      in
-      let completed = Quantile.count latency in
-      ignore tally;
-      {
-        sat_connections = connections;
-        sat_batch = batch;
-        sat_completed = completed;
-        sat_duration = duration;
-        sat_rps = (if duration > 0. then float_of_int completed /. duration else 0.);
-        sat_p50_ms = Quantile.quantile latency 0.50 *. 1000.;
-        sat_p99_ms = Quantile.quantile latency 0.99 *. 1000.;
-      })
+      sat_measure ~streams ~config ~window ~drainers:1 ~pipeline ~workload:"mixed"
+        ~shops:0)
     points
 
 (* ------------------------------------------------------------------ *)
@@ -461,11 +475,11 @@ type shard = {
 let spawn_shard ~config ~accept_pool ~window ?(port = 0) () =
   let control = Server.control () in
   let set, get = wait_slot () in
-  let batcher = Batcher.create ~config () in
+  let stripes = E2e_serve.Stripes.create ~config () in
   let domain =
     Domain.spawn (fun () ->
         Server.serve_tcp ~schedules:false ~accept_pool ~window ~ready:set ~control ~port
-          batcher)
+          stripes)
   in
   { sh_port = get (); sh_control = control; sh_domain = domain }
 
@@ -476,11 +490,17 @@ type cluster = {
   cl_port : int;
 }
 
-let spawn_cluster ~nshards ~config ~window ~probe_interval ~client_slots =
+let spawn_cluster ~nshards ~config ~window ~probe_interval ~client_slots
+    ?(upstream_conns = 1) () =
+  (* A shard accept domain owns its connection for the connection's
+     lifetime, and every dispatcher lane is a persistent connection: the
+     pool must fit all lanes plus a probe and a metrics RPC at once, or
+     the overflow lane (and the status checker) starve in the backlog. *)
   let shards =
-    List.init nshards (fun _ -> spawn_shard ~config ~accept_pool:3 ~window ())
+    List.init nshards (fun _ ->
+        spawn_shard ~config ~accept_pool:(max 3 (upstream_conns + 2)) ~window ())
   in
-  let dconfig = { Dispatcher.default_config with probe_interval } in
+  let dconfig = { Dispatcher.default_config with probe_interval; upstream_conns } in
   let t =
     Dispatcher.create ~config:dconfig
       (List.map (fun s -> ("127.0.0.1", s.sh_port)) shards)
@@ -625,6 +645,50 @@ let gen_cluster_stream ~cid ~seed ~shops ~requests () =
   List.init shops (fun k -> Admission.Submit { shop = shop k; instance = instances.(k) })
   @ steady (requests - shops)
 
+(* Drainer-stripe sweep: the single-process analogue of the shard
+   sweep.  Same seed-then-resubmit workload, one embedded server per
+   stripe count: queue and solver cache are per stripe, so [d] stripes
+   hold d x cache_capacity canonical entries in aggregate — a working
+   set a few times one stripe's cache thrashes at --drainers 1 and
+   goes cache-resident at 4.  (On a multi-core host the per-stripe
+   drainer domains also overlap solves; the aggregate-cache effect is
+   the one that survives a single-core box.) *)
+let run_drainer_sweep ~counts ~config ~connections ~pipeline ~shops ~requests ~seed
+    ~window =
+  let streams =
+    List.init connections (fun c ->
+        let per =
+          (requests / connections) + (if c < requests mod connections then 1 else 0)
+        in
+        gen_cluster_stream ~cid:c ~seed ~shops ~requests:per ())
+  in
+  let points =
+    List.map
+      (fun drainers ->
+        let p =
+          sat_measure ~streams ~config ~window ~drainers ~pipeline
+            ~workload:"seed-then-resubmit" ~shops
+        in
+        Format.printf
+          "drainers=%-2d %7.0f req/s  p50=%.3fms p99=%.3fms (%d in %.3fs)@." drainers
+          p.sat_rps p.sat_p50_ms p.sat_p99_ms p.sat_completed p.sat_duration;
+        p)
+      counts
+  in
+  let rps_of n =
+    List.find_map (fun p -> if p.sat_drainers = n then Some p.sat_rps else None) points
+  in
+  (match
+     (rps_of (List.fold_left min max_int counts), rps_of (List.fold_left max 0 counts))
+   with
+  | Some b, Some t when b > 0. ->
+      Format.printf "drainer scaling %d -> %d stripes: %.2fx@."
+        (List.fold_left min max_int counts)
+        (List.fold_left max 0 counts)
+        (t /. b)
+  | _ -> ());
+  points
+
 type cluster_point = {
   cp_shards : int;
   cp_completed : int;
@@ -636,10 +700,10 @@ type cluster_point = {
 }
 
 let run_cluster_point ~nshards ~config ~connections ~pipeline ~shops ~requests ~seed
-    ~window =
+    ~window ?(upstream_conns = 1) () =
   let cluster =
     spawn_cluster ~nshards ~config ~window ~probe_interval:0.5
-      ~client_slots:(connections + 2)
+      ~client_slots:(connections + 2) ~upstream_conns ()
   in
   let streams =
     List.init connections (fun c ->
@@ -665,14 +729,41 @@ let run_cluster_point ~nshards ~config ~connections ~pipeline ~shops ~requests ~
     cp_info = info;
   }
 
-let run_cluster_sweep ~counts ~config ~connections ~pipeline ~shops ~requests ~seed
-    ~window ~jobs ~out =
+(* Upstream-lane sweep: one shard, a cache-resident (hit-heavy)
+   workload so the shard answers fast, and a fresh cluster per lane
+   count — what widening the dispatcher->shard pipe is worth when the
+   shard itself is not the bottleneck.  Recorded honestly: on a host
+   where one upstream connection already saturates the path, the curve
+   is flat. *)
+let run_upstream_sweep ~counts ~config ~connections ~pipeline ~requests ~seed ~window =
+  (* Shops per connection sized to keep the whole working set resident
+     in the single shard's cache: every resubmission is a cache hit. *)
+  let shops =
+    max 1 (config.Batcher.cache_capacity / (2 * max 1 connections))
+  in
+  let points =
+    List.map
+      (fun upstream_conns ->
+        let p =
+          run_cluster_point ~nshards:1 ~config ~connections ~pipeline ~shops ~requests
+            ~seed ~window ~upstream_conns ()
+        in
+        Format.printf
+          "upstream conns=%-2d %7.0f req/s  p50=%.3fms p99=%.3fms (%d in %.3fs)@."
+          upstream_conns p.cp_rps p.cp_p50_ms p.cp_p99_ms p.cp_completed p.cp_duration;
+        (upstream_conns, p))
+      counts
+  in
+  (points, shops)
+
+let run_cluster_sweep ~counts ~upstream ~config ~connections ~pipeline ~shops ~requests
+    ~seed ~window ~jobs ~out =
   let points =
     List.map
       (fun nshards ->
         let p =
           run_cluster_point ~nshards ~config ~connections ~pipeline ~shops ~requests ~seed
-            ~window
+            ~window ()
         in
         Format.printf
           "cluster shards=%-2d %7.0f req/s  p50=%.3fms p99=%.3fms (%d in %.3fs, \
@@ -681,6 +772,11 @@ let run_cluster_sweep ~counts ~config ~connections ~pipeline ~shops ~requests ~s
           p.cp_info.ci_failovers p.cp_info.ci_unavailable;
         p)
       counts
+  in
+  let upstream_points, upstream_shops =
+    match upstream with
+    | [] -> ([], 0)
+    | counts -> run_upstream_sweep ~counts ~config ~connections ~pipeline ~requests ~seed ~window
   in
   let rps_of n =
     List.find_map (fun p -> if p.cp_shards = n then Some p.cp_rps else None) points
@@ -749,6 +845,23 @@ let run_cluster_sweep ~counts ~config ~connections ~pipeline ~shops ~requests ~s
                       ("shards_max", Json.int (List.fold_left max 0 counts));
                       ("rps_ratio", Json.Num r);
                     ] );
+            ( "upstream_sweep",
+              Json.List
+                (List.map
+                   (fun (k, p) ->
+                     Json.Obj
+                       [
+                         ("upstream_conns", Json.int k);
+                         ("shards", Json.int p.cp_shards);
+                         ("connections", Json.int connections);
+                         ("shops_per_connection", Json.int upstream_shops);
+                         ("completed", Json.int p.cp_completed);
+                         ("duration_s", Json.Num p.cp_duration);
+                         ("requests_per_sec", Json.Num p.cp_rps);
+                         ("latency_p50_ms", Json.Num p.cp_p50_ms);
+                         ("latency_p99_ms", Json.Num p.cp_p99_ms);
+                       ])
+                   upstream_points) );
           ]
       in
       Out_channel.with_open_text path (fun oc ->
@@ -763,9 +876,10 @@ let run_cluster_sweep ~counts ~config ~connections ~pipeline ~shops ~requests ~s
    surviving shard, and a shard returning on the same address is
    re-admitted and routed to again.                                   *)
 
-let failover_check ~config ~window ~seed =
+let failover_check ~config ~window ~seed ~upstream_conns =
   let cluster =
     spawn_cluster ~nshards:2 ~config ~window ~probe_interval:0.2 ~client_slots:3
+      ~upstream_conns ()
   in
   let fail_reasons = ref [] in
   let extra_shard = ref None in
@@ -789,7 +903,7 @@ let failover_check ~config ~window ~seed =
     List.init k (fun _ ->
         match Wire.read_line r with
         | `Line l -> l
-        | `Eof | `Too_long -> "error: connection lost or timed out")
+        | `Eof | `Too_long | `Error _ -> "error: connection lost or timed out")
   in
   let unavailable replies =
     List.length (List.filter (fun l -> l = Dispatcher.unavailable_reply) replies)
@@ -799,7 +913,7 @@ let failover_check ~config ~window ~seed =
   in
   (match Wire.read_line r with
   | `Line _ -> () (* greeting *)
-  | `Eof | `Too_long -> fail "no greeting from dispatcher");
+  | `Eof | `Too_long | `Error _ -> fail "no greeting from dispatcher");
   (* Phase 1: both shards up — a burst of submits, none unavailable. *)
   let burst1 = List.init 16 (fun _ -> submit_line ()) in
   send burst1;
@@ -809,13 +923,77 @@ let failover_check ~config ~window ~seed =
     fail "phase1: %d shard-unavailable with all shards live" (unavailable replies1);
   (* Phase 2: kill shard 0 with a burst in flight, then keep sending.
      Every request must be answered; the ones caught on the dead shard
-     get the deterministic unavailable error. *)
-  let pre_kill = List.init 16 (fun _ -> submit_line ()) in
-  send pre_kill;
-  Server.shutdown (List.hd cluster.cl_shards).sh_control;
+     get the deterministic unavailable error.  "In flight" must be
+     OBSERVED, not assumed: on one core the scheduler can run the
+     whole dispatch-solve-reply chain inside any sleep, after which
+     the kill strands nothing, the ring fails over cleanly and the
+     check has witnessed no drain.  So arm the kill on the
+     dispatcher's own queue-depth stat — a non-zero [shard_pending]
+     for the doomed shard is proof it owes replies right now — and if
+     a burst was fully answered before the poll saw it, drain the
+     replies and try a fresh burst. *)
+  let doomed = List.hd cluster.cl_shards in
+  let doomed_id = Registry.id_of ~host:"127.0.0.1" ~port:doomed.sh_port in
+  let pending_on_doomed () =
+    List.fold_left
+      (fun acc s ->
+        if s.Dispatcher.shard_id = doomed_id then s.Dispatcher.shard_pending else acc)
+      0
+      (Dispatcher.stats cluster.cl_t).Dispatcher.per_shard
+  in
+  (* Queue-depth alone is not enough to arm on: [shard_pending] also
+     counts requests whose replies already sit unread in the
+     dispatcher's kernel buffer, and those are delivered ahead of the
+     EOF — the kill would strand nothing.  The airtight witness is
+     WORK the shard has not finished computing when the kill lands: a
+     burst of 40 medium submits, every one pinned to the doomed shard
+     (shop names are burned until the ring homes them there), is tens
+     of milliseconds of solving spread over several batches — the
+     kill below arrives within a poll tick of the first request being
+     routed, so later batches have no reply bytes anywhere and their
+     lane drains them as [error shard-unavailable].  Medium instances
+     keep each batch bounded to milliseconds: the killed drainer
+     finishes at most its current batch, so joining the dead shard's
+     domain stays fast (one huge instance instead would pin the join
+     on an unbounded solve). *)
+  let doomed_submit () =
+    let rec pick () =
+      incr fresh;
+      let shop = Printf.sprintf "f%d" !fresh in
+      match Registry.home (Dispatcher.registry cluster.cl_t) shop with
+      | Some e when e.Registry.id = doomed_id -> shop
+      | _ -> pick ()
+    in
+    let shop = pick () in
+    Protocol.render_request
+      (Admission.Submit
+         {
+           shop;
+           instance =
+             Recurrence_shop.of_traditional
+               (Feasible_gen.generate g
+                  { Feasible_gen.n_tasks = 60; n_processors = 3; mean_tau = 1.0;
+                    stdev = 0.3; slack_factor = 2.0 });
+         })
+  in
+  let burst = List.init 40 (fun _ -> doomed_submit ()) in
+  send burst;
+  (* Kill as soon as a good chunk of the burst is visibly pending on
+     the doomed shard.  The depth jumps to ~40 when the burst routes
+     and drains at batch pace, so it sits above the threshold for
+     hundreds of milliseconds — and a depth of 8 leaves plenty of
+     genuinely unsolved requests even if a few replies are already in
+     flight when the kill lands. *)
+  let arm_deadline = Unix.gettimeofday () +. 5.0 in
+  while pending_on_doomed () < 8 && Unix.gettimeofday () < arm_deadline do
+    Unix.sleepf 0.0002
+  done;
+  if pending_on_doomed () < 8 then
+    fail "phase2: burst never seen pending on the doomed shard";
+  Server.shutdown doomed.sh_control;
   let post_kill = List.init 24 (fun _ -> submit_line ()) in
   send post_kill;
-  let replies2 = read_replies 40 in
+  let replies2 = read_replies (40 + 24) in
   let unavailable2 = unavailable replies2 in
   if lost replies2 > 0 then
     fail "phase2: %d requests never answered after shard kill (hang)" (lost replies2);
@@ -939,7 +1117,11 @@ let run_soak ~host ~port ~connections ~pipeline ~seed ~duration ~snapshot_every 
     Unix.connect fd (Unix.ADDR_INET (Server.resolve_host host, port));
     (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
     let r = Wire.make_reader fd in
-    let recv () = match Wire.read_line r with `Line l -> Some l | `Eof | `Too_long -> None in
+    let recv () =
+      match Wire.read_line r with
+      | `Line l -> Some l
+      | `Eof | `Too_long | `Error _ -> None
+    in
     (match recv () with Some _ -> () | None -> failwith "no greeting");
     let cycle = ref 0 in
     let stop = ref false in
@@ -1066,9 +1248,10 @@ let report ?(extra = []) ~out ~requests ~jobs ~config ~transport ~connections ~d
   List.iter
     (fun s ->
       Format.printf
-        "sat   conns=%-3d batch=%-4d %6.0f req/s  p50=%.3fms p99=%.3fms (%d in %.3fs)@."
-        s.sat_connections s.sat_batch s.sat_rps s.sat_p50_ms s.sat_p99_ms s.sat_completed
-        s.sat_duration)
+        "sat   conns=%-3d batch=%-4d drainers=%-2d %6.0f req/s  p50=%.3fms p99=%.3fms \
+         (%d in %.3fs)@."
+        s.sat_connections s.sat_batch s.sat_drainers s.sat_rps s.sat_p50_ms s.sat_p99_ms
+        s.sat_completed s.sat_duration)
     sat;
   match out with
   | None -> ()
@@ -1157,6 +1340,10 @@ let report ?(extra = []) ~out ~requests ~jobs ~config ~transport ~connections ~d
                        [
                          ("connections", Json.Num (float_of_int s.sat_connections));
                          ("batch", Json.Num (float_of_int s.sat_batch));
+                         ("drainers", Json.int s.sat_drainers);
+                         ("workload", Json.Str s.sat_workload);
+                         ("cache_capacity", Json.int s.sat_cache);
+                         ("shops_per_connection", Json.int s.sat_shops);
                          ("completed", Json.Num (float_of_int s.sat_completed));
                          ("duration_s", Json.Num s.sat_duration);
                          ("requests_per_sec", Json.Num s.sat_rps);
@@ -1254,6 +1441,35 @@ let accept_pool_arg =
 let window_arg =
   let doc = "Per-connection reply window of the embedded --self-serve server." in
   Arg.(value & opt int 64 & info [ "window" ] ~docv:"N" ~doc)
+
+let drainers_arg =
+  let doc =
+    "Drainer stripes of the embedded --self-serve server (the queue is sharded by shop; \
+     one drainer domain per stripe).  Per-connection reply logs are byte-identical at \
+     every value."
+  in
+  Arg.(value & opt int 1 & info [ "drainers" ] ~docv:"N" ~doc)
+
+let drainer_sweep_arg =
+  let doc =
+    "Drainer-stripe scaling sweep: one embedded-server run of the seed-then-resubmit \
+     workload (--cluster-shops shops per connection, --cache per-stripe capacity) per \
+     stripe count in the comma-separated list, recorded alongside saturation_sweep in the \
+     JSON report."
+  in
+  Arg.(value & opt (some (list int)) None & info [ "drainer-sweep" ] ~docv:"D,D,..." ~doc)
+
+let upstream_sweep_arg =
+  let doc =
+    "Upstream-lane scaling sweep (cluster bench): a fresh 1-shard cluster per lane count \
+     in the comma-separated list on a cache-resident workload, recorded as upstream_sweep \
+     in the cluster JSON report.  Combine with --cluster-sweep to write both curves."
+  in
+  Arg.(value & opt (some (list int)) None & info [ "upstream-sweep" ] ~docv:"K,K,..." ~doc)
+
+let upstream_conns_arg =
+  let doc = "Pipelined upstream connections per shard of the in-process dispatcher modes." in
+  Arg.(value & opt int 1 & info [ "upstream-conns" ] ~docv:"K" ~doc)
 
 let reply_log_arg =
   let doc =
@@ -1362,8 +1578,9 @@ let capture_stages () =
   @ (match find "serve.e2e" with Some q -> [ ("e2e", q) ] | None -> [])
 
 let run requests seed rate jobs batch queue cache sweep connect self_serve connections
-    pipeline accept_pool window reply_log sat_conns sat_batch out trace det_clock cluster
-    spawn_shards cluster_sweep cluster_shops duration snapshot failover =
+    pipeline accept_pool window drainers drainer_sweep upstream_sweep upstream_conns
+    reply_log sat_conns sat_batch out trace det_clock cluster spawn_shards cluster_sweep
+    cluster_shops duration snapshot failover =
   let jobs = Pool.resolve_jobs jobs in
   let config =
     { Batcher.queue_capacity = queue; batch; budget = Admission.Unbounded; jobs;
@@ -1380,18 +1597,31 @@ let run requests seed rate jobs batch queue cache sweep connect self_serve conne
        exclusive";
     exit 2
   end;
-  if (failover || cluster_sweep <> None) && n_targets > 0 then begin
-    prerr_endline
-      "e2e-loadgen: --failover-check and --cluster-sweep spawn their own clusters";
+  if drainers < 1 then begin
+    prerr_endline "e2e-loadgen: --drainers must be >= 1";
     exit 2
   end;
-  if failover then exit (if failover_check ~config ~window ~seed then 0 else 1);
-  (match cluster_sweep with
-  | Some counts ->
-      run_cluster_sweep ~counts ~config ~connections ~pipeline ~shops:cluster_shops
-        ~requests ~seed ~window ~jobs ~out;
-      exit 0
-  | None -> ());
+  if upstream_conns < 1 then begin
+    prerr_endline "e2e-loadgen: --upstream-conns must be >= 1";
+    exit 2
+  end;
+  if (failover || cluster_sweep <> None || upstream_sweep <> None) && n_targets > 0 then begin
+    prerr_endline
+      "e2e-loadgen: --failover-check, --cluster-sweep and --upstream-sweep spawn their \
+       own clusters";
+    exit 2
+  end;
+  if failover then
+    exit (if failover_check ~config ~window ~seed ~upstream_conns then 0 else 1);
+  (match (cluster_sweep, upstream_sweep) with
+  | None, None -> ()
+  | counts, upstream ->
+      run_cluster_sweep
+        ~counts:(Option.value ~default:[] counts)
+        ~upstream:(Option.value ~default:[] upstream)
+        ~config ~connections ~pipeline ~shops:cluster_shops ~requests ~seed ~window ~jobs
+        ~out;
+      exit 0);
   let tcp_mode = n_targets > 0 in
   if reply_log <> None && not tcp_mode then begin
     prerr_endline "e2e-loadgen: --reply-log requires a TCP mode";
@@ -1414,7 +1644,7 @@ let run requests seed rate jobs batch queue cache sweep connect self_serve conne
       | Some n, _, _ ->
           let cl =
             spawn_cluster ~nshards:(max 1 n) ~config ~window ~probe_interval:0.5
-              ~client_slots:(connections + 2)
+              ~client_slots:(connections + 2) ~upstream_conns ()
           in
           ( "127.0.0.1",
             cl.cl_port,
@@ -1429,12 +1659,12 @@ let run requests seed rate jobs batch queue cache sweep connect self_serve conne
           let host, port = parse_addr "--connect" addr in
           (host, port, fun () -> None)
       | None, None, None ->
-          let batcher = Batcher.create ~config () in
+          let stripes = E2e_serve.Stripes.create ~config ~stripes:drainers () in
           let set, get = wait_slot () in
           let d =
             Domain.spawn (fun () ->
                 Server.serve_tcp ~max_connections:connections ~accept_pool ~window
-                  ~ready:set ~port:0 batcher)
+                  ~ready:set ~port:0 stripes)
           in
           ( "127.0.0.1",
             get (),
@@ -1496,13 +1726,13 @@ let run requests seed rate jobs batch queue cache sweep connect self_serve conne
     if self_serve then
       run_self
         ~streams:(client_streams ~connections ~seed ~requests)
-        ~config ~accept_pool ~window ~pipeline ~rate ~reply_log
+        ~config ~accept_pool ~window ~drainers ~pipeline ~rate ~reply_log
     else
       match (spawn_shards, cluster, connect) with
       | Some n, _, _ ->
           let cl =
             spawn_cluster ~nshards:(max 1 n) ~config ~window ~probe_interval:0.5
-              ~client_slots:(connections + 2)
+              ~client_slots:(connections + 2) ~upstream_conns ()
           in
           (cluster_finish :=
              fun () ->
@@ -1575,6 +1805,20 @@ let run requests seed rate jobs batch queue cache sweep connect self_serve conne
         let points = List.concat_map (fun c -> List.map (fun b -> (c, b)) batches) conns in
         run_sat_sweep ~seed ~requests ~config ~pipeline ~window points
   in
+  let sat =
+    sat
+    @
+    match drainer_sweep with
+    | None -> []
+    | Some counts ->
+        if tcp_mode then begin
+          prerr_endline "e2e-loadgen: the drainer sweep runs its own embedded servers";
+          exit 2
+        end;
+        Obs.set_stats false;
+        run_drainer_sweep ~counts ~config ~connections ~pipeline ~shops:cluster_shops
+          ~requests ~seed ~window
+  in
   let connections = if tcp_mode then connections else 1 in
   let info = !cluster_finish () in
   Option.iter print_cluster_info info;
@@ -1589,7 +1833,8 @@ let () =
     Term.(
       const run $ requests_arg $ seed_arg $ rate_arg $ jobs_arg $ batch_arg $ queue_arg
       $ cache_arg $ sweep_arg $ connect_arg $ self_serve_arg $ connections_arg
-      $ pipeline_arg $ accept_pool_arg $ window_arg $ reply_log_arg $ sat_conns_arg
+      $ pipeline_arg $ accept_pool_arg $ window_arg $ drainers_arg $ drainer_sweep_arg
+      $ upstream_sweep_arg $ upstream_conns_arg $ reply_log_arg $ sat_conns_arg
       $ sat_batch_arg $ out_arg $ trace_arg $ det_clock_arg $ cluster_arg
       $ spawn_shards_arg $ cluster_sweep_arg $ cluster_shops_arg $ duration_arg
       $ snapshot_arg $ failover_arg)

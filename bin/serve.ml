@@ -41,6 +41,14 @@ let window_arg =
   let doc = "Pipelined replies buffered per TCP connection before the reader blocks." in
   Arg.(value & opt int 64 & info [ "window" ] ~docv:"N" ~doc)
 
+let drainers_arg =
+  let doc =
+    "Drainer stripes for the TCP transport: the queue is sharded by shop (same shop, same \
+     stripe) and one drainer domain steps each stripe's batcher.  Per-connection reply \
+     streams are byte-identical at every value.  Requires --tcp."
+  in
+  Arg.(value & opt int 1 & info [ "drainers"; "stripes" ] ~docv:"N" ~doc)
+
 let queue_arg =
   let doc = "Pending-request queue bound; submissions past it are answered $(b,overloaded)." in
   Arg.(value & opt int Batcher.default_config.Batcher.queue_capacity
@@ -121,7 +129,7 @@ let ctl_rpc ~register line =
       | Ok _ -> ()
       | Error e -> Printf.eprintf "e2e-serve: %s failed: %s\n%!" line e)
 
-let run stdio tcp host max_conns accept_pool window queue batch cache budget jobs
+let run stdio tcp host max_conns accept_pool window drainers queue batch cache budget jobs
     no_schedules stats metrics trace register advertise =
   if stdio && tcp <> None then begin
     prerr_endline "e2e-serve: --stdio and --tcp are mutually exclusive";
@@ -129,6 +137,14 @@ let run stdio tcp host max_conns accept_pool window queue batch cache budget job
   end;
   if register <> None && tcp = None then begin
     prerr_endline "e2e-serve: --register requires --tcp";
+    exit 2
+  end;
+  if drainers < 1 then begin
+    prerr_endline "e2e-serve: --drainers must be >= 1";
+    exit 2
+  end;
+  if drainers > 1 && tcp = None then begin
+    prerr_endline "e2e-serve: --drainers requires --tcp";
     exit 2
   end;
   let jobs = Pool.resolve_jobs jobs in
@@ -142,7 +158,6 @@ let run stdio tcp host max_conns accept_pool window queue batch cache budget job
   let config =
     { Batcher.queue_capacity = queue; batch; budget; jobs; cache_capacity = cache }
   in
-  let batcher = Batcher.create ~config () in
   let schedules = not no_schedules in
   let trace_oc =
     match trace with
@@ -157,7 +172,7 @@ let run stdio tcp host max_conns accept_pool window queue batch cache budget job
         Some oc
   in
   (match tcp with
-  | None -> Server.serve_stdio ~schedules batcher
+  | None -> Server.serve_stdio ~schedules (Batcher.create ~config ())
   | Some port ->
       let advertised = ref None in
       let ready p =
@@ -174,7 +189,8 @@ let run stdio tcp host max_conns accept_pool window queue batch cache budget job
             ctl_rpc ~register:r (Printf.sprintf "ctl/1 register %s" addr)
       in
       Server.serve_tcp ~schedules ~host ?max_connections:max_conns ~accept_pool ~window
-        ~ready ~port batcher;
+        ~ready ~port
+        (E2e_serve.Stripes.create ~config ~stripes:drainers ());
       match (register, !advertised) with
       | Some r, Some addr -> ctl_rpc ~register:r (Printf.sprintf "ctl/1 deregister %s" addr)
       | _ -> ());
@@ -197,7 +213,7 @@ let () =
   let term =
     Term.(
       const run $ stdio_arg $ tcp_arg $ host_arg $ max_conns_arg $ accept_pool_arg
-      $ window_arg $ queue_arg $ batch_arg $ cache_arg
+      $ window_arg $ drainers_arg $ queue_arg $ batch_arg $ cache_arg
       $ budget_arg $ jobs_arg $ no_schedules_arg $ stats_arg $ metrics_arg $ trace_arg
       $ register_arg $ advertise_arg)
   in

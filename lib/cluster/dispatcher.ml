@@ -15,16 +15,24 @@
    immediately with [error shard-unavailable] when no live shard can
    take the request).
 
-   Each shard gets one persistent pipelined upstream connection,
-   shared by every client: a sender thread coalesces queued request
-   lines into single writes and moves their reply callbacks onto the
-   in-flight queue before the bytes leave, and a receiver thread pops
-   one callback per reply line — the shard answers in request order,
-   so the head of the in-flight queue always owns the head reply.  A
-   hard upstream error fails every queued and in-flight request with
-   [error shard-unavailable] (never a hang), reports the shard dead to
-   the registry (instant failover, no probe round-trips), and later
-   requests lazily reconnect once the status checker revives it. *)
+   Each shard gets up to [upstream_conns] persistent pipelined
+   upstream connections ({e lanes}), shared by every client.  Each
+   lane has a sender thread that coalesces queued request lines into
+   single writes and moves their reply callbacks onto the lane's
+   in-flight queue before the bytes leave, and a receiver thread that
+   pops one callback per reply line — the shard answers each
+   connection in request order, so the head of a lane's in-flight
+   queue always owns that lane's head reply.  A client connection
+   keeps a {e sticky} lane per shard (first use picks round-robin), so
+   one client's requests for one shard flow down one lane in FIFO
+   order — per-client-connection reply order is preserved at any lane
+   count, while different clients spread across lanes.  A hard error
+   on any lane fails every queued and in-flight request on {e all} of
+   the shard's lanes with [error shard-unavailable] (never a hang),
+   reports the shard dead to the registry (instant failover, no probe
+   round-trips), and bumps the upstream's epoch so sticky lane picks
+   re-balance when later requests lazily reconnect after the status
+   checker revives the shard. *)
 
 module Wire = E2e_serve.Wire
 module Protocol = E2e_serve.Protocol
@@ -75,18 +83,20 @@ type config = {
   probe_interval : float;
   probe_timeout : float;
   vnodes : int;
+  upstream_conns : int;  (** Pipelined upstream lanes per shard. *)
 }
 
 let default_config =
   { fail_threshold = 3; probe_interval = 1.0; probe_timeout = 1.0;
-    vnodes = Registry.default_vnodes }
+    vnodes = Registry.default_vnodes; upstream_conns = 1 }
 
-(* One generation of a shard's upstream connection.  [sendq] holds
+(* One generation of one upstream lane's connection.  [sendq] holds
    (raw line, reply callback) pairs not yet written; [inflight] holds
    the callbacks of written requests awaiting replies, in wire order.
    Both live under the owning upstream's mutex. *)
 type gen = {
   gfd : Unix.file_descr;
+  glane : int;  (* which lane slot this generation occupies *)
   sendq : (string * (string -> unit)) Queue.t;
   inflight : (string -> unit) Queue.t;
   gkick : Condition.t;  (* sender wakeup: work queued or teardown *)
@@ -98,7 +108,11 @@ type upstream = {
   uhost : string;
   uport : int;
   umu : Mutex.t;
-  mutable ugen : gen option;
+  lanes : gen option array;  (* one slot per pipelined upstream lane *)
+  mutable epoch : int;
+      (* bumped when the shard's lanes are drained: sticky lane picks
+         from an older epoch re-balance on their next request *)
+  mutable rr : int;  (* round-robin cursor for fresh lane picks *)
 }
 
 type t = {
@@ -108,6 +122,8 @@ type t = {
   smu : Mutex.t;
   mutable routed : int;
   mutable unavailable : int;
+  mutable client_read_errors : int;  (* hard read errors on client conns *)
+  mutable upstream_read_errors : int;  (* hard read errors on upstream lanes *)
   per_shard : (string, int) Hashtbl.t;  (* shard id -> routed requests *)
   (* upstream table *)
   tmu : Mutex.t;
@@ -120,6 +136,8 @@ type t = {
 }
 
 let create ?(config = default_config) shards =
+  if config.upstream_conns < 1 then
+    invalid_arg "Dispatcher.create: upstream_conns must be >= 1";
   {
     registry =
       Registry.create ~fail_threshold:config.fail_threshold ~vnodes:config.vnodes shards;
@@ -127,6 +145,8 @@ let create ?(config = default_config) shards =
     smu = Mutex.create ();
     routed = 0;
     unavailable = 0;
+    client_read_errors = 0;
+    upstream_read_errors = 0;
     per_shard = Hashtbl.create 8;
     tmu = Mutex.create ();
     upstreams = Hashtbl.create 8;
@@ -149,7 +169,9 @@ let upstream_for t (e : Registry.entry) =
     | None ->
         let u =
           { uid = e.Registry.id; uhost = e.Registry.host; uport = e.Registry.port;
-            umu = Mutex.create (); ugen = None }
+            umu = Mutex.create ();
+            lanes = Array.make (max 1 t.config.upstream_conns) None;
+            epoch = 0; rr = 0 }
         in
         Hashtbl.replace t.upstreams e.Registry.id u;
         u
@@ -157,40 +179,69 @@ let upstream_for t (e : Registry.entry) =
   Mutex.unlock t.tmu;
   u
 
-(* Tear one connection generation down exactly once: mark it dead, shut
+(* Mark one generation dead under [u.umu] and collect the callbacks it
+   strands; the caller shuts the socket and fails them outside the
+   lock.  [None] when the generation was already dead (its fd may
+   already be closed — and possibly reused — so the caller must not
+   touch it again). *)
+let kill_gen_locked u g =
+  if g.gdead then None
+  else begin
+    g.gdead <- true;
+    (match u.lanes.(g.glane) with
+    | Some g' when g' == g -> u.lanes.(g.glane) <- None
+    | _ -> ());
+    Condition.broadcast g.gkick;
+    let acc = ref [] in
+    Queue.iter (fun fill -> acc := fill :: !acc) g.inflight;
+    Queue.iter (fun (_line, fill) -> acc := fill :: !acc) g.sendq;
+    Queue.clear g.inflight;
+    Queue.clear g.sendq;
+    Some (List.rev !acc)
+  end
+
+let fail_fills t fills fds =
+  List.iter
+    (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    fds;
+  match fills with
+  | [] -> ()
+  | fills ->
+      Mutex.lock t.smu;
+      t.unavailable <- t.unavailable + List.length fills;
+      Mutex.unlock t.smu;
+      List.iter (fun fill -> fill unavailable_reply) fills
+
+(* Tear a connection generation down exactly once: mark it dead, shut
    the socket (waking a blocked receiver read), and fail every queued
    and in-flight request with a deterministic [error shard-unavailable]
    — a client never hangs on a dead shard.  [report] marks the shard
-   dead in the registry (skipped at dispatcher shutdown, where the
-   shards are fine and we are the ones leaving). *)
+   dead in the registry (instant failover, no probe round-trips) and
+   drains the shard's {e other} lanes too: their requests would only
+   hang on the same dead shard, and the epoch bump makes sticky lane
+   picks re-balance on reconnect.  [report:false] (dispatcher shutdown,
+   deregistration) tears down only the given generation — callers that
+   need every lane gone iterate the lane array. *)
 let teardown t u g ~report =
   Mutex.lock u.umu;
-  let first = not g.gdead in
-  let fills =
-    if not first then []
-    else begin
-      g.gdead <- true;
-      (match u.ugen with Some g' when g' == g -> u.ugen <- None | _ -> ());
-      Condition.broadcast g.gkick;
-      let acc = ref [] in
-      Queue.iter (fun fill -> acc := fill :: !acc) g.inflight;
-      Queue.iter (fun (_line, fill) -> acc := fill :: !acc) g.sendq;
-      Queue.clear g.inflight;
-      Queue.clear g.sendq;
-      List.rev !acc
+  let fills = kill_gen_locked u g in
+  let first = fills <> None in
+  let others =
+    if first && report then begin
+      u.epoch <- u.epoch + 1;
+      u.rr <- 0;
+      Array.to_list u.lanes
+      |> List.filter_map (fun go ->
+             Option.bind go (fun g' ->
+                 Option.map (fun fs -> (g', fs)) (kill_gen_locked u g')))
     end
+    else []
   in
   Mutex.unlock u.umu;
   if first then begin
     if report then ignore (Registry.report_down t.registry u.uid);
-    (try Unix.shutdown g.gfd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
-    (match fills with
-    | [] -> ()
-    | fills ->
-        Mutex.lock t.smu;
-        t.unavailable <- t.unavailable + List.length fills;
-        Mutex.unlock t.smu;
-        List.iter (fun fill -> fill unavailable_reply) fills)
+    fail_fills t (Option.value ~default:[] fills) [ g.gfd ];
+    List.iter (fun (g', fills') -> fail_fills t fills' [ g'.gfd ]) others
   end
 
 (* Sender: drain the send queue into one coalesced write per wakeup.
@@ -242,18 +293,29 @@ let receiver_loop t u g =
                 fill reply;
                 loop ()
             | None -> ())
+        | `Error _ ->
+            (* A reset mid-stream, not the shard closing cleanly:
+               account it so liveness debugging can tell the two
+               apart. *)
+            Mutex.lock t.smu;
+            t.upstream_read_errors <- t.upstream_read_errors + 1;
+            Mutex.unlock t.smu
         | `Eof | `Too_long -> ()
       in
       loop ()
+  | `Error _ ->
+      Mutex.lock t.smu;
+      t.upstream_read_errors <- t.upstream_read_errors + 1;
+      Mutex.unlock t.smu
   | `Line _ | `Eof | `Too_long -> ());
   teardown t u g ~report:true;
   try Unix.close g.gfd with Unix.Unix_error _ -> ()
 
-(* Connect (bounded) and start the generation's sender/receiver.
-   Called with [u.umu] held; a connect failure reports the shard dead
-   so the retry loop in [dispatch] immediately routes around it. *)
-let ensure_gen_locked t u =
-  match u.ugen with
+(* Connect (bounded) and start one lane's sender/receiver.  Called
+   with [u.umu] held; a connect failure reports the shard dead so the
+   retry loop in [dispatch] immediately routes around it. *)
+let ensure_lane_locked t u lane =
+  match u.lanes.(lane) with
   | Some g when not g.gdead -> Ok g
   | _ -> (
       match
@@ -263,18 +325,39 @@ let ensure_gen_locked t u =
       | Ok fd ->
           (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
           let g =
-            { gfd = fd; sendq = Queue.create (); inflight = Queue.create ();
+            { gfd = fd; glane = lane; sendq = Queue.create (); inflight = Queue.create ();
               gkick = Condition.create (); gdead = false }
           in
-          u.ugen <- Some g;
+          u.lanes.(lane) <- Some g;
           ignore (Thread.create (fun () -> sender_loop t u g) ());
           ignore (Thread.create (fun () -> receiver_loop t u g) ());
           Ok g)
 
-let try_enqueue t (e : Registry.entry) line fill =
+(* [sticky] is the asking client connection's lane memo (shard id ->
+   epoch, lane): the first request for a shard picks the next lane
+   round-robin and pins it, so one client's requests for one shard
+   flow down one lane in FIFO order — per-client reply order needs no
+   cross-lane sequencing.  A teardown bumps the epoch, so a stale pin
+   re-picks (re-balancing after reconnect). *)
+type sticky = (string, int * int) Hashtbl.t
+
+let sticky () : sticky = Hashtbl.create 8
+
+let pick_lane_locked u sticky =
+  let n = Array.length u.lanes in
+  match Hashtbl.find_opt sticky u.uid with
+  | Some (epoch, lane) when epoch = u.epoch && lane < n -> lane
+  | _ ->
+      let lane = u.rr mod n in
+      u.rr <- u.rr + 1;
+      Hashtbl.replace sticky u.uid (u.epoch, lane);
+      lane
+
+let try_enqueue t ~sticky (e : Registry.entry) line fill =
   let u = upstream_for t e in
   Mutex.lock u.umu;
-  match ensure_gen_locked t u with
+  let lane = pick_lane_locked u sticky in
+  match ensure_lane_locked t u lane with
   | Error _ ->
       Mutex.unlock u.umu;
       ignore (Registry.report_down t.registry u.uid);
@@ -295,7 +378,7 @@ let fill_unavailable t fill =
    attempt marks its shard dead, so the next [Registry.route] walks
    past it; [shards + 1] attempts bound the loop even when everything
    is dying under us. *)
-let dispatch t ~shop line fill =
+let dispatch t ~sticky ~shop line fill =
   let attempts = (Registry.stats t.registry).Registry.shards + 1 in
   let rec go n =
     if n <= 0 then fill_unavailable t fill
@@ -303,7 +386,7 @@ let dispatch t ~shop line fill =
       match Registry.route t.registry shop with
       | None -> fill_unavailable t fill
       | Some e ->
-          if try_enqueue t e line fill then begin
+          if try_enqueue t ~sticky e line fill then begin
             Mutex.lock t.smu;
             t.routed <- t.routed + 1;
             Hashtbl.replace t.per_shard e.Registry.id
@@ -317,36 +400,89 @@ let dispatch t ~shop line fill =
 (* ------------------------------------------------------------------ *)
 (* Locally-answered requests. *)
 
+(* Live (connected, not dead) upstream lanes per shard, sorted by id. *)
+let live_lanes t =
+  Mutex.lock t.tmu;
+  let us = Hashtbl.fold (fun _ u acc -> u :: acc) t.upstreams [] in
+  Mutex.unlock t.tmu;
+  List.map
+    (fun u ->
+      Mutex.lock u.umu;
+      let n =
+        Array.fold_left
+          (fun acc -> function Some g when not g.gdead -> acc + 1 | _ -> acc)
+          0 u.lanes
+      in
+      Mutex.unlock u.umu;
+      (u.uid, n))
+    us
+  |> List.sort compare
+
+(* Upstream queue depth per shard: requests queued on a lane's send
+   queue or in flight awaiting the shard's reply.  A request leaves
+   when its reply (or the teardown drain) fills its callback, so a
+   non-zero depth is proof the shard owes answers right now. *)
+let pending_per_shard t =
+  Mutex.lock t.tmu;
+  let us = Hashtbl.fold (fun _ u acc -> u :: acc) t.upstreams [] in
+  Mutex.unlock t.tmu;
+  List.map
+    (fun u ->
+      Mutex.lock u.umu;
+      let n =
+        Array.fold_left
+          (fun acc -> function
+            | Some g when not g.gdead ->
+                acc + Queue.length g.sendq + Queue.length g.inflight
+            | _ -> acc)
+          0 u.lanes
+      in
+      Mutex.unlock u.umu;
+      (u.uid, n))
+    us
+
 let stats_line t =
   let r = Registry.stats t.registry in
   Mutex.lock t.smu;
   let routed = t.routed and unavailable = t.unavailable in
+  let client_errs = t.client_read_errors and upstream_errs = t.upstream_read_errors in
   Mutex.unlock t.smu;
   Printf.sprintf
-    "stats shards=%d live=%d routed=%d failovers=%d deaths=%d revivals=%d unavailable=%d"
+    "stats shards=%d live=%d routed=%d failovers=%d deaths=%d revivals=%d unavailable=%d \
+     upstream_conns=%d read_errors=%d upstream_read_errors=%d"
     r.Registry.shards r.Registry.live_shards routed r.Registry.failovers r.Registry.deaths
-    r.Registry.revivals unavailable
+    r.Registry.revivals unavailable t.config.upstream_conns client_errs upstream_errs
 
-type shard_stats = { shard_id : string; shard_routed : int }
+type shard_stats = { shard_id : string; shard_routed : int; shard_pending : int }
 
 type stats = {
   routed : int;
   unavailable : int;
+  client_read_errors : int;
+  upstream_read_errors : int;
   per_shard : shard_stats list;  (** Sorted by shard id. *)
   registry_stats : Registry.stats;
 }
 
 let stats t =
   let registry_stats = Registry.stats t.registry in
+  let pending = pending_per_shard t in
   Mutex.lock t.smu;
   let routed = t.routed and unavailable = t.unavailable in
-  let per_shard =
-    Hashtbl.fold (fun shard_id shard_routed acc -> { shard_id; shard_routed } :: acc)
-      t.per_shard []
-    |> List.sort (fun a b -> compare a.shard_id b.shard_id)
-  in
+  let client_read_errors = t.client_read_errors in
+  let upstream_read_errors = t.upstream_read_errors in
+  let routed_by_shard = Hashtbl.fold (fun id n acc -> (id, n) :: acc) t.per_shard [] in
   Mutex.unlock t.smu;
-  { routed; unavailable; per_shard; registry_stats }
+  let per_shard =
+    List.sort_uniq compare (List.map fst routed_by_shard @ List.map fst pending)
+    |> List.map (fun shard_id ->
+           {
+             shard_id;
+             shard_routed = Option.value ~default:0 (List.assoc_opt shard_id routed_by_shard);
+             shard_pending = Option.value ~default:0 (List.assoc_opt shard_id pending);
+           })
+  in
+  { routed; unavailable; client_read_errors; upstream_read_errors; per_shard; registry_stats }
 
 (* The aggregated exposition: the dispatcher's own cluster_* series,
    then every live shard's [metrics] reply relabeled with a
@@ -366,12 +502,25 @@ let gather_metrics t =
   let s = stats t in
   add (Printf.sprintf "cluster_routed_total %d" s.routed);
   add (Printf.sprintf "cluster_unavailable_replies_total %d" s.unavailable);
+  add (Printf.sprintf "cluster_upstream_conns %d" t.config.upstream_conns);
+  add (Printf.sprintf "cluster_client_read_errors_total %d" s.client_read_errors);
+  add (Printf.sprintf "cluster_upstream_read_errors_total %d" s.upstream_read_errors);
   List.iter
-    (fun { shard_id; shard_routed } ->
+    (fun { shard_id; shard_routed; _ } ->
       add
         (Printf.sprintf "cluster_shard_routed_total{shard=\"%s\"} %d"
            (escape_label shard_id) shard_routed))
     s.per_shard;
+  List.iter
+    (fun (id, n) ->
+      add
+        (Printf.sprintf "cluster_upstream_live_lanes{shard=\"%s\"} %d" (escape_label id) n))
+    (live_lanes t);
+  List.iter
+    (fun (id, n) ->
+      add
+        (Printf.sprintf "cluster_upstream_pending{shard=\"%s\"} %d" (escape_label id) n))
+    (List.sort compare (pending_per_shard t));
   List.iter
     (fun (id, state, _fails) ->
       let up n =
@@ -391,6 +540,16 @@ let gather_metrics t =
     (Registry.snapshot t.registry);
   "metrics " ^ String.concat ";" (List.rev !out)
 
+(* Tear down every lane of one upstream without reporting the shard
+   dead (it may be perfectly healthy — we are deregistering it or
+   shutting down); pending requests get the deterministic unavailable
+   error. *)
+let teardown_all_lanes t u =
+  Mutex.lock u.umu;
+  let gens = Array.to_list u.lanes |> List.filter_map Fun.id in
+  Mutex.unlock u.umu;
+  List.iter (fun g -> teardown t u g ~report:false) gens
+
 (* Tear down and forget a deregistered shard's upstream; pending
    requests get the deterministic unavailable error. *)
 let drop_upstream t id =
@@ -398,13 +557,7 @@ let drop_upstream t id =
   let u = Hashtbl.find_opt t.upstreams id in
   Hashtbl.remove t.upstreams id;
   Mutex.unlock t.tmu;
-  match u with
-  | None -> ()
-  | Some u -> (
-      Mutex.lock u.umu;
-      let g = u.ugen in
-      Mutex.unlock u.umu;
-      match g with Some g -> teardown t u g ~report:false | None -> ())
+  match u with None -> () | Some u -> teardown_all_lanes t u
 
 let handle_ctl t rest =
   let cmd, arg = Protocol.cut_word rest in
@@ -458,11 +611,20 @@ let pong = "pong " ^ version
 (* One client connection's reader: answer session-level requests
    locally, forward everything else raw to the shop's shard.  Reply
    slots are pushed in read order, so the client's reply stream order
-   matches its request order no matter which shards answer. *)
+   matches its request order no matter which shards (or upstream
+   lanes) answer.  [sticky] is this connection's lane memo — the
+   connection affinity that keeps its per-shard request flow on one
+   upstream lane. *)
 let client_loop t (conn : Wire.conn) r =
+  let sticky = sticky () in
   let rec loop () =
     match Wire.read_line r with
     | `Eof -> Wire.push_cell conn (End None)
+    | `Error _ ->
+        Mutex.lock t.smu;
+        t.client_read_errors <- t.client_read_errors + 1;
+        Mutex.unlock t.smu;
+        Wire.push_cell conn (End None)
     | `Too_long -> Wire.push_cell conn (End (Some "error shop=- request line too long"))
     | `Line l ->
         let trimmed = String.trim l in
@@ -489,7 +651,7 @@ let client_loop t (conn : Wire.conn) r =
               Semaphore.Counting.acquire conn.Wire.window;
               let p = { Wire.line = None } in
               Wire.push_cell conn (Out p);
-              dispatch t ~shop:key l (fun reply -> Wire.fill conn p reply);
+              dispatch t ~sticky ~shop:key l (fun reply -> Wire.fill conn p reply);
               loop ()
         end
   in
@@ -529,13 +691,7 @@ let shutdown t =
   let us = Mutex.lock t.tmu; let us = Hashtbl.fold (fun _ u acc -> u :: acc) t.upstreams [] in
     Mutex.unlock t.tmu; us
   in
-  List.iter
-    (fun u ->
-      Mutex.lock u.umu;
-      let g = u.ugen in
-      Mutex.unlock u.umu;
-      match g with Some g -> teardown t u g ~report:false | None -> ())
-    us
+  List.iter (fun u -> teardown_all_lanes t u) us
 
 let handle_client t ~window fd =
   Fun.protect

@@ -17,14 +17,19 @@
 
     Reply-order contract: per client connection, replies come back in
     request order regardless of which shards answer (the same
-    {!E2e_serve.Wire} slot machinery as the single-shard server).  A
-    request whose shard cannot be reached — no live shard, connect
-    failure, or an upstream connection dying mid-flight — is answered
-    [error shard-unavailable], never left hanging.  A hard upstream
-    error also marks the shard dead immediately, so subsequent shop
-    traffic fails over to the next live shard in hash order; the
-    status checker ({!Health}) revives the shard when it answers
-    probes again. *)
+    {!E2e_serve.Wire} slot machinery as the single-shard server).
+    Each shard upstream may be widened to [upstream_conns] pipelined
+    connections ({e lanes}); a client connection keeps a sticky lane
+    per shard, so its own requests stay FIFO per shard while distinct
+    clients spread across lanes.  A request whose shard cannot be
+    reached — no live shard, connect failure, or an upstream lane
+    dying mid-flight — is answered [error shard-unavailable], never
+    left hanging.  A hard upstream error drains {e every} lane of that
+    shard and marks it dead immediately, so subsequent shop traffic
+    fails over to the next live shard in hash order; sticky lane
+    assignments are invalidated (clients re-balance round-robin over
+    fresh lanes on reconnect) and the status checker ({!Health})
+    revives the shard when it answers probes again. *)
 
 val version : string
 (** ["e2e-dispatch/1"]. *)
@@ -49,11 +54,12 @@ type config = {
   probe_interval : float;  (** Seconds between status-checker rounds. *)
   probe_timeout : float;  (** Bound on probes, upstream connects, metrics RPCs. *)
   vnodes : int;  (** Ring positions per shard. *)
+  upstream_conns : int;  (** Pipelined connections (lanes) per shard upstream. *)
 }
 
 val default_config : config
 (** [{ fail_threshold = 3; probe_interval = 1.0; probe_timeout = 1.0;
-      vnodes = Registry.default_vnodes }]. *)
+      vnodes = Registry.default_vnodes; upstream_conns = 1 }]. *)
 
 type t
 
@@ -63,21 +69,40 @@ val create : ?config:config -> (string * int) list -> t
 
 val registry : t -> Registry.t
 
-type shard_stats = { shard_id : string; shard_routed : int }
+type shard_stats = {
+  shard_id : string;
+  shard_routed : int;  (** Requests ever forwarded to this shard. *)
+  shard_pending : int;
+      (** Upstream queue depth right now: requests queued on this
+          shard's lanes or in flight awaiting its reply. *)
+}
 
 type stats = {
   routed : int;  (** Requests forwarded to shards. *)
   unavailable : int;  (** [error shard-unavailable] replies. *)
+  client_read_errors : int;  (** Hard read errors on client connections. *)
+  upstream_read_errors : int;  (** Hard read errors on upstream lanes. *)
   per_shard : shard_stats list;  (** Sorted by shard id. *)
   registry_stats : Registry.stats;
 }
 
 val stats : t -> stats
 
-val dispatch : t -> shop:string -> string -> (string -> unit) -> unit
-(** [dispatch t ~shop line fill] routes [line] to the live shard
-    owning [shop] and calls [fill] exactly once with the reply line
-    (or [error shard-unavailable]).  Exposed for in-process tests; the
+type sticky
+(** One client connection's lane memo: which upstream lane of each
+    shard its requests ride.  Pinning a lane keeps a client's
+    per-shard request flow FIFO at any [upstream_conns]; a shard
+    teardown invalidates the memo so the next request re-picks a lane
+    round-robin (re-balancing after reconnect). *)
+
+val sticky : unit -> sticky
+(** A fresh (empty) lane memo — one per client connection. *)
+
+val dispatch : t -> sticky:sticky -> shop:string -> string -> (string -> unit) -> unit
+(** [dispatch t ~sticky ~shop line fill] routes [line] to the live
+    shard owning [shop], down the [sticky] memo's lane for that shard,
+    and calls [fill] exactly once with the reply line (or
+    [error shard-unavailable]).  Exposed for in-process tests; the
     TCP session uses it per request line. *)
 
 val gather_metrics : t -> string

@@ -78,7 +78,7 @@ let rpc ?(timeout = 1.0) ~host ~port lines =
           let read () =
             match Wire.read_line r with
             | `Line l -> Some l
-            | `Eof | `Too_long -> None
+            | `Eof | `Too_long | `Error _ -> None
           in
           match read () with
           | None -> Error "no greeting"

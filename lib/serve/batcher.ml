@@ -55,14 +55,18 @@ type t = {
   mutable engine : Admission.t;
   queue : (Admission.request * Rtrace.t) Queue.t;
   mutable seq : int;  (* last request id handed out at ingress *)
+  id_stride : int;  (* id increment — stripe k of n uses offset k, stride n *)
   svc : svc;
 }
 
-let create ?(config = default_config) () =
+let create ?(config = default_config) ?(id_offset = 0) ?(id_stride = 1) () =
   if config.queue_capacity < 1 then invalid_arg "Batcher.create: queue_capacity must be >= 1";
   if config.batch < 1 then invalid_arg "Batcher.create: batch must be >= 1";
   if config.jobs < 1 then invalid_arg "Batcher.create: jobs must be >= 1";
   if config.cache_capacity < 0 then invalid_arg "Batcher.create: cache_capacity must be >= 0";
+  if id_stride < 1 then invalid_arg "Batcher.create: id_stride must be >= 1";
+  if id_offset < 0 || id_offset >= id_stride then
+    invalid_arg "Batcher.create: id_offset must be in [0, id_stride)";
   {
     cfg = config;
     cache =
@@ -71,7 +75,8 @@ let create ?(config = default_config) () =
     keyer = Cache.Keyer.create ();
     engine = Admission.empty;
     queue = Queue.create ();
-    seq = 0;
+    seq = id_offset + 1 - id_stride;  (* first id handed out: id_offset + 1 *)
+    id_stride;
     svc =
       {
         submitted = 0;
@@ -133,7 +138,7 @@ let submit t request =
   else begin
     (* Ids are assigned at ingress whether or not tracing is on, so a
        request keeps the same id when tracing is toggled. *)
-    t.seq <- t.seq + 1;
+    t.seq <- t.seq + t.id_stride;
     let tr =
       if Rtrace.active () then
         Rtrace.start ~id:t.seq ~op:(op_of request) ~shop:(shop_of request)

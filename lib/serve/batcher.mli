@@ -61,10 +61,21 @@ val default_config : config
     distinct canonical keys); see the capacity sweep in
     [BENCH_serve.json]. *)
 
-val create : ?config:config -> unit -> t
+val create : ?config:config -> ?id_offset:int -> ?id_stride:int -> unit -> t
 (** A fresh batcher over an empty {!Admission.empty} engine.
-    @raise Invalid_argument if [queue_capacity < 1], [batch < 1] or
-    [jobs < 1]. *)
+    [id_offset]/[id_stride] (defaults [0]/[1]) partition the ingress
+    request-id sequence: the batcher hands out ids
+    [id_offset + 1, id_offset + 1 + id_stride, …].  The striped server
+    ({!Stripes}) gives stripe [k] of [n] offset [k] and stride [n], so
+    request ids stay unique across stripes and per-id trace-schema
+    invariants keep holding at any stripe count.
+    @raise Invalid_argument if [queue_capacity < 1], [batch < 1],
+    [jobs < 1], [id_stride < 1] or [id_offset] outside
+    [\[0, id_stride)]. *)
+
+val shop_of : Admission.request -> string
+(** The flow shop a request addresses — the striping key: requests on
+    the same shop are order-dependent and must stay on one stripe. *)
 
 val config : t -> config
 val engine : t -> Admission.t

@@ -78,11 +78,25 @@ let emit_lines t w =
 (* [finish] closes the render stage (the only clock read it performs),
    streams the request's JSONL lines and feeds the per-stage and
    end-to-end registry histograms.  Call it exactly once per traced
-   request, on the main domain, after the reply has been rendered. *)
+   request, after the reply has been rendered.  A striped server
+   finishes traces on several drainer domains, so the writer is
+   serialised per request here: one request's lines never interleave
+   with another's (cross-request order across stripes is arbitrary,
+   which the per-id schema validation is indifferent to). *)
+let wmu = Mutex.create ()
+
 let finish t =
   if t != none then begin
     t.marks.(n_stages - 1) <- Obs.Clock.now ();
-    (match !writer with None -> () | Some w -> emit_lines t w);
+    (match !writer with
+    | None -> ()
+    | Some w ->
+        Mutex.lock wmu;
+        (match emit_lines t w with
+        | () -> Mutex.unlock wmu
+        | exception e ->
+            Mutex.unlock wmu;
+            raise e));
     if Obs.stats_enabled () then begin
       for i = 0 to n_stages - 1 do
         Obs.observe ("serve.stage." ^ stages.(i)) (stage_duration t i)

@@ -16,11 +16,15 @@
     sentinel instead: no allocation, no clock reads, and reply logs are
     byte-identical with tracing on or off.
 
-    {b Determinism.}  All clock reads happen on the main domain in
-    submission order, never from worker-domain solves, so under a
-    deterministic {!E2e_obs.Obs.Clock.set_source} the full trace is a
-    pure function of the request log — byte-identical at every [jobs]
-    value ([make check] enforces this).
+    {b Determinism.}  All clock reads happen on the ingress/drainer
+    domain in submission order, never from worker-domain solves, so
+    under a deterministic {!E2e_obs.Obs.Clock.set_source} the full
+    trace is a pure function of the request log — byte-identical at
+    every [jobs] value ([make check] enforces this).  With more than
+    one drainer stripe the per-request records are still well-formed
+    and schema-valid, but cross-request record order (and, with a real
+    clock, stage timings) depends on stripe interleaving — the
+    byte-identical guarantee is per stripe count.
 
     {b Outputs.}  {!finish} streams one JSONL record per stage plus a
     closing ["done"] record through the installed {!set_writer}, and
@@ -68,9 +72,12 @@ val set_verdict : t -> string -> unit
 
 val finish : t -> unit
 (** Close the render stage (the final clock read), write the request's
-    JSONL records and feed the registry histograms.  Call exactly once,
-    on the main domain, after the reply has been rendered.  No-op on
-    {!none}. *)
+    JSONL records and feed the registry histograms.  Call exactly once
+    per request, after the reply has been rendered.  The JSONL writer
+    is serialised internally per request, so a striped server may
+    finish traces on several drainer domains — one request's records
+    never interleave with another's (cross-stripe record order is
+    arbitrary; the per-id schema is indifferent).  No-op on {!none}. *)
 
 val id : t -> int
 val op : t -> string

@@ -13,13 +13,25 @@ type action =
 
 let pong = "pong " ^ Protocol.version
 
-let read_chunk ic n =
+let error_line ?(schedules = true) message =
+  Protocol.render_reply ~schedules
+    (Batcher.Reply (Admission.Request_error { shop = "-"; message }))
+
+(* Read up to [n] lines through the bounded {!Wire} reader — the same
+   read path as the TCP transport, so the 1 MiB line cap and [\r]
+   stripping apply to stdio sessions too.  The terminal tag reports why
+   the chunk is short: [`More] (chunk full, keep reading), [`Eof]
+   (clean end of stream), [`Too_long] (protocol error, session ends
+   after an error reply) or [`Error] (hard read error, session ends). *)
+let read_chunk r n =
   let rec go acc k =
-    if k = 0 then List.rev acc
+    if k = 0 then (List.rev acc, `More)
     else
-      match In_channel.input_line ic with
-      | None -> List.rev acc
-      | Some line -> go (line :: acc) (k - 1)
+      match Wire.read_line r with
+      | `Line line -> go (line :: acc) (k - 1)
+      | `Eof -> (List.rev acc, `Eof)
+      | `Too_long -> (List.rev acc, `Too_long)
+      | `Error _ -> (List.rev acc, `Error)
   in
   go [] n
 
@@ -44,11 +56,7 @@ let process_chunk ~schedules batcher lines =
                   (Emit (Protocol.render_reply ~schedules Batcher.Overloaded) :: acc)
                   rest)
         | Error message ->
-            classify (Emit (Protocol.render_reply ~schedules
-                              (Batcher.Reply
-                                 (Admission.Request_error { shop = "-"; message })))
-                      :: acc)
-              rest)
+            classify (Emit (error_line ~schedules message) :: acc) rest)
   in
   let actions, quit = classify [] lines in
   let replies = ref (Batcher.drain batcher) in
@@ -72,23 +80,33 @@ let process_chunk ~schedules batcher lines =
   in
   (outputs, quit)
 
-let session ?(schedules = true) ?chunk batcher ic oc =
+let session ?(schedules = true) ?chunk batcher fd oc =
   let chunk = match chunk with Some c -> max 1 c | None -> (Batcher.config batcher).batch in
   Obs.incr "serve.sessions";
   output_string oc (Protocol.greeting ^ "\n");
   flush oc;
+  let r = Wire.make_reader fd in
   let rec loop () =
-    match read_chunk ic chunk with
-    | [] -> ()
-    | lines ->
-        let outputs, quit = process_chunk ~schedules batcher lines in
+    match read_chunk r chunk with
+    | [], (`More | `Eof | `Error) -> ()
+    | lines, term ->
+        let outputs, quit =
+          match lines with [] -> ([], false) | _ -> process_chunk ~schedules batcher lines
+        in
         List.iter (fun line -> output_string oc (line ^ "\n")) outputs;
+        (match term with
+        | `Too_long ->
+            (* The oversized line was never fully read: answer the
+               protocol error and end the session (resynchronising
+               mid-line would misparse its tail as requests). *)
+            output_string oc (error_line ~schedules "request line too long" ^ "\n")
+        | `More | `Eof | `Error -> ());
         flush oc;
-        if not quit then loop ()
+        if (not quit) && term = `More then loop ()
   in
   loop ()
 
-let serve_stdio ?schedules batcher = session ?schedules batcher stdin stdout
+let serve_stdio ?schedules batcher = session ?schedules batcher Unix.stdin stdout
 
 (* ------------------------------------------------------------------ *)
 (* Concurrent TCP transport.
@@ -96,25 +114,29 @@ let serve_stdio ?schedules batcher = session ?schedules batcher stdin stdout
    An accept pool of dedicated reader domains owns up to [accept_pool]
    simultaneous connections; each connection pipelines up to [window]
    outstanding replies over a bounded fixed-size read buffer and a
-   per-reply write queue.  Everything funnels into the one shared
-   batcher through a single mutex-serialised submit path, and a single
-   drainer domain steps the batcher and routes replies back — so
-   admission semantics, trace stage attribution and the per-connection
-   reply order are exactly the sequential transport's.  Per-connection
-   reply streams stay byte-identical at every [jobs] value (and under
-   any cross-connection interleaving) as long as connections use
-   disjoint shop namespaces: an admission decision reads only its own
-   shop's committed set, and the canonical cache is
+   per-reply write queue.  Requests are routed by shop to a {!Stripes}
+   batcher stripe — same shop, same stripe — and one drainer domain
+   per stripe steps its batcher and routes replies back.  Admission
+   semantics, trace stage attribution and the per-connection reply
+   order are exactly the sequential transport's.  Per-connection reply
+   streams stay byte-identical at every [jobs] value and {e at every
+   stripe count} (and under any cross-connection interleaving) as long
+   as connections use disjoint shop namespaces: an admission decision
+   reads only its own shop's committed set, the stripe map is a pure
+   function of the shop name, and the canonical cache is
    transparency-verified.
 
    Domain/thread layout and locking:
-   - [center.mu] orders every batcher touch (submit, step, stats
-     rendering) and every [Rtrace] stage mark; [center.route] is the
-     FIFO of reply slots parallel to the batcher's request queue.
+   - each stripe has its own [smu] ordering every touch of its batcher
+     (submit, step, per-stripe [Rtrace] marks) and its [sroute] FIFO of
+     reply slots parallel to that batcher's request queue;
+   - [stats]/[metrics] render an aggregated snapshot by locking all
+     stripes in index order (drainers only ever hold their own lock,
+     so the order is deadlock-free);
    - each connection runs its reader in its accept domain and one
      writer thread; [conn.mu] protects the cell queue, and the
      counting semaphore [conn.window] bounds reader lead over the
-     writer (the bounded write buffer).
+     writer (the bounded write buffer);
    - only the reader and drainer domains touch [Obs]/[Rtrace]
      (writer threads get pre-rendered lines), so each domain-local
      telemetry store keeps a single writing thread. *)
@@ -134,30 +156,48 @@ let resolve_host host =
    ordered reply-slot queue, window semaphore, coalescing writer
    thread — lives in {!Wire}, shared with the cluster dispatcher. *)
 
+(* One stripe's serialised submit/drain path: the striped analogue of
+   the old single [center]. *)
+type lane = {
+  sbatcher : Batcher.t;
+  smu : Mutex.t;  (* orders every touch of this stripe's batcher *)
+  skick : Condition.t;  (* work queued or stop requested *)
+  sroute : (Wire.conn * Wire.pending) Queue.t;  (* reply slots, batcher queue order *)
+  mutable sstop : bool;
+}
+
 type center = {
-  batcher : Batcher.t;
-  mu : Mutex.t;  (* the single serialised submit/drain/stats path *)
-  kick : Condition.t;  (* work queued or stop requested *)
-  route : (Wire.conn * Wire.pending) Queue.t;  (* reply slots, batcher queue order *)
-  mutable stop : bool;
+  stripes : Stripes.t;
+  lanes : lane array;  (* one per stripe *)
   schedules : bool;
+  read_errors : int Atomic.t;  (* hard transport read errors (not EOFs) *)
 }
 
 let push_cell = Wire.push_cell
 
-let error_line ?(schedules = true) message =
-  Protocol.render_reply ~schedules
-    (Batcher.Reply (Admission.Request_error { shop = "-"; message }))
+(* Aggregated stats/metrics: lock every stripe in index order so the
+   snapshot is consistent per stripe and the lock order is global. *)
+let with_all_lanes center f =
+  Array.iter (fun l -> Mutex.lock l.smu) center.lanes;
+  let r = f () in
+  Array.iter (fun l -> Mutex.unlock l.smu) center.lanes;
+  r
 
 (* Reader: parse lines, render control replies immediately, route
-   admission requests through the serialised submit path.  The window
-   is acquired before any cell is queued, so at most [window] replies
-   are ever buffered ahead of the writer. *)
+   admission requests through their shop's stripe.  The window is
+   acquired before any cell is queued, so at most [window] replies are
+   ever buffered ahead of the writer. *)
 let reader_loop center (conn : Wire.conn) r =
   let schedules = center.schedules in
   let rec loop () =
     match Wire.read_line r with
     | `Eof -> push_cell conn (End None)
+    | `Error _ ->
+        (* A half-closed or reset peer, not an orderly EOF: count it so
+           stats distinguish connection failures from hangups. *)
+        Atomic.incr center.read_errors;
+        Obs.incr "serve.read_errors";
+        push_cell conn (End None)
     | `Too_long -> push_cell conn (End (Some (error_line ~schedules "request line too long")))
     | `Line l -> (
         match Protocol.parse_request l with
@@ -170,31 +210,38 @@ let reader_loop center (conn : Wire.conn) r =
             loop ()
         | Ok Protocol.Stats ->
             Semaphore.Counting.acquire conn.window;
-            Mutex.lock center.mu;
-            let line = Protocol.render_stats center.batcher in
-            Mutex.unlock center.mu;
+            let line =
+              with_all_lanes center (fun () ->
+                  Protocol.render_stats_striped
+                    ~read_errors:(Atomic.get center.read_errors)
+                    center.stripes)
+            in
             push_cell conn (Out { line = Some line });
             loop ()
         | Ok Protocol.Metrics ->
             Semaphore.Counting.acquire conn.window;
-            Mutex.lock center.mu;
-            let line = Protocol.render_metrics center.batcher in
-            Mutex.unlock center.mu;
+            let line =
+              with_all_lanes center (fun () ->
+                  Protocol.render_metrics_striped
+                    ~read_errors:(Atomic.get center.read_errors)
+                    center.stripes)
+            in
             push_cell conn (Out { line = Some line });
             loop ()
         | Ok Protocol.Quit -> push_cell conn (End (Some "bye"))
         | Ok (Protocol.Request req) ->
             Semaphore.Counting.acquire conn.window;
-            Mutex.lock center.mu;
-            (match Batcher.submit center.batcher req with
+            let lane = center.lanes.(Stripes.stripe_of center.stripes req) in
+            Mutex.lock lane.smu;
+            (match Batcher.submit lane.sbatcher req with
             | `Queued ->
                 let p = { Wire.line = None } in
-                Queue.push (conn, p) center.route;
-                Condition.signal center.kick;
-                Mutex.unlock center.mu;
+                Queue.push (conn, p) lane.sroute;
+                Condition.signal lane.skick;
+                Mutex.unlock lane.smu;
                 push_cell conn (Out p)
             | `Overloaded ->
-                Mutex.unlock center.mu;
+                Mutex.unlock lane.smu;
                 push_cell conn
                   (Out { line = Some (Protocol.render_reply ~schedules Batcher.Overloaded) }));
             loop ()
@@ -204,58 +251,58 @@ let reader_loop center (conn : Wire.conn) r =
   in
   loop ()
 
-(* Drainer domain: step the batcher whenever requests are pending —
-   after a short grace while a partial batch is still filling — and
-   route each reply to its slot.  Replies come back in submission
-   order and [route] is pushed in submission order under the same
-   mutex, so the head of [route] is always the slot of the head
-   reply. *)
-let drainer_loop center =
+(* Drainer domain (one per stripe): step the stripe's batcher whenever
+   requests are pending — after a short grace while a partial batch is
+   still filling — and route each reply to its slot.  Replies come
+   back in submission order and [sroute] is pushed in submission order
+   under the same mutex, so the head of [sroute] is always the slot of
+   the head reply. *)
+let drainer_loop schedules lane =
   let grace = 0.0002 in
   let route_replies replies =
     List.iter
       (fun (_req, tr, reply) ->
-        let conn, p = Queue.pop center.route in
-        let line = Protocol.render_reply ~schedules:center.schedules (Batcher.Reply reply) in
+        let conn, p = Queue.pop lane.sroute in
+        let line = Protocol.render_reply ~schedules (Batcher.Reply reply) in
         (* The reply line exists: close the render stage here, on the
-           one domain that owns all trace activity for this server. *)
+           one domain that owns this stripe's trace activity. *)
         Rtrace.finish tr;
         Wire.fill conn p line)
       replies
   in
-  Mutex.lock center.mu;
+  Mutex.lock lane.smu;
   let rec loop () =
-    let pending = Batcher.pending center.batcher in
+    let pending = Batcher.pending lane.sbatcher in
     if pending = 0 then begin
-      if not center.stop then begin
-        Condition.wait center.kick center.mu;
+      if not lane.sstop then begin
+        Condition.wait lane.skick lane.smu;
         loop ()
       end
     end
     else begin
-      let batch = (Batcher.config center.batcher).Batcher.batch in
-      if pending < batch && not center.stop then begin
+      let batch = (Batcher.config lane.sbatcher).Batcher.batch in
+      if pending < batch && not lane.sstop then begin
         (* Give the readers one grace period to fill the batch; step as
            soon as the queue stops growing so a trickle of requests is
            never parked behind a timer. *)
-        Mutex.unlock center.mu;
+        Mutex.unlock lane.smu;
         Unix.sleepf grace;
-        Mutex.lock center.mu;
-        let now = Batcher.pending center.batcher in
-        if now > pending && now < batch && not center.stop then loop ()
+        Mutex.lock lane.smu;
+        let now = Batcher.pending lane.sbatcher in
+        if now > pending && now < batch && not lane.sstop then loop ()
         else begin
-          route_replies (Batcher.step center.batcher);
+          route_replies (Batcher.step lane.sbatcher);
           loop ()
         end
       end
       else begin
-        route_replies (Batcher.step center.batcher);
+        route_replies (Batcher.step lane.sbatcher);
         loop ()
       end
     end
   in
   loop ();
-  Mutex.unlock center.mu
+  Mutex.unlock lane.smu
 
 (* ------------------------------------------------------------------ *)
 (* External shutdown: a control handle the embedding process can use to
@@ -339,7 +386,7 @@ let retriable = function
   | _ -> false
 
 let serve_tcp ?schedules:(sch = true) ?(host = "127.0.0.1") ?max_connections
-    ?(accept_pool = 4) ?(window = 64) ?ready ?control:ctl ~port batcher =
+    ?(accept_pool = 4) ?(window = 64) ?ready ?control:ctl ~port stripes =
   let addr = Unix.ADDR_INET (resolve_host host, port) in
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   let old_sigpipe =
@@ -372,15 +419,25 @@ let serve_tcp ?schedules:(sch = true) ?(host = "127.0.0.1") ?max_connections
           f bound_port);
       let center =
         {
-          batcher;
-          mu = Mutex.create ();
-          kick = Condition.create ();
-          route = Queue.create ();
-          stop = false;
+          stripes;
+          lanes =
+            Array.map
+              (fun b ->
+                {
+                  sbatcher = b;
+                  smu = Mutex.create ();
+                  skick = Condition.create ();
+                  sroute = Queue.create ();
+                  sstop = false;
+                })
+              (Stripes.batchers stripes);
           schedules = sch;
+          read_errors = Atomic.make 0;
         }
       in
-      let drainer = Domain.spawn (fun () -> drainer_loop center) in
+      let drainers =
+        Array.map (fun lane -> Domain.spawn (fun () -> drainer_loop sch lane)) center.lanes
+      in
       (* Connection slots are claimed before accepting, so with a quota
          exactly [max_connections] accepts happen across the pool and
          every accept domain terminates. *)
@@ -421,8 +478,11 @@ let serve_tcp ?schedules:(sch = true) ?(host = "127.0.0.1") ?max_connections
         Array.init (max 1 accept_pool) (fun _ -> Domain.spawn accept_domain)
       in
       Array.iter Domain.join accepters;
-      Mutex.lock center.mu;
-      center.stop <- true;
-      Condition.broadcast center.kick;
-      Mutex.unlock center.mu;
-      Domain.join drainer)
+      Array.iter
+        (fun lane ->
+          Mutex.lock lane.smu;
+          lane.sstop <- true;
+          Condition.broadcast lane.skick;
+          Mutex.unlock lane.smu)
+        center.lanes;
+      Array.iter Domain.join drainers)

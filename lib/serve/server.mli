@@ -1,8 +1,11 @@
 (** Transports for the admission service.
 
-    {!session} runs the framed line protocol ({!Protocol}) over any
-    in/out channel pair; {!serve_stdio} binds it to stdin/stdout and
-    {!serve_tcp} to a concurrent multi-domain TCP front end.
+    {!session} runs the framed line protocol ({!Protocol}) over a raw
+    input fd and an output channel; {!serve_stdio} binds it to
+    stdin/stdout and {!serve_tcp} to a concurrent multi-domain TCP
+    front end.  Both transports share one read path — the bounded
+    {!Wire} line reader — so the 1 MiB request-line cap and trailing
+    [\r] stripping apply identically to stdio and TCP sessions.
 
     Channel sessions are {e pipelined}: up to [chunk] request lines are
     read before replies are written, so a replayed request log flows
@@ -14,29 +17,35 @@
 
     The TCP transport serves up to [accept_pool] connections
     simultaneously, each pipelining up to [window] outstanding replies
-    over bounded per-connection read/write buffers.  All connections
-    feed the one shared batcher through a single mutex-serialised
-    submit path, and a single drainer domain steps the batcher and
-    routes replies back, so admission semantics, {!Rtrace} stage
-    attribution and the per-connection reply order are exactly the
-    sequential transport's.  Per-connection reply streams are
-    byte-identical at every [jobs] value and under any
-    cross-connection interleaving as long as connections use disjoint
-    shop namespaces (an admission decision reads only its own shop's
-    committed set); [stats]/[metrics] replies describe the shared live
-    service and are the one timing-dependent exception.
+    over bounded per-connection read/write buffers.  Requests route by
+    shop into a {!Stripes} batcher — same shop, same stripe — and one
+    drainer domain per stripe steps its batcher and routes replies
+    back, so admission semantics, {!Rtrace} stage attribution and the
+    per-connection reply order are exactly the sequential transport's.
+    Per-connection reply streams are byte-identical at every [jobs]
+    value, at every stripe count, and under any cross-connection
+    interleaving as long as connections use disjoint shop namespaces
+    (an admission decision reads only its own shop's committed set,
+    and the stripe map is a pure function of the shop name);
+    [stats]/[metrics] replies describe the shared live service and are
+    the one timing-dependent exception.
 
     When request tracing is active ({!Rtrace.active}) the transport
     closes each request's render stage as its reply line is rendered,
     in reply order, completing the per-request JSONL trace. *)
 
-val session : ?schedules:bool -> ?chunk:int -> Batcher.t -> in_channel -> out_channel -> unit
+val session :
+  ?schedules:bool -> ?chunk:int -> Batcher.t -> Unix.file_descr -> out_channel -> unit
 (** Serve one session: write {!Protocol.greeting}, then read request
-    lines until end-of-stream or [quit].  [chunk] (default: the
-    batcher's batch size) is the pipelining depth — how many lines are
-    read before the pending requests are drained and their replies
-    written.  Interactive channel transports use [chunk = 1] so every
-    request line is answered before the next is read. *)
+    lines (through the bounded {!Wire} reader) until end-of-stream or
+    [quit].  [chunk] (default: the batcher's batch size) is the
+    pipelining depth — how many lines are read before the pending
+    requests are drained and their replies written.  Interactive
+    channel transports use [chunk = 1] so every request line is
+    answered before the next is read.  An oversized request line
+    (longer than {!Wire.max_line}) is answered with an [error] reply
+    and ends the session — the line was never fully read, so there is
+    no safe resynchronisation point. *)
 
 val serve_stdio : ?schedules:bool -> Batcher.t -> unit
 (** {!session} over stdin/stdout. *)
@@ -72,20 +81,22 @@ val serve_tcp :
   ?ready:(int -> unit) ->
   ?control:control ->
   port:int ->
-  Batcher.t ->
+  Stripes.t ->
   unit
 (** Listen on [host:port] (default host 127.0.0.1; [port = 0] binds an
     ephemeral port, reported through [ready]) and serve connections
     concurrently: [accept_pool] (default 4) reader domains each own one
     live connection at a time, [window] (default 64) bounds the
-    pipelined replies buffered per connection.  Committed state
-    persists across connections.  [ready] is called with the bound
-    port once the listener accepts connections — the hook tests and
-    the in-process load generator use to connect to an ephemeral
-    port.  [max_connections] bounds the {e total} number of
-    connections accepted across the pool, after which the server
-    drains and returns (tests and scripted runs); omitted, it serves
-    until the process is killed.
+    pipelined replies buffered per connection, and one drainer domain
+    per stripe of the given {!Stripes.t} steps that stripe's batcher
+    ([Stripes.create ~stripes:1] reproduces the single-drainer
+    server exactly).  Committed state persists across connections.
+    [ready] is called with the bound port once the listener accepts
+    connections — the hook tests and the in-process load generator use
+    to connect to an ephemeral port.  [max_connections] bounds the
+    {e total} number of connections accepted across the pool, after
+    which the server drains and returns (tests and scripted runs);
+    omitted, it serves until the process is killed.
 
     Robustness: transient accept failures ([EINTR], [ECONNABORTED],
     [EAGAIN]) are retried, resource-pressure failures back off and
@@ -94,4 +105,7 @@ val serve_tcp :
     connection whose handler setup fails is closed without taking the
     server down, and teardown joins the connection's writer before
     closing the socket so every buffered reply — including the [quit]
-    farewell — is flushed. *)
+    farewell — is flushed.  Hard read errors (a reset or half-closed
+    peer, as opposed to a clean EOF) are counted and surfaced as
+    [read_errors=] in [stats] and [serve_transport_read_errors_total]
+    in [metrics]. *)

@@ -50,20 +50,38 @@ let rec read_line r =
         r.rpos <- 0;
         read_line r
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_line r
-    | exception Unix.Unix_error _ -> `Eof
+    | exception Unix.Unix_error (e, _, _) -> `Error e
   else
     match Bytes.index_from_opt r.rbuf r.rpos '\n' with
     | Some i when i < r.rlen ->
-        Buffer.add_subbytes r.acc r.rbuf r.rpos (i - r.rpos);
-        r.rpos <- i + 1;
-        let s = Buffer.contents r.acc in
-        Buffer.clear r.acc;
-        let s =
-          if String.length s > 0 && s.[String.length s - 1] = '\r' then
-            String.sub s 0 (String.length s - 1)
-          else s
-        in
-        `Line s
+        if Buffer.length r.acc + (i - r.rpos) > max_line then
+          (* The newline arrived, but the line already blew the cap: the
+             bound is exact, not chunk-granular.  Nothing is consumed, so
+             the result is sticky — every later call answers the same. *)
+          `Too_long
+        else if Buffer.length r.acc = 0 then begin
+          (* Hot path: the whole line sits inside the chunk buffer, so
+             one [Bytes.sub_string] builds it — no accumulator round
+             trip, no second copy to strip the [\r]. *)
+          let stop =
+            if i > r.rpos && Bytes.get r.rbuf (i - 1) = '\r' then i - 1 else i
+          in
+          let s = Bytes.sub_string r.rbuf r.rpos (stop - r.rpos) in
+          r.rpos <- i + 1;
+          `Line s
+        end
+        else begin
+          Buffer.add_subbytes r.acc r.rbuf r.rpos (i - r.rpos);
+          r.rpos <- i + 1;
+          let s = Buffer.contents r.acc in
+          Buffer.clear r.acc;
+          let s =
+            if String.length s > 0 && s.[String.length s - 1] = '\r' then
+              String.sub s 0 (String.length s - 1)
+            else s
+          in
+          `Line s
+        end
     | _ ->
         Buffer.add_subbytes r.acc r.rbuf r.rpos (r.rlen - r.rpos);
         r.rpos <- r.rlen;

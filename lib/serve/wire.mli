@@ -26,10 +26,15 @@ type reader
 
 val make_reader : Unix.file_descr -> reader
 
-val read_line : reader -> [ `Line of string | `Eof | `Too_long ]
+val read_line :
+  reader -> [ `Line of string | `Eof | `Too_long | `Error of Unix.error ]
 (** Next line (terminator stripped, trailing [\r] removed).  A partial
-    final line at EOF is returned as a line.  Read errors surface as
-    [`Eof]; a line longer than {!max_line} as [`Too_long]. *)
+    final line at EOF is returned as a line.  A clean EOF is [`Eof]; a
+    hard read error (reset, half-closed socket, …) is [`Error] so
+    transports can account for it separately from orderly shutdown;
+    a line longer than {!max_line} is [`Too_long].  [EINTR] retries
+    internally.  When a whole line sits inside the chunk buffer it is
+    built with a single copy (no accumulator round trip). *)
 
 type pending = { mutable line : string option }
 (** A reply slot, filled exactly once with the rendered reply line. *)

@@ -184,22 +184,25 @@ let wait_port () =
 
 let spawn_shard () =
   let config = { Batcher.default_config with Batcher.jobs = 1; queue_capacity = 4096 } in
-  let batcher = Batcher.create ~config () in
+  let stripes = E2e_serve.Stripes.create ~config () in
   let sctl = Server.control () in
   let set, get = wait_port () in
   let sdomain =
     Domain.spawn (fun () ->
-        Server.serve_tcp ~schedules:false ~accept_pool:3 ~window:64 ~control:sctl
-          ~ready:set ~port:0 batcher)
+        (* Room for two persistent upstream lanes plus a transient
+           probe and a metrics RPC at once. *)
+        Server.serve_tcp ~schedules:false ~accept_pool:4 ~window:64 ~control:sctl
+          ~ready:set ~port:0 stripes)
   in
   { sport = get (); sctl; sdomain }
 
 (* Two live shards behind a dispatcher with a fast status checker;
    [f] gets the client-facing port and the dispatcher handle. *)
-let with_cluster f =
+let with_cluster ?(upstream_conns = 1) f =
   let s0 = spawn_shard () and s1 = spawn_shard () in
   let config =
-    { Dispatcher.default_config with probe_interval = 0.1; probe_timeout = 1.0 }
+    { Dispatcher.default_config with probe_interval = 0.1; probe_timeout = 1.0;
+      upstream_conns }
   in
   let t =
     Dispatcher.create ~config [ ("127.0.0.1", s0.sport); ("127.0.0.1", s1.sport) ]
@@ -426,6 +429,91 @@ let test_e2e_metrics_aggregation () =
            series);
       ignore (port, t))
 
+(* Widened upstreams: with two lanes per shard, two concurrent clients
+   land on distinct lanes (round-robin pick, sticky thereafter), yet
+   each still reads its replies strictly in its own request order; the
+   lane topology is visible in the aggregated metrics; and a shard kill
+   drains BOTH lanes — every in-flight request is answered and traffic
+   fails over, exactly as with one lane. *)
+let test_e2e_multi_lane () =
+  with_cluster ~upstream_conns:2 (fun port t (s0, s1) ->
+      let id0 = Registry.id_of ~host:"127.0.0.1" ~port:s0.sport in
+      let id1 = Registry.id_of ~host:"127.0.0.1" ~port:s1.sport in
+      let on0 = shops_on t ~shard_id:id0 ~n:6 and on1 = shops_on t ~shard_id:id1 ~n:6 in
+      let interleaved = List.concat_map (fun (a, b) -> [ a; b ]) (List.combine on0 on1) in
+      let c1 = client_connect port and c2 = client_connect port in
+      (* Both clients push the same interleaved cross-shard burst; each
+         connection's replies must come back in its own request order
+         whichever lane carries them. *)
+      client_send c1 (List.map (fun s -> "query " ^ s) interleaved);
+      client_send c2 (List.map (fun s -> "query " ^ s) interleaved);
+      let check c label =
+        let replies = client_recv c (List.length interleaved) in
+        List.iter2
+          (fun s reply ->
+            Alcotest.(check string)
+              (label ^ ": reply order matches request order")
+              (Printf.sprintf "info shop=%s unknown" s)
+              reply)
+          interleaved replies
+      in
+      check c1 "client1";
+      check c2 "client2";
+      (* The lane topology shows in the aggregated exposition: config
+         gauge, and both lanes of at least one shard connected (two
+         clients -> round-robin picked lane 0 and lane 1). *)
+      client_send c1 [ "metrics" ];
+      let reply = input_line c1.cic in
+      let series =
+        String.split_on_char ';' (String.sub reply 8 (String.length reply - 8))
+      in
+      let has pfx =
+        List.exists
+          (fun l ->
+            String.length l >= String.length pfx && String.sub l 0 (String.length pfx) = pfx)
+          series
+      in
+      Alcotest.(check bool) "upstream_conns gauge" true (has "cluster_upstream_conns 2");
+      Alcotest.(check bool) "a shard runs both lanes" true
+        (List.exists
+           (fun id -> has (Printf.sprintf "cluster_upstream_live_lanes{shard=\"%s\"} 2" id))
+           [ id0; id1 ]);
+      (* Kill shard 0 with requests on its lanes: every request is
+         answered (unavailable at worst), then traffic fails over. *)
+      let victim = List.hd on0 in
+      Server.shutdown s0.sctl;
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      let rec await_failover () =
+        if Unix.gettimeofday () > deadline then
+          Alcotest.fail "no failover within 10s of shard kill"
+        else begin
+          client_send c1 [ "query " ^ victim ];
+          let reply = input_line c1.cic in
+          if reply = Printf.sprintf "info shop=%s unknown" victim then ()
+          else if reply = Dispatcher.unavailable_reply then begin
+            Unix.sleepf 0.05;
+            await_failover ()
+          end
+          else Alcotest.failf "unexpected reply during multi-lane failover: %s" reply
+        end
+      in
+      await_failover ();
+      (* The second client keeps working too (its sticky pick was
+         invalidated by the epoch bump, so it re-picks a live lane). *)
+      client_send c2 [ "query " ^ victim ];
+      Alcotest.(check bool) "client2 answered after lane drain" true
+        (match input_line c2.cic with
+        | reply ->
+            reply = Printf.sprintf "info shop=%s unknown" victim
+            || reply = Dispatcher.unavailable_reply);
+      List.iter
+        (fun c ->
+          client_send c [ "quit" ];
+          ignore (input_line c.cic);
+          client_close c)
+        [ c1; c2 ];
+      ignore port)
+
 let suite =
   [
     ("registry: parse_id accepts host:port and rejects junk", `Quick, test_parse_id);
@@ -442,4 +530,6 @@ let suite =
     ("cluster: shard kill fails over without losing replies", `Slow,
      test_e2e_failover_on_kill);
     ("cluster: metrics aggregates shard expositions", `Slow, test_e2e_metrics_aggregation);
+    ("cluster: multi-lane upstreams keep order and drain on kill", `Slow,
+     test_e2e_multi_lane);
   ]

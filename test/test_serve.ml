@@ -17,6 +17,7 @@ module Batcher = E2e_serve.Batcher
 module Cache = E2e_serve.Cache
 module Protocol = E2e_serve.Protocol
 module Server = E2e_serve.Server
+module Stripes = E2e_serve.Stripes
 module Serve_fuzz = E2e_fuzz.Serve_fuzz
 
 (* ------------------------------------------------------------------ *)
@@ -569,11 +570,12 @@ let test_resolve_host () =
 (* Run [serve_tcp] on an ephemeral port in its own domain, hand the
    bound port to [f], and join the server once [f] has consumed
    [max_connections] connections. *)
-let with_server ?(jobs = 1) ?(accept_pool = 3) ?(window = 64) ~max_connections f =
+let with_server ?(jobs = 1) ?(accept_pool = 3) ?(window = 64) ?(drainers = 1)
+    ~max_connections f =
   let config =
     { Batcher.default_config with Batcher.jobs; Batcher.queue_capacity = 4096 }
   in
-  let batcher = Batcher.create ~config () in
+  let stripes = Stripes.create ~config ~stripes:drainers () in
   let mu = Mutex.create () and cv = Condition.create () in
   let port = ref 0 in
   let srv =
@@ -584,7 +586,7 @@ let with_server ?(jobs = 1) ?(accept_pool = 3) ?(window = 64) ~max_connections f
             port := p;
             Condition.signal cv;
             Mutex.unlock mu)
-          ~port:0 batcher)
+          ~port:0 stripes)
   in
   Mutex.lock mu;
   while !port = 0 do
@@ -697,6 +699,163 @@ let test_abrupt_disconnect () =
         [ "info shop=ghost unknown"; "bye" ]
         replies)
 
+(* ------------------------------------------------------------------ *)
+(* Striped batcher                                                     *)
+
+(* The striping invariant's headline: replaying one interleaved log
+   (same-shop chains and cross-shop traffic mixed) through 1, 2 and 4
+   stripes yields byte-identical replies — the stripe map is a pure
+   function of the shop name, same-shop requests stay FIFO on their
+   stripe, and the caches are transparent however their contents
+   partition. *)
+let test_stripe_determinism () =
+  let config = { Batcher.default_config with Batcher.queue_capacity = 4096 } in
+  (* Interleave two namespaces round-robin so consecutive requests
+     almost always hit different stripes while each shop's own history
+     stays in order. *)
+  let a = gen_log 501 60 and b = List.map (prefix_shop "x.") (gen_log 502 60) in
+  let rec weave = function
+    | [], rest | rest, [] -> rest
+    | x :: xs, y :: ys -> x :: y :: weave (xs, ys)
+  in
+  let log = weave (a, b) in
+  let render outcomes =
+    Array.to_list (Array.map (Protocol.render_reply ~schedules:true) outcomes)
+  in
+  let run stripes =
+    render (Stripes.process_log (Stripes.create ~config ~stripes ()) log)
+  in
+  let baseline = run 1 in
+  (* The log's shops must actually spread over stripes, or the check is
+     vacuous. *)
+  let shops =
+    List.sort_uniq compare (List.map Batcher.shop_of log)
+  in
+  let hit =
+    List.sort_uniq compare
+      (List.map (fun s -> Stripes.stripe_index ~stripes:4 s) shops)
+  in
+  Alcotest.(check bool) "log spans multiple stripes" true (List.length hit > 1);
+  List.iter
+    (fun stripes ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "stripes=%d replies byte-identical to 1-stripe" stripes)
+        baseline (run stripes))
+    [ 2; 4 ];
+  (* Request ids partition without collision across stripes. *)
+  let s4 = Stripes.create ~config ~stripes:4 () in
+  ignore (Stripes.process_log s4 log);
+  let ids_seen = Stripes.last_id s4 in
+  Alcotest.(check bool) "ids handed out" true (ids_seen >= List.length log / 2)
+
+(* The striped TCP transport against per-connection sequential oracles:
+   same guarantee as [test_concurrent_transport], now with one drainer
+   domain per stripe. *)
+let test_multi_drainer_transport () =
+  let n_clients = 3 and requests = 24 in
+  let logs =
+    List.init n_clients (fun c ->
+        List.map (prefix_shop (Printf.sprintf "d%d." c)) (gen_log (700 + c) requests))
+  in
+  let expected = List.map (fun log -> oracle_replies log @ [ "bye" ]) logs in
+  List.iter
+    (fun drainers ->
+      let results =
+        with_server ~drainers ~accept_pool:n_clients ~max_connections:n_clients
+          (fun port ->
+            logs
+            |> List.map (fun log ->
+                   let lines = List.map Protocol.render_request log in
+                   Domain.spawn (fun () -> tcp_session port lines))
+            |> List.map Domain.join)
+      in
+      List.iteri
+        (fun i ((greeting, replies), want) ->
+          Alcotest.(check string)
+            (Printf.sprintf "drainers=%d client %d greeting" drainers i)
+            Protocol.greeting greeting;
+          Alcotest.(check (list string))
+            (Printf.sprintf "drainers=%d client %d replies match oracle" drainers i)
+            want replies)
+        (List.combine results expected))
+    [ 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Wire read-error surface and the shared stdio read path              *)
+
+(* A peer that dies hard (RST) must surface as [`Error], not a clean
+   [`Eof] — serve_tcp and the dispatcher account the two separately. *)
+let test_wire_error_surface () =
+  let lsock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lsock Unix.SO_REUSEADDR true;
+  Unix.bind lsock (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen lsock 1;
+  let port =
+    match Unix.getsockname lsock with Unix.ADDR_INET (_, p) -> p | _ -> assert false
+  in
+  let client = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect client (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let server, _ = Unix.accept lsock in
+  Unix.close lsock;
+  let r = E2e_serve.Wire.make_reader server in
+  ignore (Unix.write_substring client "hello\n" 0 6);
+  (match E2e_serve.Wire.read_line r with
+  | `Line l -> Alcotest.(check string) "line before reset" "hello" l
+  | _ -> Alcotest.fail "expected the line written before the reset");
+  (* SO_LINGER 0 close sends RST instead of FIN. *)
+  Unix.setsockopt_optint client Unix.SO_LINGER (Some 0);
+  Unix.close client;
+  (match E2e_serve.Wire.read_line r with
+  | `Error _ -> ()
+  | `Eof -> Alcotest.fail "reset surfaced as clean EOF"
+  | `Line _ | `Too_long -> Alcotest.fail "reset surfaced as data");
+  Unix.close server
+
+(* Regression for the stdio transport's move onto the bounded Wire
+   reader: an oversized request line is answered with the protocol
+   error and ends the session instead of hanging or misparsing the
+   line's tail. *)
+let test_session_oversized_line () =
+  (* The session stops reading mid-line at the cap; closing the read
+     end un-blocks the writer thread (EPIPE, not a killing SIGPIPE). *)
+  (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore) with Invalid_argument _ -> ());
+  let req_r, req_w = Unix.pipe () in
+  let rep_r, rep_w = Unix.pipe () in
+  let oversized = String.make (E2e_serve.Wire.max_line + 8) 'a' in
+  let writer =
+    Thread.create
+      (fun () ->
+        let payload = "query ghost\n" ^ oversized ^ "\nquery ghost\n" in
+        (try E2e_serve.Wire.write_all req_w payload with Unix.Unix_error _ -> ());
+        Unix.close req_w)
+      ()
+  in
+  let oc = Unix.out_channel_of_descr rep_w in
+  let batcher = Batcher.create () in
+  Server.session ~schedules:false ~chunk:1 batcher req_r oc;
+  close_out oc;
+  Unix.close req_r;
+  Thread.join writer;
+  let ic = Unix.in_channel_of_descr rep_r in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  match List.rev !lines with
+  | [ greeting; reply; err ] ->
+      Alcotest.(check string) "greeting" Protocol.greeting greeting;
+      Alcotest.(check string) "first request answered" "info shop=ghost unknown" reply;
+      Alcotest.(check bool) "oversized line answered with the protocol error" true
+        (String.length err >= 5 && String.sub err 0 5 = "error");
+      (* The third request never ran: the session ended at the cap. *)
+      ()
+  | lines ->
+      Alcotest.failf "expected greeting+reply+error then EOF, got %d lines"
+        (List.length lines)
+
 let suite =
   [
     ("cache: LRU bookkeeping", `Quick, test_cache_lru);
@@ -734,4 +893,11 @@ let suite =
      test_concurrent_transport);
     ("server: quit flushes buffered replies", `Quick, test_quit_flushes_replies);
     ("server: abrupt disconnect leaves the pool serving", `Quick, test_abrupt_disconnect);
+    ("stripes: replies byte-identical across stripe counts", `Slow,
+     test_stripe_determinism);
+    ("server: multi-drainer transport matches sequential oracles", `Slow,
+     test_multi_drainer_transport);
+    ("wire: hard reset surfaces as `Error, not EOF", `Quick, test_wire_error_surface);
+    ("server: oversized stdio line answered and session ended", `Quick,
+     test_session_oversized_line);
   ]
